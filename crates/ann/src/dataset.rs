@@ -1,0 +1,129 @@
+//! Seeded synthetic vector workloads.
+//!
+//! The ANN experiments need datasets whose size can sweep from 1k to 64k
+//! vectors. Clustered Gaussians mimic the embedding clouds real sentence
+//! embedders produce (queries land near clusters, not uniformly at random).
+
+use chatgraph_embed::Vector;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Parameters for [`clustered`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterParams {
+    /// Number of vectors.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of Gaussian clusters.
+    pub clusters: usize,
+    /// Per-coordinate noise standard deviation around each centre.
+    pub noise: f32,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            n: 1000,
+            dim: 32,
+            clusters: 16,
+            noise: 0.08,
+        }
+    }
+}
+
+fn gaussian(rng: &mut ChaCha12Rng) -> f32 {
+    // Box–Muller; avoids pulling in rand_distr.
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+fn centres(params: &ClusterParams, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    (0..params.clusters.max(1))
+        .map(|_| (0..params.dim).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+fn sample(params: &ClusterParams, n: usize, seed: u64, stream: u64) -> Vec<Vector> {
+    let centres = centres(params, seed);
+    // Points come from a salted stream so queries share the dataset's cluster
+    // centres without duplicating its points.
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ stream);
+    (0..n)
+        .map(|_| {
+            let c = &centres[rng.random_range(0..centres.len())];
+            Vector(
+                c.iter()
+                    .map(|&x| x + params.noise * gaussian(&mut rng))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Samples `params.n` vectors from a mixture of axis-aligned Gaussians with
+/// uniformly random centres in `[-1, 1]^dim`.
+pub fn clustered(params: &ClusterParams, seed: u64) -> Vec<Vector> {
+    sample(params, params.n, seed, 0)
+}
+
+/// Samples `count` query vectors from the *same* mixture (same centres,
+/// disjoint sample stream), mimicking held-out queries of a real workload.
+pub fn queries(params: &ClusterParams, count: usize, seed: u64) -> Vec<Vector> {
+    sample(params, count, seed, 0x9e37_79b9_7f4a_7c15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let p = ClusterParams::default();
+        let a = clustered(&p, 7);
+        let b = clustered(&p, 7);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a[0].dim(), 32);
+        assert_eq!(a, b);
+        assert_ne!(a, clustered(&p, 8));
+    }
+
+    #[test]
+    fn queries_differ_from_dataset() {
+        let p = ClusterParams::default();
+        let data = clustered(&p, 7);
+        let qs = queries(&p, 10, 7);
+        assert_eq!(qs.len(), 10);
+        assert!(!data.contains(&qs[0]));
+    }
+
+    #[test]
+    fn clusters_are_tight_relative_to_spread() {
+        let p = ClusterParams {
+            n: 400,
+            dim: 16,
+            clusters: 4,
+            noise: 0.02,
+        };
+        let data = clustered(&p, 3);
+        // Nearest-neighbour distance within a tight mixture is far below the
+        // typical inter-cluster distance.
+        let d01 = data[0].l2(&data[1]);
+        let mut min_d = f32::MAX;
+        for v in &data[1..100] {
+            min_d = min_d.min(data[0].l2(v));
+        }
+        assert!(min_d < d01.max(0.5));
+        assert!(min_d < 0.5, "nearest point should share a cluster: {min_d}");
+    }
+
+    #[test]
+    fn gaussian_has_roughly_zero_mean() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f32 = (0..n).map(|_| gaussian(&mut rng)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+}

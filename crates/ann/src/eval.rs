@@ -1,0 +1,81 @@
+//! Search accounting and quality metrics.
+
+/// Work counters filled in by every index during a search.
+///
+/// Distance computations are the machine-independent cost metric the ANN
+/// literature (and experiment E6) compares on; hops count greedy routing
+/// steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of vector-distance evaluations.
+    pub distance_computations: usize,
+    /// Number of routing steps (nodes whose adjacency list was expanded).
+    pub hops: usize,
+}
+
+impl SearchStats {
+    /// Resets both counters.
+    pub fn reset(&mut self) {
+        *self = SearchStats::default();
+    }
+}
+
+/// Recall@k: fraction of the true `k` nearest neighbours that appear in the
+/// approximate result. Both lists are `(index, distance)` pairs.
+pub fn recall_at_k(truth: &[(usize, f32)], result: &[(usize, f32)], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let truth_ids: std::collections::HashSet<usize> =
+        truth.iter().take(k).map(|&(i, _)| i).collect();
+    if truth_ids.is_empty() {
+        return 1.0;
+    }
+    let hit = result
+        .iter()
+        .take(k)
+        .filter(|(i, _)| truth_ids.contains(i))
+        .count();
+    hit as f64 / truth_ids.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recall() {
+        let truth = vec![(1, 0.1), (2, 0.2), (3, 0.3)];
+        assert_eq!(recall_at_k(&truth, &truth, 3), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let truth = vec![(1, 0.1), (2, 0.2)];
+        let result = vec![(1, 0.1), (9, 0.15)];
+        assert_eq!(recall_at_k(&truth, &result, 2), 0.5);
+    }
+
+    #[test]
+    fn k_zero_and_empty_truth_are_full_recall() {
+        assert_eq!(recall_at_k(&[], &[], 5), 1.0);
+        assert_eq!(recall_at_k(&[(1, 0.0)], &[], 0), 1.0);
+    }
+
+    #[test]
+    fn order_within_top_k_does_not_matter() {
+        let truth = vec![(1, 0.1), (2, 0.2)];
+        let result = vec![(2, 0.2), (1, 0.1)];
+        assert_eq!(recall_at_k(&truth, &result, 2), 1.0);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut s = SearchStats {
+            distance_computations: 5,
+            hops: 2,
+        };
+        s.reset();
+        assert_eq!(s, SearchStats::default());
+    }
+}

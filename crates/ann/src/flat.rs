@@ -1,0 +1,109 @@
+//! Exact linear-scan index.
+//!
+//! Serves two roles: the ground-truth oracle for recall evaluation, and the
+//! "no index" baseline whose cost grows linearly in `n` (the contrast to
+//! τ-MG's sub-linear routing in experiment E6).
+
+use crate::eval::SearchStats;
+use crate::AnnIndex;
+use chatgraph_embed::{Metric, Vector};
+
+/// Brute-force nearest-neighbour index.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    data: Vec<Vector>,
+    metric: Metric,
+}
+
+impl FlatIndex {
+    /// Builds (stores) the index.
+    pub fn build(data: Vec<Vector>, metric: Metric) -> Self {
+        FlatIndex { data, metric }
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Access to the underlying vectors.
+    pub fn vectors(&self) -> &[Vector] {
+        &self.data
+    }
+}
+
+impl AnnIndex for FlatIndex {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn search(&self, query: &Vector, k: usize, stats: &mut SearchStats) -> Vec<(usize, f32)> {
+        let mut scored: Vec<(usize, f32)> = self
+            .data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                stats.distance_computations += 1;
+                (i, v.distance(query, self.metric))
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> FlatIndex {
+        FlatIndex::build(
+            vec![
+                Vector(vec![0.0, 0.0]),
+                Vector(vec![1.0, 0.0]),
+                Vector(vec![0.0, 2.0]),
+                Vector(vec![3.0, 3.0]),
+            ],
+            Metric::L2,
+        )
+    }
+
+    #[test]
+    fn finds_exact_neighbours_in_order() {
+        let idx = index();
+        let mut stats = SearchStats::default();
+        let res = idx.search(&Vector(vec![0.1, 0.0]), 2, &mut stats);
+        assert_eq!(res[0].0, 0);
+        assert_eq!(res[1].0, 1);
+        assert_eq!(stats.distance_computations, 4);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let idx = index();
+        let mut stats = SearchStats::default();
+        let res = idx.search(&Vector(vec![0.0, 0.0]), 10, &mut stats);
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = FlatIndex::build(Vec::new(), Metric::L2);
+        assert!(idx.is_empty());
+        let mut stats = SearchStats::default();
+        assert!(idx.search(&Vector(vec![1.0]), 3, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn cosine_metric_respected() {
+        let idx = FlatIndex::build(
+            vec![Vector(vec![1.0, 0.0]), Vector(vec![10.0, 10.0])],
+            Metric::Cosine,
+        );
+        let mut stats = SearchStats::default();
+        let res = idx.search(&Vector(vec![2.0, 2.0]), 1, &mut stats);
+        // Cosine ignores magnitude: the diagonal vector wins.
+        assert_eq!(res[0].0, 1);
+    }
+}

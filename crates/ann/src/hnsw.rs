@@ -1,0 +1,316 @@
+//! Simplified HNSW baseline (hierarchical navigable small world).
+//!
+//! The comparison proximity graph for experiments E6/E7. Levels are sampled
+//! geometrically; upper layers route greedily, layer 0 runs the shared beam
+//! search. Neighbour selection keeps the `M` closest candidates (the original
+//! HNSW "simple" heuristic), contrasting with τ-MG's occlusion rule.
+
+use crate::eval::SearchStats;
+use crate::routing::beam_search;
+use crate::AnnIndex;
+use chatgraph_embed::{Metric, Vector};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Build/search parameters for [`Hnsw`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HnswParams {
+    /// Max neighbours per node per layer (layer 0 allows `2M`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Default beam width at query time.
+    pub ef_search: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Level-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 16,
+            ef_construction: 64,
+            ef_search: 32,
+            metric: Metric::L2,
+            seed: 0xcafe,
+        }
+    }
+}
+
+/// HNSW's diversity heuristic: scan candidates by increasing distance and
+/// keep one only if it is closer to the base point than to every neighbour
+/// kept so far. Preserves edges in distinct directions, which keeps separated
+/// clusters mutually reachable.
+fn heuristic_select(
+    data: &[Vector],
+    metric: Metric,
+    cands: &[(usize, f32)],
+    cap: usize,
+) -> Vec<usize> {
+    let mut kept: Vec<(usize, f32)> = Vec::with_capacity(cap);
+    for &(c, dc) in cands {
+        if kept.len() >= cap {
+            break;
+        }
+        let dominated = kept
+            .iter()
+            .any(|&(r, _)| data[r].distance(&data[c], metric) < dc);
+        if !dominated {
+            kept.push((c, dc));
+        }
+    }
+    // Back-fill with skipped candidates if the heuristic was too aggressive.
+    if kept.len() < cap {
+        for &(c, dc) in cands {
+            if kept.len() >= cap {
+                break;
+            }
+            if !kept.iter().any(|&(r, _)| r == c) {
+                kept.push((c, dc));
+            }
+        }
+    }
+    kept.into_iter().map(|(c, _)| c).collect()
+}
+
+/// The HNSW index.
+#[derive(Debug, Clone)]
+pub struct Hnsw {
+    data: Vec<Vector>,
+    /// `layers[l][v]` = adjacency of node v at level l (empty if v absent).
+    layers: Vec<Vec<Vec<u32>>>,
+    /// Highest level per node.
+    node_level: Vec<usize>,
+    entry: usize,
+    params: HnswParams,
+}
+
+impl Hnsw {
+    /// Builds an HNSW over `data`.
+    pub fn build(data: Vec<Vector>, params: HnswParams) -> Self {
+        assert!(params.m >= 2, "m must be at least 2");
+        let n = data.len();
+        let mut rng = ChaCha12Rng::seed_from_u64(params.seed);
+        let ml = 1.0 / (params.m as f64).ln();
+        let node_level: Vec<usize> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                (-u.ln() * ml).floor() as usize
+            })
+            .collect();
+        let max_level = node_level.iter().copied().max().unwrap_or(0);
+        let mut index = Hnsw {
+            data,
+            layers: vec![vec![Vec::new(); n]; max_level + 1],
+            node_level,
+            entry: 0,
+            params,
+        };
+        if n == 0 {
+            return index;
+        }
+        let mut entry = 0usize;
+        let mut entry_level = index.node_level[0];
+        let mut scratch = SearchStats::default();
+        for i in 1..n {
+            let level = index.node_level[i];
+            // Phase 1: greedy descent through layers above `level`.
+            let mut ep = entry;
+            let mut l = entry_level;
+            while l > level {
+                let res = beam_search(
+                    &index.data,
+                    |u| index.layers[l][u].iter(),
+                    &[ep],
+                    &index.data[i],
+                    1,
+                    index.params.metric,
+                    &mut scratch,
+                );
+                ep = res[0].0;
+                l -= 1;
+            }
+            // Phase 2: insert at each layer from min(level, entry_level) to 0.
+            for l in (0..=level.min(entry_level)).rev() {
+                let cands = beam_search(
+                    &index.data,
+                    |u| index.layers[l][u].iter(),
+                    &[ep],
+                    &index.data[i],
+                    index.params.ef_construction,
+                    index.params.metric,
+                    &mut scratch,
+                );
+                ep = cands.first().map(|c| c.0).unwrap_or(ep);
+                let cap = if l == 0 { 2 * index.params.m } else { index.params.m };
+                let filtered: Vec<(usize, f32)> =
+                    cands.iter().copied().filter(|&(c, _)| c != i).collect();
+                let selected = heuristic_select(
+                    &index.data,
+                    index.params.metric,
+                    &filtered,
+                    index.params.m,
+                );
+                for &j in &selected {
+                    index.layers[l][i].push(j as u32);
+                    index.layers[l][j].push(i as u32);
+                    if index.layers[l][j].len() > cap {
+                        index.shrink(l, j, cap);
+                    }
+                }
+            }
+            if level > entry_level {
+                entry = i;
+                entry_level = level;
+            }
+        }
+        index.entry = entry;
+        index
+    }
+
+    /// Prunes node `j`'s layer-`l` list back to `cap` diverse neighbours.
+    fn shrink(&mut self, l: usize, j: usize, cap: usize) {
+        let mut scored: Vec<(usize, f32)> = self.layers[l][j]
+            .iter()
+            .map(|&w| {
+                (
+                    w as usize,
+                    self.data[j].distance(&self.data[w as usize], self.params.metric),
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let kept = heuristic_select(&self.data, self.params.metric, &scored, cap);
+        self.layers[l][j] = kept.into_iter().map(|w| w as u32).collect();
+    }
+
+    /// Total directed edge count at layer 0.
+    pub fn edge_count(&self) -> usize {
+        self.layers
+            .first()
+            .map(|l0| l0.iter().map(|a| a.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The parameters used at build time.
+    pub fn params(&self) -> &HnswParams {
+        &self.params
+    }
+
+    /// Search with an explicit layer-0 beam width.
+    pub fn search_with_ef(
+        &self,
+        query: &Vector,
+        k: usize,
+        ef: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<(usize, f32)> {
+        if self.data.is_empty() {
+            return Vec::new();
+        }
+        let mut ep = self.entry;
+        for l in (1..self.layers.len()).rev() {
+            let res = beam_search(
+                &self.data,
+                |u| self.layers[l][u].iter(),
+                &[ep],
+                query,
+                1,
+                self.params.metric,
+                stats,
+            );
+            ep = res[0].0;
+        }
+        let mut res = beam_search(
+            &self.data,
+            |u| self.layers[0][u].iter(),
+            &[ep],
+            query,
+            ef.max(k),
+            self.params.metric,
+            stats,
+        );
+        res.truncate(k);
+        res
+    }
+}
+
+impl AnnIndex for Hnsw {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn search(&self, query: &Vector, k: usize, stats: &mut SearchStats) -> Vec<(usize, f32)> {
+        self.search_with_ef(query, k, self.params.ef_search, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{clustered, queries, ClusterParams};
+    use crate::eval::recall_at_k;
+    use crate::flat::FlatIndex;
+
+    #[test]
+    fn empty_and_singleton() {
+        let idx = Hnsw::build(Vec::new(), HnswParams::default());
+        let mut stats = SearchStats::default();
+        assert!(idx.search(&Vector(vec![0.0]), 1, &mut stats).is_empty());
+        let idx = Hnsw::build(vec![Vector(vec![1.0])], HnswParams::default());
+        assert_eq!(idx.search(&Vector(vec![1.0]), 1, &mut stats), vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn high_recall_on_clustered_data() {
+        let p = ClusterParams { n: 2000, dim: 16, clusters: 20, noise: 0.05 };
+        let data = clustered(&p, 5);
+        let flat = FlatIndex::build(data.clone(), Metric::L2);
+        let idx = Hnsw::build(data, HnswParams::default());
+        let qs = queries(&p, 50, 5);
+        let mut total = 0.0;
+        for q in &qs {
+            let mut s = SearchStats::default();
+            let truth = flat.search(q, 10, &mut SearchStats::default());
+            let approx = idx.search(q, 10, &mut s);
+            total += recall_at_k(&truth, &approx, 10);
+        }
+        let recall = total / 50.0;
+        assert!(recall > 0.85, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn multiple_layers_emerge_on_larger_sets() {
+        let p = ClusterParams { n: 3000, dim: 8, clusters: 10, noise: 0.1 };
+        let idx = Hnsw::build(clustered(&p, 1), HnswParams::default());
+        assert!(idx.num_layers() >= 2, "{} layers", idx.num_layers());
+    }
+
+    #[test]
+    fn sub_linear_distance_computations() {
+        let p = ClusterParams { n: 4000, dim: 16, clusters: 30, noise: 0.05 };
+        let data = clustered(&p, 8);
+        let idx = Hnsw::build(data, HnswParams::default());
+        let q = &queries(&p, 1, 8)[0];
+        let mut s = SearchStats::default();
+        idx.search(q, 10, &mut s);
+        assert!(
+            s.distance_computations < 1500,
+            "{} computations on 4000 points",
+            s.distance_computations
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be at least 2")]
+    fn tiny_m_rejected() {
+        Hnsw::build(Vec::new(), HnswParams { m: 1, ..Default::default() });
+    }
+}

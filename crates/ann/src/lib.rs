@@ -1,0 +1,48 @@
+//! # chatgraph-ann
+//!
+//! Approximate nearest-neighbour search substrate for ChatGraph's API
+//! retrieval module (paper §II-D).
+//!
+//! The paper adopts **τ-MG** (the authors' prior work \[18\]) as the
+//! state-of-the-art proximity-graph index, defined by its *edge occlusion
+//! rule* (Definition 3): given nodes `u`, `u'`, `v`, if edge `(u, u')` exists
+//! and `u' ∈ ball(u, δ(u,v)) ∩ ball(v, δ(u,v) − 3τ)`, then edge `(u, v)` is
+//! occluded. Setting `τ = 0` recovers the MRNG/NSG occlusion rule, which this
+//! crate exposes as the MRNG baseline; a simplified HNSW and a brute-force
+//! flat index complete the baseline set used in experiments E6/E7.
+//!
+//! * [`dataset`] — seeded clustered-Gaussian vector workloads.
+//! * [`flat`] — exact linear-scan index (ground truth + baseline).
+//! * [`taumg`] — the τ-monotonic graph with greedy/beam routing.
+//! * [`hnsw`] — hierarchical navigable small-world baseline.
+//! * [`eval`] — recall@k and distance-computation accounting.
+
+pub mod dataset;
+pub mod eval;
+pub mod flat;
+pub mod hnsw;
+pub mod routing;
+pub mod taumg;
+
+pub use chatgraph_embed::{Metric, Vector};
+pub use eval::{recall_at_k, SearchStats};
+pub use flat::FlatIndex;
+pub use hnsw::{Hnsw, HnswParams};
+pub use taumg::{TauMg, TauMgParams};
+
+/// A nearest-neighbour index over an owned set of vectors.
+///
+/// `search` returns up to `k` `(index, distance)` pairs ordered by increasing
+/// distance and records work done in `stats`.
+pub trait AnnIndex {
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// True when the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Searches for the `k` nearest neighbours of `query`.
+    fn search(&self, query: &Vector, k: usize, stats: &mut SearchStats) -> Vec<(usize, f32)>;
+}

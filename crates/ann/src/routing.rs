@@ -1,0 +1,190 @@
+//! Greedy/beam routing shared by the proximity-graph indexes.
+//!
+//! The router keeps a frontier of the `ef` closest nodes seen so far and
+//! repeatedly expands the closest unexpanded one — the "greedy routing
+//! process" of paper §II-D. `ef = 1` degenerates to pure greedy descent;
+//! larger `ef` trades distance computations for recall.
+
+use crate::eval::SearchStats;
+use chatgraph_embed::{Metric, Vector};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f32,
+    id: usize,
+}
+
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist).then(self.id.cmp(&other.id))
+    }
+}
+
+/// Best-first beam search over a node-adjacency function.
+///
+/// Returns the `ef` closest visited nodes as `(id, distance)` sorted by
+/// increasing distance. `adj` yields the neighbour ids of a node.
+pub fn beam_search<'a, F, I>(
+    data: &[Vector],
+    adj: F,
+    entries: &[usize],
+    query: &Vector,
+    ef: usize,
+    metric: Metric,
+    stats: &mut SearchStats,
+) -> Vec<(usize, f32)>
+where
+    F: Fn(usize) -> I,
+    I: IntoIterator<Item = &'a u32>,
+{
+    let ef = ef.max(1);
+    let mut visited: HashSet<usize> = HashSet::new();
+    // Min-heap of candidates to expand (closest first): store negated via Reverse.
+    let mut candidates: BinaryHeap<std::cmp::Reverse<HeapItem>> = BinaryHeap::new();
+    // Max-heap of current best results (farthest on top for easy eviction).
+    let mut best: BinaryHeap<HeapItem> = BinaryHeap::new();
+
+    for &e in entries {
+        if e >= data.len() || !visited.insert(e) {
+            continue;
+        }
+        stats.distance_computations += 1;
+        let d = data[e].distance(query, metric);
+        candidates.push(std::cmp::Reverse(HeapItem { dist: d, id: e }));
+        best.push(HeapItem { dist: d, id: e });
+    }
+    while best.len() > ef {
+        best.pop();
+    }
+
+    while let Some(std::cmp::Reverse(cur)) = candidates.pop() {
+        let worst = best.peek().map(|h| h.dist).unwrap_or(f32::INFINITY);
+        if best.len() >= ef && cur.dist > worst {
+            break; // the closest open candidate cannot improve the result set
+        }
+        stats.hops += 1;
+        for &nb in adj(cur.id) {
+            let nb = nb as usize;
+            if !visited.insert(nb) {
+                continue;
+            }
+            stats.distance_computations += 1;
+            let d = data[nb].distance(query, metric);
+            let worst = best.peek().map(|h| h.dist).unwrap_or(f32::INFINITY);
+            if best.len() < ef || d < worst {
+                candidates.push(std::cmp::Reverse(HeapItem { dist: d, id: nb }));
+                best.push(HeapItem { dist: d, id: nb });
+                if best.len() > ef {
+                    best.pop();
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<(usize, f32)> = best.into_iter().map(|h| (h.id, h.dist)).collect();
+    out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-D line graph over points 0..10 at coordinates x = id.
+    fn line_world() -> (Vec<Vector>, Vec<Vec<u32>>) {
+        let data: Vec<Vector> = (0..10).map(|i| Vector(vec![i as f32])).collect();
+        let adj: Vec<Vec<u32>> = (0..10u32)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i - 1);
+                }
+                if i < 9 {
+                    v.push(i + 1);
+                }
+                v
+            })
+            .collect();
+        (data, adj)
+    }
+
+    #[test]
+    fn greedy_descent_reaches_nearest() {
+        let (data, adj) = line_world();
+        let mut stats = SearchStats::default();
+        let res = beam_search(
+            &data,
+            |i| adj[i].iter(),
+            &[0],
+            &Vector(vec![7.2]),
+            1,
+            Metric::L2,
+            &mut stats,
+        );
+        assert_eq!(res[0].0, 7);
+        assert!(stats.hops >= 7, "must walk the line: {stats:?}");
+    }
+
+    #[test]
+    fn wider_beam_returns_ef_results() {
+        let (data, adj) = line_world();
+        let mut stats = SearchStats::default();
+        let res = beam_search(
+            &data,
+            |i| adj[i].iter(),
+            &[0],
+            &Vector(vec![5.0]),
+            3,
+            Metric::L2,
+            &mut stats,
+        );
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].0, 5);
+        let ids: Vec<usize> = res.iter().map(|r| r.0).collect();
+        assert!(ids.contains(&4) && ids.contains(&6));
+    }
+
+    #[test]
+    fn empty_entries_yield_empty_result() {
+        let (data, adj) = line_world();
+        let mut stats = SearchStats::default();
+        let res = beam_search(
+            &data,
+            |i| adj[i].iter(),
+            &[],
+            &Vector(vec![5.0]),
+            3,
+            Metric::L2,
+            &mut stats,
+        );
+        assert!(res.is_empty());
+        assert_eq!(stats.distance_computations, 0);
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let (data, adj) = line_world();
+        let mut stats = SearchStats::default();
+        let res = beam_search(
+            &data,
+            |i| adj[i].iter(),
+            &[9],
+            &Vector(vec![0.0]),
+            5,
+            Metric::L2,
+            &mut stats,
+        );
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(res[0].0, 0);
+    }
+}

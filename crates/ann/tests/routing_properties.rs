@@ -1,0 +1,102 @@
+//! Property-based tests for the ANN indexes.
+
+use chatgraph_ann::dataset::{clustered, ClusterParams};
+use chatgraph_ann::{
+    recall_at_k, AnnIndex, FlatIndex, Hnsw, HnswParams, Metric, SearchStats, TauMg, TauMgParams,
+    Vector,
+};
+use proptest::prelude::*;
+
+fn vectors(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vector>> {
+    prop::collection::vec(
+        prop::collection::vec(-5.0f32..5.0, dim).prop_map(Vector),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Flat search returns results sorted ascending, of the right length,
+    /// with correct distances.
+    #[test]
+    fn flat_search_is_sound(data in vectors(12, 4), q in prop::collection::vec(-5.0f32..5.0, 4)) {
+        let q = Vector(q);
+        let idx = FlatIndex::build(data.clone(), Metric::L2);
+        let mut stats = SearchStats::default();
+        let res = idx.search(&q, 5, &mut stats);
+        prop_assert_eq!(res.len(), 5.min(data.len()));
+        prop_assert_eq!(stats.distance_computations, data.len());
+        for w in res.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        for (i, d) in &res {
+            prop_assert!((data[*i].l2(&q) - d).abs() < 1e-4);
+        }
+    }
+
+    /// τ-MG search results are always a subset of the dataset, sorted, and
+    /// never worse than the flat top-1 by more than the beam would allow on
+    /// tiny datasets (where the graph is effectively complete).
+    #[test]
+    fn taumg_on_tiny_data_is_exact(data in vectors(10, 4), q in prop::collection::vec(-5.0f32..5.0, 4)) {
+        let q = Vector(q);
+        let flat = FlatIndex::build(data.clone(), Metric::L2);
+        let idx = TauMg::build(data, TauMgParams::default());
+        let truth = flat.search(&q, 3, &mut SearchStats::default());
+        let res = idx.search_with_ef(&q, 3, 16, &mut SearchStats::default());
+        prop_assert_eq!(recall_at_k(&truth, &res, 3), 1.0, "tiny graphs are fully connected");
+    }
+
+    /// HNSW returns sorted results of the requested size on small data.
+    #[test]
+    fn hnsw_result_shape(data in vectors(15, 3), q in prop::collection::vec(-5.0f32..5.0, 3)) {
+        let q = Vector(q);
+        let idx = Hnsw::build(data, HnswParams::default());
+        let res = idx.search(&q, 4, &mut SearchStats::default());
+        prop_assert_eq!(res.len(), 4);
+        for w in res.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+}
+
+/// Determinism across rebuilds: same data, same parameters → identical
+/// search results.
+#[test]
+fn builds_are_deterministic() {
+    let params = ClusterParams { n: 500, dim: 8, clusters: 6, noise: 0.1 };
+    let data = clustered(&params, 99);
+    let a = TauMg::build(data.clone(), TauMgParams::default());
+    let b = TauMg::build(data.clone(), TauMgParams::default());
+    let q = &data[123].clone();
+    let ra = a.search(q, 5, &mut SearchStats::default());
+    let rb = b.search(q, 5, &mut SearchStats::default());
+    assert_eq!(ra, rb);
+    let ha = Hnsw::build(data.clone(), HnswParams::default());
+    let hb = Hnsw::build(data, HnswParams::default());
+    assert_eq!(
+        ha.search(q, 5, &mut SearchStats::default()),
+        hb.search(q, 5, &mut SearchStats::default())
+    );
+}
+
+/// Stats counters increase monotonically with ef.
+#[test]
+fn wider_beams_do_more_work() {
+    let params = ClusterParams { n: 2000, dim: 16, clusters: 10, noise: 0.08 };
+    let data = clustered(&params, 5);
+    let idx = TauMg::build(data.clone(), TauMgParams::default());
+    let q = &data[7];
+    let mut prev = 0usize;
+    for ef in [4usize, 16, 64] {
+        let mut stats = SearchStats::default();
+        idx.search_with_ef(q, 1, ef, &mut stats);
+        assert!(
+            stats.distance_computations >= prev,
+            "ef {ef}: {} < {prev}",
+            stats.distance_computations
+        );
+        prev = stats.distance_computations;
+    }
+}

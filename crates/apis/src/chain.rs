@@ -1,0 +1,343 @@
+//! API chains — the artifact the LLM generates.
+//!
+//! A chain is an ordered sequence of [`ApiCall`]s. It supports:
+//!
+//! * **Type checking** against a registry ([`ApiChain::validate`]): every
+//!   step's input must be satisfiable by the previous output, by the session
+//!   graph (inputs of type `Graph` always can fall back to the uploaded
+//!   graph), or by `Unit`/`Any`.
+//! * **Graph encoding** ([`ApiChain::to_graph`]): a chain is a labelled path
+//!   graph, the representation consumed by the node matching-based loss of
+//!   `chatgraph-ged`.
+//! * Editing operations (insert/remove/replace a step) for scenario 4's
+//!   confirm-and-edit workflow.
+
+use crate::registry::ApiRegistry;
+use crate::value::ValueType;
+use chatgraph_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One API invocation in a chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiCall {
+    /// Registered API name.
+    pub api: String,
+    /// Free-form string parameters (e.g. `k = "5"`, `pattern = "edge a b"`).
+    pub params: BTreeMap<String, String>,
+}
+
+impl ApiCall {
+    /// A call with no parameters.
+    pub fn new(api: impl Into<String>) -> Self {
+        ApiCall {
+            api: api.into(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Adds one parameter.
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// Reads a numeric parameter with a default.
+    pub fn param_f64(&self, key: &str, default: f64) -> f64 {
+        self.params
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Reads an integer parameter with a default.
+    pub fn param_usize(&self, key: &str, default: usize) -> usize {
+        self.params
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+impl fmt::Display for ApiCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.params.is_empty() {
+            write!(f, "{}", self.api)
+        } else {
+            let ps: Vec<String> = self
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            write!(f, "{}({})", self.api, ps.join(", "))
+        }
+    }
+}
+
+/// Chain validation/execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// A step names an unregistered API.
+    UnknownApi(usize, String),
+    /// A step's input type cannot be satisfied.
+    TypeMismatch {
+        /// Step index.
+        step: usize,
+        /// API at that step.
+        api: String,
+        /// Declared input type.
+        expected: ValueType,
+        /// Previous step's output type.
+        found: ValueType,
+    },
+    /// The chain is empty.
+    Empty,
+    /// The user rejected a confirmation prompt; execution stopped.
+    Rejected(usize, String),
+    /// A handler failed.
+    ExecutionFailed(usize, String),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::UnknownApi(i, n) => write!(f, "step {i}: unknown API '{n}'"),
+            ChainError::TypeMismatch {
+                step,
+                api,
+                expected,
+                found,
+            } => write!(
+                f,
+                "step {step}: API '{api}' expects {expected} but the previous step produced {found}"
+            ),
+            ChainError::Empty => write!(f, "chain is empty"),
+            ChainError::Rejected(i, n) => write!(f, "step {i}: user rejected '{n}'"),
+            ChainError::ExecutionFailed(i, msg) => write!(f, "step {i} failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// An ordered chain of API calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiChain {
+    /// The steps, in execution order.
+    pub steps: Vec<ApiCall>,
+}
+
+impl ApiChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        ApiChain::default()
+    }
+
+    /// Builds a chain from API names (no parameters).
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ApiChain {
+            steps: names.into_iter().map(|n| ApiCall::new(n)).collect(),
+        }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the chain has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, call: ApiCall) {
+        self.steps.push(call);
+    }
+
+    /// Inserts a step at `idx` (scenario 4: chain editing).
+    pub fn insert(&mut self, idx: usize, call: ApiCall) {
+        self.steps.insert(idx.min(self.steps.len()), call);
+    }
+
+    /// Removes the step at `idx`, if present.
+    pub fn remove(&mut self, idx: usize) -> Option<ApiCall> {
+        (idx < self.steps.len()).then(|| self.steps.remove(idx))
+    }
+
+    /// Replaces the step at `idx`; returns the old call.
+    pub fn replace(&mut self, idx: usize, call: ApiCall) -> Option<ApiCall> {
+        self.steps
+            .get_mut(idx)
+            .map(|slot| std::mem::replace(slot, call))
+    }
+
+    /// API names in order.
+    pub fn api_names(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.api.as_str()).collect()
+    }
+
+    /// Type-checks the chain against `registry`.
+    ///
+    /// `has_session_graph` states whether a graph was uploaded with the
+    /// prompt: inputs of type `Graph` fall back to it when the previous
+    /// output is not a graph.
+    pub fn validate(&self, registry: &ApiRegistry, has_session_graph: bool) -> Result<(), ChainError> {
+        if self.steps.is_empty() {
+            return Err(ChainError::Empty);
+        }
+        let mut prev = ValueType::Unit;
+        for (i, step) in self.steps.iter().enumerate() {
+            let desc = registry
+                .descriptor(&step.api)
+                .ok_or_else(|| ChainError::UnknownApi(i, step.api.clone()))?;
+            let satisfied = desc.input.accepts(prev)
+                || (desc.input == ValueType::Graph && has_session_graph)
+                || desc.input == ValueType::Unit;
+            if !satisfied {
+                return Err(ChainError::TypeMismatch {
+                    step: i,
+                    api: step.api.clone(),
+                    expected: desc.input,
+                    found: prev,
+                });
+            }
+            prev = desc.output;
+        }
+        Ok(())
+    }
+
+    /// Encodes the chain as a directed path graph whose node labels are API
+    /// names and whose edges are labelled `next`. Parameters become node
+    /// attributes. This is the form the node matching-based loss compares.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::directed();
+        g.set_name("api-chain");
+        let mut prev = None;
+        for step in &self.steps {
+            let v = g.add_node(step.api.clone());
+            for (k, val) in &step.params {
+                g.set_node_attr(v, k.clone(), val.as_str())
+                    .expect("node exists");
+            }
+            if let Some(p) = prev {
+                g.add_edge(p, v, "next").expect("path edges are unique");
+            }
+            prev = Some(v);
+        }
+        g
+    }
+}
+
+impl fmt::Display for ApiChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.steps.iter().map(|s| s.to_string()).collect();
+        write!(f, "{}", parts.join(" -> "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn display_joins_with_arrows() {
+        let mut c = ApiChain::from_names(["graph_stats", "generate_report"]);
+        c.steps[0] = c.steps[0].clone().with_param("k", "5");
+        assert_eq!(c.to_string(), "graph_stats(k=5) -> generate_report");
+    }
+
+    #[test]
+    fn editing_operations() {
+        let mut c = ApiChain::from_names(["a", "b", "c"]);
+        c.insert(1, ApiCall::new("x"));
+        assert_eq!(c.api_names(), vec!["a", "x", "b", "c"]);
+        let removed = c.remove(0).unwrap();
+        assert_eq!(removed.api, "a");
+        c.replace(0, ApiCall::new("y"));
+        assert_eq!(c.api_names(), vec!["y", "b", "c"]);
+        assert!(c.remove(99).is_none());
+        assert!(c.replace(99, ApiCall::new("z")).is_none());
+    }
+
+    #[test]
+    fn validate_accepts_well_typed_chain() {
+        let reg = registry::standard();
+        let c = ApiChain::from_names(["detect_communities", "generate_report"]);
+        assert!(c.validate(&reg, true).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_api() {
+        let reg = registry::standard();
+        let c = ApiChain::from_names(["frobnicate"]);
+        assert!(matches!(
+            c.validate(&reg, true),
+            Err(ChainError::UnknownApi(0, _))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_type_mismatch() {
+        let reg = registry::standard();
+        // remove_edges wants an EdgeList, but node_count produces a Number.
+        let c = ApiChain::from_names(["node_count", "remove_edges"]);
+        let err = c.validate(&reg, true).unwrap_err();
+        assert!(matches!(err, ChainError::TypeMismatch { step: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_graph_input_without_session_graph() {
+        let reg = registry::standard();
+        let c = ApiChain::from_names(["graph_stats"]);
+        assert!(c.validate(&reg, true).is_ok());
+        assert!(matches!(
+            c.validate(&reg, false),
+            Err(ChainError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_chain_invalid() {
+        let reg = registry::standard();
+        assert_eq!(ApiChain::new().validate(&reg, true), Err(ChainError::Empty));
+    }
+
+    #[test]
+    fn to_graph_is_labelled_path() {
+        let mut c = ApiChain::from_names(["a", "b", "c"]);
+        c.steps[1] = c.steps[1].clone().with_param("k", "3");
+        let g = c.to_graph();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.is_directed());
+        let labels: Vec<String> = g
+            .node_ids()
+            .map(|v| g.node_label(v).unwrap().to_owned())
+            .collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+        let b = g.node_ids().nth(1).unwrap();
+        assert_eq!(g.node_attrs(b).unwrap()["k"].as_text(), Some("3"));
+    }
+
+    #[test]
+    fn param_parsing_defaults() {
+        let call = ApiCall::new("x").with_param("k", "7").with_param("bad", "zz");
+        assert_eq!(call.param_usize("k", 1), 7);
+        assert_eq!(call.param_usize("bad", 1), 1);
+        assert_eq!(call.param_f64("missing", 2.5), 2.5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ApiChain::from_names(["a", "b"]);
+        let s = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<ApiChain>(&s).unwrap(), c);
+    }
+}

@@ -1,0 +1,130 @@
+//! API metadata.
+//!
+//! Each API carries the natural-language description the retrieval module
+//! embeds (paper §II-A: "the descriptions of APIs … are embedded into
+//! high-dimensional vectors"), plus typing information for chain validation.
+
+use crate::value::ValueType;
+use serde::{Deserialize, Serialize};
+
+/// Functional category of an API. Mirrors the paper's scenario families;
+/// graph-type prediction routes to category-specific APIs (scenario 1:
+/// "if G is a social network, social-specific APIs will be invoked").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApiCategory {
+    /// Generic structural statistics.
+    Structure,
+    /// Social-network analysis (communities, centrality, connectivity).
+    Social,
+    /// Molecule property prediction.
+    Molecule,
+    /// Similarity search and graph comparison.
+    Similarity,
+    /// Knowledge-graph inference (incorrect/missing edge detection).
+    Knowledge,
+    /// Graph editing.
+    Edit,
+    /// Report/summary generation.
+    Report,
+}
+
+impl ApiCategory {
+    /// All categories, in a fixed order.
+    pub fn all() -> &'static [ApiCategory] {
+        &[
+            ApiCategory::Structure,
+            ApiCategory::Social,
+            ApiCategory::Molecule,
+            ApiCategory::Similarity,
+            ApiCategory::Knowledge,
+            ApiCategory::Edit,
+            ApiCategory::Report,
+        ]
+    }
+}
+
+/// Static metadata of one API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiDescriptor {
+    /// Unique snake_case name (the token the LLM emits).
+    pub name: String,
+    /// Natural-language description, embedded for retrieval.
+    pub description: String,
+    /// Category.
+    pub category: ApiCategory,
+    /// Type of the primary input.
+    pub input: ValueType,
+    /// Type of the output.
+    pub output: ValueType,
+    /// Whether execution must be confirmed by the user first (graph-edit
+    /// APIs, per scenario 3's confirmation step).
+    pub requires_confirmation: bool,
+}
+
+impl ApiDescriptor {
+    /// Convenience constructor.
+    pub fn new(
+        name: &str,
+        description: &str,
+        category: ApiCategory,
+        input: ValueType,
+        output: ValueType,
+    ) -> Self {
+        ApiDescriptor {
+            name: name.to_owned(),
+            description: description.to_owned(),
+            category,
+            input,
+            output,
+            requires_confirmation: false,
+        }
+    }
+
+    /// Marks the API as requiring user confirmation.
+    pub fn with_confirmation(mut self) -> Self {
+        self.requires_confirmation = true;
+        self
+    }
+
+    /// The text embedded by the retrieval module: name + description.
+    pub fn retrieval_text(&self) -> String {
+        format!("{} {}", self.name.replace('_', " "), self.description)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrieval_text_includes_name_words() {
+        let d = ApiDescriptor::new(
+            "detect_communities",
+            "find communities in a social network",
+            ApiCategory::Social,
+            ValueType::Graph,
+            ValueType::Table,
+        );
+        assert!(d.retrieval_text().contains("detect communities"));
+        assert!(d.retrieval_text().contains("social network"));
+        assert!(!d.requires_confirmation);
+    }
+
+    #[test]
+    fn confirmation_flag() {
+        let d = ApiDescriptor::new(
+            "remove_edges",
+            "remove edges",
+            ApiCategory::Edit,
+            ValueType::EdgeList,
+            ValueType::Number,
+        )
+        .with_confirmation();
+        assert!(d.requires_confirmation);
+    }
+
+    #[test]
+    fn categories_enumerated() {
+        assert_eq!(ApiCategory::all().len(), 7);
+    }
+}

@@ -1,0 +1,244 @@
+//! Chain execution.
+
+use crate::chain::{ApiChain, ChainError};
+use crate::monitor::{ChainEvent, Monitor};
+use crate::registry::ApiRegistry;
+use crate::value::{Value, ValueType};
+use chatgraph_graph::Graph;
+
+/// Mutable state a chain executes against.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// The session graph uploaded with the prompt. Edit APIs mutate it.
+    pub graph: Graph,
+    /// The molecule database used by similarity-search APIs (scenario 2).
+    pub database: Vec<Graph>,
+    /// Per-step findings `(api name, output)`, consumed by report APIs.
+    pub findings: Vec<(String, Value)>,
+    /// Seed for any randomised analysis (community tie-breaking etc.).
+    pub seed: u64,
+}
+
+impl ExecContext {
+    /// A context over one uploaded graph.
+    pub fn new(graph: Graph) -> Self {
+        ExecContext {
+            graph,
+            database: Vec::new(),
+            findings: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Attaches a graph database for similarity search.
+    pub fn with_database(mut self, database: Vec<Graph>) -> Self {
+        self.database = database;
+        self
+    }
+
+    /// Sets the analysis seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Executes a validated chain step by step.
+///
+/// * Each step's input is the previous step's output when the types accept
+///   it, else the session graph for `Graph` inputs, else `Unit`.
+/// * Steps flagged `requires_confirmation` ask the monitor first; a `false`
+///   answer aborts with [`ChainError::Rejected`] (scenario 3's user-in-the-
+///   loop cleaning, scenario 4's chain confirmation).
+/// * Every step's output is appended to [`ExecContext::findings`] so report
+///   APIs can compose everything the chain discovered.
+///
+/// Returns the final step's output.
+pub fn execute_chain(
+    registry: &ApiRegistry,
+    chain: &ApiChain,
+    ctx: &mut ExecContext,
+    monitor: &mut dyn Monitor,
+) -> Result<Value, ChainError> {
+    chain.validate(registry, true)?;
+    monitor.on_event(&ChainEvent::ChainStarted {
+        total: chain.len(),
+    });
+    let mut prev = Value::Unit;
+    for (i, step) in chain.steps.iter().enumerate() {
+        let desc = registry
+            .descriptor(&step.api)
+            .expect("validated chains only contain known APIs")
+            .clone();
+        monitor.on_event(&ChainEvent::StepStarted {
+            step: i,
+            api: step.api.clone(),
+        });
+        let input = if desc.input.accepts(prev.value_type()) {
+            prev.clone()
+        } else if desc.input == ValueType::Graph {
+            Value::Graph(Box::new(ctx.graph.clone()))
+        } else {
+            Value::Unit
+        };
+        if desc.requires_confirmation {
+            monitor.on_event(&ChainEvent::ConfirmationRequested {
+                step: i,
+                api: step.api.clone(),
+            });
+            if !monitor.confirm(i, &step.api, &input.summary()) {
+                return Err(ChainError::Rejected(i, step.api.clone()));
+            }
+        }
+        match registry.call(&step.api, ctx, input, step) {
+            Ok(output) => {
+                ctx.findings.push((step.api.clone(), output.clone()));
+                monitor.on_event(&ChainEvent::StepFinished {
+                    step: i,
+                    api: step.api.clone(),
+                    output: output.value_type(),
+                    summary: output.summary(),
+                });
+                prev = output;
+            }
+            Err(msg) => {
+                monitor.on_event(&ChainEvent::StepFailed {
+                    step: i,
+                    api: step.api.clone(),
+                    error: msg.clone(),
+                });
+                return Err(ChainError::ExecutionFailed(i, msg));
+            }
+        }
+    }
+    monitor.on_event(&ChainEvent::ChainFinished);
+    Ok(prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ApiChain;
+    use crate::monitor::CollectingMonitor;
+    use crate::registry;
+    use chatgraph_graph::generators::{social_network, SocialParams};
+
+    fn ctx() -> ExecContext {
+        ExecContext::new(social_network(&SocialParams::default(), 1))
+    }
+
+    #[test]
+    fn executes_simple_chain_and_collects_findings() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["node_count", "graph_stats", "generate_report"]);
+        let mut ctx = ctx();
+        let mut mon = CollectingMonitor::new();
+        let out = execute_chain(&reg, &chain, &mut ctx, &mut mon).unwrap();
+        assert_eq!(out.value_type(), ValueType::Report);
+        assert_eq!(ctx.findings.len(), 3);
+        assert_eq!(
+            mon.finished_apis(),
+            vec!["node_count", "graph_stats", "generate_report"]
+        );
+        assert!(matches!(mon.events.first(), Some(ChainEvent::ChainStarted { total: 3 })));
+        assert!(matches!(mon.events.last(), Some(ChainEvent::ChainFinished)));
+    }
+
+    #[test]
+    fn invalid_chain_is_rejected_before_running() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["nonexistent_api"]);
+        let mut ctx = ctx();
+        let mut mon = CollectingMonitor::new();
+        let err = execute_chain(&reg, &chain, &mut ctx, &mut mon).unwrap_err();
+        assert!(matches!(err, ChainError::UnknownApi(0, _)));
+        assert!(mon.events.is_empty(), "nothing should have started");
+    }
+
+    #[test]
+    fn rejection_stops_execution() {
+        let reg = registry::standard();
+        // detect → remove requires confirmation; answer "no".
+        let chain = ApiChain::from_names(["detect_incorrect_edges", "remove_edges"]);
+        let mut kg_ctx = ExecContext::new(chatgraph_graph::generators::knowledge_graph(
+            &chatgraph_graph::generators::KgParams::default(),
+            3,
+        ));
+        let mut mon = CollectingMonitor::with_answers([false]);
+        let err = execute_chain(&reg, &chain, &mut kg_ctx, &mut mon).unwrap_err();
+        assert_eq!(err, ChainError::Rejected(1, "remove_edges".to_owned()));
+        assert_eq!(mon.confirm_log.len(), 1);
+    }
+
+    #[test]
+    fn prev_output_feeds_matching_input() {
+        let reg = registry::standard();
+        // largest_component outputs Graph; node_count takes Graph → chained.
+        let chain = ApiChain::from_names(["largest_component", "node_count"]);
+        let mut ctx = ctx();
+        let n = ctx.graph.node_count() as f64;
+        let mut mon = CollectingMonitor::new();
+        let out = execute_chain(&reg, &chain, &mut ctx, &mut mon).unwrap();
+        let count = out.as_number().unwrap();
+        assert!(count <= n);
+        assert!(count > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::chain::ApiChain;
+    use crate::monitor::{ChainEvent, CollectingMonitor};
+    use crate::registry;
+    use chatgraph_graph::generators::{molecule, MoleculeParams};
+
+    /// A handler error mid-chain surfaces as ExecutionFailed, emits a
+    /// StepFailed event, stops the chain, and keeps earlier findings.
+    #[test]
+    fn handler_failure_stops_chain_with_event() {
+        let reg = registry::standard();
+        // similarity_search fails without a database in the context.
+        let chain = ApiChain::from_names(["node_count", "similarity_search", "edge_count"]);
+        let mut ctx = ExecContext::new(molecule(&MoleculeParams::default(), 1));
+        let mut mon = CollectingMonitor::new();
+        let err = execute_chain(&reg, &chain, &mut ctx, &mut mon).unwrap_err();
+        assert!(matches!(err, ChainError::ExecutionFailed(1, _)), "{err}");
+        assert_eq!(ctx.findings.len(), 1, "only the first step succeeded");
+        assert!(mon.events.iter().any(|e| matches!(
+            e,
+            ChainEvent::StepFailed { step: 1, .. }
+        )));
+        // The chain never reached step 2.
+        assert!(!mon.finished_apis().contains(&"edge_count"));
+        assert!(!mon.events.iter().any(|e| matches!(e, ChainEvent::ChainFinished)));
+    }
+
+    /// The executor falls back to the session graph when the previous output
+    /// does not match a Graph input (Number → Graph transition).
+    #[test]
+    fn graph_input_falls_back_to_session_graph() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["node_count", "edge_count"]);
+        let g = molecule(&MoleculeParams::default(), 2);
+        let (n, m) = (g.node_count() as f64, g.edge_count() as f64);
+        let mut ctx = ExecContext::new(g);
+        let out = execute_chain(&reg, &chain, &mut ctx, &mut crate::monitor::SilentMonitor).unwrap();
+        assert_eq!(out.as_number(), Some(m));
+        assert_eq!(ctx.findings[0].1.as_number(), Some(n));
+    }
+
+    /// Findings keep execution order and full values.
+    #[test]
+    fn findings_are_ordered_and_typed() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["molecular_formula", "ring_count", "graph_stats"]);
+        let mut ctx = ExecContext::new(molecule(&MoleculeParams::default(), 3));
+        execute_chain(&reg, &chain, &mut ctx, &mut crate::monitor::SilentMonitor).unwrap();
+        let names: Vec<&str> = ctx.findings.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["molecular_formula", "ring_count", "graph_stats"]);
+        assert!(ctx.findings[0].1.as_text().is_some());
+        assert!(ctx.findings[1].1.as_number().is_some());
+        assert!(ctx.findings[2].1.as_table().is_some());
+    }
+}

@@ -1,0 +1,254 @@
+//! Knowledge-graph inference APIs (demo scenario 3: graph cleaning).
+//!
+//! "ChatGraph first invokes the knowledge inference APIs to detect the
+//! incorrect edges and the missing edges in G and asks the user for
+//! confirmation. After that, the graph edit APIs are invoked to edit the
+//! edges in G."
+//!
+//! Inference exploits the fixed relation schema of the KG generator:
+//! type checking (domain/range per relation) finds schema violations, and the
+//! composition rule `nationality = located_in ∘ lives_in` both falsifies
+//! existing `nationality` facts and derives missing ones.
+
+use super::input_graph;
+use crate::descriptor::{ApiCategory, ApiDescriptor};
+use crate::registry::ApiRegistry;
+use crate::value::{Value, ValueType};
+use chatgraph_graph::generators::RELATION_SCHEMA;
+use chatgraph_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Edges violating the relation schema (wrong domain or range type), as
+/// `(src, dst, relation)`.
+pub fn schema_violations(g: &Graph) -> Vec<(NodeId, NodeId, String)> {
+    let schema: HashMap<&str, (&str, &str)> = RELATION_SCHEMA
+        .iter()
+        .map(|&(r, d, rng)| (r, (d, rng)))
+        .collect();
+    let mut out = Vec::new();
+    for e in g.edge_ids() {
+        let rel = g.edge_label(e).expect("live");
+        let (src, dst) = g.edge_endpoints(e).expect("live");
+        match schema.get(rel) {
+            Some(&(dom, rng)) => {
+                if g.node_label(src).expect("live") != dom
+                    || g.node_label(dst).expect("live") != rng
+                {
+                    out.push((src, dst, rel.to_owned()));
+                }
+            }
+            None => out.push((src, dst, rel.to_owned())),
+        }
+    }
+    out
+}
+
+/// The `nationality` facts derivable from the composition rule, per person:
+/// `person → country of the city the person lives in`.
+fn derived_nationalities(g: &Graph) -> HashMap<NodeId, NodeId> {
+    let rel_of = |e| g.edge_label(e).expect("live");
+    let mut lives_in: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut located_in: HashMap<NodeId, NodeId> = HashMap::new();
+    for e in g.edge_ids() {
+        let (s, d) = g.edge_endpoints(e).expect("live");
+        match rel_of(e) {
+            "lives_in" => {
+                lives_in.insert(s, d);
+            }
+            "located_in" => {
+                located_in.insert(s, d);
+            }
+            _ => {}
+        }
+    }
+    lives_in
+        .into_iter()
+        .filter_map(|(p, city)| located_in.get(&city).map(|&country| (p, country)))
+        .collect()
+}
+
+/// Incorrect edges: schema violations plus `nationality` facts contradicted
+/// by the composition rule. Returned as edges to *remove*.
+pub fn incorrect_edges(g: &Graph) -> Vec<(NodeId, NodeId, String)> {
+    let mut out = schema_violations(g);
+    let derived = derived_nationalities(g);
+    for e in g.edge_ids() {
+        if g.edge_label(e).expect("live") != "nationality" {
+            continue;
+        }
+        let (p, country) = g.edge_endpoints(e).expect("live");
+        if let Some(&expected) = derived.get(&p) {
+            if expected != country {
+                out.push((p, country, "nationality".to_owned()));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Missing edges: derivable `nationality` facts absent from the graph.
+/// Returned as edges to *add*.
+pub fn missing_edges(g: &Graph) -> Vec<(NodeId, NodeId, String)> {
+    let derived = derived_nationalities(g);
+    let mut out: Vec<(NodeId, NodeId, String)> = derived
+        .into_iter()
+        .filter(|&(p, country)| {
+            !g.neighbors(p)
+                .any(|(d, e)| d == country && g.edge_label(e).expect("live") == "nationality")
+        })
+        .map(|(p, c)| (p, c, "nationality".to_owned()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Registers the knowledge-inference APIs.
+pub fn register(reg: &mut ApiRegistry) {
+    use ApiCategory::Knowledge;
+    use ValueType::*;
+
+    reg.register(
+        ApiDescriptor::new(
+            "validate_schema",
+            "validate every relation edge of the knowledge graph against the schema and list violations",
+            Knowledge, Graph, Table,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            let violations = schema_violations(&g);
+            let mut t = crate::value::Table::new(["src", "relation", "dst"]);
+            for (s, d, rel) in violations {
+                t.push_row([s.to_string(), rel, d.to_string()]);
+            }
+            Ok(Value::Table(t))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "detect_incorrect_edges",
+            "detect incorrect or noisy fact edges in the knowledge graph that should be removed",
+            Knowledge, Graph, EdgeList,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            Ok(Value::EdgeList(incorrect_edges(&g)))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "detect_missing_edges",
+            "infer missing fact edges of the knowledge graph that should be added",
+            Knowledge, Graph, EdgeList,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            Ok(Value::EdgeList(missing_edges(&g)))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "kg_statistics",
+            "summarise the knowledge graph by counting entities and facts per type and relation",
+            Knowledge, Graph, Table,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            let mut t = crate::value::Table::new(["kind", "name", "count"]);
+            for (label, n) in g.label_histogram() {
+                t.push_row(["entity".to_owned(), label, n.to_string()]);
+            }
+            let mut rels: std::collections::BTreeMap<String, usize> = Default::default();
+            for e in g.edge_ids() {
+                *rels.entry(g.edge_label(e).expect("live").to_owned()).or_default() += 1;
+            }
+            for (rel, n) in rels {
+                t.push_row(["relation".to_owned(), rel, n.to_string()]);
+            }
+            Ok(Value::Table(t))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatgraph_graph::generators::{corrupt_kg, knowledge_graph, KgParams};
+
+    #[test]
+    fn clean_kg_has_no_findings() {
+        let g = knowledge_graph(&KgParams::default(), 11);
+        assert!(schema_violations(&g).is_empty());
+        assert!(incorrect_edges(&g).is_empty());
+        assert!(missing_edges(&g).is_empty());
+    }
+
+    #[test]
+    fn detects_exactly_the_injected_corruption() {
+        let mut g = knowledge_graph(&KgParams::default(), 11);
+        let truth = corrupt_kg(&mut g, 0.10, 0.08, 11);
+
+        let detected_wrong = incorrect_edges(&g);
+        let detected_missing = missing_edges(&g);
+
+        // Every injected wrong edge is detected.
+        for (s, d, rel) in &truth.injected_wrong {
+            assert!(
+                detected_wrong.iter().any(|(a, b, r)| a == s && b == d && r == rel),
+                "missed injected wrong edge ({s}, {d})"
+            );
+        }
+        // Every removed fact is re-derived.
+        for (s, d, rel) in &truth.removed {
+            assert!(
+                detected_missing.iter().any(|(a, b, r)| a == s && b == d && r == rel),
+                "failed to re-derive removed edge ({s}, {d})"
+            );
+        }
+        // No false positives: detection counts match the ground truth.
+        assert_eq!(detected_wrong.len(), truth.injected_wrong.len());
+        assert_eq!(detected_missing.len(), truth.removed.len());
+    }
+
+    #[test]
+    fn schema_violation_detection() {
+        let mut g = knowledge_graph(&KgParams::default(), 2);
+        // Add a lives_in edge pointing at a Country (wrong range type).
+        let person = g
+            .node_ids()
+            .find(|&v| g.node_label(v).unwrap() == "Person")
+            .unwrap();
+        let country = g
+            .node_ids()
+            .find(|&v| g.node_label(v).unwrap() == "Country")
+            .unwrap();
+        // Remove the existing lives_in first to keep one per person.
+        let e = g
+            .neighbors(person)
+            .find(|&(_, e)| g.edge_label(e).unwrap() == "lives_in")
+            .map(|(_, e)| e)
+            .unwrap();
+        g.remove_edge(e).unwrap();
+        g.add_edge(person, country, "lives_in").unwrap();
+        let v = schema_violations(&g);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, person);
+        // The broken lives_in also surfaces through incorrect_edges.
+        assert!(incorrect_edges(&g).contains(&(person, country, "lives_in".to_owned())));
+    }
+
+    #[test]
+    fn unknown_relation_is_flagged() {
+        let mut g = knowledge_graph(&KgParams { persons: 3, ..KgParams::default() }, 5);
+        let a = g.node_ids().next().unwrap();
+        let b = g.node_ids().nth(1).unwrap();
+        g.add_edge(a, b, "frobnicates").unwrap();
+        assert!(schema_violations(&g)
+            .iter()
+            .any(|(_, _, r)| r == "frobnicates"));
+    }
+}

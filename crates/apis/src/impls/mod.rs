@@ -1,0 +1,34 @@
+//! Concrete API implementations, grouped by category.
+
+pub mod edit;
+pub mod kg;
+pub mod molecule;
+pub mod report;
+pub mod similarity;
+pub mod social;
+pub mod structure;
+
+use crate::executor::ExecContext;
+use crate::registry::ApiRegistry;
+use crate::value::Value;
+use chatgraph_graph::Graph;
+
+/// Registers the full standard catalogue.
+pub fn register_all(reg: &mut ApiRegistry) {
+    structure::register(reg);
+    social::register(reg);
+    molecule::register(reg);
+    similarity::register(reg);
+    kg::register(reg);
+    edit::register(reg);
+    report::register(reg);
+}
+
+/// Resolves the graph an API should analyse: the piped-in graph when the
+/// previous step produced one, otherwise the session graph.
+pub(crate) fn input_graph(input: Value, ctx: &ExecContext) -> Graph {
+    match input {
+        Value::Graph(g) => *g,
+        _ => ctx.graph.clone(),
+    }
+}

@@ -1,0 +1,410 @@
+//! Molecule property APIs (demo scenario 1's molecule branch).
+//!
+//! The paper's demo calls external toxicity/solubility predictors; offline,
+//! these are substituted by classical structural-descriptor models: the
+//! descriptors (ring count, heteroatom fraction, branching, Wiener index) are
+//! computed exactly on the graph, and the property scores are fixed
+//! deterministic functions of them — the standard pre-neural QSAR approach.
+
+use super::input_graph;
+use crate::descriptor::{ApiCategory, ApiDescriptor};
+use crate::registry::ApiRegistry;
+use crate::value::{Value, ValueType};
+use chatgraph_graph::algo::{components, traversal};
+use chatgraph_graph::Graph;
+use std::collections::BTreeMap;
+
+/// Average atomic masses of the supported heavy atoms.
+fn atomic_mass(symbol: &str) -> f64 {
+    match symbol {
+        "C" => 12.011,
+        "N" => 14.007,
+        "O" => 15.999,
+        "S" => 32.06,
+        "P" => 30.974,
+        "H" => 1.008,
+        _ => 0.0,
+    }
+}
+
+/// Structural descriptors of a molecular graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoleculeDescriptors {
+    /// Heavy-atom count.
+    pub atoms: usize,
+    /// Cyclomatic ring count (`E − V + components`).
+    pub rings: i64,
+    /// Fraction of non-carbon heavy atoms.
+    pub hetero_fraction: f64,
+    /// Number of double bonds.
+    pub double_bonds: usize,
+    /// Fraction of atoms with degree ≥ 3 (branch points).
+    pub branching: f64,
+    /// Sum of atomic masses.
+    pub weight: f64,
+    /// Wiener index: sum of pairwise shortest-path distances.
+    pub wiener: f64,
+}
+
+/// Computes all descriptors in one pass family.
+pub fn descriptors(g: &Graph) -> MoleculeDescriptors {
+    let atoms = g.node_count();
+    let cc = components::connected_components(g).count as i64;
+    let rings = g.edge_count() as i64 - atoms as i64 + cc;
+    let hetero = g
+        .node_ids()
+        .filter(|&v| g.node_label(v).expect("live") != "C")
+        .count();
+    let double_bonds = g
+        .edge_ids()
+        .filter(|&e| g.edge_label(e).expect("live") == "double")
+        .count();
+    let branch_points = g.node_ids().filter(|&v| g.total_degree(v) >= 3).count();
+    let weight: f64 = g
+        .node_ids()
+        .map(|v| atomic_mass(g.node_label(v).expect("live")))
+        .sum();
+    let mut wiener = 0.0;
+    for v in g.node_ids() {
+        for d in traversal::bfs_distances(g, v, usize::MAX).into_iter().flatten() {
+            wiener += d as f64;
+        }
+    }
+    wiener /= 2.0; // each unordered pair was counted twice
+    MoleculeDescriptors {
+        atoms,
+        rings,
+        hetero_fraction: if atoms == 0 { 0.0 } else { hetero as f64 / atoms as f64 },
+        double_bonds,
+        branching: if atoms == 0 { 0.0 } else { branch_points as f64 / atoms as f64 },
+        weight,
+        wiener,
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Toxicity probability in `[0, 1]`: a fixed logistic model over descriptors
+/// (rings, unsaturation, heteroatoms and branching raise the score).
+pub fn toxicity_score(d: &MoleculeDescriptors) -> f64 {
+    sigmoid(
+        -2.2 + 0.55 * d.rings as f64
+            + 2.4 * d.hetero_fraction
+            + 0.18 * d.double_bonds as f64
+            + 1.2 * d.branching
+            + 0.004 * d.weight,
+    )
+}
+
+/// Solubility on a logS-like scale: polar heteroatoms help, large carbon
+/// skeletons and rings hurt.
+pub fn solubility_score(g: &Graph, d: &MoleculeDescriptors) -> f64 {
+    let polar = g
+        .node_ids()
+        .filter(|&v| matches!(g.node_label(v).expect("live"), "O" | "N"))
+        .count() as f64;
+    0.8 + 0.9 * polar - 0.065 * d.weight - 0.35 * d.rings as f64
+}
+
+/// The empirical molecular formula in Hill order (C, H, then alphabetical).
+pub fn formula(g: &Graph) -> String {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for v in g.node_ids() {
+        *counts.entry(g.node_label(v).expect("live").to_owned()).or_default() += 1;
+    }
+    let mut out = String::new();
+    let mut emit = |sym: &str, n: usize| {
+        if n == 1 {
+            out.push_str(sym);
+        } else if n > 1 {
+            out.push_str(&format!("{sym}{n}"));
+        }
+    };
+    let c = counts.remove("C").unwrap_or(0);
+    let h = counts.remove("H").unwrap_or(0);
+    emit("C", c);
+    emit("H", h);
+    for (sym, n) in counts {
+        emit(&sym, n);
+    }
+    out
+}
+
+/// Registers the molecule APIs.
+pub fn register(reg: &mut ApiRegistry) {
+    use ApiCategory::Molecule;
+    use ValueType::*;
+
+    reg.register(
+        ApiDescriptor::new(
+            "molecular_formula",
+            "derive the molecular formula of the chemical molecule from its atoms",
+            Molecule, Graph, Text,
+        ),
+        Box::new(|ctx, input, _| Ok(Value::Text(formula(&input_graph(input, ctx))))),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "molecular_weight",
+            "compute the molecular weight of the molecule from atomic masses",
+            Molecule, Graph, Number,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            Ok(Value::Number(descriptors(&g).weight))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "ring_count",
+            "count the rings or cycles in the molecule",
+            Molecule, Graph, Number,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            Ok(Value::Number(descriptors(&g).rings.max(0) as f64))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "heteroatom_fraction",
+            "compute the fraction of heteroatoms that are not carbon in the molecule",
+            Molecule, Graph, Number,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            Ok(Value::Number(descriptors(&g).hetero_fraction))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "wiener_index",
+            "compute the wiener topological index, the sum of distances between atom pairs",
+            Molecule, Graph, Number,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            Ok(Value::Number(descriptors(&g).wiener))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "branching_index",
+            "measure how branched the molecular skeleton is",
+            Molecule, Graph, Number,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            Ok(Value::Number(descriptors(&g).branching))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "predict_toxicity",
+            "predict the toxicity probability of the chemical molecule",
+            Molecule, Graph, Number,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            Ok(Value::Number(toxicity_score(&descriptors(&g))))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "predict_solubility",
+            "predict the aqueous solubility of the chemical molecule on a logS scale",
+            Molecule, Graph, Number,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            let d = descriptors(&g);
+            Ok(Value::Number(solubility_score(&g, &d)))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "functional_groups",
+            "detect functional groups such as carbonyl hydroxyl and amine in the molecule",
+            Molecule, Graph, Table,
+        ),
+        Box::new(|ctx, input, _| {
+            let g = input_graph(input, ctx);
+            let mut carbonyl = 0usize; // C=O
+            let mut imine = 0usize; // C=N
+            let mut hydroxyl = 0usize; // terminal single-bonded O
+            let mut amine = 0usize; // C–N single
+            let mut thio = 0usize; // any S
+            for e in g.edge_ids() {
+                let (a, b) = g.edge_endpoints(e).expect("live");
+                let (la, lb) = (
+                    g.node_label(a).expect("live"),
+                    g.node_label(b).expect("live"),
+                );
+                let double = g.edge_label(e).expect("live") == "double";
+                let pair = |x: &str, y: &str| (la == x && lb == y) || (la == y && lb == x);
+                if double && pair("C", "O") {
+                    carbonyl += 1;
+                }
+                if double && pair("C", "N") {
+                    imine += 1;
+                }
+                if !double && pair("C", "N") {
+                    amine += 1;
+                }
+                if !double && pair("C", "O") {
+                    let o = if la == "O" { a } else { b };
+                    if g.total_degree(o) == 1 {
+                        hydroxyl += 1;
+                    }
+                }
+            }
+            for v in g.node_ids() {
+                if g.node_label(v).expect("live") == "S" {
+                    thio += 1;
+                }
+            }
+            let mut t = crate::value::Table::new(["group", "count"]);
+            t.push_row(["carbonyl (C=O)", &carbonyl.to_string()]);
+            t.push_row(["imine (C=N)", &imine.to_string()]);
+            t.push_row(["hydroxyl (C-OH)", &hydroxyl.to_string()]);
+            t.push_row(["amine (C-N)", &amine.to_string()]);
+            t.push_row(["sulfur sites", &thio.to_string()]);
+            Ok(Value::Table(t))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ApiCall;
+    use crate::executor::ExecContext;
+    use crate::registry;
+    use chatgraph_graph::generators::{molecule, MoleculeParams};
+    use chatgraph_graph::GraphBuilder;
+
+    fn run(name: &str, g: Graph) -> Value {
+        let reg = registry::standard();
+        let mut ctx = ExecContext::new(g);
+        reg.call(name, &mut ctx, Value::Unit, &ApiCall::new(name)).unwrap()
+    }
+
+    fn co2() -> Graph {
+        GraphBuilder::undirected()
+            .node("c", "C")
+            .node("o1", "O")
+            .node("o2", "O")
+            .edge("c", "o1", "double")
+            .edge("c", "o2", "double")
+            .build()
+    }
+
+    #[test]
+    fn formula_in_hill_order() {
+        assert_eq!(formula(&co2()), "CO2");
+        let g = GraphBuilder::undirected()
+            .node("n", "N")
+            .node("c1", "C")
+            .node("c2", "C")
+            .node("s", "S")
+            .build();
+        assert_eq!(formula(&g), "C2NS");
+        assert_eq!(formula(&Graph::undirected()), "");
+    }
+
+    #[test]
+    fn weight_of_co2() {
+        let w = run("molecular_weight", co2()).as_number().unwrap();
+        assert!((w - 44.009).abs() < 0.01, "{w}");
+    }
+
+    #[test]
+    fn ring_count_of_cycle() {
+        let g = GraphBuilder::undirected()
+            .node("a", "C").node("b", "C").node("c", "C")
+            .edge("a", "b", "single")
+            .edge("b", "c", "single")
+            .edge("c", "a", "single")
+            .build();
+        assert_eq!(run("ring_count", g).as_number(), Some(1.0));
+        assert_eq!(run("ring_count", co2()).as_number(), Some(0.0));
+    }
+
+    #[test]
+    fn wiener_index_of_path() {
+        // C-C-C: distances 1+1+2 = 4
+        let g = GraphBuilder::undirected()
+            .node("a", "C").node("b", "C").node("c", "C")
+            .edge("a", "b", "single")
+            .edge("b", "c", "single")
+            .build();
+        assert_eq!(run("wiener_index", g).as_number(), Some(4.0));
+    }
+
+    #[test]
+    fn toxicity_is_probability_and_monotone_in_rings() {
+        let p = MoleculeParams { atoms: 20, rings: 0, double_bond_prob: 0.1 };
+        let plain = descriptors(&molecule(&p, 3));
+        let ringy = descriptors(&molecule(&MoleculeParams { rings: 4, ..p }, 3));
+        let t0 = toxicity_score(&plain);
+        let t1 = toxicity_score(&ringy);
+        assert!((0.0..=1.0).contains(&t0));
+        assert!((0.0..=1.0).contains(&t1));
+        assert!(t1 > t0, "rings should raise toxicity: {t0} vs {t1}");
+    }
+
+    #[test]
+    fn solubility_rewards_polarity() {
+        let polar = co2();
+        let apolar = GraphBuilder::undirected()
+            .node("a", "C").node("b", "C").node("c", "C")
+            .edge("a", "b", "single")
+            .edge("b", "c", "single")
+            .build();
+        let sp = run("predict_solubility", polar).as_number().unwrap();
+        let sa = run("predict_solubility", apolar).as_number().unwrap();
+        assert!(sp > sa, "polar {sp} vs apolar {sa}");
+    }
+
+    #[test]
+    fn functional_groups_detects_carbonyl_and_hydroxyl() {
+        // acetic-acid-like: C-C(=O)-O(H)
+        let g = GraphBuilder::undirected()
+            .node("c1", "C").node("c2", "C").node("o1", "O").node("o2", "O")
+            .edge("c1", "c2", "single")
+            .edge("c2", "o1", "double")
+            .edge("c2", "o2", "single")
+            .build();
+        let out = run("functional_groups", g);
+        let t = out.as_table().unwrap();
+        let get = |name: &str| -> usize {
+            t.rows.iter().find(|r| r[0].starts_with(name)).unwrap()[1].parse().unwrap()
+        };
+        assert_eq!(get("carbonyl"), 1);
+        assert_eq!(get("hydroxyl"), 1);
+        assert_eq!(get("amine"), 0);
+    }
+
+    #[test]
+    fn descriptors_on_generated_molecules_are_sane() {
+        for seed in 0..5 {
+            let g = molecule(&MoleculeParams::default(), seed);
+            let d = descriptors(&g);
+            assert_eq!(d.atoms, g.node_count());
+            assert!(d.rings >= 0);
+            assert!((0.0..=1.0).contains(&d.hetero_fraction));
+            assert!(d.weight > 0.0);
+            assert!(d.wiener > 0.0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Report-generation APIs (the tail of most chains).
+//!
+//! Scenario 1 ends with "a report is generated based on the results of the
+//! APIs": `generate_report` folds every finding recorded by the executor into
+//! a multi-section [`crate::value::Report`].
+
+use crate::descriptor::{ApiCategory, ApiDescriptor};
+use crate::registry::ApiRegistry;
+use crate::value::{Report, Value, ValueType};
+
+fn render_finding(api: &str, value: &Value) -> (String, String) {
+    let heading = api.replace('_', " ");
+    let body = match value {
+        Value::Table(t) => t.to_text(),
+        Value::Report(r) => r.to_text(),
+        Value::Text(t) => t.clone(),
+        other => other.summary(),
+    };
+    (heading, body)
+}
+
+/// Registers the report APIs.
+pub fn register(reg: &mut ApiRegistry) {
+    use ApiCategory::Report as ReportCat;
+    use ValueType::*;
+
+    reg.register(
+        ApiDescriptor::new(
+            "generate_report",
+            "write a brief report combining all analysis results gathered so far",
+            ReportCat, Any, Report,
+        ),
+        Box::new(|ctx, _input, _| {
+            let mut report = crate::value::Report::new(format!(
+                "Report for graph '{}'",
+                ctx.graph.name()
+            ));
+            report.add_section(
+                "Overview",
+                format!(
+                    "The graph has {} nodes and {} edges.",
+                    ctx.graph.node_count(),
+                    ctx.graph.edge_count()
+                ),
+            );
+            for (api, value) in ctx
+                .findings
+                .iter()
+                .filter(|(api, _)| api != "generate_report")
+            {
+                let (heading, body) = render_finding(api, value);
+                report.add_section(heading, body);
+            }
+            Ok(Value::Report(report))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "summarize_result",
+            "summarise the previous analysis result in one short sentence of text",
+            ReportCat, Any, Text,
+        ),
+        Box::new(|ctx, input, _| {
+            let text = match (&input, ctx.findings.last()) {
+                (Value::Unit, Some((api, v))) => {
+                    format!("{}: {}", api.replace('_', " "), v.summary())
+                }
+                _ => input.summary(),
+            };
+            Ok(Value::Text(text))
+        }),
+    );
+
+    reg.register(
+        ApiDescriptor::new(
+            "list_findings",
+            "list every api invoked so far together with a summary of its output",
+            ReportCat, Any, Table,
+        ),
+        Box::new(|ctx, _input, _| {
+            let mut t = crate::value::Table::new(["step", "api", "result"]);
+            for (i, (api, v)) in ctx.findings.iter().enumerate() {
+                t.push_row([(i + 1).to_string(), api.clone(), v.summary()]);
+            }
+            Ok(Value::Table(t))
+        }),
+    );
+}
+
+/// Renders a [`Report`] for the chat transcript (helper shared with the core
+/// crate's session layer).
+pub fn render_report(report: &Report) -> String {
+    report.to_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ApiCall, ApiChain};
+    use crate::executor::{execute_chain, ExecContext};
+    use crate::monitor::SilentMonitor;
+    use crate::registry;
+    use chatgraph_graph::generators::{social_network, SocialParams};
+
+    #[test]
+    fn report_collects_all_findings() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names([
+            "node_count",
+            "detect_communities",
+            "connectivity_report",
+            "generate_report",
+        ]);
+        let mut ctx = ExecContext::new(social_network(&SocialParams::default(), 3));
+        let out = execute_chain(&reg, &chain, &mut ctx, &mut SilentMonitor).unwrap();
+        let report = out.as_report().unwrap();
+        // Overview + 3 findings (generate_report excludes itself).
+        assert_eq!(report.sections.len(), 4);
+        let text = report.to_text();
+        assert!(text.contains("## node count"));
+        assert!(text.contains("## detect communities"));
+        assert!(text.contains("nodes and"));
+    }
+
+    #[test]
+    fn summarize_uses_last_finding_when_input_is_unit() {
+        let reg = registry::standard();
+        let mut ctx = ExecContext::new(social_network(&SocialParams::default(), 3));
+        ctx.findings.push(("node_count".into(), Value::Number(120.0)));
+        let out = reg
+            .call("summarize_result", &mut ctx, Value::Unit, &ApiCall::new("x"))
+            .unwrap();
+        assert_eq!(out.as_text(), Some("node count: 120.0000"));
+    }
+
+    #[test]
+    fn summarize_prefers_piped_input() {
+        let reg = registry::standard();
+        let mut ctx = ExecContext::new(social_network(&SocialParams::default(), 3));
+        let out = reg
+            .call(
+                "summarize_result",
+                &mut ctx,
+                Value::Text("hello".into()),
+                &ApiCall::new("x"),
+            )
+            .unwrap();
+        assert_eq!(out.as_text(), Some("hello"));
+    }
+
+    #[test]
+    fn list_findings_numbers_steps() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["node_count", "edge_count", "list_findings"]);
+        let mut ctx = ExecContext::new(social_network(&SocialParams::default(), 3));
+        let out = execute_chain(&reg, &chain, &mut ctx, &mut SilentMonitor).unwrap();
+        let t = out.as_table().unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "1");
+        assert_eq!(t.rows[0][1], "node_count");
+    }
+}

@@ -1,0 +1,38 @@
+//! # chatgraph-apis
+//!
+//! The graph-analysis **API layer** of ChatGraph. The paper's framework does
+//! not answer questions itself — it generates a *chain of graph analysis
+//! APIs* and executes it. This crate provides:
+//!
+//! * [`value`] — the typed values APIs exchange ([`Value`]/[`ValueType`]),
+//!   so chains can be validated before execution.
+//! * [`descriptor`] — API metadata: name, the natural-language description
+//!   the retrieval module embeds, category, and input/output types.
+//! * [`registry`] — the [`ApiRegistry`] mapping names to descriptors and
+//!   executable handlers; [`registry::standard`] registers the full catalogue
+//!   of ~40 APIs across the paper's categories (structure, social, molecule,
+//!   similarity search, knowledge inference, graph edit, report).
+//! * [`chain`] — [`ApiChain`]: the sequence the LLM generates, with type
+//!   checking and a lossless encoding as a labelled graph (the form the
+//!   node matching-based loss consumes).
+//! * [`executor`] — runs a chain against an [`ExecContext`] (user graph +
+//!   molecule database + reference graph), collecting per-step findings.
+//! * [`monitor`] — the chain-monitoring surface of demo scenario 4: step
+//!   events, progress, and user-confirmation hooks used by the cleaning
+//!   scenario.
+//! * [`impls`] — the concrete API implementations.
+
+pub mod chain;
+pub mod descriptor;
+pub mod executor;
+pub mod impls;
+pub mod monitor;
+pub mod registry;
+pub mod value;
+
+pub use chain::{ApiCall, ApiChain, ChainError};
+pub use descriptor::{ApiCategory, ApiDescriptor};
+pub use executor::{execute_chain, ExecContext};
+pub use monitor::{ChainEvent, CollectingMonitor, Monitor, SilentMonitor};
+pub use registry::ApiRegistry;
+pub use value::{Report, Table, Value, ValueType};

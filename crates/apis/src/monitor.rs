@@ -1,0 +1,162 @@
+//! Chain-execution monitoring (demo scenario 4).
+//!
+//! The paper: "users need to confirm the API chain before it is executed and
+//! edit it if needed. What is more, users may also wish to monitor the
+//! progress during the execution of the API chain." The [`Monitor`] trait is
+//! that surface: the executor emits a [`ChainEvent`] per step and routes
+//! confirmation requests (for edit APIs) through the monitor.
+
+use crate::value::ValueType;
+use serde::{Deserialize, Serialize};
+
+/// One progress event during chain execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChainEvent {
+    /// Execution of the whole chain began (`total` steps).
+    ChainStarted {
+        /// Number of steps.
+        total: usize,
+    },
+    /// A step began executing.
+    StepStarted {
+        /// Step index (0-based).
+        step: usize,
+        /// API name.
+        api: String,
+    },
+    /// A step finished.
+    StepFinished {
+        /// Step index.
+        step: usize,
+        /// API name.
+        api: String,
+        /// Output type.
+        output: ValueType,
+        /// One-line output summary.
+        summary: String,
+    },
+    /// A step failed; execution stops.
+    StepFailed {
+        /// Step index.
+        step: usize,
+        /// API name.
+        api: String,
+        /// Error message.
+        error: String,
+    },
+    /// The user was asked to confirm a step.
+    ConfirmationRequested {
+        /// Step index.
+        step: usize,
+        /// API name.
+        api: String,
+    },
+    /// The whole chain finished successfully.
+    ChainFinished,
+}
+
+/// Receiver of chain-execution events and confirmation requests.
+pub trait Monitor {
+    /// Called for every progress event.
+    fn on_event(&mut self, event: &ChainEvent);
+
+    /// Called before a step flagged `requires_confirmation` runs. Returning
+    /// `false` aborts the chain with [`crate::ChainError::Rejected`].
+    fn confirm(&mut self, step: usize, api: &str, preview: &str) -> bool {
+        let _ = (step, api, preview);
+        true
+    }
+}
+
+/// A monitor that discards events and confirms everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilentMonitor;
+
+impl Monitor for SilentMonitor {
+    fn on_event(&mut self, _event: &ChainEvent) {}
+}
+
+/// A monitor that records every event, with scripted confirmation answers —
+/// the test double, and the transcript source for the chat UI.
+#[derive(Debug, Default, Clone)]
+pub struct CollectingMonitor {
+    /// Every event, in order.
+    pub events: Vec<ChainEvent>,
+    /// Answers returned by successive `confirm` calls (exhausted ⇒ `true`).
+    pub confirmations: std::collections::VecDeque<bool>,
+    /// The `(step, api, preview)` of every confirmation request.
+    pub confirm_log: Vec<(usize, String, String)>,
+}
+
+impl CollectingMonitor {
+    /// A monitor confirming everything.
+    pub fn new() -> Self {
+        CollectingMonitor::default()
+    }
+
+    /// A monitor answering confirmations from a script.
+    pub fn with_answers<I: IntoIterator<Item = bool>>(answers: I) -> Self {
+        CollectingMonitor {
+            confirmations: answers.into_iter().collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Names of APIs whose steps finished.
+    pub fn finished_apis(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ChainEvent::StepFinished { api, .. } => Some(api.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Monitor for CollectingMonitor {
+    fn on_event(&mut self, event: &ChainEvent) {
+        self.events.push(event.clone());
+    }
+
+    fn confirm(&mut self, step: usize, api: &str, preview: &str) -> bool {
+        self.confirm_log
+            .push((step, api.to_owned(), preview.to_owned()));
+        self.confirmations.pop_front().unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_monitor_records_events() {
+        let mut m = CollectingMonitor::new();
+        m.on_event(&ChainEvent::ChainStarted { total: 2 });
+        m.on_event(&ChainEvent::StepFinished {
+            step: 0,
+            api: "x".into(),
+            output: ValueType::Number,
+            summary: "1".into(),
+        });
+        assert_eq!(m.events.len(), 2);
+        assert_eq!(m.finished_apis(), vec!["x"]);
+    }
+
+    #[test]
+    fn scripted_confirmations_then_default_true() {
+        let mut m = CollectingMonitor::with_answers([false, true]);
+        assert!(!m.confirm(0, "remove_edges", "3 edges"));
+        assert!(m.confirm(1, "add_edges", "2 edges"));
+        assert!(m.confirm(2, "remove_edges", "1 edge"));
+        assert_eq!(m.confirm_log.len(), 3);
+    }
+
+    #[test]
+    fn silent_monitor_confirms() {
+        let mut m = SilentMonitor;
+        m.on_event(&ChainEvent::ChainFinished);
+        assert!(m.confirm(0, "x", ""));
+    }
+}

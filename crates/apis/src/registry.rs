@@ -1,0 +1,182 @@
+//! The API registry: descriptors plus executable handlers.
+
+use crate::chain::ApiCall;
+use crate::descriptor::{ApiCategory, ApiDescriptor};
+use crate::executor::ExecContext;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Signature of an API implementation. Receives the execution context, the
+/// resolved input value, and the call (for parameters); returns the output
+/// value or an error message.
+pub type Handler =
+    Box<dyn Fn(&mut ExecContext, Value, &ApiCall) -> Result<Value, String> + Send + Sync>;
+
+struct ApiEntry {
+    descriptor: ApiDescriptor,
+    handler: Handler,
+}
+
+/// A named collection of APIs. `BTreeMap` keeps enumeration order stable,
+/// which in turn keeps the LLM vocabulary and retrieval corpus stable.
+#[derive(Default)]
+pub struct ApiRegistry {
+    entries: BTreeMap<String, ApiEntry>,
+}
+
+impl std::fmt::Debug for ApiRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApiRegistry")
+            .field("apis", &self.names())
+            .finish()
+    }
+}
+
+impl ApiRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ApiRegistry::default()
+    }
+
+    /// Registers an API. Panics on duplicate names — duplicates are always a
+    /// programming error in catalogue assembly.
+    pub fn register(&mut self, descriptor: ApiDescriptor, handler: Handler) {
+        let name = descriptor.name.clone();
+        let prev = self.entries.insert(
+            name.clone(),
+            ApiEntry {
+                descriptor,
+                handler,
+            },
+        );
+        assert!(prev.is_none(), "duplicate API registration: {name}");
+    }
+
+    /// Number of registered APIs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no APIs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// The descriptor of `name`, if registered.
+    pub fn descriptor(&self, name: &str) -> Option<&ApiDescriptor> {
+        self.entries.get(name).map(|e| &e.descriptor)
+    }
+
+    /// All descriptors in name order.
+    pub fn descriptors(&self) -> Vec<&ApiDescriptor> {
+        self.entries.values().map(|e| &e.descriptor).collect()
+    }
+
+    /// All names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Descriptors in one category.
+    pub fn by_category(&self, category: ApiCategory) -> Vec<&ApiDescriptor> {
+        self.descriptors()
+            .into_iter()
+            .filter(|d| d.category == category)
+            .collect()
+    }
+
+    /// Invokes an API handler.
+    pub fn call(
+        &self,
+        name: &str,
+        ctx: &mut ExecContext,
+        input: Value,
+        call: &ApiCall,
+    ) -> Result<Value, String> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| format!("unknown API '{name}'"))?;
+        (entry.handler)(ctx, input, call)
+    }
+}
+
+/// Builds the standard ChatGraph API catalogue (all categories).
+pub fn standard() -> ApiRegistry {
+    let mut reg = ApiRegistry::new();
+    crate::impls::register_all(&mut reg);
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    #[test]
+    fn standard_registry_is_substantial() {
+        let reg = standard();
+        assert!(reg.len() >= 35, "only {} APIs registered", reg.len());
+        assert!(reg.contains("detect_communities"));
+        assert!(reg.contains("predict_toxicity"));
+        assert!(reg.contains("similarity_search"));
+        assert!(reg.contains("detect_incorrect_edges"));
+        assert!(reg.contains("remove_edges"));
+        assert!(reg.contains("generate_report"));
+    }
+
+    #[test]
+    fn every_category_is_populated() {
+        let reg = standard();
+        for &cat in ApiCategory::all() {
+            assert!(
+                !reg.by_category(cat).is_empty(),
+                "category {cat:?} has no APIs"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_sorted_and_unique() {
+        let reg = standard();
+        let names = reg.names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn edit_apis_require_confirmation() {
+        let reg = standard();
+        assert!(reg.descriptor("remove_edges").unwrap().requires_confirmation);
+        assert!(reg.descriptor("add_edges").unwrap().requires_confirmation);
+        assert!(!reg.descriptor("node_count").unwrap().requires_confirmation);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate API registration")]
+    fn duplicate_registration_panics() {
+        let mut reg = ApiRegistry::new();
+        let d = ApiDescriptor::new("x", "d", ApiCategory::Structure, ValueType::Unit, ValueType::Unit);
+        reg.register(d.clone(), Box::new(|_, _, _| Ok(Value::Unit)));
+        reg.register(d, Box::new(|_, _, _| Ok(Value::Unit)));
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_for_retrieval() {
+        let reg = standard();
+        for d in reg.descriptors() {
+            assert!(
+                d.description.split_whitespace().count() >= 4,
+                "API '{}' needs a fuller description for retrieval",
+                d.name
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for API chains: the validator is sound (validated
+//! chains execute without type errors) and the graph encoding is faithful.
+
+use chatgraph_apis::{
+    execute_chain, registry, ApiChain, ChainError, ExecContext, SilentMonitor,
+};
+use chatgraph_graph::generators::{knowledge_graph, KgParams};
+use proptest::prelude::*;
+
+fn random_chain(max_len: usize) -> impl Strategy<Value = ApiChain> {
+    let reg = registry::standard();
+    let names: Vec<String> = reg.names().iter().map(|s| s.to_string()).collect();
+    prop::collection::vec(prop::sample::select(names), 1..=max_len)
+        .prop_map(ApiChain::from_names)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Soundness: a chain the validator accepts never fails with a *type*
+    /// error at execution time (handlers may still fail on missing
+    /// parameters or empty databases — those are runtime errors, not type
+    /// errors — and rejections cannot happen with an all-yes monitor).
+    #[test]
+    fn validated_chains_execute_without_type_errors(chain in random_chain(4)) {
+        let reg = registry::standard();
+        // A KG exercises the edit APIs' confirmation path too.
+        let g = knowledge_graph(&KgParams {
+            persons: 10, cities: 4, countries: 2, companies: 3,
+            employment_rate: 0.5, knows_per_person: 1.0,
+        }, 1);
+        match chain.validate(&reg, true) {
+            Ok(()) => {
+                let mut ctx = ExecContext::new(g);
+                match execute_chain(&reg, &chain, &mut ctx, &mut SilentMonitor) {
+                    Ok(_) => {}
+                    Err(ChainError::ExecutionFailed(_, msg)) => {
+                        // Runtime failures must be about data, not typing.
+                        prop_assert!(
+                            !msg.contains("expects"),
+                            "type error slipped past validation: {msg}"
+                        );
+                    }
+                    Err(other) => {
+                        prop_assert!(false, "unexpected error class: {other}");
+                    }
+                }
+            }
+            Err(ChainError::TypeMismatch { step, .. }) => {
+                // The mismatch must be real: the step's declared input type
+                // does not accept the previous step's output (Unit at the
+                // chain start).
+                let prev_out = if step == 0 {
+                    chatgraph_apis::ValueType::Unit
+                } else {
+                    reg.descriptor(&chain.steps[step - 1].api).unwrap().output
+                };
+                let cur_in = reg.descriptor(&chain.steps[step].api).unwrap().input;
+                prop_assert!(!cur_in.accepts(prev_out));
+                prop_assert!(cur_in != chatgraph_apis::ValueType::Graph);
+            }
+            Err(ChainError::Empty) | Err(ChainError::UnknownApi(..)) => {
+                prop_assert!(false, "unexpected validation failure");
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// The chain ↔ graph encoding preserves names, order and length.
+    #[test]
+    fn chain_graph_encoding_faithful(chain in random_chain(6)) {
+        let g = chain.to_graph();
+        prop_assert_eq!(g.node_count(), chain.len());
+        prop_assert_eq!(g.edge_count(), chain.len().saturating_sub(1));
+        let labels: Vec<String> = g
+            .node_ids()
+            .map(|v| g.node_label(v).unwrap().to_owned())
+            .collect();
+        let names: Vec<String> = chain.api_names().into_iter().map(str::to_owned).collect();
+        prop_assert_eq!(labels, names);
+        // The encoding is a simple directed path: in/out degrees ≤ 1.
+        for v in g.node_ids() {
+            prop_assert!(g.degree(v) <= 1);
+            prop_assert!(g.in_degree(v) <= 1);
+        }
+    }
+
+    /// Serde round-trips arbitrary chains.
+    #[test]
+    fn chain_serde_roundtrip(chain in random_chain(5)) {
+        let s = serde_json::to_string(&chain).unwrap();
+        prop_assert_eq!(serde_json::from_str::<ApiChain>(&s).unwrap(), chain);
+    }
+
+    /// Editing operations keep indices consistent.
+    #[test]
+    fn chain_editing_consistency(chain in random_chain(5), idx in 0usize..8) {
+        let mut c = chain.clone();
+        let before = c.len();
+        c.insert(idx, chatgraph_apis::ApiCall::new("node_count"));
+        prop_assert_eq!(c.len(), before + 1);
+        let clamped = idx.min(before);
+        prop_assert_eq!(c.steps[clamped].api.as_str(), "node_count");
+        let removed = c.remove(clamped).unwrap();
+        prop_assert_eq!(removed.api.as_str(), "node_count");
+        prop_assert_eq!(c.len(), before);
+        prop_assert_eq!(c.api_names(), chain.api_names());
+    }
+}

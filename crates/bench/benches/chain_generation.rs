@@ -1,0 +1,56 @@
+//! Criterion benches for the chain-generation pipeline: feature extraction,
+//! search-based prediction, and greedy decoding.
+
+use chatgraph_apis::registry;
+use chatgraph_core::finetune::build_examples;
+use chatgraph_core::generation::candidate_apis;
+use chatgraph_core::{
+    generate_corpus, ApiRetriever, ChainGenerator, ChatGraphConfig, CorpusParams, FinetuneMethod,
+    GraphAwareLm,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let config = ChatGraphConfig::default();
+    let reg = registry::standard();
+    let retriever = ApiRetriever::build(&reg, &config.retrieval);
+    let lm = GraphAwareLm::new(&reg, &config);
+    let corpus = generate_corpus(&CorpusParams { size: 16, small_graphs: true }, 3);
+    let one = &corpus[..1];
+
+    let mut group = c.benchmark_group("chain_generation");
+    group.bench_function("context_features", |b| {
+        b.iter(|| lm.context(black_box(&corpus[0].question), Some(&corpus[0].graph)))
+    });
+    group.bench_function("search_based_prediction_one_question", |b| {
+        b.iter(|| {
+            build_examples(
+                black_box(&lm),
+                &reg,
+                &retriever,
+                one,
+                FinetuneMethod::Full,
+                &config,
+            )
+            .len()
+        })
+    });
+    let gen = ChainGenerator::default();
+    let cands = candidate_apis(&reg, &retriever, &corpus[0].question, Some(&corpus[0].graph));
+    group.bench_function("greedy_decode", |b| {
+        b.iter(|| {
+            gen.generate_greedy(
+                black_box(&lm),
+                &corpus[0].question,
+                Some(&corpus[0].graph),
+                &cands,
+            )
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

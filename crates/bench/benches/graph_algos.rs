@@ -1,0 +1,48 @@
+//! Criterion benches for the graph-algorithm substrate backing the analysis
+//! APIs (scenario 1's report pipeline).
+
+use chatgraph_graph::algo::{centrality, community, components, stats, triangles};
+use chatgraph_graph::generators::{social_network, SocialParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn social(n_per_comm: usize) -> chatgraph_graph::Graph {
+    social_network(
+        &SocialParams {
+            communities: 4,
+            community_size: n_per_comm,
+            p_intra: 0.2,
+            p_inter: 0.01,
+        },
+        7,
+    )
+}
+
+fn bench_algos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_algos");
+    for &size in &[25usize, 50, 100] {
+        let g = social(size);
+        group.bench_with_input(BenchmarkId::new("label_propagation", size * 4), &g, |b, g| {
+            b.iter(|| community::label_propagation(black_box(g), 1))
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank", size * 4), &g, |b, g| {
+            b.iter(|| centrality::pagerank(black_box(g), 0.85, 30))
+        });
+        group.bench_with_input(BenchmarkId::new("betweenness", size * 4), &g, |b, g| {
+            b.iter(|| centrality::betweenness(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("triangles", size * 4), &g, |b, g| {
+            b.iter(|| triangles::triangle_count(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("components", size * 4), &g, |b, g| {
+            b.iter(|| components::connected_components(black_box(g)).count)
+        });
+        group.bench_with_input(BenchmarkId::new("graph_stats", size * 4), &g, |b, g| {
+            b.iter(|| stats::graph_stats(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algos);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benches for the graph sequentialiser (experiment E5's timing
+//! side): path cover as ℓ grows, super-graph contraction, serialisation.
+
+use chatgraph_graph::generators::{barabasi_albert, BaParams};
+use chatgraph_sequencer::{build_supergraph, path_cover, sequentialize, CoverParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sequencer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequencer");
+    let g = barabasi_albert(&BaParams { nodes: 200, attach: 2 }, 5);
+    for l in 1..=4usize {
+        let params = CoverParams { max_length: l, dedup_singletons: true };
+        group.bench_with_input(BenchmarkId::new("path_cover_l", l), &params, |b, p| {
+            b.iter(|| path_cover(black_box(&g), p).len())
+        });
+    }
+    group.bench_function("supergraph_200", |b| {
+        b.iter(|| build_supergraph(black_box(&g), 3).motif_count)
+    });
+    let params = CoverParams { max_length: 2, dedup_singletons: true };
+    group.bench_function("sequentialize_multi_level_200", |b| {
+        b.iter(|| sequentialize(black_box(&g), &params, true).token_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequencer);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Experiment E6 — τ-MG routing complexity (paper §II-D).
+//!
+//! Claim reproduced: greedy routing on τ-MG examines `O(n^(1/m)(ln n)²)`
+//! nodes — sub-linear in `n` — versus the linear scan of a flat index, while
+//! matching or beating comparable proximity graphs (MRNG, HNSW) on distance
+//! computations at equal recall. Series: distance computations and recall@10
+//! vs dataset size for each index.
+
+use chatgraph_ann::dataset::{clustered, queries, ClusterParams};
+use chatgraph_ann::{
+    recall_at_k, AnnIndex, FlatIndex, Hnsw, HnswParams, Metric, SearchStats, TauMg, TauMgParams,
+};
+use chatgraph_bench::{print_table, quick_mode};
+
+fn main() {
+    let quick = quick_mode();
+    let sizes: &[usize] = if quick {
+        &[1000, 4000]
+    } else {
+        &[1000, 4000, 16000, 64000]
+    };
+    let n_queries = if quick { 32 } else { 100 };
+    let k = 10;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for &n in sizes {
+        let params = ClusterParams { n, dim: 32, clusters: 40, noise: 0.06 };
+        let data = clustered(&params, 11);
+        let qs = queries(&params, n_queries, 11);
+        let flat = FlatIndex::build(data.clone(), Metric::L2);
+        let taumg = TauMg::build(data.clone(), TauMgParams::default());
+        let mrng = TauMg::build_mrng(data.clone(), TauMgParams::default());
+        let hnsw = Hnsw::build(data, HnswParams::default());
+
+        let mut eval = |name: &str, index: &dyn AnnIndex| {
+            let mut dc = 0usize;
+            let mut hops = 0usize;
+            let mut recall = 0.0;
+            for q in &qs {
+                let truth = flat.search(q, k, &mut SearchStats::default());
+                let mut stats = SearchStats::default();
+                let res = index.search(q, k, &mut stats);
+                dc += stats.distance_computations;
+                hops += stats.hops;
+                recall += recall_at_k(&truth, &res, k);
+            }
+            rows.push(vec![
+                n.to_string(),
+                name.to_owned(),
+                format!("{:.1}", dc as f64 / qs.len() as f64),
+                format!("{:.1}", hops as f64 / qs.len() as f64),
+                format!("{:.3}", recall / qs.len() as f64),
+            ]);
+        };
+        eval("flat (exact)", &flat);
+        eval("tau-mg", &taumg);
+        eval("mrng (tau=0)", &mrng);
+        eval("hnsw", &hnsw);
+    }
+    print_table(
+        "E6: ANN scaling — avg distance computations / hops / recall@10 vs n",
+        &["n", "index", "dist comps", "hops", "recall@10"],
+        &rows,
+    );
+
+    // Recall-vs-computation curve at the largest size: the canonical ANN
+    // comparison (each index sweeps its query beam width ef).
+    let n = *sizes.last().expect("non-empty sweep");
+    let params = ClusterParams { n, dim: 32, clusters: 40, noise: 0.06 };
+    let data = clustered(&params, 11);
+    let qs = queries(&params, n_queries, 11);
+    let flat = FlatIndex::build(data.clone(), Metric::L2);
+    let taumg = TauMg::build(data.clone(), TauMgParams::default());
+    let mrng = TauMg::build_mrng(data.clone(), TauMgParams::default());
+    let hnsw = Hnsw::build(data, HnswParams::default());
+    type SearchFn<'a> = &'a dyn Fn(&chatgraph_ann::Vector, &mut SearchStats) -> Vec<(usize, f32)>;
+    let mut curve: Vec<Vec<String>> = Vec::new();
+    for &ef in &[32usize, 64, 128, 256] {
+        let mut eval = |name: &str, search: SearchFn| {
+            let mut dc = 0usize;
+            let mut recall = 0.0;
+            for q in &qs {
+                let truth = flat.search(q, k, &mut SearchStats::default());
+                let mut stats = SearchStats::default();
+                let res = search(q, &mut stats);
+                dc += stats.distance_computations;
+                recall += recall_at_k(&truth, &res, k);
+            }
+            curve.push(vec![
+                ef.to_string(),
+                name.to_owned(),
+                format!("{:.1}", dc as f64 / qs.len() as f64),
+                format!("{:.3}", recall / qs.len() as f64),
+            ]);
+        };
+        eval("tau-mg", &|q, s| taumg.search_with_ef(q, k, ef, s));
+        eval("mrng (tau=0)", &|q, s| mrng.search_with_ef(q, k, ef, s));
+        eval("hnsw", &|q, s| hnsw.search_with_ef(q, k, ef, s));
+    }
+    print_table(
+        &format!("E6b: recall-vs-computation at n={n} (ef sweep)"),
+        &["ef", "index", "dist comps", "recall@10"],
+        &curve,
+    );
+    println!(
+        "\nShape check: flat grows linearly in n; the proximity graphs grow\n\
+         sub-linearly (≈ n^(1/m)·polylog). At fixed n every proximity graph\n\
+         reaches high recall with ef; tau-mg/mrng match or beat HNSW's\n\
+         computation count at equal recall."
+    );
+}

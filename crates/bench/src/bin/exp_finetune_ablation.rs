@@ -1,0 +1,118 @@
+//! Experiment E8 — API chain-oriented finetuning ablation (paper §II-C).
+//!
+//! Claims reproduced:
+//! * the node matching-based loss (Definition 1) beats a structure-blind
+//!   token-overlap score, because equivalent chains are order-sensitive at
+//!   execution time;
+//! * search-based prediction over the equivalent ground truths beats plain
+//!   teacher forcing on the first truth;
+//! * rollout count `r` trades compute for target quality.
+//!
+//! Rows: held-out exact-match and mean matching loss per method and per `r`.
+
+use chatgraph_apis::registry;
+use chatgraph_bench::{print_table, quick_mode};
+use chatgraph_core::{
+    evaluate, finetune, generate_corpus, ApiRetriever, ChatGraphConfig, CorpusParams,
+    FinetuneMethod, GraphAwareLm,
+};
+
+fn main() {
+    let quick = quick_mode();
+    let (train_n, test_n) = if quick { (96, 32) } else { (192, 64) };
+    let reg = registry::standard();
+    let base_config = ChatGraphConfig::default();
+    let retriever = ApiRetriever::build(&reg, &base_config.retrieval);
+    let corpus = generate_corpus(
+        &CorpusParams { size: train_n + test_n, small_graphs: true },
+        29,
+    );
+    let (train_set, test_set) = corpus.split_at(train_n);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let run = |rows: &mut Vec<Vec<String>>, label: &str, method: FinetuneMethod, rollouts: usize| {
+        let mut config = base_config.clone();
+        config.finetune.rollouts = rollouts;
+        let mut lm = GraphAwareLm::new(&reg, &config);
+        let report = finetune(&mut lm, &reg, &retriever, train_set, method, &config);
+        let eval = evaluate(&lm, &reg, &retriever, test_set, &config);
+        rows.push(vec![
+            label.to_owned(),
+            rollouts.to_string(),
+            format!("{:.3}", report.train.final_accuracy),
+            format!("{:.3}", eval.exact_match),
+            format!("{:.3}", eval.avg_loss),
+        ]);
+    };
+
+    // Untrained baseline.
+    {
+        let lm = GraphAwareLm::new(&reg, &base_config);
+        let eval = evaluate(&lm, &reg, &retriever, test_set, &base_config);
+        rows.push(vec![
+            "untrained".to_owned(),
+            "-".to_owned(),
+            "-".to_owned(),
+            format!("{:.3}", eval.exact_match),
+            format!("{:.3}", eval.avg_loss),
+        ]);
+    }
+
+    run(&mut rows, "teacher forcing (no search)", FinetuneMethod::TeacherForcing, 0);
+    run(&mut rows, "token-overlap score (no Def. 1)", FinetuneMethod::TokenOverlap, 2);
+    let sweep: &[usize] = if quick { &[0, 2] } else { &[0, 1, 2, 4, 8] };
+    for &r in sweep {
+        run(&mut rows, "full (matching loss)", FinetuneMethod::Full, r);
+    }
+
+    // DESIGN.md §6.4 — multi-level sequentialisation ablation: drop the
+    // super-graph token stream from the graph features.
+    {
+        let mut config = base_config.clone();
+        config.cover.multi_level = false;
+        let mut lm = GraphAwareLm::new(&reg, &config);
+        let report = finetune(&mut lm, &reg, &retriever, train_set, FinetuneMethod::Full, &config);
+        let eval = evaluate(&lm, &reg, &retriever, test_set, &config);
+        rows.push(vec![
+            "full, single-level sequences".to_owned(),
+            config.finetune.rollouts.to_string(),
+            format!("{:.3}", report.train.final_accuracy),
+            format!("{:.3}", eval.exact_match),
+            format!("{:.3}", eval.avg_loss),
+        ]);
+    }
+
+    // DESIGN.md §6.5 — candidate-set ablation: decode over the full API
+    // vocabulary instead of retrieval + graph-type candidates.
+    {
+        let config = base_config.clone();
+        let mut lm = GraphAwareLm::new(&reg, &config);
+        let report = finetune(&mut lm, &reg, &retriever, train_set, FinetuneMethod::Full, &config);
+        let eval = chatgraph_core::finetune::evaluate_opts(
+            &lm,
+            &reg,
+            &retriever,
+            test_set,
+            &config,
+            chatgraph_core::finetune::EvalOptions { full_vocabulary: true },
+        );
+        rows.push(vec![
+            "full, decode over whole vocabulary".to_owned(),
+            config.finetune.rollouts.to_string(),
+            format!("{:.3}", report.train.final_accuracy),
+            format!("{:.3}", eval.exact_match),
+            format!("{:.3}", eval.avg_loss),
+        ]);
+    }
+
+    print_table(
+        "E8: finetuning ablation — held-out chain accuracy",
+        &["method", "r", "train acc", "exact match", "avg matching loss"],
+        &rows,
+    );
+    println!(
+        "\nShape check: full ≥ token-overlap and ≥ teacher forcing on exact\n\
+         match; avg matching loss orders the same way, and the untrained\n\
+         baseline is far below all finetuned variants."
+    );
+}

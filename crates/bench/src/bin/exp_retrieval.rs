@@ -1,0 +1,75 @@
+//! Experiment E9 — API retrieval accuracy and efficiency (paper §II-A/D).
+//!
+//! Claims reproduced: the τ-MG ANN index returns (nearly) the same top-k API
+//! set as exact brute force at a fraction of the distance computations, and
+//! the relevant API for a question is retrieved in the top-k — "critical for
+//! performance" per the paper.
+
+use chatgraph_apis::registry;
+use chatgraph_ann::SearchStats;
+use chatgraph_bench::{print_table, quick_mode};
+use chatgraph_core::{generate_corpus, ApiRetriever, ChatGraphConfig, CorpusParams};
+
+fn main() {
+    let quick = quick_mode();
+    let n_questions = if quick { 64 } else { 200 };
+    let reg = registry::standard();
+    let config = ChatGraphConfig::default();
+    let retriever = ApiRetriever::build(&reg, &config.retrieval);
+    let corpus = generate_corpus(
+        &CorpusParams { size: n_questions, small_graphs: true },
+        31,
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &k in &[1usize, 5, 10] {
+        let mut hit = 0usize;
+        let mut overlap = 0usize;
+        let mut ann_dc = 0usize;
+        let mut exact_dc = 0usize;
+        for e in &corpus {
+            let mut s1 = SearchStats::default();
+            let mut s2 = SearchStats::default();
+            let ann: Vec<String> = retriever
+                .retrieve_k(&e.question, k, &mut s1)
+                .into_iter()
+                .map(|h| h.name)
+                .collect();
+            let exact: Vec<String> = retriever
+                .retrieve_exact(&e.question, k, &mut s2)
+                .into_iter()
+                .map(|h| h.name)
+                .collect();
+            ann_dc += s1.distance_computations;
+            exact_dc += s2.distance_computations;
+            overlap += ann.iter().filter(|n| exact.contains(n)).count();
+            // "Relevant API in top-k": any token of any equivalent truth.
+            let relevant = e.truths.iter().any(|t| {
+                t.api_names().iter().any(|api| ann.iter().any(|n| n == api))
+            });
+            if relevant {
+                hit += 1;
+            }
+        }
+        let n = corpus.len() as f64;
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.3}", hit as f64 / n),
+            format!("{:.3}", overlap as f64 / (n * k as f64)),
+            format!("{:.1}", ann_dc as f64 / n),
+            format!("{:.1}", exact_dc as f64 / n),
+        ]);
+    }
+    print_table(
+        "E9: retrieval — relevant-API hit rate and ANN fidelity",
+        &["k", "hit rate", "ann/exact overlap", "ann dist comps", "exact dist comps"],
+        &rows,
+    );
+    println!(
+        "\nShape check: hit rate grows with k; ANN overlap with exact search\n\
+         stays near 1 at no extra distance computations. Questions whose\n\
+         wording shares no lexical stem with the needed API (e.g. 'write a\n\
+         report' needing detect_communities) are the missing mass — the\n\
+         graph-type candidate augmentation covers them downstream."
+    );
+}

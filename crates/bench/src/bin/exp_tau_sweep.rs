@@ -1,0 +1,55 @@
+//! Experiment E7 — the edge occlusion rule (paper §II-D, Definition 3).
+//!
+//! Claim reproduced: τ controls the occlusion margin `δ(u,v) − 3τ`. τ = 0 is
+//! the MRNG rule; growing τ weakens occlusion, keeping more edges (denser
+//! graph) and buying recall/robustness at higher per-hop cost. Series: edge
+//! count, average degree, distance computations and recall@10 vs τ.
+
+use chatgraph_ann::dataset::{clustered, queries, ClusterParams};
+use chatgraph_ann::{recall_at_k, AnnIndex, FlatIndex, Metric, SearchStats, TauMg, TauMgParams};
+use chatgraph_bench::{print_table, quick_mode};
+
+fn main() {
+    let quick = quick_mode();
+    let n = if quick { 4000 } else { 16000 };
+    let n_queries = if quick { 32 } else { 100 };
+    let params = ClusterParams { n, dim: 32, clusters: 40, noise: 0.06 };
+    let data = clustered(&params, 13);
+    let qs = queries(&params, n_queries, 13);
+    let flat = FlatIndex::build(data.clone(), Metric::L2);
+    let k = 10;
+
+    let taus: &[f32] = &[0.0, 0.005, 0.01, 0.02, 0.05, 0.1];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &tau in taus {
+        let index = TauMg::build(data.clone(), TauMgParams { tau, ..TauMgParams::default() });
+        let mut dc = 0usize;
+        let mut recall = 0.0;
+        for q in &qs {
+            let truth = flat.search(q, k, &mut SearchStats::default());
+            let mut stats = SearchStats::default();
+            let res = index.search(q, k, &mut stats);
+            dc += stats.distance_computations;
+            recall += recall_at_k(&truth, &res, k);
+        }
+        rows.push(vec![
+            format!("{tau}"),
+            index.edge_count().to_string(),
+            format!("{:.2}", index.avg_degree()),
+            format!("{:.1}", dc as f64 / qs.len() as f64),
+            format!("{:.3}", recall / qs.len() as f64),
+        ]);
+    }
+    print_table(
+        &format!("E7: τ sweep on n={n} (τ=0 is the MRNG occlusion rule)"),
+        &["tau", "edges", "avg degree", "dist comps", "recall@10"],
+        &rows,
+    );
+    println!(
+        "\nShape check: small τ > 0 keeps more edges than MRNG (τ=0) and\n\
+         reaches equal recall with fewer distance computations — the paper's\n\
+         win. Past the sweet spot (3τ approaching the data's neighbour\n\
+         distances) occlusion stops firing inside the degree cap, the graph\n\
+         loses long-range diversity edges, and recall collapses."
+    );
+}

@@ -1,0 +1,52 @@
+//! Experiments E1–E4 — the four demonstration scenarios (paper Figs. 4–7).
+//!
+//! Bootstraps one ChatGraph session and replays each scenario end-to-end,
+//! printing the dialog transcripts the paper's figures show.
+
+use chatgraph_core::scenarios::{cleaning, comparison, monitoring, understanding};
+use chatgraph_core::{ChatGraphConfig, ChatSession};
+use chatgraph_graph::generators::{
+    corrupt_kg, knowledge_graph, molecule, molecule_database, social_network, KgParams,
+    MoleculeParams, SocialParams,
+};
+
+fn main() {
+    println!("Bootstrapping ChatGraph (registry, retriever, finetuned model)...");
+    let (mut session, report) = ChatSession::bootstrap(ChatGraphConfig::default(), 384);
+    println!(
+        "Finetuned on {} next-token examples; final train accuracy {:.3}\n",
+        report.examples, report.train.final_accuracy
+    );
+
+    // E1 / Fig. 4 — understanding, on both graph families.
+    let social = social_network(&SocialParams::default(), 21);
+    println!("{}", understanding::run(&mut session, social).render());
+    let mol = molecule(&MoleculeParams::default(), 21);
+    println!("{}", understanding::run(&mut session, mol).render());
+
+    // E2 / Fig. 5 — comparison against a molecule database.
+    let db = molecule_database(30, &MoleculeParams::default(), 123);
+    let query = db[5].clone();
+    println!("{}", comparison::run(&mut session, query, 30, 123).render());
+
+    // E3 / Fig. 6 — cleaning a corrupted knowledge graph.
+    let mut kg = knowledge_graph(&KgParams::default(), 31);
+    let truth = corrupt_kg(&mut kg, 0.08, 0.05, 31);
+    let (out, stats) = cleaning::run(&mut session, kg, &truth);
+    println!("{}", out.render());
+    println!(
+        "cleaning ground truth: {} wrong + {} missing injected; residual after \
+         cleaning: {} wrong, {} missing ({} confirmations)\n",
+        stats.injected_wrong,
+        stats.removed_facts,
+        stats.residual_wrong,
+        stats.residual_missing,
+        stats.confirmations
+    );
+
+    // E4 / Fig. 7 — chain monitoring with a user edit.
+    let social2 = social_network(&SocialParams::default(), 41);
+    let (out, events) = monitoring::run(&mut session, social2);
+    println!("{}", out.render());
+    println!("monitor events captured: {}", events.len());
+}

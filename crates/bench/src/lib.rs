@@ -1,0 +1,65 @@
+//! # chatgraph-bench
+//!
+//! Benchmark harness for the ChatGraph reproduction.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Criterion micro-benchmarks** (`benches/`) timing the hot paths: graph
+//!   algorithms, GED, the sequentialiser, ANN search, retrieval and chain
+//!   generation.
+//! * **Experiment binaries** (`src/bin/exp_*.rs`) that regenerate every
+//!   table/figure-equivalent of the paper, printing the same rows/series the
+//!   evaluation discusses. EXPERIMENTS.md records their output against the
+//!   paper's claims. Each binary accepts `--quick` for a reduced sweep.
+//!
+//! This library crate only holds small shared helpers.
+
+use std::fmt::Display;
+
+/// Renders an aligned text table for experiment output.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    println!("\n## {title}\n");
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i >= widths.len() {
+                widths.push(cell.len());
+            } else {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in &rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// True when `--quick` was passed (smaller sweeps for CI).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        print_table("t", &["a", "b"], &[vec!["1", "22"], vec!["333", "4"]]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Framework configuration — the runtime knobs of the paper's Fig. 3.
+
+use chatgraph_ann::TauMgParams;
+use chatgraph_embed::EmbedderConfig;
+use chatgraph_llm::{FeatureConfig, SamplingConfig, TrainConfig};
+use chatgraph_sequencer::CoverParams;
+use serde::{Deserialize, Serialize};
+
+/// Retrieval-module settings (§II-A, §II-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalConfig {
+    /// Embedding settings for API descriptions and prompts.
+    pub embedder: EmbedderConfig,
+    /// τ of the τ-MG index.
+    pub tau: f32,
+    /// Max out-degree of the τ-MG.
+    pub max_degree: usize,
+    /// Construction beam width.
+    pub ef_construction: usize,
+    /// Query beam width.
+    pub ef_search: usize,
+    /// Number of APIs retrieved per prompt.
+    pub top_k: usize,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig {
+            embedder: EmbedderConfig::default(),
+            tau: 0.01,
+            max_degree: 8,
+            ef_construction: 32,
+            ef_search: 24,
+            top_k: 10,
+        }
+    }
+}
+
+impl RetrievalConfig {
+    /// The τ-MG parameters implied by this config (cosine metric — the
+    /// embeddings are unit-norm).
+    pub fn taumg_params(&self) -> TauMgParams {
+        TauMgParams {
+            tau: self.tau,
+            max_degree: self.max_degree,
+            ef_construction: self.ef_construction,
+            ef_search: self.ef_search,
+            metric: chatgraph_embed::Metric::Cosine,
+        }
+    }
+}
+
+/// Finetuning-module settings (§II-C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinetuneConfig {
+    /// α of the node matching-based loss (Definition 1).
+    pub alpha: f64,
+    /// Random rollouts `r` per candidate during search-based prediction
+    /// (0 = plain teacher forcing).
+    pub rollouts: usize,
+    /// Maximum chain length during rollouts and decoding.
+    pub max_chain_len: usize,
+    /// SGD settings.
+    pub train: TrainConfig,
+}
+
+impl Default for FinetuneConfig {
+    fn default() -> Self {
+        FinetuneConfig {
+            alpha: 0.5,
+            rollouts: 3,
+            max_chain_len: 6,
+            train: TrainConfig {
+                epochs: 14,
+                ..TrainConfig::default()
+            },
+        }
+    }
+}
+
+/// The complete ChatGraph configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatGraphConfig {
+    /// Graph sequentialiser settings (path length ℓ, multi-level flag).
+    pub cover: SequencerConfig,
+    /// Retrieval module.
+    pub retrieval: RetrievalConfig,
+    /// LLM feature space.
+    pub features: FeatureConfig,
+    /// Decoding settings (temperature, top-k).
+    pub sampling: SamplingConfig,
+    /// Finetuning module.
+    pub finetune: FinetuneConfig,
+    /// Global seed.
+    pub seed: u64,
+}
+
+/// Serialisable mirror of [`CoverParams`] plus the multi-level switch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequencerConfig {
+    /// Maximum path length ℓ.
+    pub max_length: usize,
+    /// Sequentialise the motif super-graph as well.
+    pub multi_level: bool,
+}
+
+impl Default for SequencerConfig {
+    fn default() -> Self {
+        SequencerConfig {
+            max_length: 2,
+            multi_level: true,
+        }
+    }
+}
+
+impl SequencerConfig {
+    /// The path-cover parameters implied by this config.
+    pub fn cover_params(&self) -> CoverParams {
+        CoverParams {
+            max_length: self.max_length,
+            dedup_singletons: true,
+        }
+    }
+}
+
+impl Default for ChatGraphConfig {
+    fn default() -> Self {
+        ChatGraphConfig {
+            cover: SequencerConfig::default(),
+            retrieval: RetrievalConfig::default(),
+            features: FeatureConfig::default(),
+            sampling: SamplingConfig::default(),
+            finetune: FinetuneConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl ChatGraphConfig {
+    /// Validates every knob, returning human-readable problems.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if self.retrieval.tau < 0.0 {
+            problems.push("retrieval.tau must be >= 0".to_owned());
+        }
+        if self.retrieval.max_degree == 0 {
+            problems.push("retrieval.max_degree must be >= 1".to_owned());
+        }
+        if self.retrieval.top_k == 0 {
+            problems.push("retrieval.top_k must be >= 1".to_owned());
+        }
+        if self.retrieval.embedder.dim == 0 {
+            problems.push("retrieval.embedder.dim must be >= 1".to_owned());
+        }
+        if self.features.dim == 0 {
+            problems.push("features.dim must be >= 1".to_owned());
+        }
+        if self.finetune.alpha < 0.0 {
+            problems.push("finetune.alpha must be >= 0".to_owned());
+        }
+        if self.finetune.max_chain_len == 0 {
+            problems.push("finetune.max_chain_len must be >= 1".to_owned());
+        }
+        if self.finetune.train.learning_rate <= 0.0 || self.finetune.train.learning_rate.is_nan() {
+            problems.push("finetune.train.learning_rate must be > 0".to_owned());
+        }
+        if self.sampling.temperature < 0.0 {
+            problems.push("sampling.temperature must be >= 0".to_owned());
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ChatGraphConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_knobs_are_each_reported() {
+        let mut c = ChatGraphConfig::default();
+        c.retrieval.tau = -1.0;
+        c.retrieval.top_k = 0;
+        c.finetune.alpha = -0.1;
+        c.finetune.train.learning_rate = 0.0;
+        let problems = c.validate().unwrap_err();
+        assert_eq!(problems.len(), 4, "{problems:?}");
+    }
+
+    #[test]
+    fn derived_param_structs_match() {
+        let c = ChatGraphConfig::default();
+        assert_eq!(c.cover.cover_params().max_length, 2);
+        let t = c.retrieval.taumg_params();
+        assert_eq!(t.metric, chatgraph_embed::Metric::Cosine);
+        assert_eq!(t.max_degree, 8);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ChatGraphConfig::default();
+        let s = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<ChatGraphConfig>(&s).unwrap(), c);
+    }
+}

@@ -1,0 +1,477 @@
+//! The synthetic finetuning corpus (paper §II-C, "Dataset preparation").
+//!
+//! The paper recruited chemistry students, logged their manual API
+//! invocations, and extracted question → API-chain pairs; it also notes that
+//! "there may be several API chains that are equivalent to answering the
+//! user's question". This module generates a corpus with the same schema:
+//!
+//! * paraphrased natural-language questions per intent,
+//! * a graph of the matching family attached to every question,
+//! * one or more *equivalent* ground-truth chains per question (commuting
+//!   analysis steps appear in both orders).
+
+use chatgraph_apis::ApiChain;
+use chatgraph_graph::generators::{
+    knowledge_graph, molecule, social_network, KgParams, MoleculeParams, SocialParams,
+};
+use chatgraph_graph::Graph;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Graph family an intent applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFamily {
+    /// Planted-partition social networks.
+    Social,
+    /// Valence-constrained molecules.
+    Molecule,
+    /// Rule-based knowledge graphs.
+    Knowledge,
+}
+
+/// One template intent.
+struct IntentSpec {
+    name: &'static str,
+    family: GraphFamily,
+    templates: &'static [&'static str],
+    /// Equivalent ground-truth chains (API name sequences).
+    chains: &'static [&'static [&'static str]],
+}
+
+/// The intent catalogue. Chains only reference APIs registered by
+/// `chatgraph_apis::registry::standard` (enforced by a test).
+const INTENTS: &[IntentSpec] = &[
+    IntentSpec {
+        name: "social_report",
+        family: GraphFamily::Social,
+        templates: &[
+            "write a brief report for {g}",
+            "give me a report about this social network",
+            "summarize the structure of {g}",
+            "describe this network in a short report",
+        ],
+        chains: &[
+            &["detect_communities", "connectivity_report", "generate_report"],
+            &["connectivity_report", "detect_communities", "generate_report"],
+        ],
+    },
+    IntentSpec {
+        name: "molecule_report",
+        family: GraphFamily::Molecule,
+        templates: &[
+            "write a brief report for {g}",
+            "give me a report about this molecule",
+            "summarize the chemical properties of {g}",
+            "describe this compound in a short report",
+        ],
+        chains: &[
+            &["predict_toxicity", "predict_solubility", "generate_report"],
+            &["predict_solubility", "predict_toxicity", "generate_report"],
+        ],
+    },
+    IntentSpec {
+        name: "communities",
+        family: GraphFamily::Social,
+        templates: &[
+            "what communities exist in {g}",
+            "detect the communities of this social network",
+            "find the groups of users in {g}",
+            "identify the clusters of friends",
+        ],
+        chains: &[&["detect_communities"]],
+    },
+    IntentSpec {
+        name: "community_count",
+        family: GraphFamily::Social,
+        templates: &[
+            "how many communities does {g} have",
+            "count the communities in this network",
+            "number of groups in {g}",
+        ],
+        chains: &[&["community_count"]],
+    },
+    IntentSpec {
+        name: "influencers",
+        family: GraphFamily::Social,
+        templates: &[
+            "who are the most influential users in {g}",
+            "find the key people of this social network",
+            "which users have the highest pagerank",
+            "list the top influencers",
+        ],
+        chains: &[&["top_pagerank"], &["find_influencers"]],
+    },
+    IntentSpec {
+        name: "connectivity",
+        family: GraphFamily::Social,
+        templates: &[
+            "is {g} connected",
+            "check the connectivity of this network",
+            "can every user reach every other user",
+            "analyse whether the graph is connected",
+        ],
+        chains: &[&["connectivity_report"], &["is_connected"]],
+    },
+    IntentSpec {
+        name: "bridges",
+        family: GraphFamily::Social,
+        templates: &[
+            "which users bridge different groups in {g}",
+            "find the brokers of this network",
+            "who connects the communities",
+        ],
+        chains: &[&["top_betweenness"]],
+    },
+    IntentSpec {
+        name: "weak_links",
+        family: GraphFamily::Social,
+        templates: &[
+            "which friendships hold {g} together",
+            "find the weak link edges of this network",
+            "what connections would disconnect the network if removed",
+        ],
+        chains: &[&["find_bridges"]],
+    },
+    IntentSpec {
+        name: "cut_nodes",
+        family: GraphFamily::Social,
+        templates: &[
+            "whose departure would break {g} apart",
+            "find the cut nodes of this social network",
+            "which members are single points of failure",
+        ],
+        chains: &[&["articulation_points"]],
+    },
+    IntentSpec {
+        name: "central_users",
+        family: GraphFamily::Social,
+        templates: &[
+            "who can reach everyone fastest in {g}",
+            "rank users by closeness to the rest of the network",
+            "which users are closest to all others",
+        ],
+        chains: &[&["top_closeness"]],
+    },
+    IntentSpec {
+        name: "toxicity",
+        family: GraphFamily::Molecule,
+        templates: &[
+            "how toxic is {g}",
+            "predict the toxicity of this molecule",
+            "is this compound poisonous",
+            "estimate the toxicity probability",
+        ],
+        chains: &[&["predict_toxicity"]],
+    },
+    IntentSpec {
+        name: "solubility",
+        family: GraphFamily::Molecule,
+        templates: &[
+            "does {g} dissolve in water",
+            "predict the solubility of this molecule",
+            "how soluble is this compound",
+        ],
+        chains: &[&["predict_solubility"]],
+    },
+    IntentSpec {
+        name: "similar_molecules",
+        family: GraphFamily::Molecule,
+        templates: &[
+            "what molecules are similar to {g}",
+            "find compounds similar to this molecule in the database",
+            "search the database for molecules like {g}",
+            "which known molecules resemble this one",
+        ],
+        chains: &[&["similarity_search"]],
+    },
+    IntentSpec {
+        name: "formula",
+        family: GraphFamily::Molecule,
+        templates: &[
+            "what is the chemical formula of {g}",
+            "derive the molecular formula",
+            "give me the formula of this compound",
+        ],
+        chains: &[&["molecular_formula"]],
+    },
+    IntentSpec {
+        name: "weight",
+        family: GraphFamily::Molecule,
+        templates: &[
+            "how heavy is {g}",
+            "compute the molecular weight of this molecule",
+            "what is the molar mass",
+        ],
+        chains: &[&["molecular_weight"]],
+    },
+    IntentSpec {
+        name: "rings",
+        family: GraphFamily::Molecule,
+        templates: &[
+            "how many rings does {g} contain",
+            "count the cycles of this molecule",
+            "number of rings in the structure",
+        ],
+        chains: &[&["ring_count"]],
+    },
+    IntentSpec {
+        name: "clean_kg",
+        family: GraphFamily::Knowledge,
+        templates: &[
+            "clean {g}",
+            "fix the errors in this knowledge graph",
+            "remove wrong facts and add missing facts in {g}",
+            "repair the noisy edges of the knowledge graph",
+        ],
+        chains: &[
+            &[
+                "detect_incorrect_edges",
+                "remove_edges",
+                "detect_missing_edges",
+                "add_edges",
+                "export_graph",
+            ],
+            &[
+                "detect_missing_edges",
+                "add_edges",
+                "detect_incorrect_edges",
+                "remove_edges",
+                "export_graph",
+            ],
+        ],
+    },
+    IntentSpec {
+        name: "kg_validate",
+        family: GraphFamily::Knowledge,
+        templates: &[
+            "are there schema violations in {g}",
+            "validate the relations of this knowledge graph",
+            "check the knowledge graph against its schema",
+        ],
+        chains: &[&["validate_schema"]],
+    },
+    IntentSpec {
+        name: "kg_stats",
+        family: GraphFamily::Knowledge,
+        templates: &[
+            "what facts does {g} contain",
+            "summarise the entities and relations of this knowledge graph",
+            "how many facts per relation are there",
+        ],
+        chains: &[&["kg_statistics"]],
+    },
+];
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusParams {
+    /// Number of question examples.
+    pub size: usize,
+    /// Use small graphs (faster tests) or demo-sized graphs.
+    pub small_graphs: bool,
+}
+
+impl Default for CorpusParams {
+    fn default() -> Self {
+        CorpusParams {
+            size: 200,
+            small_graphs: true,
+        }
+    }
+}
+
+/// One supervised example: question, attached graph, equivalent truths.
+#[derive(Debug, Clone)]
+pub struct QaExample {
+    /// The paraphrased natural-language question.
+    pub question: String,
+    /// The attached graph.
+    pub graph: Graph,
+    /// Equivalent ground-truth chains (≥ 1).
+    pub truths: Vec<ApiChain>,
+    /// The generating intent (for per-intent accuracy breakdowns).
+    pub intent: &'static str,
+}
+
+const PREFIXES: &[&str] = &["", "please ", "could you ", "hey, ", "i need you to "];
+const SUFFIXES: &[&str] = &["", " for me", ", thanks", "?", " in detail"];
+const GRAPH_NAMES: &[&str] = &["G", "this graph", "the uploaded graph", "my graph"];
+
+fn family_graph(family: GraphFamily, small: bool, rng: &mut ChaCha12Rng) -> Graph {
+    let seed = rng.random::<u64>();
+    match family {
+        GraphFamily::Social => {
+            let p = if small {
+                SocialParams {
+                    communities: 3,
+                    community_size: 10,
+                    p_intra: 0.4,
+                    p_inter: 0.02,
+                }
+            } else {
+                SocialParams::default()
+            };
+            social_network(&p, seed)
+        }
+        GraphFamily::Molecule => {
+            let p = if small {
+                MoleculeParams {
+                    atoms: 12,
+                    rings: 1,
+                    double_bond_prob: 0.15,
+                }
+            } else {
+                MoleculeParams::default()
+            };
+            molecule(&p, seed)
+        }
+        GraphFamily::Knowledge => {
+            let p = if small {
+                KgParams {
+                    persons: 15,
+                    cities: 5,
+                    countries: 3,
+                    companies: 4,
+                    employment_rate: 0.6,
+                    knows_per_person: 1.0,
+                }
+            } else {
+                KgParams::default()
+            };
+            knowledge_graph(&p, seed)
+        }
+    }
+}
+
+/// Generates a paraphrased question for an intent.
+fn paraphrase(spec: &IntentSpec, rng: &mut ChaCha12Rng) -> String {
+    let template = spec.templates[rng.random_range(0..spec.templates.len())];
+    let g = GRAPH_NAMES[rng.random_range(0..GRAPH_NAMES.len())];
+    let core = template.replace("{g}", g);
+    let prefix = PREFIXES[rng.random_range(0..PREFIXES.len())];
+    let suffix = SUFFIXES[rng.random_range(0..SUFFIXES.len())];
+    format!("{prefix}{core}{suffix}")
+}
+
+/// Generates a seeded corpus of `params.size` examples, cycling intents so
+/// every intent is evenly represented.
+pub fn generate_corpus(params: &CorpusParams, seed: u64) -> Vec<QaExample> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    (0..params.size)
+        .map(|i| {
+            let spec = &INTENTS[i % INTENTS.len()];
+            QaExample {
+                question: paraphrase(spec, &mut rng),
+                graph: family_graph(spec.family, params.small_graphs, &mut rng),
+                truths: spec
+                    .chains
+                    .iter()
+                    .map(|c| ApiChain::from_names(c.iter().copied()))
+                    .collect(),
+                intent: spec.name,
+            }
+        })
+        .collect()
+}
+
+/// Number of distinct intents in the catalogue.
+pub fn intent_count() -> usize {
+    INTENTS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatgraph_apis::registry;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let p = CorpusParams {
+            size: 32,
+            small_graphs: true,
+        };
+        let a = generate_corpus(&p, 7);
+        let b = generate_corpus(&p, 7);
+        assert_eq!(a.len(), 32);
+        assert_eq!(a[0].question, b[0].question);
+        assert_ne!(
+            generate_corpus(&p, 8)[0].question,
+            a[0].question.clone() + "\u{1}" // trivially different check guard
+        );
+    }
+
+    #[test]
+    fn every_chain_references_registered_apis_and_validates() {
+        let reg = registry::standard();
+        for spec in INTENTS {
+            for chain in spec.chains {
+                let c = ApiChain::from_names(chain.iter().copied());
+                c.validate(&reg, true)
+                    .unwrap_or_else(|e| panic!("intent {}: {e}", spec.name));
+            }
+        }
+    }
+
+    #[test]
+    fn intents_are_evenly_cycled() {
+        let p = CorpusParams {
+            size: intent_count() * 2,
+            small_graphs: true,
+        };
+        let corpus = generate_corpus(&p, 1);
+        let first: Vec<&str> = corpus[..intent_count()].iter().map(|e| e.intent).collect();
+        let second: Vec<&str> = corpus[intent_count()..].iter().map(|e| e.intent).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn graphs_match_intent_family() {
+        let corpus = generate_corpus(
+            &CorpusParams {
+                size: intent_count(),
+                small_graphs: true,
+            },
+            3,
+        );
+        for e in &corpus {
+            let spec = INTENTS.iter().find(|s| s.name == e.intent).unwrap();
+            match spec.family {
+                GraphFamily::Knowledge => assert!(e.graph.is_directed()),
+                _ => assert!(!e.graph.is_directed()),
+            }
+            assert!(!e.graph.is_empty());
+        }
+    }
+
+    #[test]
+    fn equivalent_truths_where_declared() {
+        let corpus = generate_corpus(
+            &CorpusParams {
+                size: intent_count(),
+                small_graphs: true,
+            },
+            4,
+        );
+        let report = corpus.iter().find(|e| e.intent == "social_report").unwrap();
+        assert_eq!(report.truths.len(), 2);
+        let cleaning = corpus.iter().find(|e| e.intent == "clean_kg").unwrap();
+        assert_eq!(cleaning.truths.len(), 2);
+    }
+
+    #[test]
+    fn paraphrases_vary() {
+        let corpus = generate_corpus(
+            &CorpusParams {
+                size: intent_count() * 6,
+                small_graphs: true,
+            },
+            5,
+        );
+        let toxicity: std::collections::HashSet<&str> = corpus
+            .iter()
+            .filter(|e| e.intent == "toxicity")
+            .map(|e| e.question.as_str())
+            .collect();
+        assert!(toxicity.len() >= 3, "paraphrases: {toxicity:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # chatgraph-core
+//!
+//! The ChatGraph framework itself (paper §II, Fig. 1): the three modules
+//! wired together behind a chat interface.
+//!
+//! ```text
+//! user prompt (text + graph)
+//!   ├─ API retrieval module        → candidate APIs          [retrieval]
+//!   ├─ graph-aware LLM module      → next-token scores       [graph_aware]
+//!   └─ API chain-oriented finetune → trained scorer          [finetune]
+//!          ⇓
+//!   API chain → user confirmation → execution with monitoring [session]
+//! ```
+//!
+//! * [`config`] — every knob of the paper's configuration panel (Fig. 3).
+//! * [`prompt`] — the multi-modal prompt (text + optional graph).
+//! * [`retrieval`] — embeds API descriptions, indexes them in a τ-MG, and
+//!   retrieves candidates for a prompt (§II-A, §II-D).
+//! * [`graph_aware`] — the graph-aware LLM module: sequentialiser-backed
+//!   features + the trainable next-API model (§II-B).
+//! * [`generation`] — chain decoding restricted to retrieved candidates.
+//! * [`dataset`] — the synthetic question → API-chain corpus standing in for
+//!   the paper's logged student sessions (§II-C "Dataset preparation").
+//! * [`mod@finetune`] — API chain-oriented finetuning: search-based prediction
+//!   with random rollouts scored by the node matching-based loss (§II-C).
+//! * [`session`] — the chat loop: graph-type prediction, suggested
+//!   questions, chain confirmation, execution, transcripts (Fig. 2).
+//! * [`scenarios`] — runnable reproductions of the four demo scenarios
+//!   (Figs. 4–7).
+
+pub mod config;
+pub mod dataset;
+pub mod finetune;
+pub mod generation;
+pub mod graph_aware;
+pub mod prompt;
+pub mod retrieval;
+pub mod scenarios;
+pub mod session;
+
+pub use config::ChatGraphConfig;
+pub use dataset::{generate_corpus, CorpusParams, QaExample};
+pub use finetune::{evaluate, finetune, EvalReport, FinetuneMethod, FinetuneReport};
+pub use generation::ChainGenerator;
+pub use graph_aware::GraphAwareLm;
+pub use prompt::Prompt;
+pub use retrieval::ApiRetriever;
+pub use session::{ChatResponse, ChatSession};

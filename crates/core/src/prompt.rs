@@ -1,0 +1,74 @@
+//! The multi-modal prompt: text plus an optional uploaded graph.
+
+use chatgraph_graph::{io, Graph};
+use serde::{Deserialize, Serialize};
+
+/// What the user submits in the input panel (paper Fig. 2, panel ③).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prompt {
+    /// The natural-language question.
+    pub text: String,
+    /// The uploaded graph, if any.
+    pub graph: Option<Graph>,
+}
+
+impl Prompt {
+    /// A text-only prompt.
+    pub fn text(text: impl Into<String>) -> Self {
+        Prompt {
+            text: text.into(),
+            graph: None,
+        }
+    }
+
+    /// A prompt carrying a graph.
+    pub fn with_graph(text: impl Into<String>, graph: Graph) -> Self {
+        Prompt {
+            text: text.into(),
+            graph: Some(graph),
+        }
+    }
+
+    /// Parses a prompt whose graph arrives as edge-list text (the upload
+    /// format of the demo UI).
+    pub fn with_uploaded_graph(
+        text: impl Into<String>,
+        edge_list: &str,
+    ) -> Result<Self, io::ParseError> {
+        Ok(Prompt {
+            text: text.into(),
+            graph: Some(io::parse_edge_list(edge_list)?),
+        })
+    }
+
+    /// Whether a graph is attached.
+    pub fn has_graph(&self) -> bool {
+        self.graph.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_only() {
+        let p = Prompt::text("hello");
+        assert!(!p.has_graph());
+        assert_eq!(p.text, "hello");
+    }
+
+    #[test]
+    fn uploaded_graph_is_parsed() {
+        let p = Prompt::with_uploaded_graph("clean G", "graph g directed\nedge a b lives_in").unwrap();
+        assert!(p.has_graph());
+        let g = p.graph.unwrap();
+        assert!(g.is_directed());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn bad_upload_is_an_error() {
+        assert!(Prompt::with_uploaded_graph("x", "wibble").is_err());
+    }
+}

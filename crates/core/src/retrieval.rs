@@ -1,0 +1,204 @@
+//! The API retrieval module (paper §II-A + §II-D).
+//!
+//! API descriptions are embedded once; prompts are embedded per query, and
+//! the τ-MG proximity graph returns the most similar APIs. A brute-force
+//! path is kept alongside for the E9 accuracy/efficiency comparison.
+
+use crate::config::RetrievalConfig;
+use chatgraph_ann::{AnnIndex, FlatIndex, SearchStats, TauMg};
+use chatgraph_apis::ApiRegistry;
+use chatgraph_embed::{Embedder, Metric, Vector};
+
+/// One retrieval hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieved {
+    /// API name.
+    pub name: String,
+    /// Cosine distance of its description to the prompt.
+    pub distance: f32,
+}
+
+/// Embeds and indexes the API catalogue.
+#[derive(Debug)]
+pub struct ApiRetriever {
+    embedder: Embedder,
+    index: TauMg,
+    flat: FlatIndex,
+    names: Vec<String>,
+    top_k: usize,
+}
+
+impl ApiRetriever {
+    /// Builds the retriever over a registry.
+    pub fn build(registry: &ApiRegistry, config: &RetrievalConfig) -> Self {
+        let mut embedder = Embedder::new(config.embedder.clone());
+        let texts: Vec<String> = registry
+            .descriptors()
+            .iter()
+            .map(|d| d.retrieval_text())
+            .collect();
+        embedder.fit(texts.iter());
+        let vectors: Vec<Vector> = texts.iter().map(|t| embedder.embed(t)).collect();
+        let names: Vec<String> = registry
+            .descriptors()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
+        let index = TauMg::build(vectors.clone(), config.taumg_params());
+        let flat = FlatIndex::build(vectors, Metric::Cosine);
+        ApiRetriever {
+            embedder,
+            index,
+            flat,
+            names,
+            top_k: config.top_k,
+        }
+    }
+
+    /// Number of indexed APIs.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no APIs are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The default `k` used by [`ApiRetriever::retrieve`].
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Embeds a prompt text.
+    pub fn embed(&self, text: &str) -> Vector {
+        self.embedder.embed(text)
+    }
+
+    /// Retrieves the `k` most relevant APIs via the τ-MG index.
+    pub fn retrieve_k(&self, text: &str, k: usize, stats: &mut SearchStats) -> Vec<Retrieved> {
+        let q = self.embedder.embed(text);
+        self.index
+            .search(&q, k, stats)
+            .into_iter()
+            .map(|(i, d)| Retrieved {
+                name: self.names[i].clone(),
+                distance: d,
+            })
+            .collect()
+    }
+
+    /// Retrieves with the configured default `k`.
+    pub fn retrieve(&self, text: &str) -> Vec<Retrieved> {
+        let mut stats = SearchStats::default();
+        self.retrieve_k(text, self.top_k, &mut stats)
+    }
+
+    /// Exact (brute-force) retrieval, for accuracy comparisons.
+    pub fn retrieve_exact(&self, text: &str, k: usize, stats: &mut SearchStats) -> Vec<Retrieved> {
+        let q = self.embedder.embed(text);
+        self.flat
+            .search(&q, k, stats)
+            .into_iter()
+            .map(|(i, d)| Retrieved {
+                name: self.names[i].clone(),
+                distance: d,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RetrievalConfig;
+    use chatgraph_apis::registry;
+
+    fn retriever() -> ApiRetriever {
+        ApiRetriever::build(&registry::standard(), &RetrievalConfig::default())
+    }
+
+    #[test]
+    fn indexes_every_api() {
+        let r = retriever();
+        assert_eq!(r.len(), registry::standard().len());
+    }
+
+    #[test]
+    fn community_question_retrieves_community_api() {
+        let r = retriever();
+        let hits = r.retrieve("what communities are in this social network");
+        let names: Vec<&str> = hits.iter().map(|h| h.name.as_str()).collect();
+        assert!(
+            names.contains(&"detect_communities") || names.contains(&"community_count"),
+            "hits: {names:?}"
+        );
+    }
+
+    #[test]
+    fn toxicity_question_retrieves_toxicity_api() {
+        let r = retriever();
+        let hits = r.retrieve("predict how toxic this chemical molecule is");
+        assert!(
+            hits.iter().take(3).any(|h| h.name == "predict_toxicity"),
+            "hits: {:?}",
+            hits.iter().map(|h| &h.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ann_matches_exact_retrieval_closely() {
+        let r = retriever();
+        let queries = [
+            "find similar molecules in the database",
+            "clean the knowledge graph",
+            "how many nodes does the graph have",
+            "who are the influencers",
+        ];
+        for q in queries {
+            let mut s1 = SearchStats::default();
+            let mut s2 = SearchStats::default();
+            let ann: Vec<String> = r.retrieve_k(q, 5, &mut s1).into_iter().map(|h| h.name).collect();
+            let exact: Vec<String> = r.retrieve_exact(q, 5, &mut s2).into_iter().map(|h| h.name).collect();
+            let overlap = ann.iter().filter(|n| exact.contains(n)).count();
+            assert!(overlap >= 4, "query {q:?}: ann {ann:?} vs exact {exact:?}");
+        }
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let r = retriever();
+        let hits = r.retrieve("report about the graph");
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        assert_eq!(hits.len(), r.top_k());
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use crate::config::RetrievalConfig;
+    use chatgraph_apis::registry;
+
+    #[test]
+    fn search_stats_are_populated() {
+        let r = ApiRetriever::build(&registry::standard(), &RetrievalConfig::default());
+        let mut stats = SearchStats::default();
+        let hits = r.retrieve_k("count the rings of the molecule", 3, &mut stats);
+        assert_eq!(hits.len(), 3);
+        assert!(stats.distance_computations > 0);
+        let mut exact_stats = SearchStats::default();
+        let exact = r.retrieve_exact("count the rings of the molecule", 3, &mut exact_stats);
+        assert_eq!(exact_stats.distance_computations, r.len());
+        assert_eq!(exact.len(), 3);
+    }
+
+    #[test]
+    fn embed_is_consistent_with_retrieval_geometry() {
+        let r = ApiRetriever::build(&registry::standard(), &RetrievalConfig::default());
+        let v = r.embed("detect communities");
+        assert!((v.norm() - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,144 @@
+//! Scenario 3 — Chat-based Graph Cleaning (paper Fig. 6).
+//!
+//! "A user submits a knowledge graph G and a text 'Clean G'. ChatGraph
+//! first invokes the knowledge inference APIs to detect the incorrect edges
+//! and the missing edges in G and asks the user for confirmation. After
+//! that, the graph edit APIs are invoked to edit the edges in G. … G is
+//! cleaned and outputted to file."
+
+use super::ScenarioOutput;
+use crate::prompt::Prompt;
+use crate::session::ChatSession;
+use chatgraph_apis::{ChainEvent, CollectingMonitor, Value};
+use chatgraph_graph::generators::CorruptionReport;
+use chatgraph_graph::Graph;
+
+/// Cleaning quality against the injected ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleaningStats {
+    /// Ground-truth corrupted facts.
+    pub injected_wrong: usize,
+    /// Ground-truth deleted facts.
+    pub removed_facts: usize,
+    /// Wrong edges remaining after cleaning.
+    pub residual_wrong: usize,
+    /// Facts still missing after cleaning.
+    pub residual_missing: usize,
+    /// Confirmation prompts the user answered.
+    pub confirmations: usize,
+}
+
+/// Runs the cleaning scenario on a corrupted KG, validating the result
+/// against the corruption ground truth.
+pub fn run(
+    session: &mut ChatSession,
+    corrupted: Graph,
+    truth: &CorruptionReport,
+) -> (ScenarioOutput, CleaningStats) {
+    let mut lines = vec![format!(
+        "User: uploads knowledge graph '{}' ({} entities, {} facts)",
+        corrupted.name(),
+        corrupted.node_count(),
+        corrupted.edge_count()
+    )];
+    let prompt_text = "Clean G";
+    lines.push(format!("User: {prompt_text}"));
+
+    let response = session.send(Prompt::with_graph(prompt_text, corrupted));
+    lines.push(format!("ChatGraph: {}", response.message));
+    lines.push("User: confirms the chain and each edit".to_owned());
+
+    let mut monitor = CollectingMonitor::new();
+    let result = session
+        .run_chain(&response.chain, &mut monitor)
+        .unwrap_or(Value::Unit);
+    for event in &monitor.events {
+        if let ChainEvent::StepFinished { api, summary, .. } = event {
+            lines.push(format!("ChatGraph: [{api}] -> {summary}"));
+        }
+        if let ChainEvent::ConfirmationRequested { api, .. } = event {
+            lines.push(format!("ChatGraph: please confirm '{api}'"));
+            lines.push("User: yes".to_owned());
+        }
+    }
+    if let Value::Text(file) = &result {
+        lines.push(format!(
+            "ChatGraph: G is cleaned and outputted to file ({} bytes)",
+            file.len()
+        ));
+    }
+
+    // Score the cleaned session graph against the ground truth.
+    let cleaned = session.graph.as_ref().expect("session graph present");
+    let residual_wrong = truth
+        .injected_wrong
+        .iter()
+        .filter(|(s, d, rel)| {
+            cleaned
+                .neighbors(*s)
+                .any(|(v, e)| v == *d && cleaned.edge_label(e).expect("live") == rel)
+        })
+        .count();
+    let residual_missing = truth
+        .removed
+        .iter()
+        .filter(|(s, d, rel)| {
+            !cleaned
+                .neighbors(*s)
+                .any(|(v, e)| v == *d && cleaned.edge_label(e).expect("live") == rel)
+        })
+        .count();
+    let stats = CleaningStats {
+        injected_wrong: truth.injected_wrong.len(),
+        removed_facts: truth.removed.len(),
+        residual_wrong,
+        residual_missing,
+        confirmations: monitor.confirm_log.len(),
+    };
+    (
+        ScenarioOutput {
+            title: "Scenario 3: Chat-based Graph Cleaning".to_owned(),
+            lines,
+            chain: response.chain,
+            result,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::test_support::with_session;
+    use chatgraph_graph::generators::{corrupt_kg, knowledge_graph, KgParams};
+
+    #[test]
+    fn cleaning_removes_all_injected_noise() {
+        with_session(|s| {
+            let mut g = knowledge_graph(&KgParams::default(), 31);
+            let truth = corrupt_kg(&mut g, 0.08, 0.05, 31);
+            assert!(!truth.injected_wrong.is_empty());
+            let (out, stats) = run(s, g, &truth);
+            let names = out.chain.api_names();
+            assert!(names.contains(&"detect_incorrect_edges"), "chain: {}", out.chain);
+            assert!(names.contains(&"remove_edges"), "chain: {}", out.chain);
+            assert!(names.contains(&"detect_missing_edges"), "chain: {}", out.chain);
+            assert!(names.contains(&"add_edges"), "chain: {}", out.chain);
+            assert_eq!(stats.residual_wrong, 0, "{stats:?}");
+            assert_eq!(stats.residual_missing, 0, "{stats:?}");
+            assert!(stats.confirmations >= 2, "edits must be confirmed: {stats:?}");
+        });
+    }
+
+    #[test]
+    fn cleaned_graph_is_schema_consistent() {
+        with_session(|s| {
+            let mut g = knowledge_graph(&KgParams::default(), 32);
+            let truth = corrupt_kg(&mut g, 0.1, 0.06, 32);
+            let _ = run(s, g, &truth);
+            let cleaned = s.graph.as_ref().unwrap();
+            assert!(chatgraph_apis::impls::kg::incorrect_edges(cleaned).is_empty());
+            assert!(chatgraph_apis::impls::kg::missing_edges(cleaned).is_empty());
+        });
+    }
+}

@@ -1,0 +1,62 @@
+//! Runnable reproductions of the paper's four demonstration scenarios
+//! (§IV, Figs. 4–7).
+//!
+//! Each scenario drives a [`crate::ChatSession`] end-to-end — prompt →
+//! retrieval → chain generation → confirmation → execution — and returns a
+//! [`ScenarioOutput`] with the printable transcript plus the artifacts the
+//! paper's figure shows, so examples and experiments can assert on them.
+
+pub mod cleaning;
+pub mod comparison;
+pub mod monitoring;
+pub mod understanding;
+
+use chatgraph_apis::{ApiChain, Value};
+
+/// What one scenario run produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutput {
+    /// Scenario title.
+    pub title: String,
+    /// Printable transcript lines (the dialog panel's content).
+    pub lines: Vec<String>,
+    /// The executed API chain.
+    pub chain: ApiChain,
+    /// The final value the chain produced.
+    pub result: Value,
+}
+
+impl ScenarioOutput {
+    /// Renders the scenario as plain text.
+    pub fn render(&self) -> String {
+        let mut out = format!("=== {} ===\n", self.title);
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! One shared bootstrapped session for all scenario tests — bootstrap
+    //! finetunes a model, which is too slow to repeat per test.
+
+    use crate::{ChatGraphConfig, ChatSession};
+    use parking_lot::Mutex;
+    use std::sync::OnceLock;
+
+    static SESSION: OnceLock<Mutex<ChatSession>> = OnceLock::new();
+
+    pub fn with_session<T>(f: impl FnOnce(&mut ChatSession) -> T) -> T {
+        // parking_lot's mutex has no poisoning: a failed assertion in one
+        // scenario test must not cascade into the others.
+        let m = SESSION.get_or_init(|| {
+            let config = ChatGraphConfig::default();
+            Mutex::new(ChatSession::bootstrap(config, 192).0)
+        });
+        let mut guard = m.lock();
+        f(&mut guard)
+    }
+}

@@ -1,0 +1,364 @@
+//! The chat session: ChatGraph's user-facing loop (paper Fig. 2).
+//!
+//! A [`ChatSession`] owns the whole stack — registry, retriever, finetuned
+//! graph-aware model — and mirrors the three panels of the demo UI:
+//!
+//! * panel ① (dialog): [`ChatSession::transcript`] accumulates turns;
+//! * panel ② (suggested questions): [`ChatSession::suggest_questions`];
+//! * panel ③ (input): [`ChatSession::send`] takes a [`Prompt`].
+//!
+//! `send` proposes an API chain *without executing it* — the paper's
+//! scenario 4 requires the user to confirm (and possibly edit) the chain —
+//! and [`ChatSession::run_chain`] then executes a (possibly edited) chain
+//! against the uploaded graph with full monitoring.
+
+use crate::config::ChatGraphConfig;
+use crate::dataset::{generate_corpus, CorpusParams};
+use crate::finetune::{finetune, FinetuneMethod, FinetuneReport};
+use crate::generation::{candidate_apis, ChainGenerator};
+use crate::graph_aware::GraphAwareLm;
+use crate::prompt::Prompt;
+use crate::retrieval::ApiRetriever;
+use chatgraph_apis::{
+    execute_chain, registry, ApiChain, ApiRegistry, ChainError, ExecContext, Monitor, Value,
+};
+use chatgraph_graph::Graph;
+
+/// One transcript turn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Turn {
+    /// The user's message.
+    User(String),
+    /// The system's reply.
+    System(String),
+}
+
+/// The system's answer to one prompt.
+#[derive(Debug, Clone)]
+pub struct ChatResponse {
+    /// The proposed API chain (awaiting confirmation).
+    pub chain: ApiChain,
+    /// The candidate APIs that were offered to the decoder.
+    pub candidates: Vec<String>,
+    /// The predicted graph type, when a graph was attached.
+    pub graph_type: Option<String>,
+    /// The reply text shown in the dialog panel.
+    pub message: String,
+}
+
+/// A full ChatGraph session.
+pub struct ChatSession {
+    config: ChatGraphConfig,
+    registry: ApiRegistry,
+    retriever: ApiRetriever,
+    lm: GraphAwareLm,
+    generator: ChainGenerator,
+    /// The graph uploaded most recently (the session graph).
+    pub graph: Option<Graph>,
+    /// The molecule database for similarity search.
+    pub database: Vec<Graph>,
+    transcript: Vec<Turn>,
+}
+
+impl ChatSession {
+    /// Builds a session: standard registry, retriever over it, and a model
+    /// finetuned on the synthetic corpus (the offline stand-in for the
+    /// paper's pre-finetuned checkpoints).
+    pub fn bootstrap(config: ChatGraphConfig, corpus_size: usize) -> (Self, FinetuneReport) {
+        config
+            .validate()
+            .unwrap_or_else(|p| panic!("invalid config: {p:?}"));
+        let registry = registry::standard();
+        let retriever = ApiRetriever::build(&registry, &config.retrieval);
+        let mut lm = GraphAwareLm::new(&registry, &config);
+        let corpus = generate_corpus(
+            &CorpusParams {
+                size: corpus_size,
+                small_graphs: true,
+            },
+            config.seed,
+        );
+        let report = finetune(
+            &mut lm,
+            &registry,
+            &retriever,
+            &corpus,
+            FinetuneMethod::Full,
+            &config,
+        );
+        let generator = ChainGenerator {
+            max_len: config.finetune.max_chain_len,
+        };
+        (
+            ChatSession {
+                config,
+                registry,
+                retriever,
+                lm,
+                generator,
+                graph: None,
+                database: Vec::new(),
+                transcript: Vec::new(),
+            },
+            report,
+        )
+    }
+
+    /// Builds a session around a previously finetuned model (saved with
+    /// [`ChatSession::save_model`]), skipping the finetuning pass.
+    pub fn from_saved_model(
+        config: ChatGraphConfig,
+        model_json: &str,
+    ) -> Result<Self, serde_json::Error> {
+        config
+            .validate()
+            .unwrap_or_else(|p| panic!("invalid config: {p:?}"));
+        let registry = registry::standard();
+        let retriever = ApiRetriever::build(&registry, &config.retrieval);
+        let lm = GraphAwareLm::load_json(model_json)?;
+        let generator = ChainGenerator {
+            max_len: config.finetune.max_chain_len,
+        };
+        Ok(ChatSession {
+            config,
+            registry,
+            retriever,
+            lm,
+            generator,
+            graph: None,
+            database: Vec::new(),
+            transcript: Vec::new(),
+        })
+    }
+
+    /// Serialises the finetuned model for [`ChatSession::from_saved_model`].
+    pub fn save_model(&self) -> String {
+        self.lm.save_json()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ChatGraphConfig {
+        &self.config
+    }
+
+    /// The API registry.
+    pub fn registry(&self) -> &ApiRegistry {
+        &self.registry
+    }
+
+    /// The retrieval module.
+    pub fn retriever(&self) -> &ApiRetriever {
+        &self.retriever
+    }
+
+    /// The dialog transcript (panel ①).
+    pub fn transcript(&self) -> &[Turn] {
+        &self.transcript
+    }
+
+    /// Attaches a molecule database for similarity search.
+    pub fn set_database(&mut self, database: Vec<Graph>) {
+        self.database = database;
+    }
+
+    /// Suggested questions for the current graph (panel ②), driven by the
+    /// predicted graph type.
+    pub fn suggest_questions(&self) -> Vec<String> {
+        let kind = self
+            .graph
+            .as_ref()
+            .map(chatgraph_apis::impls::structure::predict_type)
+            .unwrap_or("generic");
+        let suggestions: &[&str] = match kind {
+            "social" => &[
+                "Write a brief report for G",
+                "What communities exist in G?",
+                "Who are the most influential users?",
+                "Is the network connected?",
+            ],
+            "molecule" => &[
+                "Write a brief report for G",
+                "How toxic is this molecule?",
+                "What molecules are similar to G?",
+                "What is the chemical formula of G?",
+            ],
+            "knowledge" => &[
+                "Clean G",
+                "Are there schema violations in G?",
+                "What facts does G contain?",
+            ],
+            _ => &[
+                "How big is this graph?",
+                "Is the graph connected?",
+            ],
+        };
+        suggestions.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Handles one prompt: stores the uploaded graph, retrieves candidates,
+    /// generates a chain, and proposes it for confirmation.
+    pub fn send(&mut self, prompt: Prompt) -> ChatResponse {
+        self.transcript.push(Turn::User(prompt.text.clone()));
+        if let Some(g) = prompt.graph {
+            self.graph = Some(g);
+        }
+        let graph_type = self
+            .graph
+            .as_ref()
+            .map(|g| chatgraph_apis::impls::structure::predict_type(g).to_owned());
+        let candidates = candidate_apis(
+            &self.registry,
+            &self.retriever,
+            &prompt.text,
+            self.graph.as_ref(),
+        );
+        let chain = self.generator.generate_greedy(
+            &self.lm,
+            &prompt.text,
+            self.graph.as_ref(),
+            &candidates,
+        );
+        let message = match (&graph_type, chain.is_empty()) {
+            (_, true) => "I could not find a suitable API chain; please rephrase.".to_owned(),
+            (Some(t), false) => format!(
+                "G looks like a {t} graph. I propose the API chain: {chain}. Confirm to execute."
+            ),
+            (None, false) => format!(
+                "I propose the API chain: {chain}. Confirm to execute."
+            ),
+        };
+        self.transcript.push(Turn::System(message.clone()));
+        ChatResponse {
+            chain,
+            candidates,
+            graph_type,
+            message,
+        }
+    }
+
+    /// Executes a (confirmed, possibly user-edited) chain against the
+    /// session graph, streaming progress through `monitor`. The session
+    /// graph is updated in place by edit APIs.
+    pub fn run_chain(
+        &mut self,
+        chain: &ApiChain,
+        monitor: &mut dyn Monitor,
+    ) -> Result<Value, ChainError> {
+        let graph = self.graph.clone().unwrap_or_else(Graph::undirected);
+        let mut ctx = ExecContext::new(graph)
+            .with_database(self.database.clone())
+            .with_seed(self.config.seed);
+        let result = execute_chain(&self.registry, chain, &mut ctx, monitor);
+        // Persist mutations (scenario 3 cleans the session graph in place).
+        self.graph = Some(ctx.graph);
+        if let Ok(value) = &result {
+            self.transcript
+                .push(Turn::System(format!("Executed {chain}: {}", value.summary())));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatgraph_apis::CollectingMonitor;
+    use chatgraph_graph::generators::{
+        molecule, social_network, MoleculeParams, SocialParams,
+    };
+
+    use crate::scenarios::test_support::with_session;
+
+    #[test]
+    fn bootstrap_trains_a_usable_model() {
+        with_session(|s| {
+        let g = social_network(&SocialParams::default(), 9);
+        let resp = s.send(Prompt::with_graph("detect the communities of this social network", g));
+        assert_eq!(resp.graph_type.as_deref(), Some("social"));
+        assert!(
+            resp.chain.api_names().contains(&"detect_communities"),
+            "chain: {}",
+            resp.chain
+        );
+        });
+    }
+
+    #[test]
+    fn suggestions_track_graph_type() {
+        with_session(|s| {
+        let saved = s.graph.take();
+        assert!(s.suggest_questions()[0].contains("big"));
+        s.graph = Some(molecule(&MoleculeParams::default(), 1));
+        assert!(s.suggest_questions().iter().any(|q| q.contains("toxic")));
+        s.graph = Some(social_network(&SocialParams::default(), 1));
+        assert!(s.suggest_questions().iter().any(|q| q.contains("communities")));
+        s.graph = saved;
+        });
+    }
+
+    #[test]
+    fn send_then_run_chain_executes_and_logs() {
+        with_session(|s| {
+        let g = social_network(&SocialParams::default(), 4);
+        let resp = s.send(Prompt::with_graph("how many communities does G have?", g));
+        assert!(!resp.chain.is_empty(), "{resp:?}");
+        let mut mon = CollectingMonitor::new();
+        let out = s.run_chain(&resp.chain, &mut mon).unwrap();
+        assert!(out.value_type() != chatgraph_apis::ValueType::Unit);
+        assert!(s.transcript().len() >= 3);
+        assert!(!mon.events.is_empty());
+        });
+    }
+
+    #[test]
+    fn text_only_prompt_is_answered_without_a_graph() {
+        with_session(|s| {
+            let saved = s.graph.take();
+            let before = s.transcript().len();
+            let resp = s.send(Prompt::text("how many nodes does the graph have?"));
+            // No graph uploaded: no type prediction, but a proposal is made
+            // from retrieval candidates alone.
+            assert_eq!(resp.graph_type, None);
+            assert!(!resp.message.is_empty());
+            // Transcript grew by the user turn and the system reply, in order.
+            let t = s.transcript();
+            assert_eq!(t.len(), before + 2);
+            assert!(matches!(t[t.len() - 2], Turn::User(_)));
+            assert!(matches!(t[t.len() - 1], Turn::System(_)));
+            s.graph = saved;
+        });
+    }
+
+    #[test]
+    fn saved_model_session_answers_identically() {
+        with_session(|s| {
+            let saved = s.save_model();
+            let mut restored =
+                ChatSession::from_saved_model(s.config().clone(), &saved).unwrap();
+            let g = social_network(&SocialParams::default(), 6);
+            let q = "detect the communities of this social network";
+            let original = s.send(Prompt::with_graph(q, g.clone()));
+            let reloaded = restored.send(Prompt::with_graph(q, g));
+            assert_eq!(original.chain, reloaded.chain);
+        });
+    }
+
+    #[test]
+    fn run_chain_persists_graph_edits() {
+        use chatgraph_graph::generators::{corrupt_kg, knowledge_graph, KgParams};
+        with_session(|s| {
+        let mut g = knowledge_graph(&KgParams::default(), 8);
+        corrupt_kg(&mut g, 0.1, 0.05, 8);
+        let before_edges = g.edge_count();
+        s.graph = Some(g);
+        let chain = ApiChain::from_names(["detect_missing_edges", "add_edges"]);
+        let mut mon = CollectingMonitor::new();
+        let added = s.run_chain(&chain, &mut mon).unwrap().as_number().unwrap();
+        assert!(added > 0.0);
+        assert_eq!(
+            s.graph.as_ref().unwrap().edge_count(),
+            before_edges + added as usize
+        );
+        });
+    }
+}

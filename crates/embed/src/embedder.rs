@@ -1,0 +1,180 @@
+//! The end-to-end text embedder.
+
+use crate::hashing::hash_feature;
+use crate::tfidf::TfIdf;
+use crate::tokenizer::features;
+use crate::vector::Vector;
+use serde::{Deserialize, Serialize};
+
+/// Embedder configuration (exposed in ChatGraph's configuration panel).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbedderConfig {
+    /// Output dimensionality.
+    pub dim: usize,
+    /// Character n-gram size (0 disables subword features).
+    pub char_ngram: usize,
+    /// Weight features by IDF statistics fit on a corpus.
+    pub use_tfidf: bool,
+}
+
+impl Default for EmbedderConfig {
+    fn default() -> Self {
+        EmbedderConfig {
+            dim: 128,
+            char_ngram: 3,
+            use_tfidf: true,
+        }
+    }
+}
+
+/// Deterministic feature-hashing text embedder.
+///
+/// ```
+/// use chatgraph_embed::{Embedder, EmbedderConfig};
+///
+/// let mut e = Embedder::new(EmbedderConfig::default());
+/// e.fit(["detect communities in a social network", "predict molecule toxicity"]);
+/// let a = e.embed("find the communities of this social graph");
+/// let b = e.embed("how toxic is this molecule");
+/// let c = e.embed("community detection for social networks");
+/// assert!(a.cosine(&c) < a.cosine(&b));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedder {
+    config: EmbedderConfig,
+    tfidf: TfIdf,
+}
+
+impl Embedder {
+    /// Creates an embedder; call [`Embedder::fit`] before embedding if
+    /// `use_tfidf` is set (unfit TF-IDF weights all tokens equally).
+    pub fn new(config: EmbedderConfig) -> Self {
+        assert!(config.dim > 0, "embedding dimension must be positive");
+        Embedder {
+            config,
+            tfidf: TfIdf::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EmbedderConfig {
+        &self.config
+    }
+
+    /// Fits IDF statistics on a corpus of documents.
+    pub fn fit<I, S>(&mut self, corpus: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.tfidf = TfIdf::fit(
+            corpus
+                .into_iter()
+                .map(|doc| features(doc.as_ref(), self.config.char_ngram)),
+        );
+    }
+
+    /// Embeds a text into a unit-norm vector (the zero vector for texts with
+    /// no features).
+    pub fn embed(&self, text: &str) -> Vector {
+        let mut v = Vector::zeros(self.config.dim);
+        for f in features(text, self.config.char_ngram) {
+            let (idx, sign) = hash_feature(&f, self.config.dim);
+            let w = if self.config.use_tfidf {
+                self.tfidf.idf(&f)
+            } else {
+                1.0
+            };
+            v.0[idx] += sign * w;
+        }
+        v.normalize();
+        v
+    }
+
+    /// Embeds many texts.
+    pub fn embed_all<I, S>(&self, texts: I) -> Vec<Vector>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        texts.into_iter().map(|t| self.embed(t.as_ref())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedder() -> Embedder {
+        let mut e = Embedder::new(EmbedderConfig::default());
+        e.fit([
+            "detect communities in a social network",
+            "check whether the graph is connected",
+            "predict the toxicity of a molecule",
+            "predict the solubility of a molecule",
+            "search for similar molecules in a database",
+            "clean the knowledge graph by fixing incorrect edges",
+        ]);
+        e
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm_and_deterministic() {
+        let e = embedder();
+        let v1 = e.embed("find communities");
+        let v2 = e.embed("find communities");
+        assert_eq!(v1, v2);
+        assert!((v1.norm() - 1.0).abs() < 1e-5);
+        assert_eq!(v1.dim(), 128);
+    }
+
+    #[test]
+    fn related_texts_are_closer_than_unrelated() {
+        let e = embedder();
+        let community_q = e.embed("what communities exist in this social network");
+        let community_doc = e.embed("detect communities in a social network");
+        let toxicity_doc = e.embed("predict the toxicity of a molecule");
+        assert!(community_q.cosine(&community_doc) < community_q.cosine(&toxicity_doc));
+    }
+
+    #[test]
+    fn subword_features_bridge_morphology() {
+        let e = embedder();
+        let a = e.embed("community");
+        let b = e.embed("communities");
+        let c = e.embed("solubility");
+        assert!(a.cosine(&b) < a.cosine(&c));
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = embedder();
+        let v = e.embed("");
+        assert_eq!(v.norm(), 0.0);
+    }
+
+    #[test]
+    fn tfidf_downweights_ubiquitous_tokens() {
+        let mut with = Embedder::new(EmbedderConfig { dim: 64, char_ngram: 0, use_tfidf: true });
+        with.fit(["graph alpha", "graph beta", "graph gamma"]);
+        // "graph" appears everywhere; a query sharing only "graph" should be
+        // farther from "graph alpha" than a query sharing the rare "alpha".
+        let d_common = with.embed("graph").cosine(&with.embed("graph alpha"));
+        let d_rare = with.embed("alpha").cosine(&with.embed("graph alpha"));
+        assert!(d_rare < d_common);
+    }
+
+    #[test]
+    fn embed_all_matches_embed() {
+        let e = embedder();
+        let batch = e.embed_all(["a b c", "d e f"]);
+        assert_eq!(batch[0], e.embed("a b c"));
+        assert_eq!(batch[1], e.embed("d e f"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        Embedder::new(EmbedderConfig { dim: 0, char_ngram: 0, use_tfidf: false });
+    }
+}

@@ -1,0 +1,71 @@
+//! Stable signed feature hashing.
+//!
+//! `std`'s hasher is seeded per-process, so embeddings would differ between
+//! runs; FNV-1a is used instead. One bit of the hash supplies the sign
+//! ("hashing trick" with signed projection), which keeps collisions unbiased
+//! in expectation.
+
+/// 64-bit FNV-1a hash. Stable across runs, platforms and versions.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Maps a feature string to `(index, sign)` for a `dim`-dimensional target.
+pub fn hash_feature(feature: &str, dim: usize) -> (usize, f32) {
+    debug_assert!(dim > 0);
+    let h = fnv1a(feature.as_bytes());
+    let idx = (h % dim as u64) as usize;
+    // FNV's raw high bits are poorly mixed for short keys, so derive the sign
+    // from an avalanche of the whole hash instead of a single raw bit.
+    let mixed = h ^ (h >> 33);
+    let mixed = mixed.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    let sign = if (mixed >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+    (idx, sign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hash_feature_is_stable_and_bounded() {
+        let (i1, s1) = hash_feature("community", 256);
+        let (i2, s2) = hash_feature("community", 256);
+        assert_eq!((i1, s1), (i2, s2));
+        assert!(i1 < 256);
+        assert!(s1 == 1.0 || s1 == -1.0);
+    }
+
+    #[test]
+    fn different_features_usually_differ() {
+        let pairs: Vec<(usize, f32)> = ["a", "b", "c", "d", "e", "f", "g", "h"]
+            .iter()
+            .map(|f| hash_feature(f, 1024))
+            .collect();
+        let distinct: std::collections::HashSet<usize> = pairs.iter().map(|p| p.0).collect();
+        assert!(distinct.len() >= 7, "suspiciously many collisions");
+    }
+
+    #[test]
+    fn signs_are_mixed() {
+        let signs: std::collections::HashSet<i8> = (0..64)
+            .map(|i| hash_feature(&format!("tok{i}"), 128).1 as i8)
+            .collect();
+        assert_eq!(signs.len(), 2, "both signs should occur");
+    }
+}

@@ -1,0 +1,30 @@
+//! # chatgraph-embed
+//!
+//! Text-embedding substrate for ChatGraph's API retrieval module (paper
+//! §II-A, §II-D): "the text of the prompt is first embedded into a vector,
+//! and then the APIs whose embeddings are the most similar vectors to the
+//! text's embedding vector are found".
+//!
+//! The paper uses an off-the-shelf neural sentence embedder. Offline and in
+//! pure Rust, this crate substitutes a **deterministic feature-hashing
+//! embedder**: word and character-n-gram features are hashed into a fixed
+//! dimension with signed hashing, optionally weighted by TF-IDF statistics
+//! fit on the API-description corpus, then L2-normalised. Relative cosine
+//! similarity between a prompt and API descriptions — all retrieval needs —
+//! is preserved because lexically/semantically close texts share features.
+//!
+//! * [`vector`] — dense `f32` vectors with L2 / cosine / dot distances.
+//! * [`tokenizer`] — lowercasing word splitter + character n-grams.
+//! * [`hashing`] — stable FNV-1a signed feature hashing.
+//! * [`tfidf`] — document-frequency statistics and IDF weighting.
+//! * [`embedder`] — the end-to-end [`embedder::Embedder`].
+
+pub mod embedder;
+pub mod hashing;
+pub mod tfidf;
+pub mod tokenizer;
+pub mod vector;
+
+pub use embedder::{Embedder, EmbedderConfig};
+pub use tfidf::TfIdf;
+pub use vector::{Metric, Vector};

@@ -1,0 +1,95 @@
+//! TF-IDF statistics over a fitted corpus.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Document-frequency table fit on a corpus (the API descriptions, in
+/// ChatGraph's retrieval module).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TfIdf {
+    doc_freq: HashMap<String, usize>,
+    n_docs: usize,
+}
+
+impl TfIdf {
+    /// Fits document frequencies over tokenised documents.
+    pub fn fit<I, D, T>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = D>,
+        D: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        let mut n_docs = 0;
+        for doc in docs {
+            n_docs += 1;
+            let uniq: std::collections::HashSet<String> =
+                doc.into_iter().map(Into::into).collect();
+            for t in uniq {
+                *doc_freq.entry(t).or_default() += 1;
+            }
+        }
+        TfIdf { doc_freq, n_docs }
+    }
+
+    /// Number of fitted documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Document frequency of a token (0 if unseen).
+    pub fn df(&self, token: &str) -> usize {
+        self.doc_freq.get(token).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency:
+    /// `ln(1 + (N + 1) / (1 + df))`. Unseen tokens get the maximum weight,
+    /// and the weight stays strictly positive even for an unfit corpus.
+    pub fn idf(&self, token: &str) -> f32 {
+        let n = self.n_docs as f32;
+        let df = self.df(token) as f32;
+        (1.0 + (n + 1.0) / (1.0 + df)).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> TfIdf {
+        TfIdf::fit(vec![
+            vec!["find", "communities", "graph"],
+            vec!["find", "toxicity", "graph"],
+            vec!["clean", "graph"],
+        ])
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let t = TfIdf::fit(vec![vec!["a", "a", "a"], vec!["a", "b"]]);
+        assert_eq!(t.df("a"), 2);
+        assert_eq!(t.df("b"), 1);
+        assert_eq!(t.df("zzz"), 0);
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let t = corpus();
+        assert!(t.idf("toxicity") > t.idf("find"));
+        assert!(t.idf("find") > t.idf("graph"));
+    }
+
+    #[test]
+    fn unseen_token_has_highest_idf() {
+        let t = corpus();
+        assert!(t.idf("quux") > t.idf("toxicity"));
+    }
+
+    #[test]
+    fn empty_corpus_is_benign() {
+        let t = TfIdf::fit(Vec::<Vec<String>>::new());
+        assert_eq!(t.n_docs(), 0);
+        assert!(t.idf("x") > 0.0);
+        assert!(t.idf("x").is_finite());
+    }
+}

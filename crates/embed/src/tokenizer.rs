@@ -1,0 +1,93 @@
+//! Tokenisation: lowercase word splitting and character n-grams.
+
+/// Splits text into lowercase alphanumeric word tokens.
+pub fn words(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+/// Character n-grams of one word, padded with `^`/`$` boundary markers so
+/// prefixes and suffixes hash distinctly (fastText-style subword features).
+pub fn char_ngrams(word: &str, n: usize) -> Vec<String> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(word.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    if padded.len() < n {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// All features of a text: word unigrams, word bigrams (`a_b`), and char
+/// n-grams of each word when `ngram > 0`.
+pub fn features(text: &str, ngram: usize) -> Vec<String> {
+    let ws = words(text);
+    let mut out = Vec::with_capacity(ws.len() * 4);
+    for w in &ws {
+        out.push(w.clone());
+        if ngram > 0 {
+            out.extend(char_ngrams(w, ngram));
+        }
+    }
+    for pair in ws.windows(2) {
+        out.push(format!("{}_{}", pair[0], pair[1]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_lowercase_and_split() {
+        assert_eq!(
+            words("Find the Top-5 communities!"),
+            vec!["find", "the", "top", "5", "communities"]
+        );
+    }
+
+    #[test]
+    fn empty_text_has_no_words() {
+        assert!(words("  ...  ").is_empty());
+    }
+
+    #[test]
+    fn char_ngrams_padded() {
+        let grams = char_ngrams("cat", 3);
+        assert_eq!(grams, vec!["^ca", "cat", "at$"]);
+    }
+
+    #[test]
+    fn short_word_yields_whole_padded_gram() {
+        assert_eq!(char_ngrams("a", 4), vec!["^a$"]);
+    }
+
+    #[test]
+    fn zero_n_disables_ngrams() {
+        assert!(char_ngrams("abc", 0).is_empty());
+    }
+
+    #[test]
+    fn features_include_bigrams() {
+        let f = features("graph cleaning", 0);
+        assert!(f.contains(&"graph".to_owned()));
+        assert!(f.contains(&"graph_cleaning".to_owned()));
+    }
+
+    #[test]
+    fn features_with_ngrams_are_superset() {
+        let plain = features("toxicity", 0);
+        let rich = features("toxicity", 3);
+        assert!(rich.len() > plain.len());
+        for f in plain {
+            assert!(rich.contains(&f));
+        }
+    }
+}

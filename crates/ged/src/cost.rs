@@ -1,0 +1,128 @@
+//! Edit-cost models.
+//!
+//! GED is parameterised by the cost of each primitive edit operation. The
+//! uniform model (all ops cost 1, substitutions free when labels agree) is
+//! what the paper's chain-matching loss uses; the weighted model lets the
+//! similarity-search API bias node vs edge edits.
+
+use serde::{Deserialize, Serialize};
+
+/// Costs for the six primitive edit operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of substituting a node whose label differs.
+    pub node_sub: f64,
+    /// Cost of deleting a node.
+    pub node_del: f64,
+    /// Cost of inserting a node.
+    pub node_ins: f64,
+    /// Cost of substituting an edge whose label differs.
+    pub edge_sub: f64,
+    /// Cost of deleting an edge.
+    pub edge_del: f64,
+    /// Cost of inserting an edge.
+    pub edge_ins: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::uniform()
+    }
+}
+
+impl CostModel {
+    /// The uniform model: every operation costs 1.
+    pub fn uniform() -> Self {
+        CostModel {
+            node_sub: 1.0,
+            node_del: 1.0,
+            node_ins: 1.0,
+            edge_sub: 1.0,
+            edge_del: 1.0,
+            edge_ins: 1.0,
+        }
+    }
+
+    /// A model that makes node edits `w` times as expensive as edge edits —
+    /// useful when node identity matters more than wiring (API chains).
+    pub fn node_weighted(w: f64) -> Self {
+        CostModel {
+            node_sub: w,
+            node_del: w,
+            node_ins: w,
+            edge_sub: 1.0,
+            edge_del: 1.0,
+            edge_ins: 1.0,
+        }
+    }
+
+    /// Cost of turning label `a` into label `b` on a node (0 when equal).
+    pub fn node_relabel(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.node_sub
+        }
+    }
+
+    /// Cost of turning label `a` into label `b` on an edge (0 when equal).
+    pub fn edge_relabel(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.edge_sub
+        }
+    }
+
+    /// Validates that all costs are non-negative and finite.
+    pub fn is_valid(&self) -> bool {
+        [
+            self.node_sub,
+            self.node_del,
+            self.node_ins,
+            self.edge_sub,
+            self.edge_del,
+            self.edge_ins,
+        ]
+        .iter()
+        .all(|c| c.is_finite() && *c >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_are_one() {
+        let c = CostModel::uniform();
+        assert_eq!(c.node_sub, 1.0);
+        assert_eq!(c.edge_ins, 1.0);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn relabel_is_free_when_labels_match() {
+        let c = CostModel::uniform();
+        assert_eq!(c.node_relabel("x", "x"), 0.0);
+        assert_eq!(c.node_relabel("x", "y"), 1.0);
+        assert_eq!(c.edge_relabel("a", "a"), 0.0);
+        assert_eq!(c.edge_relabel("a", "b"), 1.0);
+    }
+
+    #[test]
+    fn node_weighted_scales_nodes_only() {
+        let c = CostModel::node_weighted(3.0);
+        assert_eq!(c.node_del, 3.0);
+        assert_eq!(c.edge_del, 1.0);
+    }
+
+    #[test]
+    fn invalid_costs_detected() {
+        let mut c = CostModel::uniform();
+        c.node_del = -1.0;
+        assert!(!c.is_valid());
+        c.node_del = f64::NAN;
+        assert!(!c.is_valid());
+    }
+}

@@ -1,0 +1,194 @@
+//! Minimum-cost assignment (Hungarian / Kuhn–Munkres algorithm).
+//!
+//! The potentials-based O(n³) formulation. Costs are `f64`; the matrix may be
+//! rectangular with `rows ≤ cols` (every row is assigned a distinct column).
+
+/// Solves the minimum-cost assignment problem.
+///
+/// `cost[r][c]` is the cost of assigning row `r` to column `c`. Requires
+/// `rows ≤ cols` and a rectangular matrix. Returns `(assignment, total)`
+/// where `assignment[r]` is the column chosen for row `r`.
+///
+/// # Panics
+///
+/// Panics if the matrix is ragged or has more rows than columns.
+pub fn hungarian(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let m = cost[0].len();
+    assert!(
+        cost.iter().all(|row| row.len() == m),
+        "cost matrix must be rectangular"
+    );
+    assert!(n <= m, "need rows <= cols (got {n} x {m})");
+
+    const INF: f64 = f64::INFINITY;
+    // 1-based potentials over rows (u) and columns (v); p[j] = row matched to
+    // column j (0 = none). Standard e-maxx formulation.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1];
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r][c])
+        .sum();
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        // Try all permutations of column subsets (rows <= 6 in tests).
+        fn rec(cost: &[Vec<f64>], row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+            if row == cost.len() {
+                *best = best.min(acc);
+                return;
+            }
+            for c in 0..cost[0].len() {
+                if !used[c] {
+                    used[c] = true;
+                    rec(cost, row + 1, used, acc + cost[row][c], best);
+                    used[c] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(cost, 0, &mut vec![false; cost[0].len()], 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let (a, t) = hungarian(&[]);
+        assert!(a.is_empty());
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn identity_is_optimal_on_diagonal_zeros() {
+        let cost = vec![
+            vec![0.0, 5.0, 5.0],
+            vec![5.0, 0.0, 5.0],
+            vec![5.0, 5.0, 0.0],
+        ];
+        let (a, t) = hungarian(&cost);
+        assert_eq!(a, vec![0, 1, 2]);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn classic_3x3() {
+        // Known optimum: 1+2+3 = 6 via anti-diagonal-ish choice.
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let (_, t) = hungarian(&cost);
+        assert_eq!(t, 5.0); // 1 + 2 + 2
+        assert_eq!(t, brute_force(&cost));
+    }
+
+    #[test]
+    fn rectangular_matrix_assigns_all_rows() {
+        let cost = vec![vec![10.0, 1.0, 7.0, 8.0], vec![1.0, 10.0, 7.0, 8.0]];
+        let (a, t) = hungarian(&cost);
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(t, 2.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(77);
+        for _ in 0..50 {
+            let n = rng.random_range(1..=5usize);
+            let m = rng.random_range(n..=6usize);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| (rng.random_range(0..100u32)) as f64 / 10.0).collect())
+                .collect();
+            let (a, t) = hungarian(&cost);
+            // assignment is a valid injection
+            let mut seen = std::collections::HashSet::new();
+            for &c in &a {
+                assert!(c < m);
+                assert!(seen.insert(c), "column reused");
+            }
+            let bf = brute_force(&cost);
+            assert!((t - bf).abs() < 1e-9, "hungarian {t} vs brute force {bf}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows <= cols")]
+    fn too_many_rows_panics() {
+        hungarian(&[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_matrix_panics() {
+        hungarian(&[vec![1.0, 2.0], vec![2.0]]);
+    }
+}

@@ -1,0 +1,166 @@
+//! The node matching-based loss (paper §II-C, Definition 1).
+//!
+//! For a generated API chain `C` and a ground-truth chain `C'`, the loss is
+//!
+//! ```text
+//! L(C, C') = min over matchings M of  X + α·Y
+//! ```
+//!
+//! * `X` — the graph edit distance between `C` and `C'` induced by `M`.
+//! * `Y` — the one-to-one regulariser
+//!   `Σ_u (1 − Σ_v M_uv)² + Σ_v (1 − Σ_u M_uv)²`: with a hard matching each
+//!   unmatched node of either chain (one mapped to ε, i.e. deleted or
+//!   inserted) contributes exactly 1.
+//! * `α` — a balance weight.
+//!
+//! The minimisation over `M` is performed by the bipartite assignment of
+//! [`crate::bipartite::approx_ged`]; for the small graphs that API chains are,
+//! the assignment solution is exact or near-exact, and the same Hungarian
+//! machinery is what ref \[14\] of the paper uses.
+//!
+//! Because a question may have *several* equivalent ground-truth chains, the
+//! search-based prediction scores a candidate by the **minimum** loss over
+//! all ground truths — [`min_matching_loss`].
+
+use crate::bipartite::approx_ged;
+use crate::cost::CostModel;
+use chatgraph_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Decomposed node matching-based loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchingLoss {
+    /// `X`: the (assignment-induced) graph edit distance.
+    pub edit_distance: f64,
+    /// `Y`: the one-to-one matching regulariser.
+    pub regularizer: f64,
+    /// `α` used.
+    pub alpha: f64,
+    /// `X + α·Y`.
+    pub total: f64,
+    /// The matching used, as `(node of C, matched node of C' or None)`.
+    pub matching: Vec<(NodeId, Option<NodeId>)>,
+}
+
+/// Computes the node matching-based loss between a generated chain and one
+/// ground-truth chain (both encoded as graphs).
+pub fn matching_loss(generated: &Graph, truth: &Graph, alpha: f64, cost: &CostModel) -> MatchingLoss {
+    let approx = approx_ged(generated, truth, cost);
+    let deleted = approx.mapping.iter().filter(|(_, v)| v.is_none()).count();
+    let matched = approx.mapping.len() - deleted;
+    let inserted = truth.node_count() - matched;
+    // Hard matchings: each ε-mapped node contributes (1-0)² = 1.
+    let regularizer = (deleted + inserted) as f64;
+    let edit_distance = approx.upper_bound;
+    MatchingLoss {
+        edit_distance,
+        regularizer,
+        alpha,
+        total: edit_distance + alpha * regularizer,
+        matching: approx.mapping,
+    }
+}
+
+/// The minimum loss of `generated` over several equivalent ground truths,
+/// with the index of the closest one. Returns `None` when `truths` is empty.
+pub fn min_matching_loss(
+    generated: &Graph,
+    truths: &[Graph],
+    alpha: f64,
+    cost: &CostModel,
+) -> Option<(usize, MatchingLoss)> {
+    truths
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, matching_loss(generated, t, alpha, cost)))
+        .min_by(|a, b| a.1.total.total_cmp(&b.1.total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatgraph_graph::GraphBuilder;
+
+    /// Encodes an API chain as a path graph of API-name-labelled nodes.
+    fn chain(apis: &[&str]) -> Graph {
+        let mut b = GraphBuilder::directed();
+        for (i, a) in apis.iter().enumerate() {
+            b = b.node(format!("s{i}"), *a);
+        }
+        for i in 1..apis.len() {
+            b = b.edge(format!("s{}", i - 1), format!("s{i}"), "next");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_chains_have_zero_loss() {
+        let c = chain(&["load", "communities", "report"]);
+        let l = matching_loss(&c, &c, 0.5, &CostModel::uniform());
+        assert_eq!(l.total, 0.0);
+        assert_eq!(l.edit_distance, 0.0);
+        assert_eq!(l.regularizer, 0.0);
+    }
+
+    #[test]
+    fn loss_is_nonnegative_and_increases_with_divergence() {
+        let truth = chain(&["load", "communities", "report"]);
+        let close = chain(&["load", "communities", "summary"]);
+        let far = chain(&["load", "toxicity"]);
+        let cost = CostModel::uniform();
+        let l_close = matching_loss(&close, &truth, 0.5, &cost);
+        let l_far = matching_loss(&far, &truth, 0.5, &cost);
+        assert!(l_close.total > 0.0);
+        assert!(l_far.total > l_close.total);
+    }
+
+    #[test]
+    fn regularizer_counts_unmatched_nodes() {
+        let truth = chain(&["a", "b", "c"]);
+        let short = chain(&["a"]);
+        let l = matching_loss(&short, &truth, 1.0, &CostModel::uniform());
+        // Two truth nodes are unmatched insertions.
+        assert_eq!(l.regularizer, 2.0);
+        assert_eq!(l.total, l.edit_distance + 2.0);
+    }
+
+    #[test]
+    fn alpha_scales_regularizer_only() {
+        let truth = chain(&["a", "b"]);
+        let gen = chain(&["a"]);
+        let cost = CostModel::uniform();
+        let l0 = matching_loss(&gen, &truth, 0.0, &cost);
+        let l2 = matching_loss(&gen, &truth, 2.0, &cost);
+        assert_eq!(l0.total, l0.edit_distance);
+        assert_eq!(l2.total, l2.edit_distance + 2.0 * l2.regularizer);
+        assert_eq!(l0.edit_distance, l2.edit_distance);
+    }
+
+    #[test]
+    fn min_loss_picks_closest_equivalent_truth() {
+        let truths = vec![
+            chain(&["load", "toxicity", "report"]),
+            chain(&["load", "communities", "report"]),
+        ];
+        let gen = chain(&["load", "communities", "report"]);
+        let (idx, l) = min_matching_loss(&gen, &truths, 0.5, &CostModel::uniform()).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(l.total, 0.0);
+    }
+
+    #[test]
+    fn empty_truth_set_yields_none() {
+        let gen = chain(&["a"]);
+        assert!(min_matching_loss(&gen, &[], 0.5, &CostModel::uniform()).is_none());
+    }
+
+    #[test]
+    fn loss_is_symmetric_enough_for_identical_sizes() {
+        let a = chain(&["x", "y", "z"]);
+        let b = chain(&["x", "q", "z"]);
+        let cost = CostModel::uniform();
+        let lab = matching_loss(&a, &b, 0.5, &cost);
+        let lba = matching_loss(&b, &a, 0.5, &cost);
+        assert_eq!(lab.total, lba.total);
+    }
+}

@@ -1,0 +1,255 @@
+//! Centrality measures: degree, PageRank, betweenness (Brandes).
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Degree centrality: total degree / (n − 1). Zero for singleton graphs.
+pub fn degree_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0; g.node_bound()];
+    if n <= 1 {
+        return out;
+    }
+    for v in g.node_ids() {
+        out[v.index()] = g.total_degree(v) as f64 / (n - 1) as f64;
+    }
+    out
+}
+
+/// PageRank with uniform teleport. Directed graphs follow edge direction;
+/// undirected graphs treat each edge both ways. Dangling mass is
+/// redistributed uniformly. Returns per-slot scores summing to ~1.
+pub fn pagerank(g: &Graph, damping: f64, iterations: usize) -> Vec<f64> {
+    let nodes: Vec<NodeId> = g.node_ids().collect();
+    let n = nodes.len();
+    let mut rank = vec![0.0; g.node_bound()];
+    if n == 0 {
+        return rank;
+    }
+    let init = 1.0 / n as f64;
+    for &v in &nodes {
+        rank[v.index()] = init;
+    }
+    // `Graph::degree` already returns out-degree for directed graphs and
+    // total degree for undirected ones, which is exactly the mass-splitting
+    // denominator PageRank needs in both cases.
+    let out_deg = |v: NodeId| -> usize { g.degree(v) };
+    for _ in 0..iterations {
+        let mut next = vec![0.0; g.node_bound()];
+        let mut dangling = 0.0;
+        for &v in &nodes {
+            let d = out_deg(v);
+            if d == 0 {
+                dangling += rank[v.index()];
+                continue;
+            }
+            let share = rank[v.index()] / d as f64;
+            for (w, _) in g.neighbors(v) {
+                next[w.index()] += share;
+            }
+        }
+        let teleport = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        for &v in &nodes {
+            rank[v.index()] = teleport + damping * next[v.index()];
+        }
+    }
+    rank
+}
+
+/// Betweenness centrality via Brandes' algorithm (unit weights, undirected
+/// semantics). Undirected pair counts are halved as usual.
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let bound = g.node_bound();
+    let mut bc = vec![0.0; bound];
+    for s in g.node_ids() {
+        // Single-source shortest-path DAG.
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut pred: Vec<Vec<NodeId>> = vec![Vec::new(); bound];
+        let mut sigma = vec![0.0; bound];
+        let mut dist: Vec<i64> = vec![-1; bound];
+        sigma[s.index()] = 1.0;
+        dist[s.index()] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for (w, _) in g.undirected_neighbors(v) {
+                if dist[w.index()] < 0 {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w.index()] == dist[v.index()] + 1 {
+                    sigma[w.index()] += sigma[v.index()];
+                    pred[w.index()].push(v);
+                }
+            }
+        }
+        // Back-propagation of dependencies.
+        let mut delta = vec![0.0; bound];
+        while let Some(w) = stack.pop() {
+            for &v in &pred[w.index()] {
+                delta[v.index()] +=
+                    sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+            }
+            if w != s {
+                bc[w.index()] += delta[w.index()];
+            }
+        }
+    }
+    if !g.is_directed() {
+        for b in bc.iter_mut() {
+            *b /= 2.0;
+        }
+    }
+    bc
+}
+
+/// Closeness centrality: `(reachable − 1) / Σ distances`, scaled by the
+/// reachable fraction (the Wasserman–Faust formula for disconnected graphs).
+/// Isolated nodes score 0.
+pub fn closeness(g: &Graph) -> Vec<f64> {
+    use crate::algo::traversal::bfs_distances;
+    let n = g.node_count();
+    let mut out = vec![0.0; g.node_bound()];
+    if n <= 1 {
+        return out;
+    }
+    for v in g.node_ids() {
+        let dists = bfs_distances(g, v, usize::MAX);
+        let mut sum = 0usize;
+        let mut reachable = 0usize;
+        for d in dists.into_iter().flatten() {
+            if d > 0 {
+                sum += d;
+                reachable += 1;
+            }
+        }
+        if sum > 0 {
+            out[v.index()] =
+                (reachable as f64 / (n - 1) as f64) * (reachable as f64 / sum as f64);
+        }
+    }
+    out
+}
+
+/// Indices of the `k` highest-scoring live nodes, ties broken by node id.
+pub fn top_k(g: &Graph, scores: &[f64], k: usize) -> Vec<(NodeId, f64)> {
+    let mut pairs: Vec<(NodeId, f64)> = g
+        .node_ids()
+        .map(|v| (v, scores.get(v.index()).copied().unwrap_or(0.0)))
+        .collect();
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn star() -> Graph {
+        GraphBuilder::undirected()
+            .edge("c", "a", "-")
+            .edge("c", "b", "-")
+            .edge("c", "d", "-")
+            .edge("c", "e", "-")
+            .build()
+    }
+
+    #[test]
+    fn degree_centrality_of_star() {
+        let g = star();
+        let dc = degree_centrality(&g);
+        assert_eq!(dc[0], 1.0); // center
+        assert_eq!(dc[1], 0.25);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_favours_hub() {
+        let g = star();
+        let pr = pagerank(&g, 0.85, 50);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(pr[0] > pr[1] * 2.0);
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        let g = GraphBuilder::directed().edge("a", "b", "r").build();
+        let pr = pagerank(&g, 0.85, 100);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(pr[1] > pr[0]);
+    }
+
+    #[test]
+    fn betweenness_of_path() {
+        // a-b-c: b lies on the single a↔c shortest path.
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .build();
+        let bc = betweenness(&g);
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[1], 1.0);
+        assert_eq!(bc[2], 0.0);
+    }
+
+    #[test]
+    fn betweenness_of_bridge() {
+        // two triangles joined at a bridge: bridge endpoints score highest
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .edge("c", "a", "-")
+            .edge("c", "d", "-")
+            .edge("d", "e", "-")
+            .edge("e", "f", "-")
+            .edge("f", "d", "-")
+            .build();
+        let bc = betweenness(&g);
+        let c = bc[2];
+        let d = bc[3];
+        assert!(c > bc[0] && d > bc[4], "bridge endpoints dominate: {bc:?}");
+    }
+
+    #[test]
+    fn closeness_of_star_center_is_highest() {
+        let g = star();
+        let c = closeness(&g);
+        assert_eq!(c[0], 1.0); // center reaches everyone in 1 hop
+        assert!((c[1] - 4.0 / 7.0).abs() < 1e-12); // leaf: 4 reachable, Σd = 1+2+2+2
+        assert!(c[0] > c[1]);
+    }
+
+    #[test]
+    fn closeness_of_disconnected_component_scales_down() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .node("z", "Z")
+            .build();
+        let c = closeness(&g);
+        // a reaches 1 of 2 other nodes at distance 1: (1/2)·(1/1) = 0.5
+        assert_eq!(c[0], 0.5);
+        assert_eq!(c[2], 0.0);
+    }
+
+    #[test]
+    fn top_k_orders_by_score_then_id() {
+        let g = star();
+        let pr = pagerank(&g, 0.85, 30);
+        let top = top_k(&g, &pr, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, NodeId(0));
+        // leaves tie; the smallest id wins second place
+        assert_eq!(top[1].0, NodeId(1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::Graph::undirected();
+        assert!(pagerank(&g, 0.85, 10).is_empty());
+        assert!(betweenness(&g).is_empty());
+    }
+}

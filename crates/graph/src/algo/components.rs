@@ -1,0 +1,122 @@
+//! Connected components (undirected semantics).
+
+use crate::graph::{Graph, NodeId};
+
+/// Result of [`connected_components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component index per node slot (`None` for removed slots).
+    pub assignment: Vec<Option<usize>>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// The component containing `v`, if `v` is live.
+    pub fn component_of(&self, v: NodeId) -> Option<usize> {
+        self.assignment.get(v.index()).copied().flatten()
+    }
+
+    /// Nodes grouped by component, ordered by component index.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (i, c) in self.assignment.iter().enumerate() {
+            if let Some(c) = c {
+                groups[*c].push(NodeId(i as u32));
+            }
+        }
+        groups
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest_size(&self) -> usize {
+        self.groups().iter().map(|g| g.len()).max().unwrap_or(0)
+    }
+}
+
+/// Computes connected components by repeated BFS.
+pub fn connected_components(g: &Graph) -> Components {
+    let mut assignment: Vec<Option<usize>> = vec![None; g.node_bound()];
+    let mut count = 0;
+    for start in g.node_ids() {
+        if assignment[start.index()].is_some() {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        assignment[start.index()] = Some(count);
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for (w, _) in g.undirected_neighbors(v) {
+                if assignment[w.index()].is_none() {
+                    assignment[w.index()] = Some(count);
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { assignment, count }
+}
+
+/// True if all live nodes are mutually reachable (empty graphs count as
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).count <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn two_components_detected() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("c", "d", "-")
+            .build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 2);
+        assert_eq!(cc.component_of(NodeId(0)), cc.component_of(NodeId(1)));
+        assert_ne!(cc.component_of(NodeId(0)), cc.component_of(NodeId(2)));
+        assert_eq!(cc.largest_size(), 2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let mut g = crate::Graph::undirected();
+        g.add_node("x");
+        g.add_node("y");
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 2);
+        assert_eq!(cc.groups().len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = crate::Graph::undirected();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).largest_size(), 0);
+    }
+
+    #[test]
+    fn removed_nodes_are_unassigned() {
+        let mut g = crate::Graph::undirected();
+        let a = g.add_node("a");
+        g.add_node("b");
+        g.remove_node(a).unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 1);
+        assert_eq!(cc.component_of(a), None);
+    }
+
+    #[test]
+    fn directed_graph_uses_weak_connectivity() {
+        let g = GraphBuilder::directed()
+            .edge("a", "b", "r")
+            .edge("c", "b", "r")
+            .build();
+        assert!(is_connected(&g));
+    }
+}

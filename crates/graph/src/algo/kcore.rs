@@ -1,0 +1,121 @@
+//! k-core decomposition.
+
+use crate::graph::{Graph, NodeId};
+
+/// Core number per node slot (`None` for removed slots).
+///
+/// The core number of `v` is the largest `k` such that `v` belongs to a
+/// subgraph in which every node has degree ≥ `k`. Computed by the standard
+/// peeling algorithm (undirected semantics).
+pub fn core_numbers(g: &Graph) -> Vec<Option<usize>> {
+    let bound = g.node_bound();
+    let mut degree: Vec<usize> = vec![0; bound];
+    let mut alive: Vec<bool> = vec![false; bound];
+    for v in g.node_ids() {
+        degree[v.index()] = g.total_degree(v);
+        alive[v.index()] = true;
+    }
+    let mut core: Vec<Option<usize>> = vec![None; bound];
+    let mut remaining: Vec<NodeId> = g.node_ids().collect();
+    let mut k = 0usize;
+    while !remaining.is_empty() {
+        // Peel all nodes of degree ≤ k; if none, increment k.
+        let mut peel: Vec<NodeId> = remaining
+            .iter()
+            .copied()
+            .filter(|v| degree[v.index()] <= k)
+            .collect();
+        if peel.is_empty() {
+            k += 1;
+            continue;
+        }
+        while let Some(v) = peel.pop() {
+            if !alive[v.index()] {
+                continue;
+            }
+            alive[v.index()] = false;
+            core[v.index()] = Some(k);
+            for (w, _) in g.undirected_neighbors(v) {
+                if alive[w.index()] {
+                    degree[w.index()] -= 1;
+                    if degree[w.index()] <= k {
+                        peel.push(w);
+                    }
+                }
+            }
+        }
+        remaining.retain(|v| alive[v.index()]);
+    }
+    core
+}
+
+/// The nodes of the maximal `k`-core (possibly empty).
+pub fn k_core(g: &Graph, k: usize) -> Vec<NodeId> {
+    core_numbers(g)
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_some_and(|c| c >= k))
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+/// Degeneracy: the maximum core number (0 for empty graphs).
+pub fn degeneracy(g: &Graph) -> usize {
+    core_numbers(g).into_iter().flatten().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_with_tail() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .edge("c", "a", "-")
+            .edge("c", "d", "-")
+            .build();
+        let core = core_numbers(&g);
+        assert_eq!(core[0], Some(2));
+        assert_eq!(core[1], Some(2));
+        assert_eq!(core[2], Some(2));
+        assert_eq!(core[3], Some(1)); // tail node
+        assert_eq!(degeneracy(&g), 2);
+        assert_eq!(k_core(&g, 2).len(), 3);
+        assert!(k_core(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn clique_core_is_n_minus_one() {
+        let mut b = GraphBuilder::undirected();
+        let names = ["a", "b", "c", "d", "e"];
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                b = b.edge(names[i], names[j], "-");
+            }
+        }
+        let g = b.build();
+        assert_eq!(degeneracy(&g), 4);
+        assert_eq!(k_core(&g, 4).len(), 5);
+    }
+
+    #[test]
+    fn isolated_nodes_have_core_zero() {
+        let mut g = crate::Graph::undirected();
+        g.add_node("x");
+        assert_eq!(core_numbers(&g)[0], Some(0));
+        assert_eq!(degeneracy(&g), 0);
+    }
+
+    #[test]
+    fn path_is_one_degenerate() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .build();
+        assert_eq!(degeneracy(&g), 1);
+        assert_eq!(k_core(&g, 1).len(), 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! Graph algorithms backing the ChatGraph analysis APIs.
+//!
+//! Each submodule is a self-contained algorithm family. Unless documented
+//! otherwise, algorithms treat directed graphs as undirected (they traverse
+//! [`crate::Graph::undirected_neighbors`]) because the paper's analysis APIs —
+//! community, connectivity, similarity — are defined on the underlying
+//! undirected structure.
+
+pub mod bridges;
+pub mod centrality;
+pub mod community;
+pub mod components;
+pub mod isomorphism;
+pub mod kcore;
+pub mod motifs;
+pub mod paths;
+pub mod stats;
+pub mod traversal;
+pub mod triangles;

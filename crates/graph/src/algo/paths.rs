@@ -1,0 +1,153 @@
+//! Shortest paths and distance summaries.
+
+use crate::algo::traversal::bfs_distances;
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// One shortest path between `start` and `goal` (unit edge weights), or
+/// `None` if unreachable. The returned path includes both endpoints.
+pub fn shortest_path(g: &Graph, start: NodeId, goal: NodeId) -> Option<Vec<NodeId>> {
+    if !g.contains_node(start) || !g.contains_node(goal) {
+        return None;
+    }
+    if start == goal {
+        return Some(vec![start]);
+    }
+    let mut pred: Vec<Option<NodeId>> = vec![None; g.node_bound()];
+    let mut seen = vec![false; g.node_bound()];
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for (w, _) in g.undirected_neighbors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                pred[w.index()] = Some(v);
+                if w == goal {
+                    let mut path = vec![goal];
+                    let mut cur = goal;
+                    while let Some(p) = pred[cur.index()] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Eccentricity of `v`: the maximum hop distance to any reachable node.
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<usize> {
+    if !g.contains_node(v) {
+        return None;
+    }
+    bfs_distances(g, v, usize::MAX)
+        .into_iter()
+        .flatten()
+        .max()
+}
+
+/// Exact diameter (longest shortest path) of the largest component, by
+/// running BFS from every node. `None` for empty graphs.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    g.node_ids().filter_map(|v| eccentricity(g, v)).max()
+}
+
+/// Average shortest-path length over all ordered reachable pairs.
+/// `None` when there are no reachable pairs.
+pub fn average_path_length(g: &Graph) -> Option<f64> {
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for v in g.node_ids() {
+        for d in bfs_distances(g, v, usize::MAX).into_iter().flatten() {
+            if d > 0 {
+                total += d;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn line5() -> Graph {
+        GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .edge("c", "d", "-")
+            .edge("d", "e", "-")
+            .build()
+    }
+
+    #[test]
+    fn shortest_path_on_line() {
+        let g = line5();
+        let p = shortest_path(&g, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], NodeId(0));
+        assert_eq!(p[4], NodeId(4));
+    }
+
+    #[test]
+    fn shortest_path_prefers_shortcut() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .edge("a", "c", "-")
+            .build();
+        let p = shortest_path(&g, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .node("z", "Z")
+            .build();
+        assert!(shortest_path(&g, NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn trivial_path_to_self() {
+        let g = line5();
+        assert_eq!(shortest_path(&g, NodeId(2), NodeId(2)), Some(vec![NodeId(2)]));
+    }
+
+    #[test]
+    fn diameter_and_eccentricity() {
+        let g = line5();
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(eccentricity(&g, NodeId(2)), Some(2));
+        assert_eq!(eccentricity(&g, NodeId(0)), Some(4));
+    }
+
+    #[test]
+    fn average_path_length_of_triangle() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .edge("c", "a", "-")
+            .build();
+        assert_eq!(average_path_length(&g), Some(1.0));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = crate::Graph::undirected();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(average_path_length(&g), None);
+    }
+}

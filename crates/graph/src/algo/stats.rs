@@ -1,0 +1,144 @@
+//! Whole-graph summary statistics, as consumed by the report APIs.
+
+use crate::algo::components::connected_components;
+use crate::algo::triangles::{global_clustering_coefficient, triangle_count};
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A bundle of cheap structural statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Live node count.
+    pub nodes: usize,
+    /// Live edge count.
+    pub edges: usize,
+    /// Edge density in `[0, 1]` (directed graphs use `n(n-1)` pairs).
+    pub density: f64,
+    /// Minimum total degree.
+    pub min_degree: usize,
+    /// Maximum total degree.
+    pub max_degree: usize,
+    /// Mean total degree.
+    pub avg_degree: f64,
+    /// Number of connected components (weak, for directed graphs).
+    pub components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Number of triangles.
+    pub triangles: usize,
+    /// Global clustering coefficient (transitivity).
+    pub clustering: f64,
+    /// Number of distinct node labels.
+    pub distinct_labels: usize,
+}
+
+/// Computes [`GraphStats`] for a graph.
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let possible = if g.is_directed() {
+        n.saturating_mul(n.saturating_sub(1))
+    } else {
+        n.saturating_mul(n.saturating_sub(1)) / 2
+    };
+    let density = if possible == 0 {
+        0.0
+    } else {
+        m as f64 / possible as f64
+    };
+    let degrees: Vec<usize> = g.node_ids().map(|v| g.total_degree(v)).collect();
+    let cc = connected_components(g);
+    GraphStats {
+        nodes: n,
+        edges: m,
+        density,
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / n as f64
+        },
+        components: cc.count,
+        largest_component: cc.largest_size(),
+        triangles: triangle_count(g),
+        clustering: global_clustering_coefficient(g),
+        distinct_labels: g.label_histogram().len(),
+    }
+}
+
+/// Degree histogram: `histogram[d]` = number of nodes with total degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.node_ids() {
+        let d = g.total_degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_stats() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .edge("c", "a", "-")
+            .build();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.density, 1.0);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.avg_degree, 2.0);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.triangles, 1);
+        assert_eq!(s.clustering, 1.0);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let s = graph_stats(&crate::Graph::undirected());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn directed_density_uses_ordered_pairs() {
+        let g = GraphBuilder::directed().edge("a", "b", "r").build();
+        let s = graph_stats(&g);
+        assert_eq!(s.density, 0.5); // 1 edge of 2 possible ordered pairs
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        // star: center degree 3, leaves degree 1
+        let g = GraphBuilder::undirected()
+            .edge("c", "a", "-")
+            .edge("c", "b", "-")
+            .edge("c", "d", "-")
+            .build();
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 3);
+        assert_eq!(h[3], 1);
+    }
+
+    #[test]
+    fn distinct_labels_counted() {
+        let g = GraphBuilder::undirected()
+            .node("a", "C")
+            .node("b", "C")
+            .node("c", "O")
+            .build();
+        assert_eq!(graph_stats(&g).distinct_labels, 2);
+    }
+}

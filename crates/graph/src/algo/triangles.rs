@@ -1,0 +1,140 @@
+//! Triangle counting and clustering coefficients.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::HashSet;
+
+fn neighbor_sets(g: &Graph) -> Vec<HashSet<NodeId>> {
+    let mut sets = vec![HashSet::new(); g.node_bound()];
+    for e in g.edge_ids() {
+        let (a, b) = g.edge_endpoints(e).expect("live edge");
+        sets[a.index()].insert(b);
+        sets[b.index()].insert(a);
+    }
+    sets
+}
+
+/// Counts triangles (unordered node triples with all three edges present).
+/// Directed graphs are treated as undirected.
+pub fn triangle_count(g: &Graph) -> usize {
+    let sets = neighbor_sets(g);
+    let mut count = 0usize;
+    for e in g.edge_ids() {
+        let (a, b) = g.edge_endpoints(e).expect("live edge");
+        // Count common neighbours w with w > max(a, b) to count each triangle
+        // exactly once per its lexicographically largest vertex.
+        let hi = a.max(b);
+        count += sets[a.index()]
+            .intersection(&sets[b.index()])
+            .filter(|&&w| w > hi)
+            .count();
+    }
+    count
+}
+
+/// Per-node local clustering coefficient: fraction of a node's neighbour
+/// pairs that are themselves adjacent. Nodes of degree < 2 get 0.
+pub fn local_clustering(g: &Graph) -> Vec<f64> {
+    let sets = neighbor_sets(g);
+    let mut out = vec![0.0; g.node_bound()];
+    for v in g.node_ids() {
+        let nbrs: Vec<NodeId> = sets[v.index()].iter().copied().collect();
+        let k = nbrs.len();
+        if k < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if sets[nbrs[i].index()].contains(&nbrs[j]) {
+                    links += 1;
+                }
+            }
+        }
+        out[v.index()] = 2.0 * links as f64 / (k * (k - 1)) as f64;
+    }
+    out
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 × triangles / number of connected triples`.
+pub fn global_clustering_coefficient(g: &Graph) -> f64 {
+    let sets = neighbor_sets(g);
+    let triples: usize = g
+        .node_ids()
+        .map(|v| {
+            let k = sets[v.index()].len();
+            k * k.saturating_sub(1) / 2
+        })
+        .sum();
+    if triples == 0 {
+        0.0
+    } else {
+        3.0 * triangle_count(g) as f64 / triples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> Graph {
+        GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .edge("c", "a", "-")
+            .edge("c", "d", "-")
+            .build()
+    }
+
+    #[test]
+    fn counts_single_triangle() {
+        assert_eq!(triangle_count(&triangle_plus_tail()), 1);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("a", "c", "-")
+            .edge("a", "d", "-")
+            .edge("b", "c", "-")
+            .edge("b", "d", "-")
+            .edge("c", "d", "-")
+            .build();
+        assert_eq!(triangle_count(&g), 4);
+        assert_eq!(global_clustering_coefficient(&g), 1.0);
+    }
+
+    #[test]
+    fn tree_has_no_triangles() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("a", "c", "-")
+            .build();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn local_clustering_values() {
+        let g = triangle_plus_tail();
+        let lc = local_clustering(&g);
+        // a: neighbours {b, c}, edge (b,c) present → 1.0
+        assert_eq!(lc[0], 1.0);
+        // c: neighbours {a, b, d}, 1 of 3 pairs linked → 1/3
+        assert!((lc[2] - 1.0 / 3.0).abs() < 1e-12);
+        // d: degree 1 → 0
+        assert_eq!(lc[3], 0.0);
+    }
+
+    #[test]
+    fn directed_triangle_counts_as_undirected() {
+        let g = GraphBuilder::directed()
+            .edge("a", "b", "r")
+            .edge("b", "c", "r")
+            .edge("a", "c", "r")
+            .build();
+        assert_eq!(triangle_count(&g), 1);
+    }
+}

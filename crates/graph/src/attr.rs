@@ -1,0 +1,191 @@
+//! Node/edge attribute values.
+//!
+//! Attributes are small typed values attached to nodes and edges. They carry
+//! domain payloads the analysis APIs read (e.g. an atom's `element`, a social
+//! user's `age`, a knowledge-graph relation's `confidence`). A [`BTreeMap`] is
+//! used so iteration order — and therefore serialised output and sequentialised
+//! token streams — is deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dynamically typed attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum AttrValue {
+    /// Boolean flag, e.g. `verified = true`.
+    Bool(bool),
+    /// 64-bit integer, e.g. `age = 31`.
+    Int(i64),
+    /// 64-bit float, e.g. `confidence = 0.93`.
+    Float(f64),
+    /// UTF-8 text, e.g. `name = "alice"`.
+    Text(String),
+}
+
+impl AttrValue {
+    /// Returns the integer payload, if this is an [`AttrValue::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload; integers are widened to `f64`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            AttrValue::Float(v) => Some(*v),
+            AttrValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the text payload, if this is an [`AttrValue::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is an [`AttrValue::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Name of the contained type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Bool(_) => "bool",
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Text(_) => "text",
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Bool(v) => write!(f, "{v}"),
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Text(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Text(v.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Text(v)
+    }
+}
+
+/// An ordered attribute map.
+///
+/// Deterministic iteration order matters: the sequentialiser turns attributes
+/// into LLM tokens and the tests assert byte-identical output across runs.
+pub type Attrs = BTreeMap<String, AttrValue>;
+
+/// Builds an [`Attrs`] map from `(key, value)` pairs.
+///
+/// ```
+/// use chatgraph_graph::attr::{attrs, AttrValue};
+/// let a = attrs([("age", AttrValue::Int(30)), ("name", "bob".into())]);
+/// assert_eq!(a["age"].as_int(), Some(30));
+/// ```
+pub fn attrs<I, K>(pairs: I) -> Attrs
+where
+    I: IntoIterator<Item = (K, AttrValue)>,
+    K: Into<String>,
+{
+    pairs.into_iter().map(|(k, v)| (k.into(), v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_matching_variant_only() {
+        assert_eq!(AttrValue::Int(3).as_int(), Some(3));
+        assert_eq!(AttrValue::Int(3).as_text(), None);
+        assert_eq!(AttrValue::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(AttrValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(AttrValue::Float(1.5).as_float(), Some(1.5));
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        assert_eq!(AttrValue::Int(2).as_float(), Some(2.0));
+    }
+
+    #[test]
+    fn display_is_plain() {
+        assert_eq!(AttrValue::Text("hi".into()).to_string(), "hi");
+        assert_eq!(AttrValue::Int(-4).to_string(), "-4");
+        assert_eq!(AttrValue::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn from_impls_build_expected_variants() {
+        assert_eq!(AttrValue::from(1i64), AttrValue::Int(1));
+        assert_eq!(AttrValue::from(1i32), AttrValue::Int(1));
+        assert_eq!(AttrValue::from(true), AttrValue::Bool(true));
+        assert_eq!(AttrValue::from(0.5), AttrValue::Float(0.5));
+        assert_eq!(AttrValue::from("a"), AttrValue::Text("a".into()));
+    }
+
+    #[test]
+    fn attrs_helper_builds_sorted_map() {
+        let a = attrs([("z", AttrValue::Int(1)), ("a", AttrValue::Int(2))]);
+        let keys: Vec<_> = a.keys().cloned().collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(AttrValue::Bool(true).type_name(), "bool");
+        assert_eq!(AttrValue::Int(1).type_name(), "int");
+        assert_eq!(AttrValue::Float(1.0).type_name(), "float");
+        assert_eq!(AttrValue::Text(String::new()).type_name(), "text");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = attrs([("k", AttrValue::Float(2.5)), ("n", "x".into())]);
+        let s = serde_json::to_string(&a).unwrap();
+        let back: Attrs = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, back);
+    }
+}

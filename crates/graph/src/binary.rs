@@ -1,0 +1,297 @@
+//! Compact binary graph serialisation.
+//!
+//! JSON round-trips are lossless but verbose; the similarity-search database
+//! (hundreds of molecules) and cleaned-graph exports benefit from a compact
+//! format. The encoding is a simple length-prefixed layout over [`bytes`]:
+//!
+//! ```text
+//! magic "CGRB" | version u8 | directed u8 | name | n_nodes u32 | nodes… |
+//! n_edges u32 | edges…
+//! node  := label | n_attrs u16 | (key, value)…
+//! edge  := src u32 | dst u32 | label | n_attrs u16 | (key, value)…
+//! value := tag u8 (0 bool, 1 int, 2 float, 3 text) | payload
+//! string := len u32 | utf8 bytes
+//! ```
+//!
+//! Only live elements are written; ids are re-densified on decode (the
+//! encoding of a tombstoned graph equals the encoding of its
+//! [`Graph::compact`]).
+
+use crate::attr::{AttrValue, Attrs};
+use crate::graph::{Direction, Graph, NodeId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"CGRB";
+const VERSION: u8 = 1;
+
+/// Binary decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinaryError {
+    /// Missing or wrong magic/version header.
+    BadHeader,
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// An attribute value had an unknown tag.
+    BadTag(u8),
+    /// An edge referenced an out-of-range node.
+    BadEdge,
+}
+
+impl fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinaryError::BadHeader => write!(f, "missing CGRB header or wrong version"),
+            BinaryError::Truncated => write!(f, "buffer truncated"),
+            BinaryError::BadUtf8 => write!(f, "invalid utf-8 string"),
+            BinaryError::BadTag(t) => write!(f, "unknown attribute tag {t}"),
+            BinaryError::BadEdge => write!(f, "edge references unknown node"),
+        }
+    }
+}
+
+impl std::error::Error for BinaryError {}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_attrs(buf: &mut BytesMut, attrs: &Attrs) {
+    buf.put_u16_le(attrs.len() as u16);
+    for (k, v) in attrs {
+        put_string(buf, k);
+        match v {
+            AttrValue::Bool(b) => {
+                buf.put_u8(0);
+                buf.put_u8(*b as u8);
+            }
+            AttrValue::Int(i) => {
+                buf.put_u8(1);
+                buf.put_i64_le(*i);
+            }
+            AttrValue::Float(x) => {
+                buf.put_u8(2);
+                buf.put_f64_le(*x);
+            }
+            AttrValue::Text(t) => {
+                buf.put_u8(3);
+                put_string(buf, t);
+            }
+        }
+    }
+}
+
+/// Serialises a graph to the compact binary format.
+pub fn to_bytes(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + 32 * g.node_count() + 24 * g.edge_count());
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(g.is_directed() as u8);
+    put_string(&mut buf, g.name());
+    // Dense re-numbering of live nodes.
+    let ids: Vec<NodeId> = g.node_ids().collect();
+    let mut dense = vec![u32::MAX; g.node_bound()];
+    for (i, &v) in ids.iter().enumerate() {
+        dense[v.index()] = i as u32;
+    }
+    buf.put_u32_le(ids.len() as u32);
+    for &v in &ids {
+        put_string(&mut buf, g.node_label(v).expect("live node"));
+        put_attrs(&mut buf, g.node_attrs(v).expect("live node"));
+    }
+    let edges: Vec<_> = g.edge_ids().collect();
+    buf.put_u32_le(edges.len() as u32);
+    for e in edges {
+        let (s, d) = g.edge_endpoints(e).expect("live edge");
+        buf.put_u32_le(dense[s.index()]);
+        buf.put_u32_le(dense[d.index()]);
+        put_string(&mut buf, g.edge_label(e).expect("live edge"));
+        put_attrs(&mut buf, g.edge_attrs(e).expect("live edge"));
+    }
+    buf.freeze()
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, BinaryError> {
+    if buf.remaining() < 4 {
+        return Err(BinaryError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(BinaryError::Truncated);
+    }
+    let raw = buf[..len].to_vec();
+    buf.advance(len);
+    String::from_utf8(raw).map_err(|_| BinaryError::BadUtf8)
+}
+
+fn get_attrs(buf: &mut &[u8]) -> Result<Attrs, BinaryError> {
+    if buf.remaining() < 2 {
+        return Err(BinaryError::Truncated);
+    }
+    let n = buf.get_u16_le() as usize;
+    let mut attrs = Attrs::new();
+    for _ in 0..n {
+        let key = get_string(buf)?;
+        if buf.remaining() < 1 {
+            return Err(BinaryError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let value = match tag {
+            0 => {
+                if buf.remaining() < 1 {
+                    return Err(BinaryError::Truncated);
+                }
+                AttrValue::Bool(buf.get_u8() != 0)
+            }
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(BinaryError::Truncated);
+                }
+                AttrValue::Int(buf.get_i64_le())
+            }
+            2 => {
+                if buf.remaining() < 8 {
+                    return Err(BinaryError::Truncated);
+                }
+                AttrValue::Float(buf.get_f64_le())
+            }
+            3 => AttrValue::Text(get_string(buf)?),
+            other => return Err(BinaryError::BadTag(other)),
+        };
+        attrs.insert(key, value);
+    }
+    Ok(attrs)
+}
+
+/// Deserialises a graph from the compact binary format.
+pub fn from_bytes(data: &[u8]) -> Result<Graph, BinaryError> {
+    let mut buf = data;
+    if buf.remaining() < 6 || &buf[..4] != MAGIC {
+        return Err(BinaryError::BadHeader);
+    }
+    buf.advance(4);
+    if buf.get_u8() != VERSION {
+        return Err(BinaryError::BadHeader);
+    }
+    let directed = buf.get_u8() != 0;
+    let mut g = Graph::new(if directed {
+        Direction::Directed
+    } else {
+        Direction::Undirected
+    });
+    g.set_name(get_string(&mut buf)?);
+    if buf.remaining() < 4 {
+        return Err(BinaryError::Truncated);
+    }
+    let n_nodes = buf.get_u32_le() as usize;
+    let mut ids = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let label = get_string(&mut buf)?;
+        let attrs = get_attrs(&mut buf)?;
+        ids.push(g.add_node_with_attrs(label, attrs));
+    }
+    if buf.remaining() < 4 {
+        return Err(BinaryError::Truncated);
+    }
+    let n_edges = buf.get_u32_le() as usize;
+    for _ in 0..n_edges {
+        if buf.remaining() < 8 {
+            return Err(BinaryError::Truncated);
+        }
+        let s = buf.get_u32_le() as usize;
+        let d = buf.get_u32_le() as usize;
+        let label = get_string(&mut buf)?;
+        let attrs = get_attrs(&mut buf)?;
+        let (&sid, &did) = (
+            ids.get(s).ok_or(BinaryError::BadEdge)?,
+            ids.get(d).ok_or(BinaryError::BadEdge)?,
+        );
+        g.add_edge_with_attrs(sid, did, label, attrs)
+            .map_err(|_| BinaryError::BadEdge)?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attrs;
+    use crate::generators::{knowledge_graph, molecule, KgParams, MoleculeParams};
+    use crate::io;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut g = molecule(&MoleculeParams::default(), 3);
+        let v = g.node_ids().next().unwrap();
+        g.node_attrs_mut(v).unwrap().extend(attrs([
+            ("flag", AttrValue::Bool(true)),
+            ("charge", AttrValue::Int(-1)),
+            ("mass", AttrValue::Float(12.011)),
+            ("note", "aromatic".into()),
+        ]));
+        let bytes = to_bytes(&g);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.name(), g.name());
+        assert_eq!(back.label_histogram(), g.label_histogram());
+        assert_eq!(back.node_attrs(v).unwrap(), g.node_attrs(v).unwrap());
+    }
+
+    #[test]
+    fn directed_graphs_keep_orientation() {
+        let g = knowledge_graph(&KgParams { persons: 5, ..KgParams::default() }, 2);
+        let back = from_bytes(&to_bytes(&g)).unwrap();
+        assert!(back.is_directed());
+        assert_eq!(back.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn tombstoned_graph_encodes_as_its_compaction() {
+        let mut g = molecule(&MoleculeParams::default(), 4);
+        let victim = g.node_ids().nth(3).unwrap();
+        g.remove_node(victim).unwrap();
+        let direct = to_bytes(&g);
+        let (compacted, _) = g.compact();
+        assert_eq!(direct, to_bytes(&compacted));
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let g = molecule(&MoleculeParams::default(), 5);
+        let bin = to_bytes(&g);
+        let json = io::to_json(&g);
+        assert!(
+            bin.len() * 2 < json.len(),
+            "binary {} vs json {}",
+            bin.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected_not_panicking() {
+        assert_eq!(from_bytes(b""), Err(BinaryError::BadHeader));
+        assert_eq!(from_bytes(b"XXXX\x01\x00"), Err(BinaryError::BadHeader));
+        let good = to_bytes(&molecule(&MoleculeParams::default(), 1));
+        // Truncate at every prefix length: must error, never panic.
+        for cut in 0..good.len().min(200) {
+            let _ = from_bytes(&good[..cut]);
+        }
+        // Flip the version byte.
+        let mut bad = good.to_vec();
+        bad[4] = 99;
+        assert_eq!(from_bytes(&bad), Err(BinaryError::BadHeader));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = Graph::undirected();
+        let back = from_bytes(&to_bytes(&g)).unwrap();
+        assert_eq!(back.node_count(), 0);
+        assert_eq!(back.edge_count(), 0);
+    }
+}

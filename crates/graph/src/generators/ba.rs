@@ -1,0 +1,111 @@
+//! Barabási–Albert preferential-attachment graphs.
+
+use crate::graph::Graph;
+use rand::RngExt;
+
+/// Parameters for [`barabasi_albert`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaParams {
+    /// Total number of nodes (must be > `attach`).
+    pub nodes: usize,
+    /// Edges added per arriving node.
+    pub attach: usize,
+}
+
+impl Default for BaParams {
+    fn default() -> Self {
+        BaParams {
+            nodes: 100,
+            attach: 2,
+        }
+    }
+}
+
+/// Samples an undirected preferential-attachment graph.
+///
+/// Starts from a clique of `attach + 1` seed nodes; every arriving node
+/// attaches to `attach` distinct existing nodes chosen proportionally to
+/// degree (implemented with the standard repeated-endpoint trick).
+pub fn barabasi_albert(params: &BaParams, seed: u64) -> Graph {
+    let m = params.attach.max(1);
+    let n = params.nodes.max(m + 1);
+    let mut rng = super::rng(seed);
+    let mut g = Graph::undirected();
+    g.set_name(format!("ba-{}-{}", n, seed));
+    let ids: Vec<_> = (0..n).map(|_| g.add_node("n")).collect();
+
+    // `endpoints` holds every edge endpoint seen so far; uniform sampling from
+    // it is degree-proportional sampling.
+    let mut endpoints = Vec::with_capacity(2 * n * m);
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            g.add_edge(ids[i], ids[j], "-").expect("seed clique");
+            endpoints.push(ids[i]);
+            endpoints.push(ids[j]);
+        }
+    }
+
+    for &new_node in ids.iter().take(n).skip(m + 1) {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != new_node && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for t in chosen {
+            g.add_edge(new_node, t, "-").expect("distinct targets");
+            endpoints.push(new_node);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_model() {
+        let p = BaParams {
+            nodes: 80,
+            attach: 3,
+        };
+        let g = barabasi_albert(&p, 2);
+        assert_eq!(g.node_count(), 80);
+        // clique edges + m per arrival
+        let expected = 3 * (3 + 1) / 2 + (80 - 4) * 3;
+        assert_eq!(g.edge_count(), expected);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(
+            &BaParams {
+                nodes: 300,
+                attach: 2,
+            },
+            7,
+        );
+        let mut degs: Vec<usize> = g.node_ids().map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        let max = *degs.last().unwrap();
+        let median = degs[degs.len() / 2];
+        // Hubs emerge: max degree far exceeds the median.
+        assert!(max >= 4 * median, "max {max}, median {median}");
+    }
+
+    #[test]
+    fn degenerate_params_are_clamped() {
+        let g = barabasi_albert(
+            &BaParams {
+                nodes: 0,
+                attach: 0,
+            },
+            1,
+        );
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

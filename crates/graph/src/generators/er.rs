@@ -1,0 +1,95 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+
+use crate::graph::Graph;
+use rand::RngExt;
+
+/// Parameters for [`erdos_renyi`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Independent probability of each possible edge.
+    pub edge_prob: f64,
+}
+
+impl Default for ErParams {
+    fn default() -> Self {
+        ErParams {
+            nodes: 100,
+            edge_prob: 0.05,
+        }
+    }
+}
+
+/// Samples an undirected `G(n, p)` graph. Nodes are labelled `"n"`.
+pub fn erdos_renyi(params: &ErParams, seed: u64) -> Graph {
+    let mut rng = super::rng(seed);
+    let mut g = Graph::undirected();
+    g.set_name(format!("er-{}-{}", params.nodes, seed));
+    let ids: Vec<_> = (0..params.nodes).map(|_| g.add_node("n")).collect();
+    for i in 0..params.nodes {
+        for j in (i + 1)..params.nodes {
+            if rng.random_bool(params.edge_prob.clamp(0.0, 1.0)) {
+                g.add_edge(ids[i], ids[j], "-")
+                    .expect("i < j pairs are unique");
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_matches() {
+        let g = erdos_renyi(
+            &ErParams {
+                nodes: 50,
+                edge_prob: 0.1,
+            },
+            1,
+        );
+        assert_eq!(g.node_count(), 50);
+    }
+
+    #[test]
+    fn p_zero_yields_no_edges_p_one_yields_complete() {
+        let empty = erdos_renyi(
+            &ErParams {
+                nodes: 10,
+                edge_prob: 0.0,
+            },
+            1,
+        );
+        assert_eq!(empty.edge_count(), 0);
+        let complete = erdos_renyi(
+            &ErParams {
+                nodes: 10,
+                edge_prob: 1.0,
+            },
+            1,
+        );
+        assert_eq!(complete.edge_count(), 45);
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let p = 0.08;
+        let n = 200usize;
+        let g = erdos_renyi(
+            &ErParams {
+                nodes: n,
+                edge_prob: p,
+            },
+            99,
+        );
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = g.edge_count() as f64;
+        assert!(
+            (actual - expected).abs() < 0.2 * expected,
+            "actual {actual} vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Rule-based knowledge graphs with controllable corruption.
+//!
+//! Scenario 3 of the paper ("Chat-based Graph Cleaning") detects *incorrect*
+//! and *missing* edges in a knowledge graph. To evaluate a cleaner one needs
+//! ground truth, so this generator builds a KG that satisfies a fixed relation
+//! schema exactly, and [`corrupt_kg`] then injects violations while recording
+//! what it broke.
+//!
+//! ## Schema
+//!
+//! Entity types: `Person`, `City`, `Country`, `Company`.
+//!
+//! | relation | domain → range | cardinality |
+//! |---|---|---|
+//! | `lives_in` | Person → City | exactly 1 per person |
+//! | `located_in` | City → Country | exactly 1 per city |
+//! | `works_at` | Person → Company | at most 1 per person |
+//! | `based_in` | Company → City | exactly 1 per company |
+//! | `nationality` | Person → Country | derived: `lives_in ∘ located_in` |
+//! | `knows` | Person → Person | arbitrary |
+//!
+//! The composition rule `nationality(p) = located_in(lives_in(p))` is what the
+//! knowledge-inference APIs exploit to find wrong and missing facts.
+
+use crate::graph::{Graph, NodeId};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// `(relation, domain type, range type)` triples of the fixed schema.
+pub const RELATION_SCHEMA: &[(&str, &str, &str)] = &[
+    ("lives_in", "Person", "City"),
+    ("located_in", "City", "Country"),
+    ("works_at", "Person", "Company"),
+    ("based_in", "Company", "City"),
+    ("nationality", "Person", "Country"),
+    ("knows", "Person", "Person"),
+];
+
+/// Parameters for [`knowledge_graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KgParams {
+    /// Number of `Person` entities.
+    pub persons: usize,
+    /// Number of `City` entities.
+    pub cities: usize,
+    /// Number of `Country` entities.
+    pub countries: usize,
+    /// Number of `Company` entities.
+    pub companies: usize,
+    /// Probability a person works at some company.
+    pub employment_rate: f64,
+    /// Expected `knows` edges per person.
+    pub knows_per_person: f64,
+}
+
+impl Default for KgParams {
+    fn default() -> Self {
+        KgParams {
+            persons: 100,
+            cities: 15,
+            countries: 5,
+            companies: 12,
+            employment_rate: 0.7,
+            knows_per_person: 2.0,
+        }
+    }
+}
+
+/// Samples a schema-consistent directed knowledge graph.
+///
+/// Node labels are entity types; each node carries a `name` attribute.
+pub fn knowledge_graph(params: &KgParams, seed: u64) -> Graph {
+    let mut rng = super::rng(seed);
+    let mut g = Graph::directed();
+    g.set_name(format!("kg-{}-{}", params.persons, seed));
+
+    let mk = |g: &mut Graph, ty: &str, name: String| -> NodeId {
+        let id = g.add_node(ty);
+        g.set_node_attr(id, "name", name).expect("node exists");
+        id
+    };
+    let countries: Vec<_> = (0..params.countries.max(1))
+        .map(|i| mk(&mut g, "Country", format!("country{i}")))
+        .collect();
+    let cities: Vec<_> = (0..params.cities.max(1))
+        .map(|i| mk(&mut g, "City", format!("city{i}")))
+        .collect();
+    let companies: Vec<_> = (0..params.companies)
+        .map(|i| mk(&mut g, "Company", format!("company{i}")))
+        .collect();
+    let persons: Vec<_> = (0..params.persons)
+        .map(|i| mk(&mut g, "Person", format!("person{i}")))
+        .collect();
+
+    // Every city sits in exactly one country.
+    let mut city_country = Vec::with_capacity(cities.len());
+    for &c in &cities {
+        let u = countries[rng.random_range(0..countries.len())];
+        g.add_edge(c, u, "located_in").expect("one per city");
+        city_country.push(u);
+    }
+    // Every company is based in one city.
+    for &o in &companies {
+        let c = rng.random_range(0..cities.len());
+        g.add_edge(o, cities[c], "based_in").expect("one per company");
+    }
+    // Persons: lives_in (1), derived nationality, optional works_at, knows.
+    for &p in &persons {
+        let c = rng.random_range(0..cities.len());
+        g.add_edge(p, cities[c], "lives_in").expect("one per person");
+        g.add_edge(p, city_country[c], "nationality")
+            .expect("one per person");
+        if !companies.is_empty() && rng.random_bool(params.employment_rate) {
+            let o = companies[rng.random_range(0..companies.len())];
+            g.add_edge(p, o, "works_at").expect("one per person");
+        }
+    }
+    let know_edges = (params.persons as f64 * params.knows_per_person) as usize;
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < know_edges && attempts < know_edges * 20 && persons.len() > 1 {
+        attempts += 1;
+        let a = persons[rng.random_range(0..persons.len())];
+        let b = persons[rng.random_range(0..persons.len())];
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b, "knows").expect("checked");
+            added += 1;
+        }
+    }
+    g
+}
+
+/// A record of the corruption injected by [`corrupt_kg`], i.e. the cleaning
+/// ground truth.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CorruptionReport {
+    /// Edges that were rewired to a wrong target (now incorrect facts),
+    /// as `(src, wrong_dst, relation)`.
+    pub injected_wrong: Vec<(NodeId, NodeId, String)>,
+    /// Correct facts that were deleted (now missing), as
+    /// `(src, dst, relation)`.
+    pub removed: Vec<(NodeId, NodeId, String)>,
+}
+
+/// Corrupts a clean KG in place: rewires a fraction `wrong_rate` of
+/// `nationality` edges to a wrong country and deletes a fraction
+/// `missing_rate` of them outright. Returns the ground truth.
+///
+/// Only `nationality` is touched because it is the relation the composition
+/// rule can both *verify* and *re-derive* — exactly the paper's "detect the
+/// incorrect edges and the missing edges" workflow.
+pub fn corrupt_kg(g: &mut Graph, wrong_rate: f64, missing_rate: f64, seed: u64) -> CorruptionReport {
+    let mut rng = super::rng(seed ^ 0x5eed_c0de);
+    let mut report = CorruptionReport::default();
+
+    let countries: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&v| g.node_label(v).unwrap() == "Country")
+        .collect();
+    let nationality_edges: Vec<_> = g
+        .edge_ids()
+        .filter(|&e| g.edge_label(e).unwrap() == "nationality")
+        .collect();
+
+    for e in nationality_edges {
+        let (src, dst) = g.edge_endpoints(e).expect("live edge");
+        let roll = rng.random::<f64>();
+        if roll < wrong_rate && countries.len() > 1 {
+            // Rewire to a different country.
+            let mut wrong = dst;
+            while wrong == dst {
+                wrong = countries[rng.random_range(0..countries.len())];
+            }
+            g.remove_edge(e).expect("live edge");
+            g.add_edge(src, wrong, "nationality").expect("rewired edge is new");
+            report.injected_wrong.push((src, wrong, "nationality".into()));
+            report.removed.push((src, dst, "nationality".into()));
+        } else if roll < wrong_rate + missing_rate {
+            g.remove_edge(e).expect("live edge");
+            report.removed.push((src, dst, "nationality".into()));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_rel(g: &Graph, rel: &str) -> usize {
+        g.edge_ids()
+            .filter(|&e| g.edge_label(e).unwrap() == rel)
+            .count()
+    }
+
+    #[test]
+    fn schema_cardinalities_hold() {
+        let p = KgParams::default();
+        let g = knowledge_graph(&p, 4);
+        assert_eq!(count_rel(&g, "lives_in"), p.persons);
+        assert_eq!(count_rel(&g, "located_in"), p.cities);
+        assert_eq!(count_rel(&g, "based_in"), p.companies);
+        assert_eq!(count_rel(&g, "nationality"), p.persons);
+    }
+
+    #[test]
+    fn nationality_follows_composition() {
+        let g = knowledge_graph(&KgParams::default(), 8);
+        for p in g.node_ids().filter(|&v| g.node_label(v).unwrap() == "Person") {
+            let city = g
+                .neighbors(p)
+                .find(|&(_, e)| g.edge_label(e).unwrap() == "lives_in")
+                .map(|(v, _)| v)
+                .expect("everyone lives somewhere");
+            let country = g
+                .neighbors(city)
+                .find(|&(_, e)| g.edge_label(e).unwrap() == "located_in")
+                .map(|(v, _)| v)
+                .expect("every city is in a country");
+            let nat = g
+                .neighbors(p)
+                .find(|&(_, e)| g.edge_label(e).unwrap() == "nationality")
+                .map(|(v, _)| v)
+                .expect("everyone has a nationality");
+            assert_eq!(nat, country);
+        }
+    }
+
+    #[test]
+    fn relation_types_respect_schema() {
+        let g = knowledge_graph(&KgParams::default(), 2);
+        for e in g.edge_ids() {
+            let (s, d) = g.edge_endpoints(e).unwrap();
+            let rel = g.edge_label(e).unwrap();
+            let (_, dom, rng_ty) = RELATION_SCHEMA
+                .iter()
+                .find(|r| r.0 == rel)
+                .unwrap_or_else(|| panic!("unknown relation {rel}"));
+            assert_eq!(g.node_label(s).unwrap(), *dom);
+            assert_eq!(g.node_label(d).unwrap(), *rng_ty);
+        }
+    }
+
+    #[test]
+    fn corruption_report_matches_mutation() {
+        let mut g = knowledge_graph(&KgParams::default(), 3);
+        let before = count_rel(&g, "nationality");
+        let report = corrupt_kg(&mut g, 0.10, 0.05, 3);
+        let after = count_rel(&g, "nationality");
+        // Every removal not offset by a rewire reduces the count.
+        let pure_removals = report.removed.len() - report.injected_wrong.len();
+        assert_eq!(after, before - pure_removals);
+        assert!(!report.injected_wrong.is_empty());
+        // Each injected wrong edge exists with the wrong target.
+        for (s, d, rel) in &report.injected_wrong {
+            let found = g
+                .neighbors(*s)
+                .any(|(v, e)| v == *d && g.edge_label(e).unwrap() == rel);
+            assert!(found);
+        }
+    }
+
+    #[test]
+    fn zero_rates_are_noop() {
+        let mut g = knowledge_graph(&KgParams::default(), 5);
+        let before = g.edge_count();
+        let report = corrupt_kg(&mut g, 0.0, 0.0, 5);
+        assert_eq!(g.edge_count(), before);
+        assert!(report.injected_wrong.is_empty() && report.removed.is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Planted-partition social networks.
+//!
+//! Scenario 1 of the paper analyses a social network's communities and
+//! connectivity. The planted-partition model produces graphs whose community
+//! structure is known by construction, so community-detection output can be
+//! validated against ground truth.
+
+use crate::graph::Graph;
+use rand::RngExt;
+
+/// Parameters for [`social_network`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialParams {
+    /// Number of planted communities.
+    pub communities: usize,
+    /// Nodes per community.
+    pub community_size: usize,
+    /// Edge probability inside a community.
+    pub p_intra: f64,
+    /// Edge probability across communities.
+    pub p_inter: f64,
+}
+
+impl Default for SocialParams {
+    fn default() -> Self {
+        SocialParams {
+            communities: 4,
+            community_size: 30,
+            p_intra: 0.30,
+            p_inter: 0.01,
+        }
+    }
+}
+
+/// Samples an undirected social network with planted communities.
+///
+/// Nodes are labelled `Person` and carry `name` (e.g. `"user17"`) and
+/// `community` (the planted ground-truth id) attributes; edges are labelled
+/// `friend`. The `community` attribute is ground truth for evaluation — the
+/// analysis APIs never read it.
+pub fn social_network(params: &SocialParams, seed: u64) -> Graph {
+    let mut rng = super::rng(seed);
+    let mut g = Graph::undirected();
+    let n = params.communities * params.community_size;
+    g.set_name(format!("social-{}-{}", n, seed));
+    let mut ids = Vec::with_capacity(n);
+    for c in 0..params.communities {
+        for i in 0..params.community_size {
+            let idx = c * params.community_size + i;
+            let id = g.add_node("Person");
+            g.set_node_attr(id, "name", format!("user{idx}"))
+                .expect("node exists");
+            g.set_node_attr(id, "community", c as i64).expect("node exists");
+            ids.push((id, c));
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = if ids[i].1 == ids[j].1 {
+                params.p_intra
+            } else {
+                params.p_inter
+            };
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(ids[i].0, ids[j].0, "friend")
+                    .expect("unique pair");
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_structure_dominates() {
+        let p = SocialParams::default();
+        let g = social_network(&p, 11);
+        assert_eq!(g.node_count(), 120);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for e in g.edge_ids() {
+            let (a, b) = g.edge_endpoints(e).unwrap();
+            let ca = g.node_attrs(a).unwrap()["community"].as_int().unwrap();
+            let cb = g.node_attrs(b).unwrap()["community"].as_int().unwrap();
+            if ca == cb {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 2 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn labels_and_attrs_present() {
+        let g = social_network(&SocialParams::default(), 3);
+        let v = g.node_ids().next().unwrap();
+        assert_eq!(g.node_label(v).unwrap(), "Person");
+        assert_eq!(g.node_attrs(v).unwrap()["name"].as_text(), Some("user0"));
+        let e = g.edge_ids().next().unwrap();
+        assert_eq!(g.edge_label(e).unwrap(), "friend");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests on the graph data structure itself: arbitrary
+//! interleavings of mutations must never violate the structural invariants.
+
+use chatgraph_graph::{io, Graph, NodeId};
+use proptest::prelude::*;
+
+/// A random mutation script.
+#[derive(Debug, Clone)]
+enum Op {
+    AddNode(u8),
+    AddEdge(u8, u8),
+    RemoveNode(u8),
+    RemoveEdge(u8, u8),
+    Relabel(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::AddNode),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::AddEdge(a, b)),
+        any::<u8>().prop_map(Op::RemoveNode),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::RemoveEdge(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Relabel(a, b)),
+    ]
+}
+
+fn nth_live(g: &Graph, k: u8) -> Option<NodeId> {
+    let n = g.node_count();
+    if n == 0 {
+        None
+    } else {
+        g.node_ids().nth(k as usize % n)
+    }
+}
+
+/// Checks every internal invariant reachable through the public API.
+fn check_invariants(g: &Graph) {
+    // Counts agree with iterator lengths.
+    assert_eq!(g.node_ids().count(), g.node_count());
+    assert_eq!(g.edge_ids().count(), g.edge_count());
+    // Every live edge has live endpoints, and appears in its endpoints'
+    // adjacency in the right multiplicity.
+    for e in g.edge_ids() {
+        let (a, b) = g.edge_endpoints(e).unwrap();
+        assert!(g.contains_node(a) && g.contains_node(b));
+        assert!(g.neighbors(a).any(|(v, ee)| v == b && ee == e));
+        if !g.is_directed() {
+            assert!(g.neighbors(b).any(|(v, ee)| v == a && ee == e));
+        } else {
+            assert!(g.in_neighbors(b).any(|(v, ee)| v == a && ee == e));
+        }
+    }
+    // Degree sums: undirected Σdeg = 2m; directed Σout = Σin = m.
+    let out_sum: usize = g.node_ids().map(|v| g.degree(v)).sum();
+    if g.is_directed() {
+        let in_sum: usize = g.node_ids().map(|v| g.in_degree(v)).sum();
+        assert_eq!(out_sum, g.edge_count());
+        assert_eq!(in_sum, g.edge_count());
+    } else {
+        assert_eq!(out_sum, 2 * g.edge_count());
+    }
+    // No adjacency entry references a removed edge or node.
+    for v in g.node_ids() {
+        for (w, e) in g.undirected_neighbors(v) {
+            assert!(g.contains_node(w));
+            assert!(g.contains_edge(e));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mutation_scripts_preserve_invariants(
+        directed in any::<bool>(),
+        ops in prop::collection::vec(op_strategy(), 0..60),
+    ) {
+        let mut g = if directed { Graph::directed() } else { Graph::undirected() };
+        for op in ops {
+            match op {
+                Op::AddNode(l) => {
+                    g.add_node(format!("L{}", l % 4));
+                }
+                Op::AddEdge(a, b) => {
+                    if let (Some(a), Some(b)) = (nth_live(&g, a), nth_live(&g, b)) {
+                        let _ = g.add_edge(a, b, "e");
+                    }
+                }
+                Op::RemoveNode(a) => {
+                    if let Some(a) = nth_live(&g, a) {
+                        g.remove_node(a).unwrap();
+                    }
+                }
+                Op::RemoveEdge(a, b) => {
+                    if let (Some(a), Some(b)) = (nth_live(&g, a), nth_live(&g, b)) {
+                        if let Some(e) = g.find_edge(a, b) {
+                            g.remove_edge(e).unwrap();
+                        }
+                    }
+                }
+                Op::Relabel(a, l) => {
+                    if let Some(a) = nth_live(&g, a) {
+                        g.set_node_label(a, format!("R{}", l % 4)).unwrap();
+                    }
+                }
+            }
+            check_invariants(&g);
+        }
+        // Compaction preserves everything observable.
+        let (dense, _) = g.compact();
+        check_invariants(&dense);
+        prop_assert_eq!(dense.node_count(), g.node_count());
+        prop_assert_eq!(dense.edge_count(), g.edge_count());
+        prop_assert_eq!(dense.label_histogram(), g.label_histogram());
+    }
+
+    #[test]
+    fn edge_list_roundtrip_is_lossless_structurally(
+        ops in prop::collection::vec(op_strategy(), 0..40),
+    ) {
+        let mut g = Graph::undirected();
+        for op in ops {
+            match op {
+                Op::AddNode(l) => { g.add_node(format!("L{}", l % 4)); }
+                Op::AddEdge(a, b) => {
+                    if let (Some(a), Some(b)) = (nth_live(&g, a), nth_live(&g, b)) {
+                        let _ = g.add_edge(a, b, "x");
+                    }
+                }
+                _ => {}
+            }
+        }
+        let text = io::to_edge_list(&g);
+        let back = io::parse_edge_list(&text).unwrap();
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        prop_assert_eq!(back.label_histogram(), g.label_histogram());
+        // And JSON is fully lossless.
+        let j = io::from_json(&io::to_json(&g)).unwrap();
+        prop_assert_eq!(j, g);
+    }
+
+    #[test]
+    fn induced_subgraph_is_contained(
+        n in 1usize..15,
+        edges in prop::collection::vec((0usize..15, 0usize..15), 0..40),
+        picks in prop::collection::vec(0usize..15, 0..10),
+    ) {
+        let mut g = Graph::undirected();
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("L{}", i % 3))).collect();
+        for (a, b) in edges {
+            if a < n && b < n && a != b {
+                let _ = g.add_edge(ids[a], ids[b], "e");
+            }
+        }
+        let chosen: Vec<NodeId> = picks.into_iter().filter(|&p| p < n).map(|p| ids[p]).collect();
+        let (sub, mapping) = g.induced_subgraph(&chosen);
+        // Every subgraph edge corresponds to an original edge between chosen nodes.
+        prop_assert!(sub.node_count() <= chosen.len());
+        for e in sub.edge_ids() {
+            let (a, b) = sub.edge_endpoints(e).unwrap();
+            // find preimages via mapping
+            let pa = mapping.iter().position(|m| *m == Some(a)).unwrap();
+            let pb = mapping.iter().position(|m| *m == Some(b)).unwrap();
+            prop_assert!(g.has_edge(NodeId(pa as u32), NodeId(pb as u32))
+                || g.has_edge(NodeId(pb as u32), NodeId(pa as u32)));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The API-token vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Beginning-of-chain token.
+pub const BOS: &str = "[BOS]";
+/// End-of-chain token.
+pub const EOS: &str = "[EOS]";
+
+/// A fixed token vocabulary: the registered API names plus the two special
+/// tokens. Token 0 is always `[BOS]`, token 1 always `[EOS]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from API names. Order is preserved; duplicates
+    /// are rejected.
+    pub fn new<I, S>(api_names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut tokens = vec![BOS.to_owned(), EOS.to_owned()];
+        tokens.extend(api_names.into_iter().map(Into::into));
+        let mut index = HashMap::with_capacity(tokens.len());
+        for (i, t) in tokens.iter().enumerate() {
+            let prev = index.insert(t.clone(), i as u32);
+            assert!(prev.is_none(), "duplicate vocabulary token: {t}");
+        }
+        Vocab { tokens, index }
+    }
+
+    /// Rebuilds the lookup index after deserialisation.
+    pub fn reindex(&mut self) {
+        self.index = self
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+    }
+
+    /// Vocabulary size (including specials).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when only the special tokens exist.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.len() <= 2
+    }
+
+    /// Token id of `token`, if present.
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    /// Token string for an id.
+    pub fn token(&self, id: u32) -> Option<&str> {
+        self.tokens.get(id as usize).map(String::as_str)
+    }
+
+    /// The id of `[BOS]`.
+    pub fn bos(&self) -> u32 {
+        0
+    }
+
+    /// The id of `[EOS]`.
+    pub fn eos(&self) -> u32 {
+        1
+    }
+
+    /// Ids of all non-special tokens (the actual APIs).
+    pub fn api_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (2..self.tokens.len() as u32).filter(move |_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_are_fixed() {
+        let v = Vocab::new(["alpha", "beta"]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.token(v.bos()), Some(BOS));
+        assert_eq!(v.token(v.eos()), Some(EOS));
+        assert_eq!(v.id("alpha"), Some(2));
+        assert_eq!(v.id("nope"), None);
+    }
+
+    #[test]
+    fn api_ids_exclude_specials() {
+        let v = Vocab::new(["a", "b", "c"]);
+        let ids: Vec<u32> = v.api_ids().collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vocabulary token")]
+    fn duplicates_rejected() {
+        Vocab::new(["a", "a"]);
+    }
+
+    #[test]
+    fn serde_roundtrip_with_reindex() {
+        let v = Vocab::new(["x", "y"]);
+        let s = serde_json::to_string(&v).unwrap();
+        let mut back: Vocab = serde_json::from_str(&s).unwrap();
+        back.reindex();
+        assert_eq!(back.id("y"), Some(3));
+        assert_eq!(back.len(), v.len());
+    }
+}

@@ -1,0 +1,264 @@
+//! Length-constrained path cover.
+//!
+//! For each node `u`, a BFS tree of depth ≤ ℓ is grown and every root-to-leaf
+//! tree path is emitted. The union of these paths covers every node within
+//! ℓ hops of `u` (each tree node lies on the path to some leaf below/at it),
+//! which is exactly the covering property the paper imports from its prior
+//! privacy-preserving pattern-query work \[11\], \[12\].
+//!
+//! The number of paths from one root equals the number of leaves of the BFS
+//! tree, so the total is at most `O(|G|·2^ℓ)` on bounded-degree graphs — the
+//! bound stated in §II-B and measured by experiment E5.
+
+use chatgraph_graph::{Graph, NodeId};
+
+/// Parameters for [`path_cover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverParams {
+    /// Maximum path length ℓ in edges. 0 yields one singleton path per node.
+    pub max_length: usize,
+    /// Drop single-node paths whose node already appears on a longer path.
+    /// Keeps the token stream free of redundant singletons while preserving
+    /// the covering property.
+    pub dedup_singletons: bool,
+}
+
+impl Default for CoverParams {
+    fn default() -> Self {
+        CoverParams {
+            max_length: 3,
+            dedup_singletons: true,
+        }
+    }
+}
+
+/// A set of covering paths over a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathCover {
+    /// Paths as node-id sequences (each of length ≥ 1 node, ≤ ℓ+1 nodes).
+    pub paths: Vec<Vec<NodeId>>,
+    /// ℓ used.
+    pub max_length: usize,
+}
+
+impl PathCover {
+    /// Total number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when no paths were produced (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The paper's stated bound `|G| · 2^ℓ` on the number of paths. It holds
+    /// for the degree-bounded graphs of the paper's setting; see
+    /// [`PathCover::degree_bound`] for the bound that holds unconditionally.
+    pub fn paper_bound(node_count: usize, max_length: usize) -> usize {
+        node_count.saturating_mul(1usize << max_length.min(60))
+    }
+
+    /// Unconditional bound: a depth-ℓ BFS tree with maximum degree Δ has at
+    /// most `Δ·(Δ−1)^(ℓ−1)` leaves, so the cover emits at most
+    /// `n · Δ·(Δ−1)^(ℓ−1)` paths (and `n` for ℓ = 0).
+    pub fn degree_bound(node_count: usize, max_degree: usize, max_length: usize) -> usize {
+        if max_length == 0 || max_degree == 0 {
+            return node_count;
+        }
+        let mut leaves = max_degree as u128;
+        for _ in 1..max_length {
+            leaves = leaves.saturating_mul(max_degree.saturating_sub(1).max(1) as u128);
+        }
+        (node_count as u128)
+            .saturating_mul(leaves)
+            .min(usize::MAX as u128) as usize
+    }
+
+    /// Checks the covering property: every node within `ℓ` hops of `root`
+    /// appears on some path starting at `root`.
+    pub fn covers_ball(&self, g: &Graph, root: NodeId) -> bool {
+        use chatgraph_graph::algo::traversal::bfs_distances;
+        let reachable: Vec<NodeId> = bfs_distances(g, root, self.max_length)
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_some())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let mut on_paths: std::collections::HashSet<NodeId> = Default::default();
+        for p in self.paths.iter().filter(|p| p.first() == Some(&root)) {
+            on_paths.extend(p.iter().copied());
+        }
+        reachable.iter().all(|v| on_paths.contains(v))
+    }
+}
+
+/// Computes the length-constrained path cover of `g`.
+pub fn path_cover(g: &Graph, params: &CoverParams) -> PathCover {
+    let mut paths = Vec::new();
+    for root in g.node_ids() {
+        root_paths(g, root, params.max_length, &mut paths);
+    }
+    if params.dedup_singletons {
+        // A singleton path [v] is redundant when v already appears on some
+        // longer path.
+        let mut covered: std::collections::HashSet<NodeId> = Default::default();
+        for p in paths.iter().filter(|p| p.len() > 1) {
+            covered.extend(p.iter().copied());
+        }
+        paths.retain(|p| p.len() > 1 || !covered.contains(&p[0]));
+    }
+    PathCover {
+        paths,
+        max_length: params.max_length,
+    }
+}
+
+/// Emits the root-to-leaf paths of the depth-≤ℓ BFS tree rooted at `root`.
+fn root_paths(g: &Graph, root: NodeId, max_len: usize, out: &mut Vec<Vec<NodeId>>) {
+    // BFS tree: parent pointers + depth.
+    let bound = g.node_bound();
+    let mut parent: Vec<Option<NodeId>> = vec![None; bound];
+    let mut depth: Vec<Option<usize>> = vec![None; bound];
+    let mut has_child = vec![false; bound];
+    let mut order = Vec::new();
+    depth[root.index()] = Some(0);
+    order.push(root);
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        let d = depth[v.index()].expect("queued");
+        if d == max_len {
+            continue;
+        }
+        for (w, _) in g.undirected_neighbors(v) {
+            if depth[w.index()].is_none() {
+                depth[w.index()] = Some(d + 1);
+                parent[w.index()] = Some(v);
+                has_child[v.index()] = true;
+                order.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    // Leaves of the BFS tree (including the root when it is isolated).
+    for &v in &order {
+        if !has_child[v.index()] {
+            let mut path = vec![v];
+            let mut cur = v;
+            while let Some(p) = parent[cur.index()] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatgraph_graph::generators::{erdos_renyi, ErParams};
+    use chatgraph_graph::GraphBuilder;
+
+    fn line4() -> Graph {
+        GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .edge("c", "d", "-")
+            .build()
+    }
+
+    #[test]
+    fn paths_respect_length_bound() {
+        let g = line4();
+        let cover = path_cover(&g, &CoverParams { max_length: 2, dedup_singletons: true });
+        for p in &cover.paths {
+            assert!(p.len() <= 3, "path too long: {p:?}");
+            assert!(!p.is_empty());
+            // consecutive nodes are adjacent
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]) || g.has_edge(w[1], w[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn every_root_ball_is_covered() {
+        let g = erdos_renyi(&ErParams { nodes: 40, edge_prob: 0.1 }, 3);
+        let params = CoverParams { max_length: 2, dedup_singletons: false };
+        let cover = path_cover(&g, &params);
+        for root in g.node_ids() {
+            assert!(cover.covers_ball(&g, root), "ball of {root} uncovered");
+        }
+    }
+
+    #[test]
+    fn count_within_degree_bound() {
+        for l in 0..=4 {
+            let g = erdos_renyi(&ErParams { nodes: 30, edge_prob: 0.08 }, 11);
+            let max_deg = g.node_ids().map(|v| g.total_degree(v)).max().unwrap_or(0);
+            let cover = path_cover(&g, &CoverParams { max_length: l, dedup_singletons: false });
+            let bound = PathCover::degree_bound(g.node_count(), max_deg, l);
+            assert!(
+                cover.len() <= bound,
+                "l={l}: {} paths exceed bound {bound}",
+                cover.len()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_bound_holds_on_degree_two_graphs() {
+        // A cycle has max degree 2, the regime where the paper's |G|·2^ℓ
+        // bound applies directly.
+        let mut b = GraphBuilder::undirected();
+        for i in 0..12 {
+            b = b.edge(format!("n{i}"), format!("n{}", (i + 1) % 12), "-");
+        }
+        let g = b.build();
+        for l in 0..=4 {
+            let cover = path_cover(&g, &CoverParams { max_length: l, dedup_singletons: false });
+            assert!(cover.len() <= PathCover::paper_bound(g.node_count(), l));
+        }
+    }
+
+    #[test]
+    fn zero_length_gives_singletons() {
+        let g = line4();
+        let cover = path_cover(&g, &CoverParams { max_length: 0, dedup_singletons: false });
+        assert_eq!(cover.len(), 4);
+        assert!(cover.paths.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn dedup_singletons_drops_covered_nodes() {
+        let g = line4();
+        let with = path_cover(&g, &CoverParams { max_length: 2, dedup_singletons: true });
+        assert!(with.paths.iter().all(|p| p.len() > 1));
+    }
+
+    #[test]
+    fn isolated_node_keeps_its_singleton() {
+        let mut g = line4();
+        let iso = g.add_node("Z");
+        let cover = path_cover(&g, &CoverParams::default());
+        assert!(cover.paths.iter().any(|p| p == &vec![iso]));
+    }
+
+    #[test]
+    fn empty_graph_yields_no_paths() {
+        let g = Graph::undirected();
+        assert!(path_cover(&g, &CoverParams::default()).is_empty());
+    }
+
+    #[test]
+    fn line_end_to_end_path_present() {
+        let g = line4();
+        let cover = path_cover(&g, &CoverParams { max_length: 3, dedup_singletons: true });
+        assert!(cover
+            .paths
+            .iter()
+            .any(|p| p.len() == 4), "expected the full line as one path");
+    }
+}

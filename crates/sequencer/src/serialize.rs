@@ -1,0 +1,170 @@
+//! Path → token serialisation.
+//!
+//! The LLM substrate consumes token sequences. A path `v0 —e0— v1 —e1— v2`
+//! becomes the alternating label sequence `[l(v0), l(e0), l(v1), l(e1), l(v2)]`,
+//! with each path introduced by a level marker (`[PATH]` for base-level paths,
+//! `[SUPER]` for super-graph paths). Output is deterministic: paths are sorted.
+
+use crate::path_cover::{path_cover, CoverParams};
+use crate::supergraph::build_supergraph;
+use chatgraph_graph::{Graph, NodeId};
+
+/// Marker token opening a base-level path.
+pub const PATH_MARKER: &str = "[PATH]";
+/// Marker token opening a super-graph path.
+pub const SUPER_MARKER: &str = "[SUPER]";
+
+/// The sequentialised form of one graph: what the graph-aware LLM module
+/// actually reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSequences {
+    /// Token sequences for the base-level path cover (marker included).
+    pub base: Vec<Vec<String>>,
+    /// Token sequences for the super-graph path cover (marker included).
+    pub multi_level: Vec<Vec<String>>,
+}
+
+impl GraphSequences {
+    /// All sequences flattened into one token stream.
+    pub fn flat_tokens(&self) -> Vec<String> {
+        self.base
+            .iter()
+            .chain(self.multi_level.iter())
+            .flatten()
+            .cloned()
+            .collect()
+    }
+
+    /// Total token count across all sequences.
+    pub fn token_count(&self) -> usize {
+        self.base.iter().chain(self.multi_level.iter()).map(|s| s.len()).sum()
+    }
+}
+
+/// Serialises one path into its alternating label token sequence (without a
+/// marker).
+pub fn tokens_for_path(g: &Graph, path: &[NodeId]) -> Vec<String> {
+    let mut out = Vec::with_capacity(path.len() * 2);
+    for (i, &v) in path.iter().enumerate() {
+        if i > 0 {
+            let u = path[i - 1];
+            let e = g
+                .find_edge(u, v)
+                .or_else(|| g.find_edge(v, u))
+                .expect("consecutive path nodes are adjacent");
+            out.push(g.edge_label(e).expect("live").to_owned());
+        }
+        out.push(g.node_label(v).expect("live").to_owned());
+    }
+    out
+}
+
+/// Sequentialises a graph: base-level path cover plus (optionally) the
+/// super-graph's own cover, following §II-B's multi-level design.
+pub fn sequentialize(g: &Graph, params: &CoverParams, multi_level: bool) -> GraphSequences {
+    let mut base: Vec<Vec<String>> = path_cover(g, params)
+        .paths
+        .iter()
+        .map(|p| {
+            let mut t = vec![PATH_MARKER.to_owned()];
+            t.extend(tokens_for_path(g, p));
+            t
+        })
+        .collect();
+    base.sort();
+    let mut multi = Vec::new();
+    if multi_level {
+        let sg = build_supergraph(g, 3);
+        multi = path_cover(&sg.graph, params)
+            .paths
+            .iter()
+            .map(|p| {
+                let mut t = vec![SUPER_MARKER.to_owned()];
+                t.extend(tokens_for_path(&sg.graph, p));
+                t
+            })
+            .collect();
+        multi.sort();
+    }
+    GraphSequences {
+        base,
+        multi_level: multi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatgraph_graph::GraphBuilder;
+
+    fn labeled_line() -> Graph {
+        GraphBuilder::undirected()
+            .node("a", "C")
+            .node("b", "O")
+            .node("c", "N")
+            .edge("a", "b", "single")
+            .edge("b", "c", "double")
+            .build()
+    }
+
+    #[test]
+    fn path_tokens_alternate_labels() {
+        let g = labeled_line();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let t = tokens_for_path(&g, &ids);
+        assert_eq!(t, vec!["C", "single", "O", "double", "N"]);
+    }
+
+    #[test]
+    fn single_node_path_is_one_token() {
+        let g = labeled_line();
+        assert_eq!(tokens_for_path(&g, &[NodeId(1)]), vec!["O"]);
+    }
+
+    #[test]
+    fn sequences_start_with_markers() {
+        let g = labeled_line();
+        let seqs = sequentialize(&g, &CoverParams::default(), true);
+        assert!(!seqs.base.is_empty());
+        assert!(seqs.base.iter().all(|s| s[0] == PATH_MARKER));
+        assert!(seqs.multi_level.iter().all(|s| s[0] == SUPER_MARKER));
+    }
+
+    #[test]
+    fn multi_level_flag_controls_super_sequences() {
+        let g = GraphBuilder::undirected()
+            .node("a", "C").node("b", "C").node("c", "C")
+            .edge("a", "b", "-").edge("b", "c", "-").edge("c", "a", "-")
+            .build();
+        let without = sequentialize(&g, &CoverParams::default(), false);
+        assert!(without.multi_level.is_empty());
+        let with = sequentialize(&g, &CoverParams::default(), true);
+        assert!(!with.multi_level.is_empty());
+        // The triangle contracts to one super-node: a singleton path.
+        assert_eq!(with.multi_level[0][1], "clique3[C|C|C]");
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let g = labeled_line();
+        let a = sequentialize(&g, &CoverParams::default(), true);
+        let b = sequentialize(&g, &CoverParams::default(), true);
+        assert_eq!(a, b);
+        let mut sorted = a.base.clone();
+        sorted.sort();
+        assert_eq!(a.base, sorted);
+    }
+
+    #[test]
+    fn token_count_and_flat_tokens_agree() {
+        let g = labeled_line();
+        let seqs = sequentialize(&g, &CoverParams::default(), true);
+        assert_eq!(seqs.flat_tokens().len(), seqs.token_count());
+    }
+
+    #[test]
+    fn empty_graph_serialises_to_nothing() {
+        let seqs = sequentialize(&Graph::undirected(), &CoverParams::default(), true);
+        assert_eq!(seqs.token_count(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the sequentialiser.
+
+use chatgraph_graph::generators::{erdos_renyi, ErParams};
+use chatgraph_graph::{Graph, GraphBuilder};
+use chatgraph_sequencer::{
+    build_supergraph, path_cover, sequentialize, tokens_for_path, CoverParams,
+};
+use proptest::prelude::*;
+
+fn er(n: usize, p_percent: u8, seed: u64) -> Graph {
+    erdos_renyi(
+        &ErParams {
+            nodes: n,
+            edge_prob: p_percent as f64 / 100.0,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Path tokens alternate node and edge labels: a path of k nodes yields
+    /// exactly 2k − 1 tokens.
+    #[test]
+    fn token_counts_match_path_lengths(
+        n in 2usize..20,
+        p in 5u8..40,
+        seed in 0u64..100,
+        l in 1usize..4,
+    ) {
+        let g = er(n, p, seed);
+        let cover = path_cover(&g, &CoverParams { max_length: l, dedup_singletons: false });
+        for path in &cover.paths {
+            let tokens = tokens_for_path(&g, path);
+            prop_assert_eq!(tokens.len(), 2 * path.len() - 1);
+        }
+    }
+
+    /// Super-graph node count never exceeds the original's, and membership
+    /// is total over live nodes.
+    #[test]
+    fn supergraph_is_a_contraction(
+        n in 2usize..25,
+        p in 10u8..50,
+        seed in 0u64..100,
+    ) {
+        let g = er(n, p, seed);
+        let sg = build_supergraph(&g, 3);
+        prop_assert!(sg.graph.node_count() <= g.node_count());
+        for v in g.node_ids() {
+            let m = sg.membership[v.index()];
+            prop_assert!(m.is_some());
+            prop_assert!(sg.graph.contains_node(m.unwrap()));
+        }
+        // Every super-edge is witnessed by at least one original cross edge.
+        for e in sg.graph.edge_ids() {
+            let (sa, sb) = sg.graph.edge_endpoints(e).unwrap();
+            let witnessed = g.edge_ids().any(|ge| {
+                let (a, b) = g.edge_endpoints(ge).unwrap();
+                let (ma, mb) = (sg.membership[a.index()].unwrap(), sg.membership[b.index()].unwrap());
+                (ma == sa && mb == sb) || (ma == sb && mb == sa)
+            });
+            prop_assert!(witnessed);
+        }
+    }
+
+    /// The dedup_singletons option only ever removes single-node paths, and
+    /// only when the node is covered elsewhere.
+    #[test]
+    fn dedup_only_drops_redundant_singletons(
+        n in 2usize..20,
+        p in 0u8..30,
+        seed in 0u64..100,
+    ) {
+        let g = er(n, p, seed);
+        let params_all = CoverParams { max_length: 2, dedup_singletons: false };
+        let params_dedup = CoverParams { max_length: 2, dedup_singletons: true };
+        let all = path_cover(&g, &params_all);
+        let dedup = path_cover(&g, &params_dedup);
+        prop_assert!(dedup.len() <= all.len());
+        // Every node still appears somewhere in the deduped cover.
+        let mut seen = std::collections::HashSet::new();
+        for path in &dedup.paths {
+            seen.extend(path.iter().copied());
+        }
+        for v in g.node_ids() {
+            prop_assert!(seen.contains(&v), "node {v} lost by dedup");
+        }
+    }
+}
+
+/// Sequentialisation of the multi-level view contains the base view's token
+/// count (super sequences only add).
+#[test]
+fn multi_level_only_adds_tokens() {
+    let g = GraphBuilder::undirected()
+        .node("a", "C").node("b", "C").node("c", "C").node("d", "O")
+        .edge("a", "b", "-").edge("b", "c", "-").edge("c", "a", "-")
+        .edge("c", "d", "-")
+        .build();
+    let params = CoverParams::default();
+    let base = sequentialize(&g, &params, false);
+    let multi = sequentialize(&g, &params, true);
+    assert_eq!(base.base, multi.base);
+    assert!(multi.token_count() >= base.token_count());
+    assert!(!multi.multi_level.is_empty(), "triangle motif must contract");
+}

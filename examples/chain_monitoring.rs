@@ -1,0 +1,24 @@
+//! Demo scenario 4 (paper Fig. 7): chat-based API chain monitoring.
+//!
+//! The proposed chain is shown to the user for confirmation; the user edits
+//! it (inserting a `top_pagerank` step before the report) and then watches
+//! the per-step progress feed during execution.
+//!
+//! ```sh
+//! cargo run --release --example chain_monitoring
+//! ```
+
+use chatgraph::core::scenarios::monitoring;
+use chatgraph::core::{ChatGraphConfig, ChatSession};
+use chatgraph::graph::generators::{social_network, SocialParams};
+
+fn main() {
+    println!("Bootstrapping ChatGraph...");
+    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384);
+
+    let graph = social_network(&SocialParams::default(), 41);
+    let (out, events) = monitoring::run(&mut session, graph);
+    println!("{}", out.render());
+    println!("executed (edited) chain: {}", out.chain);
+    println!("{} monitor events captured", events.len());
+}

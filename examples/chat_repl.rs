@@ -1,0 +1,107 @@
+//! An interactive ChatGraph terminal session — the headless equivalent of
+//! the paper's Gradio interface (Fig. 2): panel ① is stdout, panel ② is the
+//! `:suggest` command, panel ③ is stdin.
+//!
+//! ```sh
+//! cargo run --release --example chat_repl
+//! ```
+//!
+//! or scripted:
+//!
+//! ```sh
+//! printf ':social\nWhat communities exist in G?\n:quit\n' \
+//!   | cargo run --release --example chat_repl
+//! ```
+//!
+//! Commands: `:social` / `:molecule` / `:kg` generate and upload a graph,
+//! `:upload <path>` reads an edge-list file, `:suggest` prints suggested
+//! questions, `:quit` exits. Anything else is a prompt; proposed chains are
+//! executed immediately (auto-confirm).
+
+use chatgraph::apis::{ChainEvent, CollectingMonitor, Value};
+use chatgraph::core::prompt::Prompt;
+use chatgraph::core::{ChatGraphConfig, ChatSession};
+use chatgraph::graph::generators::{
+    corrupt_kg, knowledge_graph, molecule, molecule_database, social_network, KgParams,
+    MoleculeParams, SocialParams,
+};
+use chatgraph::graph::io;
+use std::io::BufRead;
+
+fn main() {
+    println!("Bootstrapping ChatGraph (this finetunes the model once)...");
+    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384);
+    session.set_database(molecule_database(30, &MoleculeParams::default(), 123));
+    println!("Ready. Type :social / :molecule / :kg to upload a graph, :suggest, :quit.\n");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_whitespace().next().unwrap_or("") {
+            ":quit" | ":exit" => break,
+            ":social" => {
+                session.graph = Some(social_network(&SocialParams::default(), 7));
+                println!("uploaded a social network (120 nodes).");
+            }
+            ":molecule" => {
+                session.graph = Some(molecule(&MoleculeParams::default(), 7));
+                println!("uploaded a molecule (24 atoms).");
+            }
+            ":kg" => {
+                let mut g = knowledge_graph(&KgParams::default(), 7);
+                let truth = corrupt_kg(&mut g, 0.08, 0.05, 7);
+                session.graph = Some(g);
+                println!(
+                    "uploaded a knowledge graph with {} wrong and {} missing facts injected.",
+                    truth.injected_wrong.len(),
+                    truth.removed.len()
+                );
+            }
+            ":upload" => {
+                let path = line.split_whitespace().nth(1).unwrap_or("");
+                match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|t| {
+                    io::parse_edge_list(&t).map_err(|e| e.to_string())
+                }) {
+                    Ok(g) => {
+                        println!("uploaded '{}' ({} nodes).", g.name(), g.node_count());
+                        session.graph = Some(g);
+                    }
+                    Err(e) => println!("upload failed: {e}"),
+                }
+            }
+            ":suggest" => {
+                for q in session.suggest_questions() {
+                    println!("  - {q}");
+                }
+            }
+            _ => {
+                let response = session.send(Prompt::text(line));
+                println!("ChatGraph: {}", response.message);
+                if response.chain.is_empty() {
+                    continue;
+                }
+                let mut monitor = CollectingMonitor::new();
+                match session.run_chain(&response.chain, &mut monitor) {
+                    Ok(result) => {
+                        for e in &monitor.events {
+                            if let ChainEvent::StepFinished { api, summary, .. } = e {
+                                println!("  [{api}] {summary}");
+                            }
+                        }
+                        match result {
+                            Value::Table(t) => println!("{}", t.to_text()),
+                            Value::Report(r) => println!("{}", r.to_text()),
+                            other => println!("=> {}", other.summary()),
+                        }
+                    }
+                    Err(e) => println!("execution failed: {e}"),
+                }
+            }
+        }
+    }
+    println!("bye.");
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Final experiment re-run (after the last code changes). Outputs supersede
+# the earlier captures in this directory.
+set -e
+cd "$(dirname "$0")/.."
+cargo build --release -p chatgraph-bench --bins
+./target/release/exp_path_cover        > results/final_e5_path_cover.txt
+./target/release/exp_ann_scaling       > results/final_e6_ann_scaling.txt
+./target/release/exp_tau_sweep         > results/final_e7_tau_sweep.txt
+./target/release/exp_finetune_ablation > results/final_e8_finetune.txt
+./target/release/exp_retrieval         > results/final_e9_retrieval.txt
+./target/release/scenario_report       > results/final_scenarios.txt
+echo "all experiments regenerated"

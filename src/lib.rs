@@ -1,0 +1,21 @@
+//! # chatgraph
+//!
+//! Umbrella crate for the ChatGraph reproduction (ICDE 2024, *ChatGraph:
+//! Chat with Your Graphs*). Re-exports every workspace crate under one roof
+//! so examples and downstream users need a single dependency.
+//!
+//! ```
+//! use chatgraph::graph::prelude::*;
+//!
+//! let g = generators::molecule(&MoleculeParams::default(), 1);
+//! assert!(g.node_count() > 0);
+//! ```
+
+pub use chatgraph_ann as ann;
+pub use chatgraph_apis as apis;
+pub use chatgraph_core as core;
+pub use chatgraph_embed as embed;
+pub use chatgraph_ged as ged;
+pub use chatgraph_graph as graph;
+pub use chatgraph_llm as llm;
+pub use chatgraph_sequencer as sequencer;

@@ -1,0 +1,166 @@
+//! Shape assertions for every experiment (E5–E9), small-scale: these encode
+//! in CI the qualitative claims EXPERIMENTS.md records from the full runs.
+
+use chatgraph::ann::dataset::{clustered, queries, ClusterParams};
+use chatgraph::ann::{
+    recall_at_k, AnnIndex, FlatIndex, Hnsw, HnswParams, Metric, SearchStats, TauMg, TauMgParams,
+};
+use chatgraph::apis::registry;
+use chatgraph::core::config::ChatGraphConfig;
+use chatgraph::core::{
+    evaluate, finetune, generate_corpus, ApiRetriever, CorpusParams, FinetuneMethod, GraphAwareLm,
+};
+use chatgraph::graph::generators::{barabasi_albert, BaParams};
+use chatgraph::sequencer::{path_cover, CoverParams};
+
+/// E5: path count grows with ℓ but stays within the degree-aware bound, and
+/// coverage holds at every ℓ.
+#[test]
+fn e5_path_cover_growth_and_coverage() {
+    let g = barabasi_albert(&BaParams { nodes: 120, attach: 2 }, 3);
+    let max_deg = g.node_ids().map(|v| g.total_degree(v)).max().unwrap();
+    let mut prev = 0usize;
+    for l in 1..=4 {
+        let cover = path_cover(&g, &CoverParams { max_length: l, dedup_singletons: false });
+        assert!(cover.len() >= prev, "path count must not shrink with l");
+        prev = cover.len();
+        assert!(
+            cover.len()
+                <= chatgraph::sequencer::PathCover::degree_bound(g.node_count(), max_deg, l)
+        );
+        for root in g.node_ids().step_by(13) {
+            assert!(cover.covers_ball(&g, root));
+        }
+    }
+}
+
+/// E6 (small): proximity-graph search computes far fewer distances than the
+/// flat scan at high recall, and the gap widens with n.
+#[test]
+fn e6_sub_linear_scaling_shape() {
+    let mut ratios = Vec::new();
+    for &n in &[500usize, 2000] {
+        let params = ClusterParams { n, dim: 16, clusters: 20, noise: 0.06 };
+        let data = clustered(&params, 8);
+        let qs = queries(&params, 20, 8);
+        let flat = FlatIndex::build(data.clone(), Metric::L2);
+        let taumg = TauMg::build(data, TauMgParams::default());
+        let mut flat_dc = 0usize;
+        let mut tau_dc = 0usize;
+        let mut recall = 0.0;
+        for q in &qs {
+            let mut s1 = SearchStats::default();
+            let truth = flat.search(q, 10, &mut s1);
+            let mut s2 = SearchStats::default();
+            let res = taumg.search(q, 10, &mut s2);
+            flat_dc += s1.distance_computations;
+            tau_dc += s2.distance_computations;
+            recall += recall_at_k(&truth, &res, 10);
+        }
+        assert!(recall / 20.0 > 0.85, "recall {}", recall / 20.0);
+        ratios.push(tau_dc as f64 / flat_dc as f64);
+    }
+    assert!(ratios[0] < 0.8, "graph search must beat linear scan: {ratios:?}");
+    assert!(
+        ratios[1] < ratios[0],
+        "relative cost must shrink with n (sub-linear growth): {ratios:?}"
+    );
+}
+
+/// E7 (small): moderate τ keeps at least as many edges as MRNG (τ = 0).
+#[test]
+fn e7_tau_densifies_graph() {
+    let params = ClusterParams { n: 1500, dim: 16, clusters: 15, noise: 0.06 };
+    let data = clustered(&params, 4);
+    let mrng = TauMg::build_mrng(data.clone(), TauMgParams::default());
+    let taumg = TauMg::build(data, TauMgParams { tau: 0.02, ..TauMgParams::default() });
+    assert!(
+        taumg.edge_count() >= mrng.edge_count(),
+        "τ>0 must weaken occlusion: {} vs {}",
+        taumg.edge_count(),
+        mrng.edge_count()
+    );
+}
+
+/// E8 (small): the full finetuning beats the untrained model and the
+/// token-overlap ablation on held-out chain accuracy.
+#[test]
+fn e8_ablation_ordering() {
+    let mut config = ChatGraphConfig::default();
+    config.finetune.rollouts = 2;
+    let reg = registry::standard();
+    let retriever = ApiRetriever::build(&reg, &config.retrieval);
+    let corpus = generate_corpus(&CorpusParams { size: 160, small_graphs: true }, 66);
+    let (train_set, test_set) = corpus.split_at(128);
+
+    let untrained = {
+        let lm = GraphAwareLm::new(&reg, &config);
+        evaluate(&lm, &reg, &retriever, test_set, &config)
+    };
+    let full = {
+        let mut lm = GraphAwareLm::new(&reg, &config);
+        finetune(&mut lm, &reg, &retriever, train_set, FinetuneMethod::Full, &config);
+        evaluate(&lm, &reg, &retriever, test_set, &config)
+    };
+    let overlap = {
+        let mut lm = GraphAwareLm::new(&reg, &config);
+        finetune(&mut lm, &reg, &retriever, train_set, FinetuneMethod::TokenOverlap, &config);
+        evaluate(&lm, &reg, &retriever, test_set, &config)
+    };
+    assert!(full.exact_match > untrained.exact_match + 0.3, "full {full:?}");
+    assert!(
+        full.exact_match >= overlap.exact_match,
+        "matching loss must not lose to token overlap: full {:.3} vs overlap {:.3}",
+        full.exact_match,
+        overlap.exact_match
+    );
+    assert!(full.avg_loss < untrained.avg_loss);
+}
+
+/// E9 (small): ANN retrieval returns (almost) the exact top-k and the hit
+/// rate improves with k.
+#[test]
+fn e9_retrieval_hit_rate_monotone() {
+    let reg = registry::standard();
+    let config = ChatGraphConfig::default();
+    let retriever = ApiRetriever::build(&reg, &config.retrieval);
+    let corpus = generate_corpus(&CorpusParams { size: 48, small_graphs: true }, 70);
+    let mut hit_rates = Vec::new();
+    for &k in &[1usize, 5, 10] {
+        let mut hits = 0;
+        for e in &corpus {
+            let mut stats = SearchStats::default();
+            let names: Vec<String> = retriever
+                .retrieve_k(&e.question, k, &mut stats)
+                .into_iter()
+                .map(|h| h.name)
+                .collect();
+            if e.truths.iter().any(|t| {
+                t.api_names().iter().any(|api| names.iter().any(|n| n == api))
+            }) {
+                hits += 1;
+            }
+        }
+        hit_rates.push(hits as f64 / corpus.len() as f64);
+    }
+    assert!(hit_rates[0] <= hit_rates[1] && hit_rates[1] <= hit_rates[2], "{hit_rates:?}");
+    assert!(hit_rates[2] > 0.6, "k=10 hit rate too low: {hit_rates:?}");
+}
+
+/// HNSW baseline reaches comparable recall to τ-MG on the same data (the
+/// E6 comparison is fair).
+#[test]
+fn e6_hnsw_baseline_is_competitive() {
+    let params = ClusterParams { n: 1500, dim: 16, clusters: 15, noise: 0.06 };
+    let data = clustered(&params, 12);
+    let qs = queries(&params, 20, 12);
+    let flat = FlatIndex::build(data.clone(), Metric::L2);
+    let hnsw = Hnsw::build(data, HnswParams::default());
+    let mut recall = 0.0;
+    for q in &qs {
+        let truth = flat.search(q, 10, &mut SearchStats::default());
+        let res = hnsw.search(q, 10, &mut SearchStats::default());
+        recall += recall_at_k(&truth, &res, 10);
+    }
+    assert!(recall / 20.0 > 0.8, "hnsw recall {}", recall / 20.0);
+}
