@@ -5,8 +5,8 @@
 //! embedders produce (queries land near clusters, not uniformly at random).
 
 use chatgraph_embed::Vector;
-use rand::{RngExt, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use chatgraph_support::rng::{RngExt, SeedableRng};
+use chatgraph_support::rng::ChaCha12Rng;
 
 /// Parameters for [`clustered`].
 #[derive(Debug, Clone, PartialEq)]

@@ -9,8 +9,8 @@ use crate::eval::SearchStats;
 use crate::routing::beam_search;
 use crate::AnnIndex;
 use chatgraph_embed::{Metric, Vector};
-use rand::{RngExt, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use chatgraph_support::rng::{RngExt, SeedableRng};
+use chatgraph_support::rng::ChaCha12Rng;
 
 /// Build/search parameters for [`Hnsw`].
 #[derive(Debug, Clone, PartialEq)]

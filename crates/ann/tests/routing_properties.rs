@@ -5,60 +5,85 @@ use chatgraph_ann::{
     recall_at_k, AnnIndex, FlatIndex, Hnsw, HnswParams, Metric, SearchStats, TauMg, TauMgParams,
     Vector,
 };
-use proptest::prelude::*;
+use chatgraph_support::prop::{check, Config};
+use chatgraph_support::rng::{RngExt, StdRng};
+use chatgraph_support::{prop_assert, prop_assert_eq};
 
-fn vectors(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vector>> {
-    prop::collection::vec(
-        prop::collection::vec(-5.0f32..5.0, dim).prop_map(Vector),
-        n,
-    )
+/// A random coordinate vector with components in `-5.0..5.0`.
+fn random_vector(rng: &mut StdRng, dim: usize) -> Vector {
+    Vector((0..dim).map(|_| rng.random_range(-5.0f32..5.0)).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_vectors(rng: &mut StdRng, n: usize, dim: usize) -> Vec<Vector> {
+    (0..n).map(|_| random_vector(rng, dim)).collect()
+}
 
-    /// Flat search returns results sorted ascending, of the right length,
-    /// with correct distances.
-    #[test]
-    fn flat_search_is_sound(data in vectors(12, 4), q in prop::collection::vec(-5.0f32..5.0, 4)) {
-        let q = Vector(q);
-        let idx = FlatIndex::build(data.clone(), Metric::L2);
-        let mut stats = SearchStats::default();
-        let res = idx.search(&q, 5, &mut stats);
-        prop_assert_eq!(res.len(), 5.min(data.len()));
-        prop_assert_eq!(stats.distance_computations, data.len());
-        for w in res.windows(2) {
-            prop_assert!(w[0].1 <= w[1].1);
-        }
-        for (i, d) in &res {
-            prop_assert!((data[*i].l2(&q) - d).abs() < 1e-4);
-        }
-    }
+/// Flat search returns results sorted ascending, of the right length,
+/// with correct distances.
+#[test]
+fn flat_search_is_sound() {
+    check(
+        "flat_search_is_sound",
+        Config::default().with_cases(32),
+        |rng, _size| (random_vectors(rng, 12, 4), random_vector(rng, 4)),
+        |(data, q)| {
+            let idx = FlatIndex::build(data.clone(), Metric::L2);
+            let mut stats = SearchStats::default();
+            let res = idx.search(q, 5, &mut stats);
+            prop_assert_eq!(res.len(), 5.min(data.len()));
+            prop_assert_eq!(stats.distance_computations, data.len());
+            for w in res.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+            for (i, d) in &res {
+                prop_assert!((data[*i].l2(q) - d).abs() < 1e-4);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// τ-MG search results are always a subset of the dataset, sorted, and
-    /// never worse than the flat top-1 by more than the beam would allow on
-    /// tiny datasets (where the graph is effectively complete).
-    #[test]
-    fn taumg_on_tiny_data_is_exact(data in vectors(10, 4), q in prop::collection::vec(-5.0f32..5.0, 4)) {
-        let q = Vector(q);
-        let flat = FlatIndex::build(data.clone(), Metric::L2);
-        let idx = TauMg::build(data, TauMgParams::default());
-        let truth = flat.search(&q, 3, &mut SearchStats::default());
-        let res = idx.search_with_ef(&q, 3, 16, &mut SearchStats::default());
-        prop_assert_eq!(recall_at_k(&truth, &res, 3), 1.0, "tiny graphs are fully connected");
-    }
+/// τ-MG search results are always a subset of the dataset, sorted, and
+/// never worse than the flat top-1 by more than the beam would allow on
+/// tiny datasets (where the graph is effectively complete).
+#[test]
+fn taumg_on_tiny_data_is_exact() {
+    check(
+        "taumg_on_tiny_data_is_exact",
+        Config::default().with_cases(32),
+        |rng, _size| (random_vectors(rng, 10, 4), random_vector(rng, 4)),
+        |(data, q)| {
+            let flat = FlatIndex::build(data.clone(), Metric::L2);
+            let idx = TauMg::build(data.clone(), TauMgParams::default());
+            let truth = flat.search(q, 3, &mut SearchStats::default());
+            let res = idx.search_with_ef(q, 3, 16, &mut SearchStats::default());
+            prop_assert_eq!(
+                recall_at_k(&truth, &res, 3),
+                1.0,
+                "tiny graphs are fully connected"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// HNSW returns sorted results of the requested size on small data.
-    #[test]
-    fn hnsw_result_shape(data in vectors(15, 3), q in prop::collection::vec(-5.0f32..5.0, 3)) {
-        let q = Vector(q);
-        let idx = Hnsw::build(data, HnswParams::default());
-        let res = idx.search(&q, 4, &mut SearchStats::default());
-        prop_assert_eq!(res.len(), 4);
-        for w in res.windows(2) {
-            prop_assert!(w[0].1 <= w[1].1);
-        }
-    }
+/// HNSW returns sorted results of the requested size on small data.
+#[test]
+fn hnsw_result_shape() {
+    check(
+        "hnsw_result_shape",
+        Config::default().with_cases(32),
+        |rng, _size| (random_vectors(rng, 15, 3), random_vector(rng, 3)),
+        |(data, q)| {
+            let idx = Hnsw::build(data.clone(), HnswParams::default());
+            let res = idx.search(q, 4, &mut SearchStats::default());
+            prop_assert_eq!(res.len(), 4);
+            for w in res.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Determinism across rebuilds: same data, same parameters → identical

@@ -15,18 +15,19 @@
 use crate::registry::ApiRegistry;
 use crate::value::ValueType;
 use chatgraph_graph::Graph;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One API invocation in a chain.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiCall {
     /// Registered API name.
     pub api: String,
     /// Free-form string parameters (e.g. `k = "5"`, `pattern = "edge a b"`).
     pub params: BTreeMap<String, String>,
 }
+
+chatgraph_support::impl_json_struct!(ApiCall { api, params });
 
 impl ApiCall {
     /// A call with no parameters.
@@ -122,11 +123,13 @@ impl fmt::Display for ChainError {
 impl std::error::Error for ChainError {}
 
 /// An ordered chain of API calls.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ApiChain {
     /// The steps, in execution order.
     pub steps: Vec<ApiCall>,
 }
+
+chatgraph_support::impl_json_struct!(ApiChain { steps });
 
 impl ApiChain {
     /// An empty chain.
@@ -335,9 +338,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let c = ApiChain::from_names(["a", "b"]);
-        let s = serde_json::to_string(&c).unwrap();
-        assert_eq!(serde_json::from_str::<ApiChain>(&s).unwrap(), c);
+        let s = chatgraph_support::json::to_string(&c);
+        assert_eq!(chatgraph_support::json::from_str::<ApiChain>(&s).unwrap(), c);
     }
 }

@@ -5,12 +5,11 @@
 //! high-dimensional vectors"), plus typing information for chain validation.
 
 use crate::value::ValueType;
-use serde::{Deserialize, Serialize};
 
 /// Functional category of an API. Mirrors the paper's scenario families;
 /// graph-type prediction routes to category-specific APIs (scenario 1:
 /// "if G is a social network, social-specific APIs will be invoked").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ApiCategory {
     /// Generic structural statistics.
     Structure,
@@ -28,6 +27,16 @@ pub enum ApiCategory {
     Report,
 }
 
+chatgraph_support::impl_json_enum_unit!(ApiCategory {
+    Structure,
+    Social,
+    Molecule,
+    Similarity,
+    Knowledge,
+    Edit,
+    Report,
+});
+
 impl ApiCategory {
     /// All categories, in a fixed order.
     pub fn all() -> &'static [ApiCategory] {
@@ -44,7 +53,7 @@ impl ApiCategory {
 }
 
 /// Static metadata of one API.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiDescriptor {
     /// Unique snake_case name (the token the LLM emits).
     pub name: String,
@@ -60,6 +69,15 @@ pub struct ApiDescriptor {
     /// APIs, per scenario 3's confirmation step).
     pub requires_confirmation: bool,
 }
+
+chatgraph_support::impl_json_struct!(ApiDescriptor {
+    name,
+    description,
+    category,
+    input,
+    output,
+    requires_confirmation,
+});
 
 impl ApiDescriptor {
     /// Convenience constructor.

@@ -17,8 +17,8 @@ use chatgraph_graph::{io, Graph};
 /// combined size, so different-sized molecules are comparable.
 ///
 /// GED per candidate is independent work, so the database is scored on
-/// crossbeam scoped threads (chunked by available parallelism); results are
-/// deterministic regardless of thread count.
+/// `std::thread::scope` threads (chunked by available parallelism); results
+/// are deterministic regardless of thread count.
 pub fn rank_database(query: &Graph, database: &[Graph]) -> Vec<(usize, f64)> {
     let cost = CostModel::uniform();
     let threads = std::thread::available_parallelism()
@@ -27,13 +27,13 @@ pub fn rank_database(query: &Graph, database: &[Graph]) -> Vec<(usize, f64)> {
         .min(database.len().max(1));
     let chunk = database.len().div_ceil(threads.max(1)).max(1);
     let mut scored: Vec<(usize, f64)> = Vec::with_capacity(database.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = database
             .chunks(chunk)
             .enumerate()
             .map(|(ci, graphs)| {
                 let cost = &cost;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     graphs
                         .iter()
                         .enumerate()
@@ -50,8 +50,7 @@ pub fn rank_database(query: &Graph, database: &[Graph]) -> Vec<(usize, f64)> {
         for h in handles {
             scored.extend(h.join().expect("scoring thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     scored
 }

@@ -7,10 +7,10 @@
 //! confirmation requests (for edit APIs) through the monitor.
 
 use crate::value::ValueType;
-use serde::{Deserialize, Serialize};
+use chatgraph_support::json::{FromJson, Json, JsonError, ToJson};
 
 /// One progress event during chain execution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChainEvent {
     /// Execution of the whole chain began (`total` steps).
     ChainStarted {
@@ -53,6 +53,94 @@ pub enum ChainEvent {
     },
     /// The whole chain finished successfully.
     ChainFinished,
+}
+
+
+impl ToJson for ChainEvent {
+    fn to_json(&self) -> Json {
+        // serde's externally tagged format: `{"Variant": {fields…}}`, with
+        // bare `"ChainFinished"` for the payload-less variant.
+        let field = |k: &str, v: Json| (k.to_owned(), v);
+        let tagged = |tag: &str, fields: Vec<(String, Json)>| {
+            Json::Object(vec![(tag.to_owned(), Json::Object(fields))])
+        };
+        match self {
+            ChainEvent::ChainStarted { total } => {
+                tagged("ChainStarted", vec![field("total", total.to_json())])
+            }
+            ChainEvent::StepStarted { step, api } => tagged(
+                "StepStarted",
+                vec![field("step", step.to_json()), field("api", api.to_json())],
+            ),
+            ChainEvent::StepFinished { step, api, output, summary } => tagged(
+                "StepFinished",
+                vec![
+                    field("step", step.to_json()),
+                    field("api", api.to_json()),
+                    field("output", output.to_json()),
+                    field("summary", summary.to_json()),
+                ],
+            ),
+            ChainEvent::StepFailed { step, api, error } => tagged(
+                "StepFailed",
+                vec![
+                    field("step", step.to_json()),
+                    field("api", api.to_json()),
+                    field("error", error.to_json()),
+                ],
+            ),
+            ChainEvent::ConfirmationRequested { step, api } => tagged(
+                "ConfirmationRequested",
+                vec![field("step", step.to_json()), field("api", api.to_json())],
+            ),
+            ChainEvent::ChainFinished => Json::Str("ChainFinished".to_owned()),
+        }
+    }
+}
+
+impl FromJson for ChainEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some("ChainFinished") = v.as_str() {
+            return Ok(ChainEvent::ChainFinished);
+        }
+        let fields = v
+            .as_object()
+            .ok_or_else(|| JsonError::expected("ChainEvent object", v))?;
+        let (tag, payload) = match fields {
+            [(tag, payload)] => (tag.as_str(), payload),
+            _ => return Err(JsonError::msg("ChainEvent must be a single-key tagged object")),
+        };
+        let get = |name: &str| {
+            payload
+                .get(name)
+                .ok_or_else(|| JsonError::missing_field("ChainEvent", name))
+        };
+        match tag {
+            "ChainStarted" => Ok(ChainEvent::ChainStarted {
+                total: FromJson::from_json(get("total")?)?,
+            }),
+            "StepStarted" => Ok(ChainEvent::StepStarted {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
+            }),
+            "StepFinished" => Ok(ChainEvent::StepFinished {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
+                output: FromJson::from_json(get("output")?)?,
+                summary: FromJson::from_json(get("summary")?)?,
+            }),
+            "StepFailed" => Ok(ChainEvent::StepFailed {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
+                error: FromJson::from_json(get("error")?)?,
+            }),
+            "ConfirmationRequested" => Ok(ChainEvent::ConfirmationRequested {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
+            }),
+            other => Err(JsonError::msg(format!("unknown ChainEvent variant `{other}`"))),
+        }
+    }
 }
 
 /// Receiver of chain-execution events and confirmation requests.

@@ -1,13 +1,13 @@
 //! Typed values exchanged between chained APIs.
 
 use chatgraph_graph::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
+use chatgraph_support::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// The static type of a [`Value`], used to validate chains before running
 /// them (scenario 4 lets the user edit a generated chain; the validator is
 /// what makes editing safe).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ValueType {
     /// A property graph.
     Graph,
@@ -30,6 +30,19 @@ pub enum ValueType {
     /// Accepts anything (report/summary sinks).
     Any,
 }
+
+chatgraph_support::impl_json_enum_unit!(ValueType {
+    Graph,
+    Number,
+    Text,
+    Bool,
+    NodeList,
+    EdgeList,
+    Table,
+    Report,
+    Unit,
+    Any,
+});
 
 impl ValueType {
     /// Whether an input slot of this type accepts a value of type `v`.
@@ -57,13 +70,15 @@ impl fmt::Display for ValueType {
 }
 
 /// A tabular API result: headers plus string rows.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Table {
     /// Column headers.
     pub headers: Vec<String>,
     /// Row-major cells.
     pub rows: Vec<Vec<String>>,
 }
+
+chatgraph_support::impl_json_struct!(Table { headers, rows });
 
 impl Table {
     /// Builds a table from headers.
@@ -112,13 +127,15 @@ impl Table {
 
 /// A multi-section report (the output of scenario 1's "write a brief
 /// report for G").
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
     /// Report title.
     pub title: String,
     /// `(heading, body)` sections in order.
     pub sections: Vec<(String, String)>,
 }
+
+chatgraph_support::impl_json_struct!(Report { title, sections });
 
 impl Report {
     /// Creates an empty titled report.
@@ -145,7 +162,7 @@ impl Report {
 }
 
 /// A dynamically typed API value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// A property graph.
     Graph(Box<Graph>),
@@ -165,6 +182,52 @@ pub enum Value {
     Report(Report),
     /// Nothing.
     Unit,
+}
+
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        // serde's externally tagged format: `{"Variant": payload}`, with
+        // bare `"Unit"` for the payload-less variant.
+        let tagged = |tag: &str, payload: Json| {
+            Json::Object(vec![(tag.to_owned(), payload)])
+        };
+        match self {
+            Value::Graph(g) => tagged("Graph", g.to_json()),
+            Value::Number(x) => tagged("Number", Json::Float(*x)),
+            Value::Text(t) => tagged("Text", Json::Str(t.clone())),
+            Value::Bool(b) => tagged("Bool", Json::Bool(*b)),
+            Value::NodeList(ns) => tagged("NodeList", ns.to_json()),
+            Value::EdgeList(es) => tagged("EdgeList", es.to_json()),
+            Value::Table(t) => tagged("Table", t.to_json()),
+            Value::Report(r) => tagged("Report", r.to_json()),
+            Value::Unit => Json::Str("Unit".to_owned()),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some("Unit") = v.as_str() {
+            return Ok(Value::Unit);
+        }
+        let fields = v.as_object().ok_or_else(|| JsonError::expected("Value object", v))?;
+        let (tag, payload) = match fields {
+            [(tag, payload)] => (tag.as_str(), payload),
+            _ => return Err(JsonError::msg("Value must be a single-key tagged object")),
+        };
+        match tag {
+            "Graph" => Ok(Value::Graph(FromJson::from_json(payload)?)),
+            "Number" => Ok(Value::Number(FromJson::from_json(payload)?)),
+            "Text" => Ok(Value::Text(FromJson::from_json(payload)?)),
+            "Bool" => Ok(Value::Bool(FromJson::from_json(payload)?)),
+            "NodeList" => Ok(Value::NodeList(FromJson::from_json(payload)?)),
+            "EdgeList" => Ok(Value::EdgeList(FromJson::from_json(payload)?)),
+            "Table" => Ok(Value::Table(FromJson::from_json(payload)?)),
+            "Report" => Ok(Value::Report(FromJson::from_json(payload)?)),
+            other => Err(JsonError::msg(format!("unknown Value variant `{other}`"))),
+        }
+    }
 }
 
 impl Value {
@@ -320,14 +383,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let v = Value::Table({
             let mut t = Table::new(["a"]);
             t.push_row(["1"]);
             t
         });
-        let s = serde_json::to_string(&v).unwrap();
-        let back: Value = serde_json::from_str(&s).unwrap();
+        let s = chatgraph_support::json::to_string(&v);
+        let back: Value = chatgraph_support::json::from_str(&s).unwrap();
         assert_eq!(v, back);
     }
 }

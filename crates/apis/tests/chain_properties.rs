@@ -5,105 +5,161 @@ use chatgraph_apis::{
     execute_chain, registry, ApiChain, ChainError, ExecContext, SilentMonitor,
 };
 use chatgraph_graph::generators::{knowledge_graph, KgParams};
-use proptest::prelude::*;
+use chatgraph_support::prop::{check, Config};
+use chatgraph_support::rng::{RngExt, SliceRandom, StdRng};
+use chatgraph_support::{prop_assert, prop_assert_eq};
 
-fn random_chain(max_len: usize) -> impl Strategy<Value = ApiChain> {
+/// Generator: a chain of 1..=max_len random registered API names.
+fn random_chain(rng: &mut StdRng, max_len: usize) -> ApiChain {
     let reg = registry::standard();
     let names: Vec<String> = reg.names().iter().map(|s| s.to_string()).collect();
-    prop::collection::vec(prop::sample::select(names), 1..=max_len)
-        .prop_map(ApiChain::from_names)
+    let len = rng.random_range(1..=max_len);
+    let picked: Vec<String> = (0..len)
+        .map(|_| names.choose(rng).expect("non-empty registry").clone())
+        .collect();
+    ApiChain::from_names(picked)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Soundness: a chain the validator accepts never fails with a *type*
-    /// error at execution time (handlers may still fail on missing
-    /// parameters or empty databases — those are runtime errors, not type
-    /// errors — and rejections cannot happen with an all-yes monitor).
-    #[test]
-    fn validated_chains_execute_without_type_errors(chain in random_chain(4)) {
-        let reg = registry::standard();
-        // A KG exercises the edit APIs' confirmation path too.
-        let g = knowledge_graph(&KgParams {
-            persons: 10, cities: 4, countries: 2, companies: 3,
-            employment_rate: 0.5, knows_per_person: 1.0,
-        }, 1);
-        match chain.validate(&reg, true) {
-            Ok(()) => {
-                let mut ctx = ExecContext::new(g);
-                match execute_chain(&reg, &chain, &mut ctx, &mut SilentMonitor) {
-                    Ok(_) => {}
-                    Err(ChainError::ExecutionFailed(_, msg)) => {
-                        // Runtime failures must be about data, not typing.
-                        prop_assert!(
-                            !msg.contains("expects"),
-                            "type error slipped past validation: {msg}"
-                        );
-                    }
-                    Err(other) => {
-                        prop_assert!(false, "unexpected error class: {other}");
-                    }
+/// Shared check behind the soundness property and its recorded regression.
+fn check_validated_chain_executes(chain: &ApiChain) -> Result<(), String> {
+    let reg = registry::standard();
+    // A KG exercises the edit APIs' confirmation path too.
+    let g = knowledge_graph(
+        &KgParams {
+            persons: 10,
+            cities: 4,
+            countries: 2,
+            companies: 3,
+            employment_rate: 0.5,
+            knows_per_person: 1.0,
+        },
+        1,
+    );
+    match chain.validate(&reg, true) {
+        Ok(()) => {
+            let mut ctx = ExecContext::new(g);
+            match execute_chain(&reg, chain, &mut ctx, &mut SilentMonitor) {
+                Ok(_) => {}
+                Err(ChainError::ExecutionFailed(_, msg)) => {
+                    // Runtime failures must be about data, not typing.
+                    prop_assert!(
+                        !msg.contains("expects"),
+                        "type error slipped past validation: {msg}"
+                    );
+                }
+                Err(other) => {
+                    prop_assert!(false, "unexpected error class: {other}");
                 }
             }
-            Err(ChainError::TypeMismatch { step, .. }) => {
-                // The mismatch must be real: the step's declared input type
-                // does not accept the previous step's output (Unit at the
-                // chain start).
-                let prev_out = if step == 0 {
-                    chatgraph_apis::ValueType::Unit
-                } else {
-                    reg.descriptor(&chain.steps[step - 1].api).unwrap().output
-                };
-                let cur_in = reg.descriptor(&chain.steps[step].api).unwrap().input;
-                prop_assert!(!cur_in.accepts(prev_out));
-                prop_assert!(cur_in != chatgraph_apis::ValueType::Graph);
-            }
-            Err(ChainError::Empty) | Err(ChainError::UnknownApi(..)) => {
-                prop_assert!(false, "unexpected validation failure");
-            }
-            Err(_) => {}
         }
-    }
-
-    /// The chain ↔ graph encoding preserves names, order and length.
-    #[test]
-    fn chain_graph_encoding_faithful(chain in random_chain(6)) {
-        let g = chain.to_graph();
-        prop_assert_eq!(g.node_count(), chain.len());
-        prop_assert_eq!(g.edge_count(), chain.len().saturating_sub(1));
-        let labels: Vec<String> = g
-            .node_ids()
-            .map(|v| g.node_label(v).unwrap().to_owned())
-            .collect();
-        let names: Vec<String> = chain.api_names().into_iter().map(str::to_owned).collect();
-        prop_assert_eq!(labels, names);
-        // The encoding is a simple directed path: in/out degrees ≤ 1.
-        for v in g.node_ids() {
-            prop_assert!(g.degree(v) <= 1);
-            prop_assert!(g.in_degree(v) <= 1);
+        Err(ChainError::TypeMismatch { step, .. }) => {
+            // The mismatch must be real: the step's declared input type
+            // does not accept the previous step's output (Unit at the
+            // chain start).
+            let prev_out = if step == 0 {
+                chatgraph_apis::ValueType::Unit
+            } else {
+                reg.descriptor(&chain.steps[step - 1].api).unwrap().output
+            };
+            let cur_in = reg.descriptor(&chain.steps[step].api).unwrap().input;
+            prop_assert!(!cur_in.accepts(prev_out));
+            prop_assert!(cur_in != chatgraph_apis::ValueType::Graph);
         }
+        Err(ChainError::Empty) | Err(ChainError::UnknownApi(..)) => {
+            prop_assert!(false, "unexpected validation failure");
+        }
+        Err(_) => {}
     }
+    Ok(())
+}
 
-    /// Serde round-trips arbitrary chains.
-    #[test]
-    fn chain_serde_roundtrip(chain in random_chain(5)) {
-        let s = serde_json::to_string(&chain).unwrap();
-        prop_assert_eq!(serde_json::from_str::<ApiChain>(&s).unwrap(), chain);
-    }
+/// Soundness: a chain the validator accepts never fails with a *type*
+/// error at execution time (handlers may still fail on missing
+/// parameters or empty databases — those are runtime errors, not type
+/// errors — and rejections cannot happen with an all-yes monitor).
+#[test]
+fn validated_chains_execute_without_type_errors() {
+    check(
+        "validated_chains_execute_without_type_errors",
+        Config::default(),
+        |rng, _size| random_chain(rng, 4),
+        check_validated_chain_executes,
+    );
+}
 
-    /// Editing operations keep indices consistent.
-    #[test]
-    fn chain_editing_consistency(chain in random_chain(5), idx in 0usize..8) {
-        let mut c = chain.clone();
-        let before = c.len();
-        c.insert(idx, chatgraph_apis::ApiCall::new("node_count"));
-        prop_assert_eq!(c.len(), before + 1);
-        let clamped = idx.min(before);
-        prop_assert_eq!(c.steps[clamped].api.as_str(), "node_count");
-        let removed = c.remove(clamped).unwrap();
-        prop_assert_eq!(removed.api.as_str(), "node_count");
-        prop_assert_eq!(c.len(), before);
-        prop_assert_eq!(c.api_names(), chain.api_names());
-    }
+/// Regression: the single-step `add_edges` chain recorded by the old
+/// proptest harness (formerly `chain_properties.proptest-regressions`).
+#[test]
+fn regression_single_add_edges_chain() {
+    let chain = ApiChain::from_names(["add_edges".to_string()]);
+    check_validated_chain_executes(&chain).unwrap();
+}
+
+/// The chain ↔ graph encoding preserves names, order and length.
+#[test]
+fn chain_graph_encoding_faithful() {
+    check(
+        "chain_graph_encoding_faithful",
+        Config::default(),
+        |rng, _size| random_chain(rng, 6),
+        |chain| {
+            let g = chain.to_graph();
+            prop_assert_eq!(g.node_count(), chain.len());
+            prop_assert_eq!(g.edge_count(), chain.len().saturating_sub(1));
+            let labels: Vec<String> = g
+                .node_ids()
+                .map(|v| g.node_label(v).unwrap().to_owned())
+                .collect();
+            let names: Vec<String> = chain.api_names().into_iter().map(str::to_owned).collect();
+            prop_assert_eq!(labels, names);
+            // The encoding is a simple directed path: in/out degrees ≤ 1.
+            for v in g.node_ids() {
+                prop_assert!(g.degree(v) <= 1);
+                prop_assert!(g.in_degree(v) <= 1);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// JSON round-trips arbitrary chains.
+#[test]
+fn chain_json_roundtrip() {
+    check(
+        "chain_json_roundtrip",
+        Config::default(),
+        |rng, _size| random_chain(rng, 5),
+        |chain| {
+            let s = chatgraph_support::json::to_string(chain);
+            prop_assert_eq!(
+                &chatgraph_support::json::from_str::<ApiChain>(&s).unwrap(),
+                chain
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Editing operations keep indices consistent.
+#[test]
+fn chain_editing_consistency() {
+    check(
+        "chain_editing_consistency",
+        Config::default(),
+        |rng, _size| (random_chain(rng, 5), rng.random_range(0usize..8)),
+        |(chain, idx)| {
+            let idx = *idx;
+            let mut c = chain.clone();
+            let before = c.len();
+            c.insert(idx, chatgraph_apis::ApiCall::new("node_count"));
+            prop_assert_eq!(c.len(), before + 1);
+            let clamped = idx.min(before);
+            prop_assert_eq!(c.steps[clamped].api.as_str(), "node_count");
+            let removed = c.remove(clamped).unwrap();
+            prop_assert_eq!(removed.api.as_str(), "node_count");
+            prop_assert_eq!(c.len(), before);
+            prop_assert_eq!(c.api_names(), chain.api_names());
+            Ok(())
+        },
+    );
 }

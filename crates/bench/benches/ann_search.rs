@@ -1,13 +1,16 @@
-//! Criterion benches for ANN search (experiment E6's timing side):
+//! Timing benches for ANN search (experiment E6's timing side):
 //! τ-MG vs HNSW vs brute force at equal k.
 
 use chatgraph_ann::dataset::{clustered, queries, ClusterParams};
-use chatgraph_ann::{AnnIndex, FlatIndex, Hnsw, HnswParams, Metric, SearchStats, TauMg, TauMgParams};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chatgraph_ann::{
+    AnnIndex, FlatIndex, Hnsw, HnswParams, Metric, SearchStats, TauMg, TauMgParams,
+};
+use chatgraph_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench_ann(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ann_search");
+fn main() {
+    let mut bench = Bench::new("ann_search");
+    let mut group = bench.group("ann_search");
     let params = ClusterParams { n: 8000, dim: 32, clusters: 40, noise: 0.06 };
     let data = clustered(&params, 3);
     let qs = queries(&params, 64, 3);
@@ -18,57 +21,27 @@ fn bench_ann(c: &mut Criterion) {
     let hnsw = Hnsw::build(data, HnswParams::default());
 
     let mut qi = 0usize;
-    let mut next_q = move || {
+    group.bench("flat/8000", || {
         qi = (qi + 1) % 64;
-        qi
-    };
-    group.bench_function(BenchmarkId::new("flat", 8000), |b| {
-        b.iter(|| {
-            let mut stats = SearchStats::default();
-            flat.search(black_box(&qs[next_q()]), 10, &mut stats)
-        })
+        let mut stats = SearchStats::default();
+        black_box(flat.search(black_box(&qs[qi]), 10, &mut stats));
     });
-    let mut next_q2 = {
-        let mut qi = 0usize;
-        move || {
-            qi = (qi + 1) % 64;
-            qi
-        }
-    };
-    group.bench_function(BenchmarkId::new("taumg", 8000), |b| {
-        b.iter(|| {
-            let mut stats = SearchStats::default();
-            taumg.search(black_box(&qs[next_q2()]), 10, &mut stats)
-        })
+    let mut qi = 0usize;
+    group.bench("taumg/8000", || {
+        qi = (qi + 1) % 64;
+        let mut stats = SearchStats::default();
+        black_box(taumg.search(black_box(&qs[qi]), 10, &mut stats));
     });
-    let mut next_q3 = {
-        let mut qi = 0usize;
-        move || {
-            qi = (qi + 1) % 64;
-            qi
-        }
-    };
-    group.bench_function(BenchmarkId::new("mrng", 8000), |b| {
-        b.iter(|| {
-            let mut stats = SearchStats::default();
-            mrng.search(black_box(&qs[next_q3()]), 10, &mut stats)
-        })
+    let mut qi = 0usize;
+    group.bench("mrng/8000", || {
+        qi = (qi + 1) % 64;
+        let mut stats = SearchStats::default();
+        black_box(mrng.search(black_box(&qs[qi]), 10, &mut stats));
     });
-    let mut next_q4 = {
-        let mut qi = 0usize;
-        move || {
-            qi = (qi + 1) % 64;
-            qi
-        }
-    };
-    group.bench_function(BenchmarkId::new("hnsw", 8000), |b| {
-        b.iter(|| {
-            let mut stats = SearchStats::default();
-            hnsw.search(black_box(&qs[next_q4()]), 10, &mut stats)
-        })
+    let mut qi = 0usize;
+    group.bench("hnsw/8000", || {
+        qi = (qi + 1) % 64;
+        let mut stats = SearchStats::default();
+        black_box(hnsw.search(black_box(&qs[qi]), 10, &mut stats));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_ann);
-criterion_main!(benches);

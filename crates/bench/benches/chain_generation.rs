@@ -1,4 +1,4 @@
-//! Criterion benches for the chain-generation pipeline: feature extraction,
+//! Timing benches for the chain-generation pipeline: feature extraction,
 //! search-based prediction, and greedy decoding.
 
 use chatgraph_apis::registry;
@@ -8,10 +8,10 @@ use chatgraph_core::{
     generate_corpus, ApiRetriever, ChainGenerator, ChatGraphConfig, CorpusParams, FinetuneMethod,
     GraphAwareLm,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
+use chatgraph_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench_generation(c: &mut Criterion) {
+fn main() {
     let config = ChatGraphConfig::default();
     let reg = registry::standard();
     let retriever = ApiRetriever::build(&reg, &config.retrieval);
@@ -19,12 +19,13 @@ fn bench_generation(c: &mut Criterion) {
     let corpus = generate_corpus(&CorpusParams { size: 16, small_graphs: true }, 3);
     let one = &corpus[..1];
 
-    let mut group = c.benchmark_group("chain_generation");
-    group.bench_function("context_features", |b| {
-        b.iter(|| lm.context(black_box(&corpus[0].question), Some(&corpus[0].graph)))
+    let mut bench = Bench::new("chain_generation");
+    let mut group = bench.group("chain_generation");
+    group.bench("context_features", || {
+        black_box(lm.context(black_box(&corpus[0].question), Some(&corpus[0].graph)));
     });
-    group.bench_function("search_based_prediction_one_question", |b| {
-        b.iter(|| {
+    group.bench("search_based_prediction_one_question", || {
+        black_box(
             build_examples(
                 black_box(&lm),
                 &reg,
@@ -33,24 +34,20 @@ fn bench_generation(c: &mut Criterion) {
                 FinetuneMethod::Full,
                 &config,
             )
-            .len()
-        })
+            .len(),
+        );
     });
     let gen = ChainGenerator::default();
     let cands = candidate_apis(&reg, &retriever, &corpus[0].question, Some(&corpus[0].graph));
-    group.bench_function("greedy_decode", |b| {
-        b.iter(|| {
+    group.bench("greedy_decode", || {
+        black_box(
             gen.generate_greedy(
-                black_box(&lm),
+                &lm,
                 &corpus[0].question,
                 Some(&corpus[0].graph),
                 &cands,
             )
-            .len()
-        })
+            .len(),
+        );
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_generation);
-criterion_main!(benches);

@@ -1,15 +1,15 @@
-//! Criterion benches for the GED substrate (node matching-based loss,
+//! Timing benches for the GED substrate (node matching-based loss,
 //! similarity search).
 
 use chatgraph_ged::{approx_ged, exact_ged, hungarian, matching_loss, CostModel};
 use chatgraph_graph::generators::{molecule, MoleculeParams};
 use chatgraph_graph::GraphBuilder;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{RngExt, SeedableRng};
+use chatgraph_support::bench::Bench;
+use chatgraph_support::rng::{RngExt, SeedableRng};
 use std::hint::black_box;
 
 fn random_cost_matrix(n: usize) -> Vec<Vec<f64>> {
-    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(9);
+    let mut rng = chatgraph_support::rng::ChaCha12Rng::seed_from_u64(9);
     (0..n)
         .map(|_| (0..n).map(|_| rng.random_range(0.0..10.0)).collect())
         .collect()
@@ -26,40 +26,35 @@ fn chain_graph(len: usize) -> chatgraph_graph::Graph {
     b.build()
 }
 
-fn bench_ged(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ged");
+fn main() {
+    let mut bench = Bench::new("ged");
+    let mut group = bench.group("ged");
     for &n in &[8usize, 16, 32, 64] {
         let m = random_cost_matrix(n);
-        group.bench_with_input(BenchmarkId::new("hungarian", n), &m, |b, m| {
-            b.iter(|| hungarian(black_box(m)))
+        group.bench(&format!("hungarian/{n}"), || {
+            black_box(hungarian(black_box(&m)));
         });
     }
     let cost = CostModel::uniform();
     for &atoms in &[8usize, 16, 32] {
         let g1 = molecule(&MoleculeParams { atoms, rings: 2, double_bond_prob: 0.15 }, 1);
         let g2 = molecule(&MoleculeParams { atoms, rings: 2, double_bond_prob: 0.15 }, 2);
-        group.bench_with_input(BenchmarkId::new("approx_ged_molecule", atoms), &(g1, g2), |b, (g1, g2)| {
-            b.iter(|| approx_ged(black_box(g1), black_box(g2), &cost).upper_bound)
+        group.bench(&format!("approx_ged_molecule/{atoms}"), || {
+            black_box(approx_ged(black_box(&g1), black_box(&g2), &cost).upper_bound);
         });
     }
     {
         let g1 = molecule(&MoleculeParams { atoms: 7, rings: 1, double_bond_prob: 0.15 }, 1);
         let g2 = molecule(&MoleculeParams { atoms: 7, rings: 1, double_bond_prob: 0.15 }, 2);
-        group.bench_function("exact_ged_molecule_7", |b| {
-            b.iter(|| exact_ged(black_box(&g1), black_box(&g2), &cost))
+        group.bench("exact_ged_molecule_7", || {
+            black_box(exact_ged(black_box(&g1), black_box(&g2), &cost));
         });
     }
     for &len in &[3usize, 5, 8] {
         let c1 = chain_graph(len);
         let c2 = chain_graph(len + 1);
-        group.bench_with_input(
-            BenchmarkId::new("matching_loss_chain", len),
-            &(c1, c2),
-            |b, (c1, c2)| b.iter(|| matching_loss(black_box(c1), black_box(c2), 0.5, &cost).total),
-        );
+        group.bench(&format!("matching_loss_chain/{len}"), || {
+            black_box(matching_loss(black_box(&c1), black_box(&c2), 0.5, &cost).total);
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ged);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion benches for the graph-algorithm substrate backing the analysis
+//! Timing benches for the graph-algorithm substrate backing the analysis
 //! APIs (scenario 1's report pipeline).
 
 use chatgraph_graph::algo::{centrality, community, components, stats, triangles};
 use chatgraph_graph::generators::{social_network, SocialParams};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chatgraph_support::bench::Bench;
 use std::hint::black_box;
 
 fn social(n_per_comm: usize) -> chatgraph_graph::Graph {
@@ -18,31 +18,29 @@ fn social(n_per_comm: usize) -> chatgraph_graph::Graph {
     )
 }
 
-fn bench_algos(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_algos");
+fn main() {
+    let mut bench = Bench::new("graph_algos");
+    let mut group = bench.group("graph_algos");
     for &size in &[25usize, 50, 100] {
         let g = social(size);
-        group.bench_with_input(BenchmarkId::new("label_propagation", size * 4), &g, |b, g| {
-            b.iter(|| community::label_propagation(black_box(g), 1))
+        let n = size * 4;
+        group.bench(&format!("label_propagation/{n}"), || {
+            black_box(community::label_propagation(black_box(&g), 1));
         });
-        group.bench_with_input(BenchmarkId::new("pagerank", size * 4), &g, |b, g| {
-            b.iter(|| centrality::pagerank(black_box(g), 0.85, 30))
+        group.bench(&format!("pagerank/{n}"), || {
+            black_box(centrality::pagerank(black_box(&g), 0.85, 30));
         });
-        group.bench_with_input(BenchmarkId::new("betweenness", size * 4), &g, |b, g| {
-            b.iter(|| centrality::betweenness(black_box(g)))
+        group.bench(&format!("betweenness/{n}"), || {
+            black_box(centrality::betweenness(black_box(&g)));
         });
-        group.bench_with_input(BenchmarkId::new("triangles", size * 4), &g, |b, g| {
-            b.iter(|| triangles::triangle_count(black_box(g)))
+        group.bench(&format!("triangles/{n}"), || {
+            black_box(triangles::triangle_count(black_box(&g)));
         });
-        group.bench_with_input(BenchmarkId::new("components", size * 4), &g, |b, g| {
-            b.iter(|| components::connected_components(black_box(g)).count)
+        group.bench(&format!("components/{n}"), || {
+            black_box(components::connected_components(black_box(&g)).count);
         });
-        group.bench_with_input(BenchmarkId::new("graph_stats", size * 4), &g, |b, g| {
-            b.iter(|| stats::graph_stats(black_box(g)))
+        group.bench(&format!("graph_stats/{n}"), || {
+            black_box(stats::graph_stats(black_box(&g)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_algos);
-criterion_main!(benches);

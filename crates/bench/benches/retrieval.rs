@@ -1,12 +1,12 @@
-//! Criterion benches for the API retrieval module (embedding + τ-MG lookup).
+//! Timing benches for the API retrieval module (embedding + τ-MG lookup).
 
 use chatgraph_apis::registry;
 use chatgraph_core::config::RetrievalConfig;
 use chatgraph_core::ApiRetriever;
-use criterion::{criterion_group, criterion_main, Criterion};
+use chatgraph_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench_retrieval(c: &mut Criterion) {
+fn main() {
     let reg = registry::standard();
     let retriever = ApiRetriever::build(&reg, &RetrievalConfig::default());
     let queries = [
@@ -15,26 +15,19 @@ fn bench_retrieval(c: &mut Criterion) {
         "find similar molecules in the database",
         "clean the knowledge graph",
     ];
-    let mut group = c.benchmark_group("retrieval");
-    group.bench_function("build", |b| {
-        b.iter(|| ApiRetriever::build(black_box(&reg), &RetrievalConfig::default()).len())
+    let mut bench = Bench::new("retrieval");
+    let mut group = bench.group("retrieval");
+    group.bench("build", || {
+        black_box(ApiRetriever::build(black_box(&reg), &RetrievalConfig::default()).len());
     });
-    group.bench_function("embed_prompt", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % queries.len();
-            retriever.embed(black_box(queries[i]))
-        })
+    let mut i = 0;
+    group.bench("embed_prompt", || {
+        i = (i + 1) % queries.len();
+        black_box(retriever.embed(black_box(queries[i])));
     });
-    group.bench_function("retrieve_top10", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % queries.len();
-            retriever.retrieve(black_box(queries[i]))
-        })
+    let mut i = 0;
+    group.bench("retrieve_top10", || {
+        i = (i + 1) % queries.len();
+        black_box(retriever.retrieve(black_box(queries[i])));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_retrieval);
-criterion_main!(benches);

@@ -1,29 +1,26 @@
-//! Criterion benches for the graph sequentialiser (experiment E5's timing
+//! Timing benches for the graph sequentialiser (experiment E5's timing
 //! side): path cover as ℓ grows, super-graph contraction, serialisation.
 
 use chatgraph_graph::generators::{barabasi_albert, BaParams};
 use chatgraph_sequencer::{build_supergraph, path_cover, sequentialize, CoverParams};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chatgraph_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench_sequencer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sequencer");
+fn main() {
+    let mut bench = Bench::new("seq_path_cover");
+    let mut group = bench.group("sequencer");
     let g = barabasi_albert(&BaParams { nodes: 200, attach: 2 }, 5);
     for l in 1..=4usize {
         let params = CoverParams { max_length: l, dedup_singletons: true };
-        group.bench_with_input(BenchmarkId::new("path_cover_l", l), &params, |b, p| {
-            b.iter(|| path_cover(black_box(&g), p).len())
+        group.bench(&format!("path_cover_l/{l}"), || {
+            black_box(path_cover(black_box(&g), &params).len());
         });
     }
-    group.bench_function("supergraph_200", |b| {
-        b.iter(|| build_supergraph(black_box(&g), 3).motif_count)
+    group.bench("supergraph_200", || {
+        black_box(build_supergraph(black_box(&g), 3).motif_count);
     });
     let params = CoverParams { max_length: 2, dedup_singletons: true };
-    group.bench_function("sequentialize_multi_level_200", |b| {
-        b.iter(|| sequentialize(black_box(&g), &params, true).token_count())
+    group.bench("sequentialize_multi_level_200", || {
+        black_box(sequentialize(black_box(&g), &params, true).token_count());
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_sequencer);
-criterion_main!(benches);

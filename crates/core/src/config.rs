@@ -4,10 +4,9 @@ use chatgraph_ann::TauMgParams;
 use chatgraph_embed::EmbedderConfig;
 use chatgraph_llm::{FeatureConfig, SamplingConfig, TrainConfig};
 use chatgraph_sequencer::CoverParams;
-use serde::{Deserialize, Serialize};
 
 /// Retrieval-module settings (§II-A, §II-D).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RetrievalConfig {
     /// Embedding settings for API descriptions and prompts.
     pub embedder: EmbedderConfig,
@@ -22,6 +21,15 @@ pub struct RetrievalConfig {
     /// Number of APIs retrieved per prompt.
     pub top_k: usize,
 }
+
+chatgraph_support::impl_json_struct!(RetrievalConfig {
+    embedder,
+    tau,
+    max_degree,
+    ef_construction,
+    ef_search,
+    top_k,
+});
 
 impl Default for RetrievalConfig {
     fn default() -> Self {
@@ -51,7 +59,7 @@ impl RetrievalConfig {
 }
 
 /// Finetuning-module settings (§II-C).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FinetuneConfig {
     /// α of the node matching-based loss (Definition 1).
     pub alpha: f64,
@@ -63,6 +71,13 @@ pub struct FinetuneConfig {
     /// SGD settings.
     pub train: TrainConfig,
 }
+
+chatgraph_support::impl_json_struct!(FinetuneConfig {
+    alpha,
+    rollouts,
+    max_chain_len,
+    train,
+});
 
 impl Default for FinetuneConfig {
     fn default() -> Self {
@@ -79,7 +94,7 @@ impl Default for FinetuneConfig {
 }
 
 /// The complete ChatGraph configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChatGraphConfig {
     /// Graph sequentialiser settings (path length ℓ, multi-level flag).
     pub cover: SequencerConfig,
@@ -95,14 +110,25 @@ pub struct ChatGraphConfig {
     pub seed: u64,
 }
 
+chatgraph_support::impl_json_struct!(ChatGraphConfig {
+    cover,
+    retrieval,
+    features,
+    sampling,
+    finetune,
+    seed,
+});
+
 /// Serialisable mirror of [`CoverParams`] plus the multi-level switch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SequencerConfig {
     /// Maximum path length ℓ.
     pub max_length: usize,
     /// Sequentialise the motif super-graph as well.
     pub multi_level: bool,
 }
+
+chatgraph_support::impl_json_struct!(SequencerConfig { max_length, multi_level });
 
 impl Default for SequencerConfig {
     fn default() -> Self {
@@ -205,9 +231,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let c = ChatGraphConfig::default();
-        let s = serde_json::to_string(&c).unwrap();
-        assert_eq!(serde_json::from_str::<ChatGraphConfig>(&s).unwrap(), c);
+        let s = chatgraph_support::json::to_string(&c);
+        assert_eq!(chatgraph_support::json::from_str::<ChatGraphConfig>(&s).unwrap(), c);
     }
 }

@@ -15,8 +15,8 @@ use chatgraph_graph::generators::{
     knowledge_graph, molecule, social_network, KgParams, MoleculeParams, SocialParams,
 };
 use chatgraph_graph::Graph;
-use rand::{RngExt, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use chatgraph_support::rng::{RngExt, SeedableRng};
+use chatgraph_support::rng::ChaCha12Rng;
 
 /// Graph family an intent applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

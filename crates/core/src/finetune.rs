@@ -27,13 +27,12 @@ use chatgraph_apis::{ApiChain, ApiRegistry};
 use chatgraph_ged::{min_matching_loss, CostModel};
 use chatgraph_graph::Graph;
 use chatgraph_llm::{train, Example, TrainReport};
-use rand::{RngExt, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
+use chatgraph_support::rng::{RngExt, SeedableRng};
+use chatgraph_support::rng::ChaCha12Rng;
 use std::collections::BTreeMap;
 
 /// Which finetuning variant to run (E8 ablation axis).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FinetuneMethod {
     /// Search-based prediction with rollouts, scored by the node
     /// matching-based loss (the paper's full method).
@@ -46,8 +45,14 @@ pub enum FinetuneMethod {
     TokenOverlap,
 }
 
+chatgraph_support::impl_json_enum_unit!(FinetuneMethod {
+    Full,
+    TeacherForcing,
+    TokenOverlap,
+});
+
 /// Finetuning outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FinetuneReport {
     /// Supervised next-token examples constructed.
     pub examples: usize,
@@ -55,8 +60,10 @@ pub struct FinetuneReport {
     pub train: TrainReport,
 }
 
+chatgraph_support::impl_json_struct!(FinetuneReport { examples, train });
+
 /// Held-out evaluation outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalReport {
     /// Fraction of questions whose generated chain exactly matches one of
     /// the equivalent ground truths.
@@ -66,6 +73,8 @@ pub struct EvalReport {
     /// Per-intent `(correct, total)` breakdown.
     pub per_intent: BTreeMap<String, (usize, usize)>,
 }
+
+chatgraph_support::impl_json_struct!(EvalReport { exact_match, avg_loss, per_intent });
 
 /// Chain-level loss of `names` against the example's equivalent truths:
 /// the minimum node matching-based loss (Definition 1).

@@ -59,13 +59,13 @@ impl GraphAwareLm {
     /// the offline analogue of saving a finetuned checkpoint, so a session
     /// can skip re-finetuning on startup.
     pub fn save_json(&self) -> String {
-        serde_json::to_string(&(self.extractor.clone(), self.model.clone()))
-            .expect("model serialisation cannot fail")
+        chatgraph_support::json::to_string(&(self.extractor.clone(), self.model.clone()))
     }
 
     /// Restores a model saved by [`GraphAwareLm::save_json`].
-    pub fn load_json(text: &str) -> Result<Self, serde_json::Error> {
-        let (extractor, mut model): (FeatureExtractor, ApiLm) = serde_json::from_str(text)?;
+    pub fn load_json(text: &str) -> Result<Self, chatgraph_support::json::JsonError> {
+        let (extractor, mut model): (FeatureExtractor, ApiLm) =
+            chatgraph_support::json::from_str(text)?;
         model.reindex_vocab();
         Ok(GraphAwareLm { extractor, model })
     }

@@ -1,16 +1,17 @@
 //! The multi-modal prompt: text plus an optional uploaded graph.
 
 use chatgraph_graph::{io, Graph};
-use serde::{Deserialize, Serialize};
 
 /// What the user submits in the input panel (paper Fig. 2, panel ③).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Prompt {
     /// The natural-language question.
     pub text: String,
     /// The uploaded graph, if any.
     pub graph: Option<Graph>,
 }
+
+chatgraph_support::impl_json_struct!(Prompt { text, graph });
 
 impl Prompt {
     /// A text-only prompt.

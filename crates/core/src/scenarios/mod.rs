@@ -44,19 +44,18 @@ pub(crate) mod test_support {
     //! finetunes a model, which is too slow to repeat per test.
 
     use crate::{ChatGraphConfig, ChatSession};
-    use parking_lot::Mutex;
-    use std::sync::OnceLock;
+    use std::sync::{Mutex, OnceLock};
 
     static SESSION: OnceLock<Mutex<ChatSession>> = OnceLock::new();
 
     pub fn with_session<T>(f: impl FnOnce(&mut ChatSession) -> T) -> T {
-        // parking_lot's mutex has no poisoning: a failed assertion in one
-        // scenario test must not cascade into the others.
         let m = SESSION.get_or_init(|| {
             let config = ChatGraphConfig::default();
             Mutex::new(ChatSession::bootstrap(config, 192).0)
         });
-        let mut guard = m.lock();
+        // Recover from poisoning: a failed assertion in one scenario test
+        // must not cascade into the others.
+        let mut guard = m.lock().unwrap_or_else(|e| e.into_inner());
         f(&mut guard)
     }
 }

@@ -109,7 +109,7 @@ impl ChatSession {
     pub fn from_saved_model(
         config: ChatGraphConfig,
         model_json: &str,
-    ) -> Result<Self, serde_json::Error> {
+    ) -> Result<Self, chatgraph_support::json::JsonError> {
         config
             .validate()
             .unwrap_or_else(|p| panic!("invalid config: {p:?}"));

@@ -4,10 +4,9 @@ use crate::hashing::hash_feature;
 use crate::tfidf::TfIdf;
 use crate::tokenizer::features;
 use crate::vector::Vector;
-use serde::{Deserialize, Serialize};
 
 /// Embedder configuration (exposed in ChatGraph's configuration panel).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EmbedderConfig {
     /// Output dimensionality.
     pub dim: usize,
@@ -16,6 +15,8 @@ pub struct EmbedderConfig {
     /// Weight features by IDF statistics fit on a corpus.
     pub use_tfidf: bool,
 }
+
+chatgraph_support::impl_json_struct!(EmbedderConfig { dim, char_ngram, use_tfidf });
 
 impl Default for EmbedderConfig {
     fn default() -> Self {
@@ -39,11 +40,13 @@ impl Default for EmbedderConfig {
 /// let c = e.embed("community detection for social networks");
 /// assert!(a.cosine(&c) < a.cosine(&b));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Embedder {
     config: EmbedderConfig,
     tfidf: TfIdf,
 }
+
+chatgraph_support::impl_json_struct!(Embedder { config, tfidf });
 
 impl Embedder {
     /// Creates an embedder; call [`Embedder::fit`] before embedding if

@@ -1,15 +1,16 @@
 //! TF-IDF statistics over a fitted corpus.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Document-frequency table fit on a corpus (the API descriptions, in
 /// ChatGraph's retrieval module).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TfIdf {
     doc_freq: HashMap<String, usize>,
     n_docs: usize,
 }
+
+chatgraph_support::impl_json_struct!(TfIdf { doc_freq, n_docs });
 
 impl TfIdf {
     /// Fits document frequencies over tokenised documents.

@@ -1,13 +1,14 @@
 //! Dense vectors and distance metrics.
 
-use serde::{Deserialize, Serialize};
 
 /// A dense `f32` vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Vector(pub Vec<f32>);
 
+chatgraph_support::impl_json_newtype!(Vector);
+
 /// Distance metric selector shared by the embedder and the ANN indexes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// Euclidean distance.
     L2,
@@ -16,6 +17,8 @@ pub enum Metric {
     /// Negative inner product (smaller = more similar).
     Dot,
 }
+
+chatgraph_support::impl_json_enum_unit!(Metric { L2, Cosine, Dot });
 
 impl Vector {
     /// A zero vector of dimension `dim`.

@@ -1,74 +1,136 @@
 //! Property-based tests for the embedding substrate.
 
 use chatgraph_embed::{Embedder, EmbedderConfig, Metric, Vector};
-use proptest::prelude::*;
+use chatgraph_support::prop::{check, Config};
+use chatgraph_support::rng::{RngExt, SliceRandom, StdRng};
+use chatgraph_support::{prop_assert, prop_assert_eq};
 
-fn text_strategy() -> impl Strategy<Value = String> {
-    // Words over a small alphabet, so collisions and repeats occur.
-    prop::collection::vec("[a-e]{1,6}", 0..12).prop_map(|ws| ws.join(" "))
+/// A random word over the alphabet `a..=e`, `min_len..=max_len` chars, so
+/// collisions and repeats occur.
+fn random_word(rng: &mut StdRng, min_len: usize, max_len: usize) -> String {
+    let alphabet = ['a', 'b', 'c', 'd', 'e'];
+    let len = rng.random_range(min_len..=max_len);
+    (0..len)
+        .map(|_| *alphabet.choose(rng).expect("non-empty"))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Up to 11 short words joined by spaces (possibly the empty string).
+fn random_text(rng: &mut StdRng) -> String {
+    let words = rng.random_range(0usize..12);
+    (0..words)
+        .map(|_| random_word(rng, 1, 6))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
 
-    /// Embeddings are unit-norm (or exactly zero for empty feature sets),
-    /// deterministic, and dimension-correct for arbitrary text.
-    #[test]
-    fn embeddings_unit_norm_and_deterministic(text in text_strategy(), dim in 8usize..64) {
-        let e = Embedder::new(EmbedderConfig { dim, char_ngram: 3, use_tfidf: false });
-        let v1 = e.embed(&text);
-        let v2 = e.embed(&text);
-        prop_assert_eq!(&v1, &v2);
-        prop_assert_eq!(v1.dim(), dim);
-        let n = v1.norm();
-        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4, "norm {n}");
-    }
+/// Embeddings are unit-norm (or exactly zero for empty feature sets),
+/// deterministic, and dimension-correct for arbitrary text.
+#[test]
+fn embeddings_unit_norm_and_deterministic() {
+    check(
+        "embeddings_unit_norm_and_deterministic",
+        Config::default().with_cases(128),
+        |rng, _size| (random_text(rng), rng.random_range(8usize..64)),
+        |(text, dim)| {
+            let dim = *dim;
+            let e = Embedder::new(EmbedderConfig {
+                dim,
+                char_ngram: 3,
+                use_tfidf: false,
+            });
+            let v1 = e.embed(text);
+            let v2 = e.embed(text);
+            prop_assert_eq!(&v1, &v2);
+            prop_assert_eq!(v1.dim(), dim);
+            let n = v1.norm();
+            prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4, "norm {n}");
+            Ok(())
+        },
+    );
+}
 
-    /// Cosine self-distance is 0, distances are symmetric, and every metric
-    /// is non-negative where defined.
-    #[test]
-    fn metric_axioms(a in text_strategy(), b in text_strategy()) {
-        let e = Embedder::new(EmbedderConfig::default());
-        let va = e.embed(&a);
-        let vb = e.embed(&b);
-        let dab = va.cosine(&vb);
-        let dba = vb.cosine(&va);
-        prop_assert!((dab - dba).abs() < 1e-5);
-        prop_assert!((0.0..=2.0 + 1e-5).contains(&dab));
-        if va.norm() > 0.0 {
-            prop_assert!(va.cosine(&va) < 1e-5);
-        }
-        prop_assert!(va.l2(&vb) >= 0.0);
-        prop_assert!((va.distance(&vb, Metric::L2) - va.l2(&vb)).abs() < 1e-6);
-    }
+/// Cosine self-distance is 0, distances are symmetric, and every metric
+/// is non-negative where defined.
+#[test]
+fn metric_axioms() {
+    check(
+        "metric_axioms",
+        Config::default().with_cases(128),
+        |rng, _size| (random_text(rng), random_text(rng)),
+        |(a, b)| {
+            let e = Embedder::new(EmbedderConfig::default());
+            let va = e.embed(a);
+            let vb = e.embed(b);
+            let dab = va.cosine(&vb);
+            let dba = vb.cosine(&va);
+            prop_assert!((dab - dba).abs() < 1e-5);
+            prop_assert!((0.0..=2.0 + 1e-5).contains(&dab));
+            if va.norm() > 0.0 {
+                prop_assert!(va.cosine(&va) < 1e-5);
+            }
+            prop_assert!(va.l2(&vb) >= 0.0);
+            prop_assert!((va.distance(&vb, Metric::L2) - va.l2(&vb)).abs() < 1e-6);
+            Ok(())
+        },
+    );
+}
 
-    /// Word order affects embeddings only through bigrams: permuting words
-    /// changes the vector but keeps the unigram mass, so the distance between
-    /// a text and its permutation is below the distance to unrelated text.
-    #[test]
-    fn permutations_stay_close(ws in prop::collection::vec("[a-e]{2,5}", 3..8)) {
-        let e = Embedder::new(EmbedderConfig { dim: 256, char_ngram: 0, use_tfidf: false });
-        let original = ws.join(" ");
-        let mut rev = ws.clone();
-        rev.reverse();
-        let permuted = rev.join(" ");
-        let unrelated = "zzz yyy xxx www vvv";
-        let vo = e.embed(&original);
-        let d_perm = vo.cosine(&e.embed(&permuted));
-        let d_unrel = vo.cosine(&e.embed(unrelated));
-        prop_assert!(d_perm <= d_unrel + 1e-5, "perm {d_perm} vs unrelated {d_unrel}");
-    }
+/// Word order affects embeddings only through bigrams: permuting words
+/// changes the vector but keeps the unigram mass, so the distance between
+/// a text and its permutation is below the distance to unrelated text.
+#[test]
+fn permutations_stay_close() {
+    check(
+        "permutations_stay_close",
+        Config::default().with_cases(128),
+        |rng, _size| {
+            let n = rng.random_range(3usize..8);
+            (0..n).map(|_| random_word(rng, 2, 5)).collect::<Vec<_>>()
+        },
+        |ws| {
+            let e = Embedder::new(EmbedderConfig {
+                dim: 256,
+                char_ngram: 0,
+                use_tfidf: false,
+            });
+            let original = ws.join(" ");
+            let mut rev = ws.clone();
+            rev.reverse();
+            let permuted = rev.join(" ");
+            let unrelated = "zzz yyy xxx www vvv";
+            let vo = e.embed(&original);
+            let d_perm = vo.cosine(&e.embed(&permuted));
+            let d_unrel = vo.cosine(&e.embed(unrelated));
+            prop_assert!(
+                d_perm <= d_unrel + 1e-5,
+                "perm {d_perm} vs unrelated {d_unrel}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Fitting TF-IDF never breaks determinism or normalisation.
-    #[test]
-    fn tfidf_fitting_is_stable(corpus in prop::collection::vec(text_strategy(), 1..6)) {
-        let mut e1 = Embedder::new(EmbedderConfig::default());
-        e1.fit(corpus.iter());
-        let mut e2 = Embedder::new(EmbedderConfig::default());
-        e2.fit(corpus.iter());
-        let probe = corpus.first().cloned().unwrap_or_default();
-        prop_assert_eq!(e1.embed(&probe), e2.embed(&probe));
-    }
+/// Fitting TF-IDF never breaks determinism or normalisation.
+#[test]
+fn tfidf_fitting_is_stable() {
+    check(
+        "tfidf_fitting_is_stable",
+        Config::default().with_cases(128),
+        |rng, _size| {
+            let n = rng.random_range(1usize..6);
+            (0..n).map(|_| random_text(rng)).collect::<Vec<_>>()
+        },
+        |corpus| {
+            let mut e1 = Embedder::new(EmbedderConfig::default());
+            e1.fit(corpus.iter());
+            let mut e2 = Embedder::new(EmbedderConfig::default());
+            e2.fit(corpus.iter());
+            let probe = corpus.first().cloned().unwrap_or_default();
+            prop_assert_eq!(e1.embed(&probe), e2.embed(&probe));
+            Ok(())
+        },
+    );
 }
 
 /// Zero vector edge cases across metrics.

@@ -5,10 +5,9 @@
 //! what the paper's chain-matching loss uses; the weighted model lets the
 //! similarity-search API bias node vs edge edits.
 
-use serde::{Deserialize, Serialize};
 
 /// Costs for the six primitive edit operations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Cost of substituting a node whose label differs.
     pub node_sub: f64,
@@ -23,6 +22,15 @@ pub struct CostModel {
     /// Cost of inserting an edge.
     pub edge_ins: f64,
 }
+
+chatgraph_support::impl_json_struct!(CostModel {
+    node_sub,
+    node_del,
+    node_ins,
+    edge_sub,
+    edge_del,
+    edge_ins,
+});
 
 impl Default for CostModel {
     fn default() -> Self {

@@ -160,8 +160,8 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_matrices() {
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(77);
+        use chatgraph_support::rng::{RngExt, SeedableRng};
+        let mut rng = chatgraph_support::rng::ChaCha12Rng::seed_from_u64(77);
         for _ in 0..50 {
             let n = rng.random_range(1..=5usize);
             let m = rng.random_range(n..=6usize);

@@ -25,10 +25,9 @@
 use crate::bipartite::approx_ged;
 use crate::cost::CostModel;
 use chatgraph_graph::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Decomposed node matching-based loss.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatchingLoss {
     /// `X`: the (assignment-induced) graph edit distance.
     pub edit_distance: f64,
@@ -41,6 +40,14 @@ pub struct MatchingLoss {
     /// The matching used, as `(node of C, matched node of C' or None)`.
     pub matching: Vec<(NodeId, Option<NodeId>)>,
 }
+
+chatgraph_support::impl_json_struct!(MatchingLoss {
+    edit_distance,
+    regularizer,
+    alpha,
+    total,
+    matching,
+});
 
 /// Computes the node matching-based loss between a generated chain and one
 /// ground-truth chain (both encoded as graphs).

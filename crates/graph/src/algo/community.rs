@@ -10,9 +10,9 @@
 //! partition, and [`nmi`] compares one against ground truth.
 
 use crate::graph::{Graph, NodeId};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use chatgraph_support::rng::SliceRandom;
+use chatgraph_support::rng::SeedableRng;
+use chatgraph_support::rng::ChaCha12Rng;
 use std::collections::HashMap;
 
 /// A partition of the live nodes into communities `0..count`.

@@ -3,10 +3,9 @@
 use crate::algo::components::connected_components;
 use crate::algo::triangles::{global_clustering_coefficient, triangle_count};
 use crate::graph::Graph;
-use serde::{Deserialize, Serialize};
 
 /// A bundle of cheap structural statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphStats {
     /// Live node count.
     pub nodes: usize,
@@ -31,6 +30,20 @@ pub struct GraphStats {
     /// Number of distinct node labels.
     pub distinct_labels: usize,
 }
+
+chatgraph_support::impl_json_struct!(GraphStats {
+    nodes,
+    edges,
+    density,
+    min_degree,
+    max_degree,
+    avg_degree,
+    components,
+    largest_component,
+    triangles,
+    clustering,
+    distinct_labels,
+});
 
 /// Computes [`GraphStats`] for a graph.
 pub fn graph_stats(g: &Graph) -> GraphStats {

@@ -6,13 +6,16 @@
 //! used so iteration order — and therefore serialised output and sequentialised
 //! token streams — is deterministic.
 
-use serde::{Deserialize, Serialize};
+use chatgraph_support::json::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A dynamically typed attribute value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
+///
+/// Serialised *untagged*: each variant is the bare JSON scalar
+/// (`true`, `31`, `0.93`, `"alice"`), matching the previous
+/// `#[serde(untagged)]` wire format.
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
     /// Boolean flag, e.g. `verified = true`.
     Bool(bool),
@@ -65,6 +68,32 @@ impl AttrValue {
             AttrValue::Int(_) => "int",
             AttrValue::Float(_) => "float",
             AttrValue::Text(_) => "text",
+        }
+    }
+}
+
+impl ToJson for AttrValue {
+    fn to_json(&self) -> Json {
+        match self {
+            AttrValue::Bool(v) => Json::Bool(*v),
+            AttrValue::Int(v) => Json::Int(*v),
+            AttrValue::Float(v) => Json::Float(*v),
+            AttrValue::Text(v) => Json::Str(v.clone()),
+        }
+    }
+}
+
+impl FromJson for AttrValue {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(AttrValue::Bool(*b)),
+            Json::Int(i) => Ok(AttrValue::Int(*i)),
+            // Integers beyond i64 only fit the float variant (what the
+            // untagged serde derive also fell back to).
+            Json::UInt(u) => Ok(AttrValue::Float(*u as f64)),
+            Json::Float(f) => Ok(AttrValue::Float(*f)),
+            Json::Str(s) => Ok(AttrValue::Text(s.clone())),
+            other => Err(JsonError::expected("attribute scalar", other)),
         }
     }
 }
@@ -182,10 +211,24 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let a = attrs([("k", AttrValue::Float(2.5)), ("n", "x".into())]);
-        let s = serde_json::to_string(&a).unwrap();
-        let back: Attrs = serde_json::from_str(&s).unwrap();
+        let s = chatgraph_support::json::to_string(&a);
+        let back: Attrs = chatgraph_support::json::from_str(&s).unwrap();
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn json_values_are_untagged_scalars() {
+        let a = attrs([
+            ("b", AttrValue::Bool(true)),
+            ("f", AttrValue::Float(0.5)),
+            ("i", AttrValue::Int(-3)),
+            ("t", "x".into()),
+        ]);
+        assert_eq!(
+            chatgraph_support::json::to_string(&a),
+            r#"{"b":true,"f":0.5,"i":-3,"t":"x"}"#
+        );
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! JSON round-trips are lossless but verbose; the similarity-search database
 //! (hundreds of molecules) and cleaned-graph exports benefit from a compact
-//! format. The encoding is a simple length-prefixed layout over [`bytes`]:
+//! format. The encoding is a simple length-prefixed layout over plain byte
+//! vectors:
 //!
 //! ```text
 //! magic "CGRB" | version u8 | directed u8 | name | n_nodes u32 | nodes… |
@@ -19,7 +20,6 @@
 
 use crate::attr::{AttrValue, Attrs};
 use crate::graph::{Direction, Graph, NodeId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"CGRB";
@@ -54,30 +54,30 @@ impl fmt::Display for BinaryError {
 
 impl std::error::Error for BinaryError {}
 
-fn put_string(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
-fn put_attrs(buf: &mut BytesMut, attrs: &Attrs) {
-    buf.put_u16_le(attrs.len() as u16);
+fn put_attrs(buf: &mut Vec<u8>, attrs: &Attrs) {
+    buf.extend_from_slice(&(attrs.len() as u16).to_le_bytes());
     for (k, v) in attrs {
         put_string(buf, k);
         match v {
             AttrValue::Bool(b) => {
-                buf.put_u8(0);
-                buf.put_u8(*b as u8);
+                buf.push(0);
+                buf.push(*b as u8);
             }
             AttrValue::Int(i) => {
-                buf.put_u8(1);
-                buf.put_i64_le(*i);
+                buf.push(1);
+                buf.extend_from_slice(&i.to_le_bytes());
             }
             AttrValue::Float(x) => {
-                buf.put_u8(2);
-                buf.put_f64_le(*x);
+                buf.push(2);
+                buf.extend_from_slice(&x.to_le_bytes());
             }
             AttrValue::Text(t) => {
-                buf.put_u8(3);
+                buf.push(3);
                 put_string(buf, t);
             }
         }
@@ -85,11 +85,11 @@ fn put_attrs(buf: &mut BytesMut, attrs: &Attrs) {
 }
 
 /// Serialises a graph to the compact binary format.
-pub fn to_bytes(g: &Graph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + 32 * g.node_count() + 24 * g.edge_count());
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u8(g.is_directed() as u8);
+pub fn to_bytes(g: &Graph) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + 32 * g.node_count() + 24 * g.edge_count());
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
+    buf.push(g.is_directed() as u8);
     put_string(&mut buf, g.name());
     // Dense re-numbering of live nodes.
     let ids: Vec<NodeId> = g.node_ids().collect();
@@ -97,67 +97,69 @@ pub fn to_bytes(g: &Graph) -> Bytes {
     for (i, &v) in ids.iter().enumerate() {
         dense[v.index()] = i as u32;
     }
-    buf.put_u32_le(ids.len() as u32);
+    buf.extend_from_slice(&(ids.len() as u32).to_le_bytes());
     for &v in &ids {
         put_string(&mut buf, g.node_label(v).expect("live node"));
         put_attrs(&mut buf, g.node_attrs(v).expect("live node"));
     }
     let edges: Vec<_> = g.edge_ids().collect();
-    buf.put_u32_le(edges.len() as u32);
+    buf.extend_from_slice(&(edges.len() as u32).to_le_bytes());
     for e in edges {
         let (s, d) = g.edge_endpoints(e).expect("live edge");
-        buf.put_u32_le(dense[s.index()]);
-        buf.put_u32_le(dense[d.index()]);
+        buf.extend_from_slice(&dense[s.index()].to_le_bytes());
+        buf.extend_from_slice(&dense[d.index()].to_le_bytes());
         put_string(&mut buf, g.edge_label(e).expect("live edge"));
         put_attrs(&mut buf, g.edge_attrs(e).expect("live edge"));
     }
-    buf.freeze()
+    buf
+}
+
+/// Splits `n` bytes off the front of the cursor, or reports truncation.
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], BinaryError> {
+    if buf.len() < n {
+        return Err(BinaryError::Truncated);
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, BinaryError> {
+    Ok(take(buf, 1)?[0])
+}
+
+fn get_u16_le(buf: &mut &[u8]) -> Result<u16, BinaryError> {
+    Ok(u16::from_le_bytes(take(buf, 2)?.try_into().expect("2 bytes")))
+}
+
+fn get_u32_le(buf: &mut &[u8]) -> Result<u32, BinaryError> {
+    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")))
+}
+
+fn get_i64_le(buf: &mut &[u8]) -> Result<i64, BinaryError> {
+    Ok(i64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+}
+
+fn get_f64_le(buf: &mut &[u8]) -> Result<f64, BinaryError> {
+    Ok(f64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
 }
 
 fn get_string(buf: &mut &[u8]) -> Result<String, BinaryError> {
-    if buf.remaining() < 4 {
-        return Err(BinaryError::Truncated);
-    }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(BinaryError::Truncated);
-    }
-    let raw = buf[..len].to_vec();
-    buf.advance(len);
+    let len = get_u32_le(buf)? as usize;
+    let raw = take(buf, len)?.to_vec();
     String::from_utf8(raw).map_err(|_| BinaryError::BadUtf8)
 }
 
 fn get_attrs(buf: &mut &[u8]) -> Result<Attrs, BinaryError> {
-    if buf.remaining() < 2 {
-        return Err(BinaryError::Truncated);
-    }
-    let n = buf.get_u16_le() as usize;
+    let n = get_u16_le(buf)? as usize;
     let mut attrs = Attrs::new();
     for _ in 0..n {
         let key = get_string(buf)?;
-        if buf.remaining() < 1 {
-            return Err(BinaryError::Truncated);
-        }
-        let tag = buf.get_u8();
+        let tag = get_u8(buf)?;
         let value = match tag {
-            0 => {
-                if buf.remaining() < 1 {
-                    return Err(BinaryError::Truncated);
-                }
-                AttrValue::Bool(buf.get_u8() != 0)
-            }
-            1 => {
-                if buf.remaining() < 8 {
-                    return Err(BinaryError::Truncated);
-                }
-                AttrValue::Int(buf.get_i64_le())
-            }
-            2 => {
-                if buf.remaining() < 8 {
-                    return Err(BinaryError::Truncated);
-                }
-                AttrValue::Float(buf.get_f64_le())
-            }
+            0 => AttrValue::Bool(get_u8(buf)? != 0),
+            1 => AttrValue::Int(get_i64_le(buf)?),
+            2 => AttrValue::Float(get_f64_le(buf)?),
             3 => AttrValue::Text(get_string(buf)?),
             other => return Err(BinaryError::BadTag(other)),
         };
@@ -169,40 +171,28 @@ fn get_attrs(buf: &mut &[u8]) -> Result<Attrs, BinaryError> {
 /// Deserialises a graph from the compact binary format.
 pub fn from_bytes(data: &[u8]) -> Result<Graph, BinaryError> {
     let mut buf = data;
-    if buf.remaining() < 6 || &buf[..4] != MAGIC {
+    let header = take(&mut buf, 6).map_err(|_| BinaryError::BadHeader)?;
+    if &header[..4] != MAGIC || header[4] != VERSION {
         return Err(BinaryError::BadHeader);
     }
-    buf.advance(4);
-    if buf.get_u8() != VERSION {
-        return Err(BinaryError::BadHeader);
-    }
-    let directed = buf.get_u8() != 0;
+    let directed = header[5] != 0;
     let mut g = Graph::new(if directed {
         Direction::Directed
     } else {
         Direction::Undirected
     });
     g.set_name(get_string(&mut buf)?);
-    if buf.remaining() < 4 {
-        return Err(BinaryError::Truncated);
-    }
-    let n_nodes = buf.get_u32_le() as usize;
+    let n_nodes = get_u32_le(&mut buf)? as usize;
     let mut ids = Vec::with_capacity(n_nodes);
     for _ in 0..n_nodes {
         let label = get_string(&mut buf)?;
         let attrs = get_attrs(&mut buf)?;
         ids.push(g.add_node_with_attrs(label, attrs));
     }
-    if buf.remaining() < 4 {
-        return Err(BinaryError::Truncated);
-    }
-    let n_edges = buf.get_u32_le() as usize;
+    let n_edges = get_u32_le(&mut buf)? as usize;
     for _ in 0..n_edges {
-        if buf.remaining() < 8 {
-            return Err(BinaryError::Truncated);
-        }
-        let s = buf.get_u32_le() as usize;
-        let d = buf.get_u32_le() as usize;
+        let s = get_u32_le(&mut buf)? as usize;
+        let d = get_u32_le(&mut buf)? as usize;
         let label = get_string(&mut buf)?;
         let attrs = get_attrs(&mut buf)?;
         let (&sid, &did) = (

@@ -1,7 +1,7 @@
 //! Barabási–Albert preferential-attachment graphs.
 
 use crate::graph::Graph;
-use rand::RngExt;
+use chatgraph_support::rng::RngExt;
 
 /// Parameters for [`barabasi_albert`].
 #[derive(Debug, Clone, PartialEq)]

@@ -1,7 +1,7 @@
 //! Erdős–Rényi `G(n, p)` random graphs.
 
 use crate::graph::Graph;
-use rand::RngExt;
+use chatgraph_support::rng::RngExt;
 
 /// Parameters for [`erdos_renyi`].
 #[derive(Debug, Clone, PartialEq)]

@@ -23,8 +23,7 @@
 //! knowledge-inference APIs exploit to find wrong and missing facts.
 
 use crate::graph::{Graph, NodeId};
-use rand::RngExt;
-use serde::{Deserialize, Serialize};
+use chatgraph_support::rng::RngExt;
 
 /// `(relation, domain type, range type)` triples of the fixed schema.
 pub const RELATION_SCHEMA: &[(&str, &str, &str)] = &[
@@ -132,7 +131,7 @@ pub fn knowledge_graph(params: &KgParams, seed: u64) -> Graph {
 
 /// A record of the corruption injected by [`corrupt_kg`], i.e. the cleaning
 /// ground truth.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CorruptionReport {
     /// Edges that were rewired to a wrong target (now incorrect facts),
     /// as `(src, wrong_dst, relation)`.
@@ -141,6 +140,8 @@ pub struct CorruptionReport {
     /// `(src, dst, relation)`.
     pub removed: Vec<(NodeId, NodeId, String)>,
 }
+
+chatgraph_support::impl_json_struct!(CorruptionReport { injected_wrong, removed });
 
 /// Corrupts a clean KG in place: rewires a fraction `wrong_rate` of
 /// `nationality` edges to a wrong country and deletes a fraction

@@ -28,8 +28,8 @@ pub use kg::{corrupt_kg, knowledge_graph, CorruptionReport, KgParams, RELATION_S
 pub use molecule::{molecule, molecule_database, MoleculeParams};
 pub use social::{social_network, SocialParams};
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
+use chatgraph_support::rng::SeedableRng;
+use chatgraph_support::rng::ChaCha12Rng;
 
 /// The RNG used by every generator in this crate.
 ///

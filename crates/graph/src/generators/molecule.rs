@@ -8,7 +8,7 @@
 //! heteroatom fraction) carry real signal.
 
 use crate::graph::{Graph, NodeId};
-use rand::RngExt;
+use chatgraph_support::rng::RngExt;
 
 /// Heavy-atom elements and their maximum valences.
 const ELEMENTS: &[(&str, u32, f64)] = &[

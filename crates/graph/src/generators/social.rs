@@ -6,7 +6,7 @@
 //! validated against ground truth.
 
 use crate::graph::Graph;
-use rand::RngExt;
+use chatgraph_support::rng::RngExt;
 
 /// Parameters for [`social_network`].
 #[derive(Debug, Clone, PartialEq)]

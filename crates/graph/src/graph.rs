@@ -15,15 +15,14 @@
 //!   well-defined.
 
 use crate::attr::{AttrValue, Attrs};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node in a [`Graph`]. Stable across removals of other elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Index of an edge in a [`Graph`]. Stable across removals of other elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 impl NodeId {
@@ -55,7 +54,7 @@ impl fmt::Display for EdgeId {
 }
 
 /// Whether edges are ordered pairs or unordered pairs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Edges are ordered `(src, dst)` pairs (knowledge graphs).
     Directed,
@@ -89,14 +88,14 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct NodeSlot {
     label: String,
     attrs: Attrs,
     removed: bool,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct EdgeSlot {
     src: NodeId,
     dst: NodeId,
@@ -119,7 +118,7 @@ struct EdgeSlot {
 /// assert!(g.has_edge(a, b));
 /// assert!(g.has_edge(b, a)); // undirected
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     direction: Direction,
     /// A free-form graph name, surfaced in chat transcripts ("G", "aspirin", …).
@@ -134,6 +133,22 @@ pub struct Graph {
     live_nodes: usize,
     live_edges: usize,
 }
+
+chatgraph_support::impl_json_newtype!(NodeId);
+chatgraph_support::impl_json_newtype!(EdgeId);
+chatgraph_support::impl_json_enum_unit!(Direction { Directed, Undirected });
+chatgraph_support::impl_json_struct!(NodeSlot { label, attrs, removed });
+chatgraph_support::impl_json_struct!(EdgeSlot { src, dst, label, attrs, removed });
+chatgraph_support::impl_json_struct!(Graph {
+    direction,
+    name,
+    nodes,
+    edges,
+    out_adj,
+    in_adj,
+    live_nodes,
+    live_edges,
+});
 
 impl Graph {
     /// Creates an empty graph.
@@ -727,10 +742,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_preserves_structure() {
+    fn json_roundtrip_preserves_structure() {
         let (g, a, b, _) = path3();
-        let s = serde_json::to_string(&g).unwrap();
-        let back: Graph = serde_json::from_str(&s).unwrap();
+        let s = chatgraph_support::json::to_string(&g);
+        let back: Graph = chatgraph_support::json::from_str(&s).unwrap();
         assert_eq!(back.node_count(), 3);
         assert!(back.has_edge(a, b));
     }

@@ -13,8 +13,9 @@
 //!   ```
 //!   Node lines are optional; edges referencing unseen numeric ids create
 //!   unlabelled nodes on the fly.
-//! * **JSON** — the serde representation of [`Graph`], for lossless
-//!   round-trips including attributes.
+//! * **JSON** — the [`Graph`] JSON representation (via
+//!   `chatgraph_support::json`), for lossless round-trips including
+//!   attributes.
 
 use crate::graph::{Direction, Graph, GraphError, NodeId};
 use std::collections::HashMap;
@@ -143,12 +144,12 @@ pub fn to_edge_list(g: &Graph) -> String {
 
 /// Serialises a graph to JSON (lossless, including attributes).
 pub fn to_json(g: &Graph) -> String {
-    serde_json::to_string(g).expect("graph serialisation cannot fail")
+    chatgraph_support::json::to_string(g)
 }
 
 /// Parses a graph from its JSON representation.
-pub fn from_json(text: &str) -> Result<Graph, serde_json::Error> {
-    serde_json::from_str(text)
+pub fn from_json(text: &str) -> Result<Graph, chatgraph_support::json::JsonError> {
+    chatgraph_support::json::from_str(text)
 }
 
 #[cfg(test)]
@@ -223,6 +224,30 @@ mod tests {
         g.set_node_attr(v, "charge", -1i64).unwrap();
         let g2 = from_json(&to_json(&g)).unwrap();
         assert_eq!(g2.node_attrs(v).unwrap()["charge"].as_int(), Some(-1));
+    }
+
+    /// Freezes the JSON wire format: field order, transparent ids,
+    /// string direction variants, and untagged attribute scalars must
+    /// stay byte-identical to what the pre-vendoring serde derives
+    /// produced, so previously exported graphs keep loading.
+    #[test]
+    fn json_wire_format_is_stable() {
+        let mut g = crate::Graph::undirected();
+        g.set_name("G");
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.set_node_attr(a, "w", 1.5f64).unwrap();
+        g.add_edge(a, b, "e").unwrap();
+        let expected = concat!(
+            r#"{"direction":"Undirected","name":"G","#,
+            r#""nodes":[{"label":"A","attrs":{"w":1.5},"removed":false},"#,
+            r#"{"label":"B","attrs":{},"removed":false}],"#,
+            r#""edges":[{"src":0,"dst":1,"label":"e","attrs":{},"removed":false}],"#,
+            r#""out_adj":[[[1,0]],[[0,0]]],"in_adj":[[],[]],"#,
+            r#""live_nodes":2,"live_edges":1}"#
+        );
+        assert_eq!(to_json(&g), expected);
+        assert_eq!(from_json(expected).unwrap(), g);
     }
 
     #[test]

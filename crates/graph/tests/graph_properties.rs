@@ -2,7 +2,9 @@
 //! interleavings of mutations must never violate the structural invariants.
 
 use chatgraph_graph::{io, Graph, NodeId};
-use proptest::prelude::*;
+use chatgraph_support::prop::{check, Config};
+use chatgraph_support::rng::{Rng, RngExt, StdRng};
+use chatgraph_support::{prop_assert, prop_assert_eq};
 
 /// A random mutation script.
 #[derive(Debug, Clone)]
@@ -14,14 +16,21 @@ enum Op {
     Relabel(u8, u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u8>().prop_map(Op::AddNode),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::AddEdge(a, b)),
-        any::<u8>().prop_map(Op::RemoveNode),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::RemoveEdge(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Relabel(a, b)),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0u8..5) {
+        0 => Op::AddNode(rng.random()),
+        1 => Op::AddEdge(rng.random(), rng.random()),
+        2 => Op::RemoveNode(rng.random()),
+        3 => Op::RemoveEdge(rng.random(), rng.random()),
+        _ => Op::Relabel(rng.random(), rng.random()),
+    }
+}
+
+/// A script of up to `max` ops, scaled down by the harness `size`.
+fn random_ops(rng: &mut StdRng, size: usize, max: usize) -> Vec<Op> {
+    let cap = max.min(1 + 3 * size);
+    let len = rng.random_range(0..=cap);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 fn nth_live(g: &Graph, k: u8) -> Option<NodeId> {
@@ -68,103 +77,132 @@ fn check_invariants(g: &Graph) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn mutation_scripts_preserve_invariants(
-        directed in any::<bool>(),
-        ops in prop::collection::vec(op_strategy(), 0..60),
-    ) {
-        let mut g = if directed { Graph::directed() } else { Graph::undirected() };
-        for op in ops {
-            match op {
-                Op::AddNode(l) => {
-                    g.add_node(format!("L{}", l % 4));
-                }
-                Op::AddEdge(a, b) => {
-                    if let (Some(a), Some(b)) = (nth_live(&g, a), nth_live(&g, b)) {
-                        let _ = g.add_edge(a, b, "e");
+#[test]
+fn mutation_scripts_preserve_invariants() {
+    check(
+        "mutation_scripts_preserve_invariants",
+        Config::default().with_cases(128),
+        |rng, size| (rng.random_bool(0.5), random_ops(rng, size, 60)),
+        |(directed, ops)| {
+            let mut g = if *directed {
+                Graph::directed()
+            } else {
+                Graph::undirected()
+            };
+            for op in ops {
+                match *op {
+                    Op::AddNode(l) => {
+                        g.add_node(format!("L{}", l % 4));
                     }
-                }
-                Op::RemoveNode(a) => {
-                    if let Some(a) = nth_live(&g, a) {
-                        g.remove_node(a).unwrap();
+                    Op::AddEdge(a, b) => {
+                        if let (Some(a), Some(b)) = (nth_live(&g, a), nth_live(&g, b)) {
+                            let _ = g.add_edge(a, b, "e");
+                        }
                     }
-                }
-                Op::RemoveEdge(a, b) => {
-                    if let (Some(a), Some(b)) = (nth_live(&g, a), nth_live(&g, b)) {
-                        if let Some(e) = g.find_edge(a, b) {
-                            g.remove_edge(e).unwrap();
+                    Op::RemoveNode(a) => {
+                        if let Some(a) = nth_live(&g, a) {
+                            g.remove_node(a).unwrap();
+                        }
+                    }
+                    Op::RemoveEdge(a, b) => {
+                        if let (Some(a), Some(b)) = (nth_live(&g, a), nth_live(&g, b)) {
+                            if let Some(e) = g.find_edge(a, b) {
+                                g.remove_edge(e).unwrap();
+                            }
+                        }
+                    }
+                    Op::Relabel(a, l) => {
+                        if let Some(a) = nth_live(&g, a) {
+                            g.set_node_label(a, format!("R{}", l % 4)).unwrap();
                         }
                     }
                 }
-                Op::Relabel(a, l) => {
-                    if let Some(a) = nth_live(&g, a) {
-                        g.set_node_label(a, format!("R{}", l % 4)).unwrap();
+                check_invariants(&g);
+            }
+            // Compaction preserves everything observable.
+            let (dense, _) = g.compact();
+            check_invariants(&dense);
+            prop_assert_eq!(dense.node_count(), g.node_count());
+            prop_assert_eq!(dense.edge_count(), g.edge_count());
+            prop_assert_eq!(dense.label_histogram(), g.label_histogram());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn edge_list_roundtrip_is_lossless_structurally() {
+    check(
+        "edge_list_roundtrip_is_lossless_structurally",
+        Config::default().with_cases(128),
+        |rng, size| random_ops(rng, size, 40),
+        |ops| {
+            let mut g = Graph::undirected();
+            for op in ops {
+                match *op {
+                    Op::AddNode(l) => {
+                        g.add_node(format!("L{}", l % 4));
                     }
+                    Op::AddEdge(a, b) => {
+                        if let (Some(a), Some(b)) = (nth_live(&g, a), nth_live(&g, b)) {
+                            let _ = g.add_edge(a, b, "x");
+                        }
+                    }
+                    _ => {}
                 }
             }
-            check_invariants(&g);
-        }
-        // Compaction preserves everything observable.
-        let (dense, _) = g.compact();
-        check_invariants(&dense);
-        prop_assert_eq!(dense.node_count(), g.node_count());
-        prop_assert_eq!(dense.edge_count(), g.edge_count());
-        prop_assert_eq!(dense.label_histogram(), g.label_histogram());
-    }
+            let text = io::to_edge_list(&g);
+            let back = io::parse_edge_list(&text).unwrap();
+            prop_assert_eq!(back.node_count(), g.node_count());
+            prop_assert_eq!(back.edge_count(), g.edge_count());
+            prop_assert_eq!(back.label_histogram(), g.label_histogram());
+            // And JSON is fully lossless.
+            let j = io::from_json(&io::to_json(&g)).unwrap();
+            prop_assert_eq!(j, g);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn edge_list_roundtrip_is_lossless_structurally(
-        ops in prop::collection::vec(op_strategy(), 0..40),
-    ) {
-        let mut g = Graph::undirected();
-        for op in ops {
-            match op {
-                Op::AddNode(l) => { g.add_node(format!("L{}", l % 4)); }
-                Op::AddEdge(a, b) => {
-                    if let (Some(a), Some(b)) = (nth_live(&g, a), nth_live(&g, b)) {
-                        let _ = g.add_edge(a, b, "x");
-                    }
+#[test]
+fn induced_subgraph_is_contained() {
+    check(
+        "induced_subgraph_is_contained",
+        Config::default().with_cases(128),
+        |rng, _size| {
+            let n = rng.random_range(1usize..15);
+            let edges: Vec<(usize, usize)> = (0..rng.random_range(0usize..40))
+                .map(|_| (rng.random_range(0usize..15), rng.random_range(0usize..15)))
+                .collect();
+            let picks: Vec<usize> = (0..rng.random_range(0usize..10))
+                .map(|_| rng.random_range(0usize..15))
+                .collect();
+            (n, edges, picks)
+        },
+        |(n, edges, picks)| {
+            let n = *n;
+            let mut g = Graph::undirected();
+            let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("L{}", i % 3))).collect();
+            for &(a, b) in edges {
+                if a < n && b < n && a != b {
+                    let _ = g.add_edge(ids[a], ids[b], "e");
                 }
-                _ => {}
             }
-        }
-        let text = io::to_edge_list(&g);
-        let back = io::parse_edge_list(&text).unwrap();
-        prop_assert_eq!(back.node_count(), g.node_count());
-        prop_assert_eq!(back.edge_count(), g.edge_count());
-        prop_assert_eq!(back.label_histogram(), g.label_histogram());
-        // And JSON is fully lossless.
-        let j = io::from_json(&io::to_json(&g)).unwrap();
-        prop_assert_eq!(j, g);
-    }
-
-    #[test]
-    fn induced_subgraph_is_contained(
-        n in 1usize..15,
-        edges in prop::collection::vec((0usize..15, 0usize..15), 0..40),
-        picks in prop::collection::vec(0usize..15, 0..10),
-    ) {
-        let mut g = Graph::undirected();
-        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("L{}", i % 3))).collect();
-        for (a, b) in edges {
-            if a < n && b < n && a != b {
-                let _ = g.add_edge(ids[a], ids[b], "e");
+            let chosen: Vec<NodeId> = picks.iter().filter(|&&p| p < n).map(|&p| ids[p]).collect();
+            let (sub, mapping) = g.induced_subgraph(&chosen);
+            // Every subgraph edge corresponds to an original edge between chosen nodes.
+            prop_assert!(sub.node_count() <= chosen.len());
+            for e in sub.edge_ids() {
+                let (a, b) = sub.edge_endpoints(e).unwrap();
+                // find preimages via mapping
+                let pa = mapping.iter().position(|m| *m == Some(a)).unwrap();
+                let pb = mapping.iter().position(|m| *m == Some(b)).unwrap();
+                prop_assert!(
+                    g.has_edge(NodeId(pa as u32), NodeId(pb as u32))
+                        || g.has_edge(NodeId(pb as u32), NodeId(pa as u32))
+                );
             }
-        }
-        let chosen: Vec<NodeId> = picks.into_iter().filter(|&p| p < n).map(|p| ids[p]).collect();
-        let (sub, mapping) = g.induced_subgraph(&chosen);
-        // Every subgraph edge corresponds to an original edge between chosen nodes.
-        prop_assert!(sub.node_count() <= chosen.len());
-        for e in sub.edge_ids() {
-            let (a, b) = sub.edge_endpoints(e).unwrap();
-            // find preimages via mapping
-            let pa = mapping.iter().position(|m| *m == Some(a)).unwrap();
-            let pb = mapping.iter().position(|m| *m == Some(b)).unwrap();
-            prop_assert!(g.has_edge(NodeId(pa as u32), NodeId(pb as u32))
-                || g.has_edge(NodeId(pb as u32), NodeId(pa as u32)));
-        }
-    }
+            Ok(())
+        },
+    );
 }

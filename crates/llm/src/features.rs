@@ -8,11 +8,10 @@ use chatgraph_embed::hashing::fnv1a;
 use chatgraph_embed::tokenizer;
 use chatgraph_graph::Graph;
 use chatgraph_sequencer::{sequentialize, CoverParams};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Feature-space configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureConfig {
     /// Hashed feature dimensionality.
     pub dim: usize,
@@ -31,6 +30,17 @@ pub struct FeatureConfig {
     /// Weight of the single graph-family hint feature.
     pub family_weight: f32,
 }
+
+chatgraph_support::impl_json_struct!(FeatureConfig {
+    dim,
+    char_ngram,
+    cover_length,
+    multi_level,
+    prompt_weight,
+    graph_weight,
+    state_weight,
+    family_weight,
+});
 
 impl Default for FeatureConfig {
     fn default() -> Self {
@@ -108,10 +118,12 @@ pub fn family_hint(graph: &Graph) -> &'static str {
 }
 
 /// Extracts model features from the three prompt components.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FeatureExtractor {
     config: FeatureConfig,
 }
+
+chatgraph_support::impl_json_struct!(FeatureExtractor { config });
 
 impl FeatureExtractor {
     /// Creates an extractor.

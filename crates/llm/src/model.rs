@@ -8,16 +8,17 @@
 
 use crate::features::SparseFeatures;
 use crate::vocab::Vocab;
-use serde::{Deserialize, Serialize};
 
 /// The trainable API language model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ApiLm {
     vocab: Vocab,
     dim: usize,
     /// Row-major weights: `weights[token * dim + feature]`.
     weights: Vec<f32>,
 }
+
+chatgraph_support::impl_json_struct!(ApiLm { vocab, dim, weights });
 
 impl ApiLm {
     /// A zero-initialised model.
@@ -189,14 +190,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_preserves_predictions() {
+    fn json_roundtrip_preserves_predictions() {
         let mut m = model();
         let x = xvec(&[(5, 1.0)]);
         for _ in 0..10 {
             m.train_step(&x, 3, 0.5, 1.0);
         }
-        let s = serde_json::to_string(&m).unwrap();
-        let mut back: ApiLm = serde_json::from_str(&s).unwrap();
+        let s = chatgraph_support::json::to_string(&m);
+        let mut back: ApiLm = chatgraph_support::json::from_str(&s).unwrap();
         back.vocab.reindex();
         assert_eq!(m.logits(&x), back.logits(&x));
     }

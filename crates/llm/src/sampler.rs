@@ -2,18 +2,19 @@
 
 use crate::features::SparseFeatures;
 use crate::model::{softmax, ApiLm};
-use rand::{RngExt, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
+use chatgraph_support::rng::{RngExt, SeedableRng};
+use chatgraph_support::rng::ChaCha12Rng;
 
 /// Sampling configuration (the LLM-side knobs of the paper's Fig. 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SamplingConfig {
     /// Softmax temperature; 0 (or anything ≤ 0) means greedy argmax.
     pub temperature: f32,
     /// Restrict sampling to the `top_k` most likely tokens (0 = no limit).
     pub top_k: usize,
 }
+
+chatgraph_support::impl_json_struct!(SamplingConfig { temperature, top_k });
 
 impl Default for SamplingConfig {
     fn default() -> Self {

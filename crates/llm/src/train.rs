@@ -2,10 +2,9 @@
 
 use crate::features::SparseFeatures;
 use crate::model::ApiLm;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
+use chatgraph_support::rng::SliceRandom;
+use chatgraph_support::rng::SeedableRng;
+use chatgraph_support::rng::ChaCha12Rng;
 
 /// One supervised next-token example.
 #[derive(Debug, Clone)]
@@ -19,7 +18,7 @@ pub struct Example {
 }
 
 /// Training hyper-parameters (exposed in the configuration panel, Fig. 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Learning rate.
     pub learning_rate: f32,
@@ -30,6 +29,13 @@ pub struct TrainConfig {
     /// Learning-rate decay multiplier per epoch.
     pub lr_decay: f32,
 }
+
+chatgraph_support::impl_json_struct!(TrainConfig {
+    learning_rate,
+    epochs,
+    seed,
+    lr_decay,
+});
 
 impl Default for TrainConfig {
     fn default() -> Self {
@@ -43,13 +49,15 @@ impl Default for TrainConfig {
 }
 
 /// Per-epoch training metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
     /// Mean cross-entropy loss per epoch.
     pub epoch_losses: Vec<f64>,
     /// Final-epoch next-token accuracy.
     pub final_accuracy: f64,
 }
+
+chatgraph_support::impl_json_struct!(TrainReport { epoch_losses, final_accuracy });
 
 /// Trains `model` on `examples` with shuffled SGD.
 pub fn train(model: &mut ApiLm, examples: &[Example], config: &TrainConfig) -> TrainReport {

@@ -1,6 +1,6 @@
 //! The API-token vocabulary.
 
-use serde::{Deserialize, Serialize};
+use chatgraph_support::json::{FromJson, Json, JsonError, ToJson};
 use std::collections::HashMap;
 
 /// Beginning-of-chain token.
@@ -10,11 +10,32 @@ pub const EOS: &str = "[EOS]";
 
 /// A fixed token vocabulary: the registered API names plus the two special
 /// tokens. Token 0 is always `[BOS]`, token 1 always `[EOS]`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Vocab {
     tokens: Vec<String>,
-    #[serde(skip)]
+    /// Derived lookup table; skipped on the wire (rebuild via
+    /// [`Vocab::reindex`] after decoding), matching the former
+    /// `#[serde(skip)]`.
     index: HashMap<String, u32>,
+}
+
+impl ToJson for Vocab {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![("tokens".to_owned(), self.tokens.to_json())])
+    }
+}
+
+impl FromJson for Vocab {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let tokens = Vec::from_json(
+            v.get("tokens")
+                .ok_or_else(|| JsonError::missing_field("Vocab", "tokens"))?,
+        )?;
+        Ok(Vocab {
+            tokens,
+            index: HashMap::new(),
+        })
+    }
 }
 
 impl Vocab {
@@ -109,10 +130,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_with_reindex() {
+    fn json_roundtrip_with_reindex() {
         let v = Vocab::new(["x", "y"]);
-        let s = serde_json::to_string(&v).unwrap();
-        let mut back: Vocab = serde_json::from_str(&s).unwrap();
+        let s = chatgraph_support::json::to_string(&v);
+        let mut back: Vocab = chatgraph_support::json::from_str(&s).unwrap();
         back.reindex();
         assert_eq!(back.id("y"), Some(3));
         assert_eq!(back.len(), v.len());

@@ -1,90 +1,123 @@
 //! Property-based tests for the simulated LLM's training dynamics.
 
 use chatgraph_llm::{train, ApiLm, Example, SparseFeatures, TrainConfig, Vocab};
-use proptest::prelude::*;
+use chatgraph_support::prop::{check, Config};
+use chatgraph_support::rng::RngExt;
+use chatgraph_support::{prop_assert, prop_assert_eq};
 
 fn features(ids: Vec<u32>, dim: u32) -> SparseFeatures {
     SparseFeatures(ids.into_iter().map(|i| (i % dim, 1.0f32)).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// On separable data (each feature id determines the label), training
+/// reaches perfect accuracy and loss decreases monotonically per epoch
+/// (up to small SGD noise).
+#[test]
+fn separable_data_is_learned() {
+    check(
+        "separable_data_is_learned",
+        Config::default().with_cases(48),
+        |rng, _size| {
+            (
+                rng.random_range(2usize..6),
+                rng.random_range(6usize..30),
+                rng.random_range(0u64..500),
+            )
+        },
+        |&(n_tokens, n_examples, seed)| {
+            let vocab = Vocab::new((0..n_tokens).map(|i| format!("api{i}")));
+            let dim = 64u32;
+            let examples: Vec<Example> = (0..n_examples)
+                .map(|i| Example {
+                    // feature i (one per example cluster) → token i % n_tokens
+                    features: features(vec![i as u32 % 8], dim),
+                    target: (i % n_tokens) as u32 + 2,
+                    weight: 1.0,
+                })
+                .collect();
+            // Labels must be a function of features for separability: dedupe by
+            // feature id, keeping the first label.
+            let mut seen = std::collections::HashMap::new();
+            let examples: Vec<Example> = examples
+                .into_iter()
+                .filter(|e| {
+                    let key = e.features.0.keys().copied().collect::<Vec<_>>();
+                    *seen.entry(key).or_insert(e.target) == e.target
+                })
+                .collect();
+            let mut model = ApiLm::new(vocab, dim as usize);
+            let report = train(
+                &mut model,
+                &examples,
+                &TrainConfig {
+                    epochs: 20,
+                    seed,
+                    ..TrainConfig::default()
+                },
+            );
+            prop_assert_eq!(report.final_accuracy, 1.0);
+            let first = report.epoch_losses.first().copied().unwrap_or(0.0);
+            let last = report.epoch_losses.last().copied().unwrap_or(0.0);
+            prop_assert!(
+                last <= first + 1e-9,
+                "loss must not grow: {first} -> {last}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// On separable data (each feature id determines the label), training
-    /// reaches perfect accuracy and loss decreases monotonically per epoch
-    /// (up to small SGD noise).
-    #[test]
-    fn separable_data_is_learned(
-        n_tokens in 2usize..6,
-        n_examples in 6usize..30,
-        seed in 0u64..500,
-    ) {
-        let vocab = Vocab::new((0..n_tokens).map(|i| format!("api{i}")));
-        let dim = 64u32;
-        let examples: Vec<Example> = (0..n_examples)
-            .map(|i| Example {
-                // feature i (one per example cluster) → token i % n_tokens
-                features: features(vec![i as u32 % 8], dim),
-                target: (i % n_tokens) as u32 + 2,
-                weight: 1.0,
-            })
-            .collect();
-        // Labels must be a function of features for separability: dedupe by
-        // feature id, keeping the first label.
-        let mut seen = std::collections::HashMap::new();
-        let examples: Vec<Example> = examples
-            .into_iter()
-            .filter(|e| {
-                let key = e.features.0.keys().copied().collect::<Vec<_>>();
-                *seen.entry(key).or_insert(e.target) == e.target
-            })
-            .collect();
-        let mut model = ApiLm::new(vocab, dim as usize);
-        let report = train(
-            &mut model,
-            &examples,
-            &TrainConfig { epochs: 20, seed, ..TrainConfig::default() },
-        );
-        prop_assert_eq!(report.final_accuracy, 1.0);
-        let first = report.epoch_losses.first().copied().unwrap_or(0.0);
-        let last = report.epoch_losses.last().copied().unwrap_or(0.0);
-        prop_assert!(last <= first + 1e-9, "loss must not grow: {first} -> {last}");
-    }
+/// Distribution outputs are valid probability vectors at any temperature.
+#[test]
+fn distributions_are_probabilities() {
+    check(
+        "distributions_are_probabilities",
+        Config::default().with_cases(48),
+        |rng, _size| {
+            (
+                rng.random_range(0u64..100),
+                rng.random_range(0.01f32..5.0),
+            )
+        },
+        |&(weights_seed, temp)| {
+            let vocab = Vocab::new(["a", "b", "c"]);
+            let mut model = ApiLm::new(vocab, 16);
+            // Pseudo-train with arbitrary data to get non-trivial weights.
+            let x = features(vec![weights_seed as u32 % 16], 16);
+            model.train_step(&x, 2, 0.7, 1.0);
+            model.train_step(&x, 3, 0.7, 1.0);
+            let d = model.distribution(&x, temp);
+            let sum: f32 = d.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+            prop_assert!(d.iter().all(|p| (0.0..=1.0).contains(p)));
+            Ok(())
+        },
+    );
+}
 
-    /// Distribution outputs are valid probability vectors at any temperature.
-    #[test]
-    fn distributions_are_probabilities(
-        weights_seed in 0u64..100,
-        temp in 0.01f32..5.0,
-    ) {
-        let vocab = Vocab::new(["a", "b", "c"]);
-        let mut model = ApiLm::new(vocab, 16);
-        // Pseudo-train with arbitrary data to get non-trivial weights.
-        let x = features(vec![weights_seed as u32 % 16], 16);
-        model.train_step(&x, 2, 0.7, 1.0);
-        model.train_step(&x, 3, 0.7, 1.0);
-        let d = model.distribution(&x, temp);
-        let sum: f32 = d.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
-        prop_assert!(d.iter().all(|p| (0.0..=1.0).contains(p)));
-    }
-
-    /// Example weights scale gradients linearly: training with weight w is
-    /// the same as taking a step with lr·w.
-    #[test]
-    fn weights_equal_lr_scaling(w in 0.1f32..2.0) {
-        let vocab = Vocab::new(["a", "b"]);
-        let x = features(vec![3], 16);
-        let mut m1 = ApiLm::new(vocab.clone(), 16);
-        let mut m2 = ApiLm::new(vocab, 16);
-        m1.train_step(&x, 2, 0.5 * w, 1.0);
-        m2.train_step(&x, 2, 0.5, w);
-        let l1 = m1.logits(&x);
-        let l2 = m2.logits(&x);
-        for (a, b) in l1.iter().zip(&l2) {
-            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
-        }
-    }
+/// Example weights scale gradients linearly: training with weight w is
+/// the same as taking a step with lr·w.
+#[test]
+fn weights_equal_lr_scaling() {
+    check(
+        "weights_equal_lr_scaling",
+        Config::default().with_cases(48),
+        |rng, _size| rng.random_range(0.1f32..2.0),
+        |&w| {
+            let vocab = Vocab::new(["a", "b"]);
+            let x = features(vec![3], 16);
+            let mut m1 = ApiLm::new(vocab.clone(), 16);
+            let mut m2 = ApiLm::new(vocab, 16);
+            m1.train_step(&x, 2, 0.5 * w, 1.0);
+            m2.train_step(&x, 2, 0.5, w);
+            let l1 = m1.logits(&x);
+            let l2 = m2.logits(&x);
+            for (a, b) in l1.iter().zip(&l2) {
+                prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Training order is randomised by seed but the *result* is identical for
@@ -104,7 +137,11 @@ fn seeds_control_shuffling() {
         train(
             &mut m,
             &examples,
-            &TrainConfig { epochs: 2, seed, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 2,
+                seed,
+                ..TrainConfig::default()
+            },
         )
     };
     assert_eq!(run(1), run(1));

@@ -5,7 +5,9 @@ use chatgraph_graph::{Graph, GraphBuilder};
 use chatgraph_sequencer::{
     build_supergraph, path_cover, sequentialize, tokens_for_path, CoverParams,
 };
-use proptest::prelude::*;
+use chatgraph_support::prop::{check, Config};
+use chatgraph_support::rng::{RngExt, StdRng};
+use chatgraph_support::{prop_assert, prop_assert_eq};
 
 fn er(n: usize, p_percent: u8, seed: u64) -> Graph {
     erdos_renyi(
@@ -17,77 +19,113 @@ fn er(n: usize, p_percent: u8, seed: u64) -> Graph {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random Erdős–Rényi configuration `(n, p%, seed)`.
+fn er_config(rng: &mut StdRng, max_n: usize, p_lo: u8, p_hi: u8) -> (usize, u8, u64) {
+    (
+        rng.random_range(2..=max_n.max(2)),
+        rng.random_range(p_lo..p_hi),
+        rng.random_range(0u64..100),
+    )
+}
 
-    /// Path tokens alternate node and edge labels: a path of k nodes yields
-    /// exactly 2k − 1 tokens.
-    #[test]
-    fn token_counts_match_path_lengths(
-        n in 2usize..20,
-        p in 5u8..40,
-        seed in 0u64..100,
-        l in 1usize..4,
-    ) {
-        let g = er(n, p, seed);
-        let cover = path_cover(&g, &CoverParams { max_length: l, dedup_singletons: false });
-        for path in &cover.paths {
-            let tokens = tokens_for_path(&g, path);
-            prop_assert_eq!(tokens.len(), 2 * path.len() - 1);
-        }
-    }
+/// Path tokens alternate node and edge labels: a path of k nodes yields
+/// exactly 2k − 1 tokens.
+#[test]
+fn token_counts_match_path_lengths() {
+    check(
+        "token_counts_match_path_lengths",
+        Config::default().with_cases(64),
+        |rng, size| {
+            (
+                er_config(rng, 19.min(2 + size), 5, 40),
+                rng.random_range(1usize..4),
+            )
+        },
+        |&((n, p, seed), l)| {
+            let g = er(n, p, seed);
+            let cover = path_cover(
+                &g,
+                &CoverParams {
+                    max_length: l,
+                    dedup_singletons: false,
+                },
+            );
+            for path in &cover.paths {
+                let tokens = tokens_for_path(&g, path);
+                prop_assert_eq!(tokens.len(), 2 * path.len() - 1);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Super-graph node count never exceeds the original's, and membership
-    /// is total over live nodes.
-    #[test]
-    fn supergraph_is_a_contraction(
-        n in 2usize..25,
-        p in 10u8..50,
-        seed in 0u64..100,
-    ) {
-        let g = er(n, p, seed);
-        let sg = build_supergraph(&g, 3);
-        prop_assert!(sg.graph.node_count() <= g.node_count());
-        for v in g.node_ids() {
-            let m = sg.membership[v.index()];
-            prop_assert!(m.is_some());
-            prop_assert!(sg.graph.contains_node(m.unwrap()));
-        }
-        // Every super-edge is witnessed by at least one original cross edge.
-        for e in sg.graph.edge_ids() {
-            let (sa, sb) = sg.graph.edge_endpoints(e).unwrap();
-            let witnessed = g.edge_ids().any(|ge| {
-                let (a, b) = g.edge_endpoints(ge).unwrap();
-                let (ma, mb) = (sg.membership[a.index()].unwrap(), sg.membership[b.index()].unwrap());
-                (ma == sa && mb == sb) || (ma == sb && mb == sa)
-            });
-            prop_assert!(witnessed);
-        }
-    }
+/// Super-graph node count never exceeds the original's, and membership
+/// is total over live nodes.
+#[test]
+fn supergraph_is_a_contraction() {
+    check(
+        "supergraph_is_a_contraction",
+        Config::default().with_cases(64),
+        |rng, size| er_config(rng, 24.min(2 + size), 10, 50),
+        |&(n, p, seed)| {
+            let g = er(n, p, seed);
+            let sg = build_supergraph(&g, 3);
+            prop_assert!(sg.graph.node_count() <= g.node_count());
+            for v in g.node_ids() {
+                let m = sg.membership[v.index()];
+                prop_assert!(m.is_some());
+                prop_assert!(sg.graph.contains_node(m.unwrap()));
+            }
+            // Every super-edge is witnessed by at least one original cross edge.
+            for e in sg.graph.edge_ids() {
+                let (sa, sb) = sg.graph.edge_endpoints(e).unwrap();
+                let witnessed = g.edge_ids().any(|ge| {
+                    let (a, b) = g.edge_endpoints(ge).unwrap();
+                    let (ma, mb) = (
+                        sg.membership[a.index()].unwrap(),
+                        sg.membership[b.index()].unwrap(),
+                    );
+                    (ma == sa && mb == sb) || (ma == sb && mb == sa)
+                });
+                prop_assert!(witnessed);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The dedup_singletons option only ever removes single-node paths, and
-    /// only when the node is covered elsewhere.
-    #[test]
-    fn dedup_only_drops_redundant_singletons(
-        n in 2usize..20,
-        p in 0u8..30,
-        seed in 0u64..100,
-    ) {
-        let g = er(n, p, seed);
-        let params_all = CoverParams { max_length: 2, dedup_singletons: false };
-        let params_dedup = CoverParams { max_length: 2, dedup_singletons: true };
-        let all = path_cover(&g, &params_all);
-        let dedup = path_cover(&g, &params_dedup);
-        prop_assert!(dedup.len() <= all.len());
-        // Every node still appears somewhere in the deduped cover.
-        let mut seen = std::collections::HashSet::new();
-        for path in &dedup.paths {
-            seen.extend(path.iter().copied());
-        }
-        for v in g.node_ids() {
-            prop_assert!(seen.contains(&v), "node {v} lost by dedup");
-        }
-    }
+/// The dedup_singletons option only ever removes single-node paths, and
+/// only when the node is covered elsewhere.
+#[test]
+fn dedup_only_drops_redundant_singletons() {
+    check(
+        "dedup_only_drops_redundant_singletons",
+        Config::default().with_cases(64),
+        |rng, size| er_config(rng, 19.min(2 + size), 0, 30),
+        |&(n, p, seed)| {
+            let g = er(n, p, seed);
+            let params_all = CoverParams {
+                max_length: 2,
+                dedup_singletons: false,
+            };
+            let params_dedup = CoverParams {
+                max_length: 2,
+                dedup_singletons: true,
+            };
+            let all = path_cover(&g, &params_all);
+            let dedup = path_cover(&g, &params_dedup);
+            prop_assert!(dedup.len() <= all.len());
+            // Every node still appears somewhere in the deduped cover.
+            let mut seen = std::collections::HashSet::new();
+            for path in &dedup.paths {
+                seen.extend(path.iter().copied());
+            }
+            for v in g.node_ids() {
+                prop_assert!(seen.contains(&v), "node {v} lost by dedup");
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Sequentialisation of the multi-level view contains the base view's token

@@ -1,0 +1,147 @@
+//! Minimal timing harness, vendored in place of `criterion`.
+//!
+//! Each bench binary (`harness = false`) builds a [`Bench`] in `main`,
+//! opens named groups, and times closures:
+//!
+//! ```no_run
+//! use chatgraph_support::bench::Bench;
+//! let mut bench = Bench::new("graph_algos");
+//! let mut group = bench.group("bfs");
+//! group.bench("n=1000", || { /* work */ });
+//! ```
+//!
+//! Every measurement runs `warmup` untimed iterations, then `iters` timed
+//! iterations, and reports the **median** and **p95** per-iteration wall
+//! time. No statistics beyond order statistics — the point is a stable,
+//! comparable number that runs offline, not criterion's full analysis.
+//!
+//! Environment overrides: `CHATGRAPH_BENCH_ITERS`, `CHATGRAPH_BENCH_WARMUP`.
+
+use std::time::{Duration, Instant};
+
+/// Per-measurement order statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median per-iteration wall time.
+    pub median: Duration,
+    /// 95th-percentile per-iteration wall time.
+    pub p95: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Number of timed iterations.
+    pub iters: u32,
+}
+
+/// Top-level harness for one bench binary.
+pub struct Bench {
+    name: String,
+    warmup: u32,
+    iters: u32,
+}
+
+impl Bench {
+    /// Creates a harness with defaults (3 warmup, 30 timed iterations),
+    /// overridable via `CHATGRAPH_BENCH_WARMUP`/`CHATGRAPH_BENCH_ITERS`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Bench {
+            name: name.into(),
+            warmup: env_u32("CHATGRAPH_BENCH_WARMUP").unwrap_or(3),
+            iters: env_u32("CHATGRAPH_BENCH_ITERS").unwrap_or(30).max(1),
+        }
+    }
+
+    /// Overrides the timed iteration count (for cheap vs. expensive benches).
+    pub fn with_iters(mut self, iters: u32) -> Self {
+        self.iters = iters.max(1);
+        self
+    }
+
+    /// Opens a named measurement group (mirrors criterion's
+    /// `benchmark_group`).
+    pub fn group(&mut self, group: impl Into<String>) -> Group<'_> {
+        let group = group.into();
+        println!("\n## {}/{}", self.name, group);
+        Group { bench: self, group }
+    }
+}
+
+/// A named group of measurements.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    group: String,
+}
+
+impl Group<'_> {
+    /// Times `f` (warmup + timed iterations), prints one report line, and
+    /// returns the statistics.
+    pub fn bench<F: FnMut()>(&mut self, label: &str, mut f: F) -> Stats {
+        for _ in 0..self.bench.warmup {
+            f();
+        }
+        let mut samples: Vec<Duration> = (0..self.bench.iters)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        let stats = Stats {
+            median: samples[samples.len() / 2],
+            p95: samples[(samples.len() * 95 / 100).min(samples.len() - 1)],
+            min: samples[0],
+            iters: self.bench.iters,
+        };
+        println!(
+            "{:<40} median {:>10}   p95 {:>10}   ({} iters)",
+            format!("{}/{label}", self.group),
+            format_duration(stats.median),
+            format_duration(stats.p95),
+            stats.iters
+        );
+        stats
+    }
+}
+
+fn env_u32(name: &str) -> Option<u32> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// Renders a duration with an adaptive unit (ns / µs / ms / s).
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_warmup_plus_iters() {
+        let mut calls = 0u32;
+        let mut bench = Bench::new("test");
+        bench.warmup = 2;
+        bench.iters = 5;
+        let stats = bench.group("g").bench("count", || calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(stats.iters, 5);
+        assert!(stats.min <= stats.median && stats.median <= stats.p95);
+    }
+
+    #[test]
+    fn durations_format_with_adaptive_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(250)), "250.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

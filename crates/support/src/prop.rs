@@ -1,0 +1,275 @@
+//! Seeded property-test harness, vendored in place of `proptest`.
+//!
+//! A property is a pair of closures: a **generator** `(rng, size) -> T`
+//! that builds a random case whose complexity scales with `size`, and a
+//! **check** `&T -> Result<(), String>` that returns `Err` with a message
+//! when the property is violated (use [`prop_assert!`](crate::prop_assert)
+//! and [`prop_assert_eq!`](crate::prop_assert_eq) inside the check).
+//!
+//! [`check`] runs the configured number of cases with a deterministic
+//! per-case seed, ramping `size` from small to large. On failure it
+//! **shrinks** by re-generating with the same per-case seed at smaller
+//! sizes (bounded attempts, smallest failing size reported), then panics
+//! with the seed, case index, size and failure message, plus the exact
+//! `CHATGRAPH_PROP_SEED=…` incantation that reproduces the run.
+//!
+//! Environment overrides:
+//! * `CHATGRAPH_PROP_SEED` — replay a failing run's seed.
+//! * `CHATGRAPH_PROP_CASES` — raise or lower the case count.
+
+use crate::rng::{SeedableRng, StdRng};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 96;
+
+/// Default base seed (stable across runs so CI failures reproduce locally).
+pub const DEFAULT_SEED: u64 = 0xC4A7_9_A11_D5EED;
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; each case derives its own seed from this.
+    pub seed: u64,
+    /// Largest `size` passed to the generator (ramped up linearly).
+    pub max_size: usize,
+    /// Maximum shrink attempts after a failure.
+    pub max_shrink: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: env_u64("CHATGRAPH_PROP_CASES")
+                .map(|v| v as u32)
+                .unwrap_or(DEFAULT_CASES),
+            seed: env_u64("CHATGRAPH_PROP_SEED").unwrap_or(DEFAULT_SEED),
+            max_size: 24,
+            max_shrink: 64,
+        }
+    }
+}
+
+impl Config {
+    /// Overrides the case count.
+    pub fn with_cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Overrides the base seed (ignoring the environment).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the maximum generator size.
+    pub fn with_max_size(mut self, max_size: usize) -> Self {
+        self.max_size = max_size;
+        self
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// SplitMix64-style mix so per-case seeds are decorrelated.
+fn case_seed(base: u64, case: u32) -> u64 {
+    let mut z = base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `check_fn` against `config.cases` generated cases; panics with a
+/// reproducible report on the first failure (after shrinking).
+pub fn check<T, G, F>(name: &str, config: Config, mut generate: G, mut check_fn: F)
+where
+    T: std::fmt::Debug,
+    G: FnMut(&mut StdRng, usize) -> T,
+    F: FnMut(&T) -> Result<(), String>,
+{
+    let cases = config.cases.max(1);
+    for case in 0..cases {
+        // Ramp size: early cases are small, later cases hit max_size.
+        let size = 1 + (config.max_size.saturating_sub(1)) * case as usize
+            / cases.max(2) as usize;
+        let seed = case_seed(config.seed, case);
+        let input = generate(&mut StdRng::seed_from_u64(seed), size);
+        if let Err(message) = check_fn(&input) {
+            let shrunk = shrink(&config, seed, size, &mut generate, &mut check_fn);
+            let (min_size, min_message, min_input) = match shrunk {
+                Some((s, m, d)) => (s, m, d),
+                None => (size, message, format!("{input:#?}")),
+            };
+            panic!(
+                "property `{name}` failed\n\
+                 \x20 case #{case} (base seed {base:#x}, case seed {seed:#x}, size {size})\n\
+                 \x20 minimal failing size after shrinking: {min_size}\n\
+                 \x20 error: {min_message}\n\
+                 \x20 input: {min_input}\n\
+                 \x20 reproduce with: CHATGRAPH_PROP_SEED={base} cargo test {name}",
+                base = config.seed,
+            );
+        }
+    }
+}
+
+/// Re-generates with the failing case's seed at ascending sizes, returning
+/// the smallest size that still fails (with its message and debug dump).
+fn shrink<T, G, F>(
+    config: &Config,
+    seed: u64,
+    failing_size: usize,
+    generate: &mut G,
+    check_fn: &mut F,
+) -> Option<(usize, String, String)>
+where
+    T: std::fmt::Debug,
+    G: FnMut(&mut StdRng, usize) -> T,
+    F: FnMut(&T) -> Result<(), String>,
+{
+    let mut attempts = 0;
+    for size in 1..failing_size {
+        if attempts >= config.max_shrink {
+            break;
+        }
+        attempts += 1;
+        let input = generate(&mut StdRng::seed_from_u64(seed), size);
+        if let Err(message) = check_fn(&input) {
+            return Some((size, message, format!("{input:#?}")));
+        }
+    }
+    None
+}
+
+/// `assert!` for property checks: returns `Err(String)` instead of
+/// panicking, so the harness can shrink and report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for property checks: returns `Err(String)` on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}\n    left: {:?}\n   right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngExt;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        check(
+            "vec_len_matches_size",
+            Config::default().with_seed(7).with_cases(40),
+            |rng, size| (0..size).map(|_| rng.random::<u8>()).collect::<Vec<_>>(),
+            |v| {
+                seen += 1;
+                prop_assert!(v.len() <= 64);
+                Ok(())
+            },
+        );
+        assert_eq!(seen, 40);
+    }
+
+    #[test]
+    fn cases_are_deterministic_for_a_seed() {
+        let collect = |seed: u64| {
+            let mut inputs = Vec::new();
+            check(
+                "collect",
+                Config::default().with_seed(seed).with_cases(10),
+                |rng, size| (0..size).map(|_| rng.random::<u32>()).collect::<Vec<_>>(),
+                |v| {
+                    inputs.push(v.clone());
+                    Ok(())
+                },
+            );
+            inputs
+        };
+        assert_eq!(collect(42), collect(42));
+        assert_ne!(collect(42), collect(43));
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "always_fails_when_long",
+                Config::default().with_seed(5).with_cases(50).with_max_size(20),
+                |rng, size| (0..size).map(|_| rng.random::<u8>()).collect::<Vec<_>>(),
+                |v| {
+                    prop_assert!(v.len() < 3, "vector of length {} too long", v.len());
+                    Ok(())
+                },
+            );
+        });
+        let panic_message = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+        };
+        assert!(panic_message.contains("always_fails_when_long"));
+        assert!(panic_message.contains("CHATGRAPH_PROP_SEED=5"));
+        // Shrinking must land on the minimal failing size (length 3).
+        assert!(
+            panic_message.contains("minimal failing size after shrinking: 3"),
+            "unexpected report: {panic_message}"
+        );
+    }
+
+    #[test]
+    fn prop_assert_eq_formats_both_sides() {
+        fn violated() -> Result<(), String> {
+            prop_assert_eq!(1 + 1, 3);
+            Ok(())
+        }
+        let message = violated().unwrap_err();
+        assert!(message.contains("left: 2"));
+        assert!(message.contains("right: 3"));
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md). The workspace has zero external
+# dependencies, so this must succeed on a cold checkout with no network:
+# every dependency is an in-workspace path dep (enforced by tests/hermetic.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release && cargo test -q
+
+# Everything else must also compile offline: benches, examples, all targets.
+cargo build --offline --workspace --benches --examples
