@@ -1,0 +1,102 @@
+//! Workspace lint driver, wired into `scripts/verify.sh`.
+//!
+//! Usage: `cargo run -p chatgraph-analyzer --bin repolint -- [flags]`
+//!
+//! - `--json`              render findings as JSON instead of text
+//! - `--update-allowlist`  regenerate `lint-allow.toml` from the current
+//!                         panic-site counts instead of enforcing it
+//! - `--root <dir>`        workspace root (default: auto-detected from the
+//!                         current directory)
+//!
+//! Exits non-zero when any Error-level diagnostic is found.
+
+use chatgraph_analyzer::repolint;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Walks up from `start` to the first directory that looks like the
+/// workspace root (has both `Cargo.toml` and `crates/`).
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut update = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--update-allowlist" => update = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("repolint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("repolint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("repolint: could not locate the workspace root (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = repolint::run(&root, update);
+
+    if let Some(text) = &report.updated_allowlist {
+        let path = root.join("lint-allow.toml");
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("repolint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        let entries = text.lines().filter(|l| l.contains('=')).count();
+        eprintln!(
+            "repolint: wrote {} ({} file(s), {} panic site(s))",
+            path.display(),
+            entries,
+            report.total_panic_sites
+        );
+    }
+
+    if json {
+        println!("{}", report.diagnostics.render_json());
+    } else if !report.diagnostics.is_empty() {
+        println!("{}", report.diagnostics.render_text());
+    }
+
+    if report.diagnostics.has_errors() {
+        eprintln!(
+            "repolint: FAILED — {} error(s) across {} file(s) scanned",
+            report.diagnostics.count(chatgraph_analyzer::diag::Severity::Error),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!(
+            "repolint: ok — {} file(s) scanned, {} allowlisted panic site(s), no errors",
+            report.files_scanned, report.total_panic_sites
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,331 @@
+//! A small hand-rolled Rust lexer for repolint.
+//!
+//! The hermetic policy forbids `syn`, and repolint only needs enough
+//! structure to tell *code* apart from comments, strings, and test-only
+//! regions: identifiers, punctuation, and literals, each with a 1-based
+//! line number. It understands line and (nested) block comments, regular /
+//! raw / byte string literals, char literals vs. lifetimes, and numeric
+//! literals — everything else is punctuation.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword; the text is stored.
+    Ident(String),
+    /// A single punctuation character (`#`, `[`, `{`, `.`, `!`, …).
+    Punct(char),
+    /// A string, char, or numeric literal (contents dropped).
+    Literal,
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind (and text, for identifiers).
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes `source` into significant tokens, skipping comments and the
+/// contents of string literals.
+pub fn scan(source: &str) -> Vec<Token> {
+    Lexer { chars: source.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.skip_line_comment(),
+                '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
+                '\'' => self.char_or_lifetime(),
+                '"' => self.string_literal(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(),
+                c => {
+                    self.push(TokenKind::Punct(c));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.out.push(Token { kind, line: self.line });
+    }
+
+    fn bump_tracking_newlines(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        // Block comments nest in Rust.
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => {
+                    self.bump_tracking_newlines();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// `'a'` / `'\n'` are char literals; `'a` (no closing quote after one
+    /// character) is a lifetime.
+    fn char_or_lifetime(&mut self) {
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: skip to the closing quote.
+            self.pos += 2;
+            while let Some(c) = self.bump_tracking_newlines() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokenKind::Literal);
+        } else if self.peek(2) == Some('\'') && self.peek(1).is_some() {
+            self.pos += 3;
+            self.push(TokenKind::Literal);
+        } else {
+            // Lifetime: consume the quote plus identifier characters.
+            self.pos += 1;
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime);
+        }
+    }
+
+    /// A regular `"..."` string with escapes.
+    fn string_literal(&mut self) {
+        self.pos += 1;
+        while let Some(c) = self.bump_tracking_newlines() {
+            match c {
+                '\\' => {
+                    self.bump_tracking_newlines();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal);
+    }
+
+    /// A raw string `r"..."` / `r#"..."#` with `hashes` leading `#`s; the
+    /// cursor sits on the opening quote.
+    fn raw_string_literal(&mut self, hashes: usize) {
+        self.pos += 1;
+        'outer: while let Some(c) = self.bump_tracking_newlines() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                self.pos += hashes;
+                break;
+            }
+        }
+        self.push(TokenKind::Literal);
+    }
+
+    /// A numeric literal: digits plus suffix characters and a simple
+    /// fractional part (`1_000u64`, `0xfe`, `2.5e-3`).
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.pos += 1;
+            } else if c == '.' && self.peek(1).map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                self.pos += 1;
+            } else if (c == '+' || c == '-')
+                && matches!(self.chars.get(self.pos.wrapping_sub(1)), Some('e') | Some('E'))
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal);
+    }
+
+    /// An identifier — or, for the raw/byte prefixes (`r`, `b`, `br`, `c`,
+    /// `cr`), the string literal they introduce.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "cr", Some('"')) => self.raw_string_literal(0),
+            ("r" | "br" | "cr", Some('#')) => {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                // `r#ident` is a raw identifier, not a raw string.
+                if self.peek(hashes) == Some('"') {
+                    self.pos += hashes;
+                    self.raw_string_literal(hashes);
+                } else {
+                    self.push(TokenKind::Ident(text));
+                }
+            }
+            ("b" | "c", Some('"')) => self.string_literal(),
+            ("b", Some('\'')) => self.char_or_lifetime_as_literal(),
+            _ => self.push(TokenKind::Ident(text)),
+        }
+    }
+
+    /// A byte char literal `b'x'` (always a literal, never a lifetime).
+    fn char_or_lifetime_as_literal(&mut self) {
+        self.pos += 1; // the quote
+        if self.peek(0) == Some('\\') {
+            self.pos += 1;
+        }
+        self.bump_tracking_newlines();
+        if self.peek(0) == Some('\'') {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Literal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r##"
+            // x.unwrap() in a line comment
+            /* panic!("no") /* nested */ still comment */
+            let s = "x.unwrap() in a string";
+            let r = r#"panic!("raw")"#;
+            let b = b"unwrap";
+            value.unwrap();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|i| i.as_str() == "unwrap").count(), 1);
+        assert!(!ids.contains(&"panic".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x.expect_none(); x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"expect_none".to_owned()));
+        assert!(!ids.contains(&"a".to_owned()));
+    }
+
+    #[test]
+    fn char_literals_close_properly() {
+        let src = "let c = 'x'; let n = '\\n'; y.unwrap();";
+        assert_eq!(idents(src), vec!["let", "c", "let", "n", "y", "unwrap"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_through_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nx.unwrap();";
+        let toks = scan(src);
+        let unwrap = toks.iter().find(|t| t.ident() == Some("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers() {
+        let ids = idents("let r#type = 1; r#type.unwrap();");
+        assert_eq!(ids.iter().filter(|i| i.as_str() == "type").count(), 2);
+        assert!(ids.contains(&"unwrap".to_owned()));
+    }
+
+    #[test]
+    fn exact_identifier_matching_distinguishes_unwrap_or() {
+        let ids = idents("x.unwrap_or(0); y.unwrap_or_else(f); z.unwrap();");
+        assert_eq!(ids.iter().filter(|i| i.as_str() == "unwrap").count(), 1);
+        assert!(ids.contains(&"unwrap_or".to_owned()));
+        assert!(ids.contains(&"unwrap_or_else".to_owned()));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let ids = idents("let x = 1_000u64 + 2.5e-3 + 0xfe; x.unwrap();");
+        assert!(ids.contains(&"unwrap".to_owned()));
+        // `u64`, `e`, `fe` must not leak out of the literals.
+        assert!(!ids.contains(&"u64".to_owned()));
+        assert!(!ids.contains(&"fe".to_owned()));
+    }
+}

@@ -1,0 +1,22 @@
+//! ChatGraph reproduction — static analysis.
+//!
+//! One diagnostics vocabulary ([`diag`]) with two analysis targets:
+//!
+//! - [`chain`]: multi-pass static analysis over the lowered API-chain IR —
+//!   the artifact the paper's LLM actually emits — collecting *every*
+//!   type-flow, parameter, and hygiene finding instead of stopping at the
+//!   first. `chatgraph-apis` lowers its `ApiChain`/`ApiRegistry` into this
+//!   IR (the dependency points that way round so the executor, the
+//!   search-based decoder, and the confirm-and-edit flow can all consume
+//!   diagnostics without a crate cycle).
+//! - [`repolint`]: workspace invariants (panic-site ratchet, no `unsafe`,
+//!   manifest hermeticity) on top of a hand-rolled Rust [`lexer`], exposed
+//!   as the `repolint` binary run by `scripts/verify.sh`.
+
+pub mod chain;
+pub mod diag;
+pub mod lexer;
+pub mod repolint;
+
+pub use chain::{analyze_chain, step_accepts, ApiSig, Catalog, ChainIr, ChainStep, ParamKind, ParamSpec, SigType, TypeClass};
+pub use diag::{code_info, CodeInfo, Diagnostic, Diagnostics, Severity, Span, CODES};

@@ -1,0 +1,219 @@
+//! Lowering into the `chatgraph-analyzer` IR, and the chain-analysis entry
+//! points the rest of the system uses.
+//!
+//! `chatgraph-analyzer` sits *below* this crate (it depends only on
+//! `chatgraph-support`), so [`ApiChain`]/[`ApiRegistry`] are lowered into
+//! its neutral IR here. Three consumers:
+//!
+//! * [`crate::execute_chain`] — refuses Error-level diagnostics and emits
+//!   the rest through [`crate::ChainEvent::Diagnostics`];
+//! * the search-based decoder in `chatgraph-core` — [`can_extend`] prunes
+//!   candidate chain extensions that would introduce a type error;
+//! * the scenario-4 confirm-and-edit flow — [`analyze`] produces the
+//!   warnings shown to the user next to a proposed chain.
+
+use crate::chain::ApiChain;
+use crate::registry::ApiRegistry;
+use crate::value::ValueType;
+use chatgraph_analyzer::chain::{
+    analyze_chain, ApiSig, Catalog, ChainIr, ChainStep, SigType, TypeClass,
+};
+use chatgraph_analyzer::diag::Diagnostics;
+
+/// Lowers a [`ValueType`] to the analyzer's type representation.
+pub fn lower_type(vt: ValueType) -> SigType {
+    let class = match vt {
+        ValueType::Graph => TypeClass::Graph,
+        ValueType::Unit => TypeClass::Unit,
+        ValueType::Any => TypeClass::Any,
+        _ => TypeClass::Other,
+    };
+    SigType::new(vt.to_string(), class)
+}
+
+/// Lowers a whole registry to an analyzer [`Catalog`].
+pub fn lower_registry(registry: &ApiRegistry) -> Catalog {
+    Catalog::new(registry.descriptors().into_iter().map(|d| ApiSig {
+        name: d.name.clone(),
+        input: lower_type(d.input),
+        output: lower_type(d.output),
+        params: d.params.clone(),
+        requires_confirmation: d.requires_confirmation,
+    }))
+}
+
+/// Lowers a chain to the analyzer IR.
+pub fn lower_chain(chain: &ApiChain) -> ChainIr {
+    ChainIr {
+        steps: chain
+            .steps
+            .iter()
+            .map(|s| ChainStep { api: s.api.clone(), params: s.params.clone() })
+            .collect(),
+    }
+}
+
+/// Runs the full multi-pass analysis over `chain`, collecting every finding
+/// (type-flow errors CG001–CG004, parameter lints CG005–CG007, hygiene
+/// warnings CG008–CG010) instead of stopping at the first.
+pub fn analyze(chain: &ApiChain, registry: &ApiRegistry, has_session_graph: bool) -> Diagnostics {
+    analyze_chain(&lower_chain(chain), &lower_registry(registry), has_session_graph)
+}
+
+/// Whether appending `candidate` to a chain whose last API is `prev_api`
+/// (`None` = chain start) type-checks — the decoder's pruning predicate.
+///
+/// Mirrors [`ApiChain::validate`]'s per-step rule exactly: an unknown
+/// `candidate` never extends; an unknown `prev_api` does not prune (the
+/// error is reported elsewhere, pruning on top would cascade).
+pub fn can_extend(
+    registry: &ApiRegistry,
+    prev_api: Option<&str>,
+    candidate: &str,
+    has_session_graph: bool,
+) -> bool {
+    let Some(desc) = registry.descriptor(candidate) else {
+        return false;
+    };
+    let prev_out = match prev_api {
+        None => ValueType::Unit,
+        Some(p) => match registry.descriptor(p) {
+            Some(d) => d.output,
+            None => return true,
+        },
+    };
+    desc.input.accepts(prev_out)
+        || (desc.input == ValueType::Graph && has_session_graph)
+        || desc.input == ValueType::Unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ApiCall;
+    use crate::registry;
+    use chatgraph_analyzer::diag::Severity;
+
+    fn codes(d: &Diagnostics) -> Vec<&str> {
+        d.items.iter().map(|x| x.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_chain_has_no_findings() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["detect_communities", "generate_report"]);
+        let d = analyze(&chain, &reg, true);
+        assert!(d.is_empty(), "{}", d.render_text());
+    }
+
+    #[test]
+    fn collects_every_type_error_not_just_the_first() {
+        let reg = registry::standard();
+        // Two independent mismatches; legacy validate() reports only the first.
+        let chain = ApiChain::from_names([
+            "node_count",
+            "remove_edges",
+            "node_count",
+            "remove_edges",
+        ]);
+        let d = analyze(&chain, &reg, true);
+        assert!(d.count(Severity::Error) >= 2, "{}", d.render_text());
+        assert!(chain.validate(&reg, true).is_err());
+    }
+
+    #[test]
+    fn unknown_api_suggests_nearest_registered_name() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["node_cout"]);
+        let d = analyze(&chain, &reg, true);
+        assert_eq!(codes(&d), vec!["CG002"]);
+        assert_eq!(d.items[0].suggestion.as_deref(), Some("did you mean `node_count`?"));
+    }
+
+    #[test]
+    fn parameter_lints_fire_against_declared_schemas() {
+        let reg = registry::standard();
+        let mut chain = ApiChain::new();
+        chain.push(
+            ApiCall::new("top_pagerank")
+                .with_param("k", "lots") // CG006: unparseable
+                .with_param("kk", "3"), // CG005: unknown name
+        );
+        chain.push(ApiCall::new("generate_report"));
+        let d = analyze(&chain, &reg, true);
+        let mut cs = codes(&d);
+        cs.sort();
+        assert_eq!(cs, vec!["CG005", "CG006"]);
+        assert!(!d.has_errors(), "parameter lints are warnings");
+
+        let mut chain = ApiChain::new();
+        chain.push(ApiCall::new("top_pagerank").with_param("k", "5000")); // CG007
+        chain.push(ApiCall::new("generate_report"));
+        let d = analyze(&chain, &reg, true);
+        assert_eq!(codes(&d), vec!["CG007"]);
+    }
+
+    #[test]
+    fn confirmation_gated_api_warns_cg010() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["detect_incorrect_edges", "remove_edges"]);
+        let d = analyze(&chain, &reg, true);
+        assert!(codes(&d).contains(&"CG010"), "{}", d.render_text());
+        assert!(!d.has_errors());
+    }
+
+    #[test]
+    fn can_extend_prunes_exactly_what_validate_rejects() {
+        let reg = registry::standard();
+        for has_graph in [false, true] {
+            for prev in [None, Some("node_count"), Some("largest_component")] {
+                // can_extend models only the candidate step's check, so the
+                // equivalence is stated for prefixes that validate themselves.
+                if let Some(p) = prev {
+                    let mut prefix = ApiChain::new();
+                    prefix.push(ApiCall::new(p));
+                    if prefix.validate(&reg, has_graph).is_err() {
+                        continue;
+                    }
+                }
+                for cand in reg.names() {
+                    let mut chain = ApiChain::new();
+                    if let Some(p) = prev {
+                        chain.push(ApiCall::new(p));
+                    }
+                    chain.push(ApiCall::new(cand));
+                    let valid = chain.validate(&reg, has_graph).is_ok();
+                    assert_eq!(
+                        can_extend(&reg, prev, cand, has_graph),
+                        valid,
+                        "prev={prev:?} cand={cand} has_graph={has_graph}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analyzer_errors_align_with_validate() {
+        let reg = registry::standard();
+        let chains = [
+            vec!["node_count"],
+            vec!["frobnicate"],
+            vec!["node_count", "remove_edges"],
+            vec!["detect_communities", "generate_report"],
+            vec!["graph_stats", "graph_stats", "graph_stats"],
+        ];
+        for names in chains {
+            for has_graph in [false, true] {
+                let chain = ApiChain::from_names(names.clone());
+                let d = analyze(&chain, &reg, has_graph);
+                assert_eq!(
+                    chain.validate(&reg, has_graph).is_ok(),
+                    !d.has_errors(),
+                    "{names:?} has_graph={has_graph}: {}",
+                    d.render_text()
+                );
+            }
+        }
+    }
+}

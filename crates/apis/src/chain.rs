@@ -14,7 +14,7 @@
 
 use crate::registry::ApiRegistry;
 use crate::value::ValueType;
-use chatgraph_graph::Graph;
+use chatgraph_graph::{Graph, GraphError};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -94,6 +94,10 @@ pub enum ChainError {
     },
     /// The chain is empty.
     Empty,
+    /// Static analysis found Error-level diagnostics; execution refused.
+    /// (Belt and braces over [`ApiChain::validate`]: fires only for error
+    /// classes the legacy validator does not model.)
+    AnalysisRejected(String),
     /// The user rejected a confirmation prompt; execution stopped.
     Rejected(usize, String),
     /// A handler failed.
@@ -114,6 +118,9 @@ impl fmt::Display for ChainError {
                 "step {step}: API '{api}' expects {expected} but the previous step produced {found}"
             ),
             ChainError::Empty => write!(f, "chain is empty"),
+            ChainError::AnalysisRejected(d) => {
+                write!(f, "chain rejected by static analysis: {d}")
+            }
             ChainError::Rejected(i, n) => write!(f, "step {i}: user rejected '{n}'"),
             ChainError::ExecutionFailed(i, msg) => write!(f, "step {i} failed: {msg}"),
         }
@@ -218,22 +225,21 @@ impl ApiChain {
     /// Encodes the chain as a directed path graph whose node labels are API
     /// names and whose edges are labelled `next`. Parameters become node
     /// attributes. This is the form the node matching-based loss compares.
-    pub fn to_graph(&self) -> Graph {
+    pub fn to_graph(&self) -> Result<Graph, GraphError> {
         let mut g = Graph::directed();
         g.set_name("api-chain");
         let mut prev = None;
         for step in &self.steps {
             let v = g.add_node(step.api.clone());
             for (k, val) in &step.params {
-                g.set_node_attr(v, k.clone(), val.as_str())
-                    .expect("node exists");
+                g.set_node_attr(v, k.clone(), val.as_str())?;
             }
             if let Some(p) = prev {
-                g.add_edge(p, v, "next").expect("path edges are unique");
+                g.add_edge(p, v, "next")?;
             }
             prev = Some(v);
         }
-        g
+        Ok(g)
     }
 }
 
@@ -316,7 +322,7 @@ mod tests {
     fn to_graph_is_labelled_path() {
         let mut c = ApiChain::from_names(["a", "b", "c"]);
         c.steps[1] = c.steps[1].clone().with_param("k", "3");
-        let g = c.to_graph();
+        let g = c.to_graph().unwrap();
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 2);
         assert!(g.is_directed());

@@ -5,6 +5,7 @@
 //! high-dimensional vectors"), plus typing information for chain validation.
 
 use crate::value::ValueType;
+use chatgraph_analyzer::chain::ParamSpec;
 
 /// Functional category of an API. Mirrors the paper's scenario families;
 /// graph-type prediction routes to category-specific APIs (scenario 1:
@@ -53,7 +54,7 @@ impl ApiCategory {
 }
 
 /// Static metadata of one API.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApiDescriptor {
     /// Unique snake_case name (the token the LLM emits).
     pub name: String,
@@ -68,6 +69,9 @@ pub struct ApiDescriptor {
     /// Whether execution must be confirmed by the user first (graph-edit
     /// APIs, per scenario 3's confirmation step).
     pub requires_confirmation: bool,
+    /// Declared parameter schema: the analyzer lints call parameters
+    /// (unknown names, unparseable values, out-of-range values) against it.
+    pub params: Vec<ParamSpec>,
 }
 
 chatgraph_support::impl_json_struct!(ApiDescriptor {
@@ -77,6 +81,7 @@ chatgraph_support::impl_json_struct!(ApiDescriptor {
     input,
     output,
     requires_confirmation,
+    params,
 });
 
 impl ApiDescriptor {
@@ -95,6 +100,7 @@ impl ApiDescriptor {
             input,
             output,
             requires_confirmation: false,
+            params: Vec::new(),
         }
     }
 
@@ -102,6 +108,17 @@ impl ApiDescriptor {
     pub fn with_confirmation(mut self) -> Self {
         self.requires_confirmation = true;
         self
+    }
+
+    /// Declares the API's parameter schema.
+    pub fn with_params<I: IntoIterator<Item = ParamSpec>>(mut self, params: I) -> Self {
+        self.params = params.into_iter().collect();
+        self
+    }
+
+    /// Looks up one declared parameter.
+    pub fn param(&self, name: &str) -> Option<&ParamSpec> {
+        self.params.iter().find(|p| p.name == name)
     }
 
     /// The text embedded by the retrieval module: name + description.

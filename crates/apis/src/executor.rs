@@ -45,6 +45,10 @@ impl ExecContext {
 
 /// Executes a validated chain step by step.
 ///
+/// * The chain is refused up front when validation or static analysis finds
+///   Error-level problems; Warning-level diagnostics (parameter lints,
+///   discarded outputs, confirmation notices) are emitted to the monitor as
+///   one [`ChainEvent::Diagnostics`] event before execution starts.
 /// * Each step's input is the previous step's output when the types accept
 ///   it, else the session graph for `Graph` inputs, else `Unit`.
 /// * Steps flagged `requires_confirmation` ask the monitor first; a `false`
@@ -61,15 +65,24 @@ pub fn execute_chain(
     monitor: &mut dyn Monitor,
 ) -> Result<Value, ChainError> {
     chain.validate(registry, true)?;
+    let diagnostics = crate::analysis::analyze(chain, registry, true);
+    if !diagnostics.is_empty() {
+        monitor.on_event(&ChainEvent::Diagnostics {
+            diagnostics: diagnostics.clone(),
+        });
+    }
+    if let Some(err) = diagnostics.first_error() {
+        return Err(ChainError::AnalysisRejected(err.render()));
+    }
     monitor.on_event(&ChainEvent::ChainStarted {
         total: chain.len(),
     });
     let mut prev = Value::Unit;
     for (i, step) in chain.steps.iter().enumerate() {
-        let desc = registry
-            .descriptor(&step.api)
-            .expect("validated chains only contain known APIs")
-            .clone();
+        // validate() plus the analysis gate above guarantee the API exists.
+        let Some(desc) = registry.descriptor(&step.api).cloned() else {
+            return Err(ChainError::UnknownApi(i, step.api.clone()));
+        };
         monitor.on_event(&ChainEvent::StepStarted {
             step: i,
             api: step.api.clone(),

@@ -106,7 +106,7 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            Ok(Value::Text(io::to_edge_list(&g)))
+            io::to_edge_list(&g).map(Value::Text).map_err(|e| e.to_string())
         }),
     );
 }

@@ -8,6 +8,7 @@ use super::input_graph;
 use crate::descriptor::{ApiCategory, ApiDescriptor};
 use crate::registry::ApiRegistry;
 use crate::value::{Value, ValueType};
+use chatgraph_analyzer::chain::ParamSpec;
 use chatgraph_ged::{approx_ged, exact_ged_with_limit, CostModel};
 use chatgraph_graph::algo::isomorphism::{find_embeddings, IsoOptions};
 use chatgraph_graph::{io, Graph};
@@ -65,7 +66,8 @@ pub fn register(reg: &mut ApiRegistry) {
             "similarity_search",
             "search the molecule database for the graphs most similar to the query graph",
             Similarity, Graph, Table,
-        ),
+        )
+        .with_params([ParamSpec::int("k", 1, 100, 2)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             if ctx.database.is_empty() {
@@ -107,7 +109,8 @@ pub fn register(reg: &mut ApiRegistry) {
             "graph_edit_distance",
             "compute the graph edit distance between the query graph and a database graph",
             Similarity, Graph, Number,
-        ),
+        )
+        .with_params([ParamSpec::int("target", 0, 9999, 0)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let target = call.param_usize("target", 0);
@@ -126,7 +129,11 @@ pub fn register(reg: &mut ApiRegistry) {
             "graph_edit_distance_exact",
             "compute the exact graph edit distance to a database graph for small molecules",
             Similarity, Graph, Number,
-        ),
+        )
+        .with_params([
+            ParamSpec::int("target", 0, 9999, 0),
+            ParamSpec::int("budget", 1, 100_000_000, 200_000),
+        ]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let target = call.param_usize("target", 0);
@@ -148,7 +155,8 @@ pub fn register(reg: &mut ApiRegistry) {
             "count_pattern_matches",
             "count occurrences of a structural pattern subgraph inside the graph",
             Similarity, Graph, Number,
-        ),
+        )
+        .with_params([ParamSpec::text("pattern")]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let pattern_text = call

@@ -4,6 +4,7 @@ use super::input_graph;
 use crate::descriptor::{ApiCategory, ApiDescriptor};
 use crate::registry::ApiRegistry;
 use crate::value::{Value, ValueType};
+use chatgraph_analyzer::chain::ParamSpec;
 use chatgraph_graph::algo::{bridges, centrality, community, components, paths};
 use chatgraph_graph::Graph;
 
@@ -82,7 +83,8 @@ pub fn register(reg: &mut ApiRegistry) {
             "top_pagerank",
             "rank the most important or influential nodes by pagerank score",
             Social, Graph, Table,
-        ),
+        )
+        .with_params([ParamSpec::int("k", 1, 100, 5)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let k = call.param_usize("k", 5);
@@ -96,7 +98,8 @@ pub fn register(reg: &mut ApiRegistry) {
             "top_betweenness",
             "find bridge or broker nodes with the highest betweenness centrality",
             Social, Graph, Table,
-        ),
+        )
+        .with_params([ParamSpec::int("k", 1, 100, 5)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let k = call.param_usize("k", 5);
@@ -110,7 +113,8 @@ pub fn register(reg: &mut ApiRegistry) {
             "top_degree",
             "list the nodes with the most connections by degree centrality",
             Social, Graph, Table,
-        ),
+        )
+        .with_params([ParamSpec::int("k", 1, 100, 5)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let k = call.param_usize("k", 5);
@@ -124,7 +128,8 @@ pub fn register(reg: &mut ApiRegistry) {
             "find_influencers",
             "identify influencer nodes combining degree and pagerank importance",
             Social, Graph, NodeList,
-        ),
+        )
+        .with_params([ParamSpec::int("k", 1, 100, 5)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let k = call.param_usize("k", 5);
@@ -140,7 +145,8 @@ pub fn register(reg: &mut ApiRegistry) {
             "top_closeness",
             "rank the most central nodes by closeness to everyone else",
             Social, Graph, Table,
-        ),
+        )
+        .with_params([ParamSpec::int("k", 1, 100, 5)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let k = call.param_usize("k", 5);

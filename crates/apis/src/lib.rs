@@ -21,7 +21,11 @@
 //!   events, progress, and user-confirmation hooks used by the cleaning
 //!   scenario.
 //! * [`impls`] — the concrete API implementations.
+//! * [`analysis`] — lowering into the `chatgraph-analyzer` IR: multi-pass
+//!   chain diagnostics ([`analyze`]) and the decoder's type-flow pruning
+//!   predicate ([`can_extend`]).
 
+pub mod analysis;
 pub mod chain;
 pub mod descriptor;
 pub mod executor;
@@ -30,6 +34,7 @@ pub mod monitor;
 pub mod registry;
 pub mod value;
 
+pub use analysis::{analyze, can_extend};
 pub use chain::{ApiCall, ApiChain, ChainError};
 pub use descriptor::{ApiCategory, ApiDescriptor};
 pub use executor::{execute_chain, ExecContext};

@@ -7,11 +7,18 @@
 //! confirmation requests (for edit APIs) through the monitor.
 
 use crate::value::ValueType;
+use chatgraph_analyzer::diag::Diagnostics;
 use chatgraph_support::json::{FromJson, Json, JsonError, ToJson};
 
 /// One progress event during chain execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChainEvent {
+    /// Pre-execution static analysis produced findings (warnings the UI
+    /// surfaces before the chain runs; emitted only when non-empty).
+    Diagnostics {
+        /// The analyzer's findings.
+        diagnostics: Diagnostics,
+    },
     /// Execution of the whole chain began (`total` steps).
     ChainStarted {
         /// Number of steps.
@@ -65,6 +72,10 @@ impl ToJson for ChainEvent {
             Json::Object(vec![(tag.to_owned(), Json::Object(fields))])
         };
         match self {
+            ChainEvent::Diagnostics { diagnostics } => tagged(
+                "Diagnostics",
+                vec![field("diagnostics", diagnostics.to_json())],
+            ),
             ChainEvent::ChainStarted { total } => {
                 tagged("ChainStarted", vec![field("total", total.to_json())])
             }
@@ -116,6 +127,9 @@ impl FromJson for ChainEvent {
                 .ok_or_else(|| JsonError::missing_field("ChainEvent", name))
         };
         match tag {
+            "Diagnostics" => Ok(ChainEvent::Diagnostics {
+                diagnostics: FromJson::from_json(get("diagnostics")?)?,
+            }),
             "ChainStarted" => Ok(ChainEvent::ChainStarted {
                 total: FromJson::from_json(get("total")?)?,
             }),
@@ -239,6 +253,26 @@ mod tests {
         assert!(m.confirm(1, "add_edges", "2 edges"));
         assert!(m.confirm(2, "remove_edges", "1 edge"));
         assert_eq!(m.confirm_log.len(), 3);
+    }
+
+    #[test]
+    fn diagnostics_event_json_roundtrip() {
+        use chatgraph_analyzer::diag::{Diagnostic, Span};
+        let mut d = Diagnostics::new();
+        d.push(
+            Diagnostic::new(
+                "CG010",
+                Span::Step { step: 1, param: None },
+                "`remove_edges` will ask for confirmation",
+            )
+            .with_suggestion("review the step before confirming"),
+        );
+        let e = ChainEvent::Diagnostics { diagnostics: d };
+        let s = chatgraph_support::json::to_string(&e);
+        assert_eq!(
+            chatgraph_support::json::from_str::<ChainEvent>(&s).unwrap(),
+            e
+        );
     }
 
     #[test]

@@ -103,7 +103,7 @@ fn chain_graph_encoding_faithful() {
         Config::default(),
         |rng, _size| random_chain(rng, 6),
         |chain| {
-            let g = chain.to_graph();
+            let g = chain.to_graph().unwrap();
             prop_assert_eq!(g.node_count(), chain.len());
             prop_assert_eq!(g.edge_count(), chain.len().saturating_sub(1));
             let labels: Vec<String> = g

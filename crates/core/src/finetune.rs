@@ -79,7 +79,9 @@ chatgraph_support::impl_json_struct!(EvalReport { exact_match, avg_loss, per_int
 /// Chain-level loss of `names` against the example's equivalent truths:
 /// the minimum node matching-based loss (Definition 1).
 fn chain_loss(names: &[String], truth_graphs: &[Graph], alpha: f64) -> f64 {
-    let g = ApiChain::from_names(names.iter().cloned()).to_graph();
+    let Ok(g) = ApiChain::from_names(names.iter().cloned()).to_graph() else {
+        return f64::INFINITY;
+    };
     min_matching_loss(&g, truth_graphs, alpha, &CostModel::uniform())
         .map(|(_, l)| l.total)
         .unwrap_or(f64::INFINITY)
@@ -109,6 +111,7 @@ fn overlap_loss(names: &[String], truths: &[ApiChain]) -> f64 {
 #[allow(clippy::too_many_arguments)]
 fn search_chain(
     example: &QaExample,
+    registry: &ApiRegistry,
     candidates: &[String],
     truth_graphs: &[Graph],
     method: FinetuneMethod,
@@ -148,6 +151,16 @@ fn search_chain(
         let stop_score = score_of(&chain);
         let mut best: Option<(f64, &String)> = None;
         for c in candidates {
+            // Static-analysis pruning: never consider an extension the chain
+            // analyzer would flag as a type-flow error (CG003/CG004).
+            if !chatgraph_apis::analysis::can_extend(
+                registry,
+                chain.last().map(String::as_str),
+                c,
+                true,
+            ) {
+                continue;
+            }
             let mut prefix = chain.clone();
             prefix.push(c.clone());
             // Deterministic rollouts: stop immediately, or follow each truth.
@@ -214,7 +227,8 @@ pub fn build_examples(
         candidates.sort();
         candidates.dedup();
 
-        let truth_graphs: Vec<Graph> = example.truths.iter().map(|t| t.to_graph()).collect();
+        let truth_graphs: Vec<Graph> =
+            example.truths.iter().filter_map(|t| t.to_graph().ok()).collect();
         let target_chain: Vec<String> = match method {
             FinetuneMethod::TeacherForcing => example.truths[0]
                 .api_names()
@@ -223,6 +237,7 @@ pub fn build_examples(
                 .collect(),
             _ => search_chain(
                 example,
+                registry,
                 &candidates,
                 &truth_graphs,
                 method,
@@ -312,8 +327,9 @@ pub fn evaluate_opts(
         } else {
             candidate_apis(registry, retriever, &example.question, Some(&example.graph))
         };
-        let chain = generator.generate_greedy(
+        let chain = generator.generate_greedy_checked(
             lm,
+            registry,
             &example.question,
             Some(&example.graph),
             &candidates,
@@ -323,7 +339,8 @@ pub fn evaluate_opts(
             .truths
             .iter()
             .any(|t| t.api_names() == chain.api_names());
-        let truth_graphs: Vec<Graph> = example.truths.iter().map(|t| t.to_graph()).collect();
+        let truth_graphs: Vec<Graph> =
+            example.truths.iter().filter_map(|t| t.to_graph().ok()).collect();
         total_loss += chain_loss(&names, &truth_graphs, config.finetune.alpha);
         let entry = per_intent.entry(example.intent.to_owned()).or_insert((0, 0));
         entry.1 += 1;
@@ -383,7 +400,7 @@ mod tests {
     #[test]
     fn chain_loss_zero_for_exact_truth() {
         let truths = [ApiChain::from_names(["a", "b"])];
-        let graphs: Vec<Graph> = truths.iter().map(|t| t.to_graph()).collect();
+        let graphs: Vec<Graph> = truths.iter().map(|t| t.to_graph().unwrap()).collect();
         let names = vec!["a".to_owned(), "b".to_owned()];
         assert_eq!(chain_loss(&names, &graphs, 0.5), 0.0);
         let wrong = vec!["a".to_owned()];
@@ -403,7 +420,7 @@ mod tests {
 
     #[test]
     fn search_recovers_truth_chain_when_reachable() {
-        let (_, _, _, corpus, config) = setup(16);
+        let (_, reg, _, corpus, config) = setup(16);
         let example = &corpus[2]; // communities intent
         let candidates: Vec<String> = example.truths[0]
             .api_names()
@@ -411,10 +428,12 @@ mod tests {
             .map(str::to_owned)
             .chain(["graph_stats".to_owned(), "edge_count".to_owned()])
             .collect();
-        let truth_graphs: Vec<Graph> = example.truths.iter().map(|t| t.to_graph()).collect();
+        let truth_graphs: Vec<Graph> =
+            example.truths.iter().map(|t| t.to_graph().unwrap()).collect();
         let mut rng = ChaCha12Rng::seed_from_u64(3);
         let found = search_chain(
             example,
+            &reg,
             &candidates,
             &truth_graphs,
             FinetuneMethod::Full,

@@ -82,6 +82,26 @@ impl ChainGenerator {
         self.generate(lm, prompt, graph, candidates, &mut sampler)
     }
 
+    /// Greedy decoding with per-step type-flow pruning (see
+    /// [`ChainGenerator::generate_checked`]).
+    pub fn generate_greedy_checked(
+        &self,
+        lm: &GraphAwareLm,
+        registry: &ApiRegistry,
+        prompt: &str,
+        graph: Option<&Graph>,
+        candidates: &[String],
+    ) -> ApiChain {
+        let mut sampler = Sampler::new(
+            SamplingConfig {
+                temperature: 0.0,
+                top_k: 1,
+            },
+            0,
+        );
+        self.generate_checked(lm, registry, prompt, graph, candidates, &mut sampler)
+    }
+
     /// Sampled decoding restricted to `candidates`.
     pub fn generate(
         &self,
@@ -91,22 +111,58 @@ impl ChainGenerator {
         candidates: &[String],
         sampler: &mut Sampler,
     ) -> ApiChain {
+        self.decode(lm, None, prompt, graph, candidates, sampler)
+    }
+
+    /// Sampled decoding with static-analysis pruning: before each step, the
+    /// candidate set is filtered through
+    /// [`chatgraph_apis::analysis::can_extend`], so extensions that would
+    /// introduce a type-flow error (analyzer codes CG003/CG004) are never
+    /// offered to the sampler. `[EOS]` always remains available, so pruning
+    /// can only end chains early, never derail them.
+    pub fn generate_checked(
+        &self,
+        lm: &GraphAwareLm,
+        registry: &ApiRegistry,
+        prompt: &str,
+        graph: Option<&Graph>,
+        candidates: &[String],
+        sampler: &mut Sampler,
+    ) -> ApiChain {
+        self.decode(lm, Some(registry), prompt, graph, candidates, sampler)
+    }
+
+    fn decode(
+        &self,
+        lm: &GraphAwareLm,
+        prune_against: Option<&ApiRegistry>,
+        prompt: &str,
+        graph: Option<&Graph>,
+        candidates: &[String],
+        sampler: &mut Sampler,
+    ) -> ApiChain {
         let context = lm.context(prompt, graph);
-        let allowed = lm.allowed_ids(candidates);
+        let has_graph = graph.is_some();
+        let mut allowed = lm.allowed_ids(candidates);
         let mut names: Vec<String> = Vec::new();
         for _ in 0..self.max_len {
+            if let Some(registry) = prune_against {
+                let last = names.last().map(String::as_str);
+                let step_candidates: Vec<&String> = candidates
+                    .iter()
+                    .filter(|c| chatgraph_apis::analysis::can_extend(registry, last, c, has_graph))
+                    .collect();
+                allowed = lm.allowed_ids(&step_candidates);
+            }
             let x = lm.step_features(&context, &names);
             let token = sampler.sample(&lm.model, &x, &allowed);
             if token == lm.model.vocab().eos() || token == lm.model.vocab().bos() {
                 break;
             }
-            let name = lm
-                .model
-                .vocab()
-                .token(token)
-                .expect("sampled tokens are in-vocabulary")
-                .to_owned();
-            names.push(name);
+            let Some(name) = lm.model.vocab().token(token) else {
+                break;
+            };
+            names.push(name.to_owned());
         }
         ApiChain::from_names(names)
     }
@@ -168,6 +224,31 @@ mod tests {
         let mut sampler = Sampler::new(SamplingConfig { temperature: 2.0, top_k: 0 }, 5);
         let chain = gen.generate(&lm, "anything", None, &names, &mut sampler);
         assert!(chain.len() <= 3);
+    }
+
+    #[test]
+    fn checked_decoding_only_emits_well_typed_chains() {
+        use chatgraph_graph::generators::{social_network, SocialParams};
+        let reg = registry::standard();
+        let lm = GraphAwareLm::new(&reg, &ChatGraphConfig::default());
+        let gen = ChainGenerator { max_len: 4 };
+        let names: Vec<String> = reg.names().iter().map(|s| s.to_string()).collect();
+        let g = social_network(&SocialParams::default(), 1);
+        for seed in 0..10 {
+            // An untrained model at high temperature emits near-uniform noise;
+            // pruning must still keep every non-empty chain well-typed, both
+            // with and without a session graph.
+            let mut sampler = Sampler::new(SamplingConfig { temperature: 2.0, top_k: 0 }, seed);
+            let chain = gen.generate_checked(&lm, &reg, "anything", Some(&g), &names, &mut sampler);
+            if !chain.is_empty() {
+                assert!(chain.validate(&reg, true).is_ok(), "{chain}");
+            }
+            let mut sampler = Sampler::new(SamplingConfig { temperature: 2.0, top_k: 0 }, seed);
+            let chain = gen.generate_checked(&lm, &reg, "anything", None, &names, &mut sampler);
+            if !chain.is_empty() {
+                assert!(chain.validate(&reg, false).is_ok(), "{chain}");
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::generation::{candidate_apis, ChainGenerator};
 use crate::graph_aware::GraphAwareLm;
 use crate::prompt::Prompt;
 use crate::retrieval::ApiRetriever;
+use chatgraph_analyzer::diag::Diagnostics;
 use chatgraph_apis::{
     execute_chain, registry, ApiChain, ApiRegistry, ChainError, ExecContext, Monitor, Value,
 };
@@ -42,6 +43,9 @@ pub struct ChatResponse {
     pub candidates: Vec<String>,
     /// The predicted graph type, when a graph was attached.
     pub graph_type: Option<String>,
+    /// Static-analysis findings on the proposed chain (scenario 4: shown to
+    /// the user alongside the confirmation request, before execution).
+    pub diagnostics: Diagnostics,
     /// The reply text shown in the dialog panel.
     pub message: String,
 }
@@ -212,13 +216,22 @@ impl ChatSession {
             &prompt.text,
             self.graph.as_ref(),
         );
-        let chain = self.generator.generate_greedy(
+        let chain = self.generator.generate_greedy_checked(
             &self.lm,
+            &self.registry,
             &prompt.text,
             self.graph.as_ref(),
             &candidates,
         );
-        let message = match (&graph_type, chain.is_empty()) {
+        // Scenario 4: analyse the proposal before the user confirms, so the
+        // warnings (bad parameters, discarded outputs, confirmation-gated
+        // steps) are visible while the chain can still be edited.
+        let diagnostics = if chain.is_empty() {
+            Diagnostics::new()
+        } else {
+            chatgraph_apis::analysis::analyze(&chain, &self.registry, self.graph.is_some())
+        };
+        let mut message = match (&graph_type, chain.is_empty()) {
             (_, true) => "I could not find a suitable API chain; please rephrase.".to_owned(),
             (Some(t), false) => format!(
                 "G looks like a {t} graph. I propose the API chain: {chain}. Confirm to execute."
@@ -227,11 +240,16 @@ impl ChatSession {
                 "I propose the API chain: {chain}. Confirm to execute."
             ),
         };
+        if !diagnostics.is_empty() {
+            message.push_str("\nAnalysis notes:\n");
+            message.push_str(&diagnostics.render_text());
+        }
         self.transcript.push(Turn::System(message.clone()));
         ChatResponse {
             chain,
             candidates,
             graph_type,
+            diagnostics,
             message,
         }
     }
@@ -280,6 +298,21 @@ mod tests {
             "chain: {}",
             resp.chain
         );
+        });
+    }
+
+    #[test]
+    fn proposed_chains_carry_no_error_diagnostics() {
+        with_session(|s| {
+            let g = social_network(&SocialParams::default(), 5);
+            let resp = s.send(Prompt::with_graph("write a brief report for G", g));
+            // Checked decoding prunes type-flow errors, so whatever the model
+            // proposes analyses clean at the Error level; warnings may remain.
+            assert!(
+                resp.diagnostics.first_error().is_none(),
+                "{}",
+                resp.diagnostics.render_text()
+            );
         });
     }
 

@@ -19,7 +19,7 @@
 //! [`Graph::compact`]).
 
 use crate::attr::{AttrValue, Attrs};
-use crate::graph::{Direction, Graph, NodeId};
+use crate::graph::{Direction, Graph, GraphError, NodeId};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"CGRB";
@@ -85,7 +85,7 @@ fn put_attrs(buf: &mut Vec<u8>, attrs: &Attrs) {
 }
 
 /// Serialises a graph to the compact binary format.
-pub fn to_bytes(g: &Graph) -> Vec<u8> {
+pub fn to_bytes(g: &Graph) -> Result<Vec<u8>, GraphError> {
     let mut buf = Vec::with_capacity(64 + 32 * g.node_count() + 24 * g.edge_count());
     buf.extend_from_slice(MAGIC);
     buf.push(VERSION);
@@ -99,19 +99,19 @@ pub fn to_bytes(g: &Graph) -> Vec<u8> {
     }
     buf.extend_from_slice(&(ids.len() as u32).to_le_bytes());
     for &v in &ids {
-        put_string(&mut buf, g.node_label(v).expect("live node"));
-        put_attrs(&mut buf, g.node_attrs(v).expect("live node"));
+        put_string(&mut buf, g.node_label(v)?);
+        put_attrs(&mut buf, g.node_attrs(v)?);
     }
     let edges: Vec<_> = g.edge_ids().collect();
     buf.extend_from_slice(&(edges.len() as u32).to_le_bytes());
     for e in edges {
-        let (s, d) = g.edge_endpoints(e).expect("live edge");
+        let (s, d) = g.edge_endpoints(e)?;
         buf.extend_from_slice(&dense[s.index()].to_le_bytes());
         buf.extend_from_slice(&dense[d.index()].to_le_bytes());
-        put_string(&mut buf, g.edge_label(e).expect("live edge"));
-        put_attrs(&mut buf, g.edge_attrs(e).expect("live edge"));
+        put_string(&mut buf, g.edge_label(e)?);
+        put_attrs(&mut buf, g.edge_attrs(e)?);
     }
-    buf
+    Ok(buf)
 }
 
 /// Splits `n` bytes off the front of the cursor, or reports truncation.
@@ -129,19 +129,31 @@ fn get_u8(buf: &mut &[u8]) -> Result<u8, BinaryError> {
 }
 
 fn get_u16_le(buf: &mut &[u8]) -> Result<u16, BinaryError> {
-    Ok(u16::from_le_bytes(take(buf, 2)?.try_into().expect("2 bytes")))
+    match take(buf, 2)?.try_into() {
+        Ok(bytes) => Ok(u16::from_le_bytes(bytes)),
+        Err(_) => Err(BinaryError::Truncated),
+    }
 }
 
 fn get_u32_le(buf: &mut &[u8]) -> Result<u32, BinaryError> {
-    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")))
+    match take(buf, 4)?.try_into() {
+        Ok(bytes) => Ok(u32::from_le_bytes(bytes)),
+        Err(_) => Err(BinaryError::Truncated),
+    }
 }
 
 fn get_i64_le(buf: &mut &[u8]) -> Result<i64, BinaryError> {
-    Ok(i64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+    match take(buf, 8)?.try_into() {
+        Ok(bytes) => Ok(i64::from_le_bytes(bytes)),
+        Err(_) => Err(BinaryError::Truncated),
+    }
 }
 
 fn get_f64_le(buf: &mut &[u8]) -> Result<f64, BinaryError> {
-    Ok(f64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+    match take(buf, 8)?.try_into() {
+        Ok(bytes) => Ok(f64::from_le_bytes(bytes)),
+        Err(_) => Err(BinaryError::Truncated),
+    }
 }
 
 fn get_string(buf: &mut &[u8]) -> Result<String, BinaryError> {
@@ -222,7 +234,7 @@ mod tests {
             ("mass", AttrValue::Float(12.011)),
             ("note", "aromatic".into()),
         ]));
-        let bytes = to_bytes(&g);
+        let bytes = to_bytes(&g).unwrap();
         let back = from_bytes(&bytes).unwrap();
         assert_eq!(back.node_count(), g.node_count());
         assert_eq!(back.edge_count(), g.edge_count());
@@ -234,7 +246,7 @@ mod tests {
     #[test]
     fn directed_graphs_keep_orientation() {
         let g = knowledge_graph(&KgParams { persons: 5, ..KgParams::default() }, 2);
-        let back = from_bytes(&to_bytes(&g)).unwrap();
+        let back = from_bytes(&to_bytes(&g).unwrap()).unwrap();
         assert!(back.is_directed());
         assert_eq!(back.edge_count(), g.edge_count());
     }
@@ -244,15 +256,15 @@ mod tests {
         let mut g = molecule(&MoleculeParams::default(), 4);
         let victim = g.node_ids().nth(3).unwrap();
         g.remove_node(victim).unwrap();
-        let direct = to_bytes(&g);
+        let direct = to_bytes(&g).unwrap();
         let (compacted, _) = g.compact();
-        assert_eq!(direct, to_bytes(&compacted));
+        assert_eq!(direct, to_bytes(&compacted).unwrap());
     }
 
     #[test]
     fn binary_is_smaller_than_json() {
         let g = molecule(&MoleculeParams::default(), 5);
-        let bin = to_bytes(&g);
+        let bin = to_bytes(&g).unwrap();
         let json = io::to_json(&g);
         assert!(
             bin.len() * 2 < json.len(),
@@ -266,7 +278,7 @@ mod tests {
     fn corrupt_inputs_are_rejected_not_panicking() {
         assert_eq!(from_bytes(b""), Err(BinaryError::BadHeader));
         assert_eq!(from_bytes(b"XXXX\x01\x00"), Err(BinaryError::BadHeader));
-        let good = to_bytes(&molecule(&MoleculeParams::default(), 1));
+        let good = to_bytes(&molecule(&MoleculeParams::default(), 1)).unwrap();
         // Truncate at every prefix length: must error, never panic.
         for cut in 0..good.len().min(200) {
             let _ = from_bytes(&good[..cut]);
@@ -280,7 +292,7 @@ mod tests {
     #[test]
     fn empty_graph_roundtrips() {
         let g = Graph::undirected();
-        let back = from_bytes(&to_bytes(&g)).unwrap();
+        let back = from_bytes(&to_bytes(&g).unwrap()).unwrap();
         assert_eq!(back.node_count(), 0);
         assert_eq!(back.edge_count(), 0);
     }

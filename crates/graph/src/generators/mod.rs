@@ -52,7 +52,7 @@ mod tests {
             let s = social_network(&SocialParams::default(), seed);
             let m = molecule(&MoleculeParams::default(), seed);
             let k = knowledge_graph(&KgParams::default(), seed);
-            [e, b, s, m, k].map(|g| io::to_edge_list(&g))
+            [e, b, s, m, k].map(|g| io::to_edge_list(&g).unwrap())
         };
         assert_eq!(spec(5), spec(5));
         assert_ne!(spec(5), spec(6));

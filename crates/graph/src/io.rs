@@ -59,7 +59,9 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let kind = parts.next().expect("non-empty line has a first token");
+        let Some(kind) = parts.next() else {
+            continue; // unreachable: the line is non-empty after trimming
+        };
         match kind {
             "graph" => {
                 if saw_header {
@@ -115,7 +117,7 @@ fn ensure(g: &mut Graph, ids: &mut HashMap<String, NodeId>, key: &str) -> NodeId
 ///
 /// Attributes are not representable in this format and are dropped; use
 /// [`to_json`] for a lossless round-trip.
-pub fn to_edge_list(g: &Graph) -> String {
+pub fn to_edge_list(g: &Graph) -> Result<String, GraphError> {
     let mut out = String::new();
     let dir = if g.is_directed() {
         "directed"
@@ -124,22 +126,13 @@ pub fn to_edge_list(g: &Graph) -> String {
     };
     out.push_str(&format!("graph {} {}\n", g.name(), dir));
     for id in g.node_ids() {
-        out.push_str(&format!(
-            "node {} {}\n",
-            id.0,
-            g.node_label(id).expect("live node")
-        ));
+        out.push_str(&format!("node {} {}\n", id.0, g.node_label(id)?));
     }
     for eid in g.edge_ids() {
-        let (s, d) = g.edge_endpoints(eid).expect("live edge");
-        out.push_str(&format!(
-            "edge {} {} {}\n",
-            s.0,
-            d.0,
-            g.edge_label(eid).expect("live edge")
-        ));
+        let (s, d) = g.edge_endpoints(eid)?;
+        out.push_str(&format!("edge {} {} {}\n", s.0, d.0, g.edge_label(eid)?));
     }
-    out
+    Ok(out)
 }
 
 /// Serialises a graph to JSON (lossless, including attributes).
@@ -210,7 +203,7 @@ mod tests {
     #[test]
     fn edge_list_roundtrip() {
         let g = parse_edge_list(SAMPLE).unwrap();
-        let text = to_edge_list(&g);
+        let text = to_edge_list(&g).unwrap();
         let g2 = parse_edge_list(&text).unwrap();
         assert_eq!(g2.node_count(), g.node_count());
         assert_eq!(g2.edge_count(), g.edge_count());

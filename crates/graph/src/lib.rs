@@ -40,7 +40,7 @@ pub mod io;
 
 pub use attr::{AttrValue, Attrs};
 pub use builder::GraphBuilder;
-pub use graph::{Direction, EdgeId, Graph, NodeId};
+pub use graph::{Direction, EdgeId, Graph, GraphError, NodeId};
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
@@ -50,6 +50,6 @@ pub mod prelude {
     pub use crate::generators::{
         self, BaParams, ErParams, KgParams, MoleculeParams, SocialParams,
     };
-    pub use crate::graph::{Direction, EdgeId, Graph, NodeId};
+    pub use crate::graph::{Direction, EdgeId, Graph, GraphError, NodeId};
     pub use crate::io;
 }

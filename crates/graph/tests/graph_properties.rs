@@ -151,7 +151,7 @@ fn edge_list_roundtrip_is_lossless_structurally() {
                     _ => {}
                 }
             }
-            let text = io::to_edge_list(&g);
+            let text = io::to_edge_list(&g).unwrap();
             let back = io::parse_edge_list(&text).unwrap();
             prop_assert_eq!(back.node_count(), g.node_count());
             prop_assert_eq!(back.edge_count(), g.edge_count());

@@ -88,8 +88,16 @@ fn main() {
                 match session.run_chain(&response.chain, &mut monitor) {
                     Ok(result) => {
                         for e in &monitor.events {
-                            if let ChainEvent::StepFinished { api, summary, .. } = e {
-                                println!("  [{api}] {summary}");
+                            match e {
+                                ChainEvent::Diagnostics { diagnostics } => {
+                                    for note in diagnostics.render_text().lines() {
+                                        println!("  note: {note}");
+                                    }
+                                }
+                                ChainEvent::StepFinished { api, summary, .. } => {
+                                    println!("  [{api}] {summary}");
+                                }
+                                _ => {}
                             }
                         }
                         match result {

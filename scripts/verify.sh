@@ -9,3 +9,8 @@ cargo build --release && cargo test -q
 
 # Everything else must also compile offline: benches, examples, all targets.
 cargo build --offline --workspace --benches --examples
+
+# Repository lint: no unwrap/expect/panic! in non-test library code beyond
+# the shrink-only allowlist (lint-allow.toml), no `unsafe`, hermetic
+# manifests. See DESIGN.md on the diagnostics framework.
+cargo run -q --offline -p chatgraph-analyzer --bin repolint

@@ -11,6 +11,7 @@
 //! assert!(g.node_count() > 0);
 //! ```
 
+pub use chatgraph_analyzer as analyzer;
 pub use chatgraph_ann as ann;
 pub use chatgraph_apis as apis;
 pub use chatgraph_core as core;

@@ -1,98 +1,33 @@
 //! Hermeticity guard: the workspace must build with no registry access, so
 //! every dependency in every manifest has to be an in-workspace path
-//! dependency (or a `workspace = true` reference to one). This test parses
-//! the manifests directly — if someone reintroduces a crates.io, git, or
-//! versioned dependency, it fails with the offending manifest and line.
+//! dependency (or a `workspace = true` reference to one). The actual rules
+//! live in the analyzer's repolint manifest pass (diagnostic CG104) — this
+//! test and `scripts/verify.sh`'s `repolint` run enforce one rule set.
 
+use chatgraph::analyzer::repolint::{lint_manifest, workspace_manifests};
 use std::fs;
-use std::path::{Path, PathBuf};
-
-/// All manifests in the workspace: the root plus every `crates/*` member.
-fn workspace_manifests() -> Vec<PathBuf> {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let mut out = vec![root.join("Cargo.toml")];
-    let crates = root.join("crates");
-    let mut members: Vec<PathBuf> = fs::read_dir(&crates)
-        .expect("crates/ directory")
-        .filter_map(|e| e.ok())
-        .map(|e| e.path().join("Cargo.toml"))
-        .filter(|p| p.is_file())
-        .collect();
-    members.sort();
-    assert!(
-        members.len() >= 9,
-        "expected at least 9 member manifests, found {}",
-        members.len()
-    );
-    out.extend(members);
-    out
-}
-
-/// True for section headers that declare dependencies, e.g.
-/// `[dependencies]`, `[dev-dependencies]`, `[workspace.dependencies]`,
-/// `[target.'cfg(unix)'.build-dependencies]`.
-fn is_dependency_section(header: &str) -> bool {
-    let name = header.trim_matches(['[', ']']);
-    name.ends_with("dependencies")
-}
-
-/// A single `name = spec` entry inside a dependency section is hermetic iff
-/// it resolves inside the workspace: either `{ path = "..." }` / a
-/// `workspace = true` reference, and never a bare version string, a
-/// `version =` field, a `git =` field, or a `registry =` field.
-fn check_entry(manifest: &Path, lineno: usize, line: &str, errors: &mut Vec<String>) {
-    let Some((name, spec)) = line.split_once('=') else {
-        return;
-    };
-    let name = name.trim();
-    let spec = spec.trim();
-    let fail = |errors: &mut Vec<String>, why: &str| {
-        errors.push(format!(
-            "{}:{}: dependency `{}` {}",
-            manifest.display(),
-            lineno,
-            name,
-            why
-        ));
-    };
-    for banned in ["version", "git", "registry", "branch", "tag", "rev"] {
-        if spec.contains(&format!("{banned} =")) || spec.contains(&format!("{banned}=")) {
-            fail(errors, &format!("declares `{banned}` — not a path dependency"));
-        }
-    }
-    if spec.starts_with('"') {
-        fail(errors, "uses a bare version string (registry dependency)");
-    }
-    // `name.workspace = true` puts the marker in the key; inline tables
-    // (`name = { workspace = true }` / `{ path = "..." }`) in the value.
-    let workspace_ref = name.ends_with(".workspace") && spec == "true";
-    if !workspace_ref && !spec.contains("path") && !spec.contains("workspace") {
-        fail(errors, "is neither a `path` nor a `workspace = true` dependency");
-    }
-}
+use std::path::Path;
 
 #[test]
 fn all_dependencies_are_workspace_paths() {
-    let mut errors = Vec::new();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let manifests = workspace_manifests(root).expect("workspace layout");
+    assert!(
+        manifests.len() >= 10,
+        "expected the root manifest plus at least 9 members, found {}",
+        manifests.len()
+    );
     let mut entries_seen = 0usize;
-    for manifest in workspace_manifests() {
+    let mut findings = Vec::new();
+    for manifest in manifests {
         let text = fs::read_to_string(&manifest)
             .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
-        let mut in_dep_section = false;
-        for (i, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            if line.starts_with('[') {
-                in_dep_section = is_dependency_section(line);
-                continue;
-            }
-            if in_dep_section {
-                entries_seen += 1;
-                check_entry(&manifest, i + 1, line, &mut errors);
-            }
-        }
+        // The root manifest must additionally only name in-workspace
+        // `chatgraph*` crates (belt and braces over the path-dep rule).
+        let is_root = manifest.parent() == Some(root);
+        let (diags, entries) = lint_manifest(&manifest.display().to_string(), &text, is_root);
+        entries_seen += entries;
+        findings.extend(diags);
     }
     assert!(
         entries_seen >= 9,
@@ -100,37 +35,31 @@ fn all_dependencies_are_workspace_paths() {
          did the manifest layout change?"
     );
     assert!(
-        errors.is_empty(),
+        findings.is_empty(),
         "non-hermetic dependencies found:\n{}",
-        errors.join("\n")
+        findings
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
-/// Belt and braces: the names of everything the umbrella crate links must
-/// be in-workspace crates (all named `chatgraph*`).
+/// The shared pass rejects the dependency shapes this repo bans, so a
+/// regression in `lint_manifest` cannot silently disarm the guard above.
 #[test]
-fn workspace_dependency_names_are_internal() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let text = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
-    let mut in_section = false;
-    let mut names = Vec::new();
-    for raw in text.lines() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.starts_with('[') {
-            in_section = is_dependency_section(line);
-            continue;
-        }
-        if in_section {
-            if let Some((name, _)) = line.split_once('=') {
-                names.push(name.trim().to_string());
-            }
-        }
+fn manifest_pass_still_rejects_registry_shapes() {
+    for bad in [
+        "[dependencies]\nserde = \"1.0\"\n",
+        "[dependencies]\nfoo = { git = \"https://example.com/foo\" }\n",
+        "[dev-dependencies]\nbar = { version = \"0.3\", registry = \"private\" }\n",
+    ] {
+        let (diags, _) = lint_manifest("Cargo.toml", bad, false);
+        assert!(!diags.is_empty(), "accepted: {bad}");
+        assert!(diags.iter().all(|d| d.code == "CG104"), "{bad}");
     }
-    assert!(!names.is_empty());
-    for name in names {
-        assert!(
-            name.starts_with("chatgraph"),
-            "external dependency `{name}` in root manifest"
-        );
-    }
+    let good = "[dependencies]\nchatgraph-support.workspace = true\n";
+    let (diags, entries) = lint_manifest("Cargo.toml", good, true);
+    assert!(diags.is_empty());
+    assert_eq!(entries, 1);
 }

@@ -24,7 +24,7 @@ use chatgraph::sequencer::{sequentialize, CoverParams};
 #[test]
 fn serialisation_roundtrip_preserves_sequentialisation() {
     let g = molecule(&MoleculeParams::default(), 5);
-    let text = io::to_edge_list(&g);
+    let text = io::to_edge_list(&g).unwrap();
     let g2 = io::parse_edge_list(&text).unwrap();
     let g3 = io::from_json(&io::to_json(&g2)).unwrap();
     let params = CoverParams::default();
@@ -155,9 +155,10 @@ fn finetuning_transfers_to_larger_graphs() {
 fn chain_graph_encoding_and_loss_agree() {
     let truth = ApiChain::from_names(["a", "b", "c"]);
     let reversed = ApiChain::from_names(["c", "b", "a"]);
-    let same = matching_loss(&truth.to_graph(), &truth.to_graph(), 0.5, &CostModel::uniform());
+    let truth_g = truth.to_graph().unwrap();
+    let same = matching_loss(&truth_g, &truth_g, 0.5, &CostModel::uniform());
     assert_eq!(same.total, 0.0);
-    let rev = matching_loss(&reversed.to_graph(), &truth.to_graph(), 0.5, &CostModel::uniform());
+    let rev = matching_loss(&reversed.to_graph().unwrap(), &truth_g, 0.5, &CostModel::uniform());
     assert!(
         rev.total > 0.0,
         "direction must matter for chain comparison: {rev:?}"
