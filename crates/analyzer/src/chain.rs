@@ -14,10 +14,16 @@
 //!    graph-typed input with no session graph to fall back to.
 //! 3. **Parameters** — against each API's declared [`ParamSpec`]s: CG005
 //!    unknown parameter, CG006 unparseable value (the executor would
-//!    silently fall back to the default), CG007 out-of-range value.
+//!    silently fall back to the default), CG007 out-of-range value, CG014
+//!    required parameter missing (the step fails at execution time).
 //! 4. **Chain hygiene** — CG008 discarded output (no consumer and no later
 //!    report sink), CG009 redundant repeated step, CG010 step requires
 //!    user confirmation (surfaced by the confirm-and-edit flow).
+//! 5. **Plan dataflow** — lints over the same dependency structure the plan
+//!    lowering derives from [`ApiSig::mutates_graph`]: CG011 dead step
+//!    (removable without changing the result), CG012 edit/read ordering
+//!    hazard (a pre-edit graph read reported post-edit), CG013 needless
+//!    mid-chain barrier (a report sink before the end of the chain).
 
 use crate::diag::{Diagnostic, Diagnostics, Span};
 use std::collections::BTreeMap;
@@ -128,6 +134,9 @@ pub struct ApiSig {
     pub params: Vec<ParamSpec>,
     /// Whether execution asks the user to confirm first.
     pub requires_confirmation: bool,
+    /// Whether execution mutates the session graph. Mutating steps are
+    /// scheduling barriers in the execution plan and are never "dead".
+    pub mutates_graph: bool,
 }
 
 /// One lowered chain step.
@@ -267,6 +276,7 @@ pub fn analyze_chain(chain: &ChainIr, catalog: &Catalog, has_session_graph: bool
     }
 
     hygiene_pass(chain, catalog, &mut sink);
+    plan_pass(chain, catalog, &mut sink);
     sink
 }
 
@@ -321,6 +331,21 @@ fn check_params(step: &ChainStep, sig: &ApiSig, i: usize, sink: &mut Diagnostics
                     sig.name
                 ),
             ));
+        }
+    }
+
+    // CG014: a parameter with no default is required — execution fails
+    // without it, so surface the omission statically.
+    for spec in &sig.params {
+        if spec.default.is_none() && !step.params.contains_key(&spec.name) {
+            sink.push(
+                Diagnostic::new(
+                    "CG014",
+                    Span::Step { step: i, param: Some(spec.name.clone()) },
+                    format!("required parameter `{}` of `{}` is missing", spec.name, sig.name),
+                )
+                .with_suggestion("the step will fail at execution time without it"),
+            );
         }
     }
 }
@@ -380,6 +405,96 @@ fn hygiene_pass(chain: &ChainIr, catalog: &Catalog, sink: &mut Diagnostics) {
     }
 }
 
+/// Pass 5: plan-level dataflow lints. These reason about the same
+/// dependency structure the execution-plan lowering derives — prev-output
+/// consumption, report sinks as findings barriers, and graph mutation —
+/// and therefore need [`ApiSig::mutates_graph`].
+fn plan_pass(chain: &ChainIr, catalog: &Catalog, sink: &mut Diagnostics) {
+    let sigs: Vec<Option<&ApiSig>> = chain.steps.iter().map(|s| catalog.get(&s.api)).collect();
+    let last = chain.steps.len() - 1;
+    let later_sink = |from: usize| {
+        sigs[from..]
+            .iter()
+            .any(|s| s.is_some_and(|s| s.input.class == TypeClass::Any))
+    };
+
+    for (i, sig) in sigs.iter().enumerate() {
+        let Some(sig) = sig else { continue };
+        let span = Span::Step { step: i, param: None };
+
+        // CG011 — dead step: pure (no mutation, no confirmation), its output
+        // feeds no later step, and no report sink collects its finding.
+        // Removing it cannot change the chain's result.
+        if i < last && !sig.mutates_graph && !sig.requires_confirmation {
+            let consumed = sigs[i + 1]
+                .map(|next| next.input.accepts(&sig.output))
+                .unwrap_or(true); // unknown next step: don't pile on
+            if !consumed && !later_sink(i + 1) {
+                sink.push(
+                    Diagnostic::new(
+                        "CG011",
+                        span.clone(),
+                        format!(
+                            "step is dead: removing `{}` would not change the chain's result",
+                            sig.name
+                        ),
+                    )
+                    .with_suggestion("delete the step or append a report API that collects its finding"),
+                );
+            }
+        }
+
+        // CG013 — a report sink anywhere but last is a needless barrier: it
+        // must wait for every earlier step and every later step must wait
+        // for it, serialising the plan around a partial report.
+        if i < last && sig.input.class == TypeClass::Any {
+            sink.push(
+                Diagnostic::new(
+                    "CG013",
+                    span,
+                    format!(
+                        "report sink `{}` in the middle of the chain forces a scheduling barrier",
+                        sig.name
+                    ),
+                )
+                .with_suggestion("move the report to the end of the chain"),
+            );
+        }
+    }
+
+    // CG012 — edit/read ordering hazard: a pure graph read scheduled before
+    // an edit, whose finding a report collects only after the edit ran. The
+    // report then mixes pre- and post-edit views of the graph. A read whose
+    // output the next step consumes (detect → edit pipelines) is the
+    // intentional pattern and is not flagged.
+    let first_mutator = sigs.iter().position(|s| s.is_some_and(|s| s.mutates_graph));
+    if let Some(m) = first_mutator {
+        let reader = (0..m).find(|&r| {
+            let is_pure_read = sigs[r]
+                .is_some_and(|s| s.input.class == TypeClass::Graph && !s.mutates_graph);
+            let consumed_by_next = match (sigs[r], sigs.get(r + 1).copied().flatten()) {
+                (Some(s), Some(next)) => next.input.accepts(&s.output),
+                _ => true,
+            };
+            is_pure_read && !consumed_by_next
+        });
+        if let (Some(r), true) = (reader, later_sink(m + 1)) {
+            let reader_name = sigs[r].map(|s| s.name.as_str()).unwrap_or("?");
+            let mutator_name = sigs[m].map(|s| s.name.as_str()).unwrap_or("?");
+            sink.push(
+                Diagnostic::new(
+                    "CG012",
+                    Span::Step { step: r, param: None },
+                    format!(
+                        "`{reader_name}` reads the graph before `{mutator_name}` edits it at step {m}, but its finding is reported after the edit"
+                    ),
+                )
+                .with_suggestion("move the read after the edit, or report before editing"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +512,7 @@ mod tests {
                 output: t("number", TypeClass::Other),
                 params: vec![],
                 requires_confirmation: false,
+                mutates_graph: false,
             },
             ApiSig {
                 name: "top_pagerank".into(),
@@ -404,6 +520,7 @@ mod tests {
                 output: t("table", TypeClass::Other),
                 params: vec![ParamSpec::int("k", 1, 100, 5)],
                 requires_confirmation: false,
+                mutates_graph: false,
             },
             ApiSig {
                 name: "remove_edges".into(),
@@ -411,6 +528,15 @@ mod tests {
                 output: t("number", TypeClass::Other),
                 params: vec![],
                 requires_confirmation: true,
+                mutates_graph: true,
+            },
+            ApiSig {
+                name: "relabel_nodes".into(),
+                input: t("graph", TypeClass::Graph),
+                output: t("number", TypeClass::Other),
+                params: vec![ParamSpec::text("from"), ParamSpec::text("to")],
+                requires_confirmation: true,
+                mutates_graph: true,
             },
             ApiSig {
                 name: "generate_report".into(),
@@ -418,6 +544,7 @@ mod tests {
                 output: t("report", TypeClass::Other),
                 params: vec![],
                 requires_confirmation: false,
+                mutates_graph: false,
             },
         ])
     }
@@ -548,6 +675,81 @@ mod tests {
     fn unknown_api_does_not_cascade_type_errors() {
         let d = analyze_chain(&chain(&["frobnicate", "node_count"]), &catalog(), true);
         assert_eq!(codes(&d), vec!["CG002"], "{}", d.render_text());
+    }
+
+    #[test]
+    fn dead_step_is_cg011_unless_sink_or_effect() {
+        let d = analyze_chain(&chain(&["node_count", "node_count"]), &catalog(), true);
+        assert!(codes(&d).contains(&"CG011"), "{}", d.render_text());
+        assert!(d.items.iter().filter(|x| x.code == "CG011").all(|x| x.severity == Severity::Info));
+        // A later report sink collects the finding: not dead.
+        let with_sink = analyze_chain(
+            &chain(&["node_count", "node_count", "generate_report"]),
+            &catalog(),
+            true,
+        );
+        assert!(!codes(&with_sink).contains(&"CG011"), "{}", with_sink.render_text());
+        // A mutating step is never dead, even with its output discarded.
+        let mut c = chain(&["relabel_nodes", "node_count"]);
+        c.steps[0].params.insert("from".into(), "A".into());
+        c.steps[0].params.insert("to".into(), "B".into());
+        let mutating = analyze_chain(&c, &catalog(), true);
+        assert!(!codes(&mutating).contains(&"CG011"), "{}", mutating.render_text());
+    }
+
+    #[test]
+    fn edit_read_race_is_cg012() {
+        // top_pagerank's table is only a finding; it is read pre-edit but
+        // reported post-edit.
+        let mut c = chain(&["top_pagerank", "relabel_nodes", "generate_report"]);
+        c.steps[1].params.insert("from".into(), "A".into());
+        c.steps[1].params.insert("to".into(), "B".into());
+        let d = analyze_chain(&c, &catalog(), true);
+        assert!(codes(&d).contains(&"CG012"), "{}", d.render_text());
+        assert!(d.items.iter().filter(|x| x.code == "CG012").all(|x| x.severity == Severity::Warning));
+        // Without a report after the edit there is nothing to mix: no CG012.
+        let mut c2 = chain(&["top_pagerank", "relabel_nodes"]);
+        c2.steps[1].params.insert("from".into(), "A".into());
+        c2.steps[1].params.insert("to".into(), "B".into());
+        let d2 = analyze_chain(&c2, &catalog(), true);
+        assert!(!codes(&d2).contains(&"CG012"), "{}", d2.render_text());
+    }
+
+    #[test]
+    fn edit_before_any_read_is_not_a_race() {
+        // No pure graph read precedes the edit, so there is nothing the
+        // report could mix, even with a sink afterwards.
+        let mut c = chain(&["relabel_nodes", "generate_report"]);
+        c.steps[0].params.insert("from".into(), "A".into());
+        c.steps[0].params.insert("to".into(), "B".into());
+        let d = analyze_chain(&c, &catalog(), true);
+        assert!(!codes(&d).contains(&"CG012"), "{}", d.render_text());
+    }
+
+    #[test]
+    fn mid_chain_sink_is_cg013() {
+        let d = analyze_chain(
+            &chain(&["node_count", "generate_report", "node_count"]),
+            &catalog(),
+            true,
+        );
+        assert!(codes(&d).contains(&"CG013"), "{}", d.render_text());
+        let at_end = analyze_chain(&chain(&["node_count", "generate_report"]), &catalog(), true);
+        assert!(!codes(&at_end).contains(&"CG013"), "{}", at_end.render_text());
+    }
+
+    #[test]
+    fn missing_required_param_is_cg014() {
+        let d = analyze_chain(&chain(&["relabel_nodes"]), &catalog(), true);
+        let cg014: Vec<_> = d.items.iter().filter(|x| x.code == "CG014").collect();
+        assert_eq!(cg014.len(), 2, "{}", d.render_text());
+        assert!(cg014.iter().all(|x| x.severity == Severity::Warning));
+        // Providing both parameters silences the lint.
+        let mut c = chain(&["relabel_nodes"]);
+        c.steps[0].params.insert("from".into(), "A".into());
+        c.steps[0].params.insert("to".into(), "B".into());
+        let d2 = analyze_chain(&c, &catalog(), true);
+        assert!(!codes(&d2).contains(&"CG014"), "{}", d2.render_text());
     }
 
     #[test]

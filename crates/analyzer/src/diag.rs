@@ -269,6 +269,10 @@ pub const CODES: &[CodeInfo] = &[
     CodeInfo { code: "CG008", severity: Severity::Warning, title: "discarded step output" },
     CodeInfo { code: "CG009", severity: Severity::Warning, title: "redundant repeated step" },
     CodeInfo { code: "CG010", severity: Severity::Warning, title: "step requires user confirmation" },
+    CodeInfo { code: "CG011", severity: Severity::Info, title: "dead step (removable without changing the result)" },
+    CodeInfo { code: "CG012", severity: Severity::Warning, title: "edit/read ordering hazard" },
+    CodeInfo { code: "CG013", severity: Severity::Info, title: "needless mid-chain barrier" },
+    CodeInfo { code: "CG014", severity: Severity::Warning, title: "required parameter missing" },
     CodeInfo { code: "CG101", severity: Severity::Error, title: "panic site in library code over allowlist" },
     CodeInfo { code: "CG102", severity: Severity::Error, title: "stale allowlist entry (ratchet must shrink)" },
     CodeInfo { code: "CG103", severity: Severity::Error, title: "unsafe code in workspace" },

@@ -39,6 +39,7 @@ pub fn lower_registry(registry: &ApiRegistry) -> Catalog {
         output: lower_type(d.output),
         params: d.params.clone(),
         requires_confirmation: d.requires_confirmation,
+        mutates_graph: d.mutates_graph,
     }))
 }
 
@@ -54,8 +55,9 @@ pub fn lower_chain(chain: &ApiChain) -> ChainIr {
 }
 
 /// Runs the full multi-pass analysis over `chain`, collecting every finding
-/// (type-flow errors CG001–CG004, parameter lints CG005–CG007, hygiene
-/// warnings CG008–CG010) instead of stopping at the first.
+/// (type-flow errors CG001–CG004, parameter lints CG005–CG007/CG014,
+/// hygiene warnings CG008–CG010, plan dataflow lints CG011–CG013) instead
+/// of stopping at the first.
 pub fn analyze(chain: &ApiChain, registry: &ApiRegistry, has_session_graph: bool) -> Diagnostics {
     analyze_chain(&lower_chain(chain), &lower_registry(registry), has_session_graph)
 }
@@ -160,6 +162,50 @@ mod tests {
         let d = analyze(&chain, &reg, true);
         assert!(codes(&d).contains(&"CG010"), "{}", d.render_text());
         assert!(!d.has_errors());
+    }
+
+    #[test]
+    fn garbage_numeric_param_warns_cg006_for_every_api() {
+        // Registry-wide: every declared numeric parameter of every API is
+        // covered by the unparseable-value lint, so the executor's silent
+        // fall-back to the default (or `try_param_*` error) is never the
+        // only signal.
+        use chatgraph_analyzer::chain::ParamKind;
+        let reg = registry::standard();
+        let mut checked = 0usize;
+        for d in reg.descriptors() {
+            for p in &d.params {
+                if p.kind == ParamKind::Text {
+                    continue;
+                }
+                let mut chain = ApiChain::new();
+                chain.push(ApiCall::new(&d.name).with_param(&p.name, "not-a-number"));
+                let diag = analyze(&chain, &reg, true);
+                assert!(
+                    diag.items
+                        .iter()
+                        .any(|x| x.code == "CG006" && x.severity == Severity::Warning),
+                    "{} param {}: {}",
+                    d.name,
+                    p.name,
+                    diag.render_text()
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 8, "expected several numeric params, found {checked}");
+    }
+
+    #[test]
+    fn mutation_flags_survive_lowering() {
+        let reg = registry::standard();
+        let cat = lower_registry(&reg);
+        for api in ["remove_edges", "add_edges", "relabel_nodes"] {
+            assert!(cat.get(api).unwrap().mutates_graph, "{api}");
+        }
+        for api in ["node_count", "export_graph", "generate_report"] {
+            assert!(!cat.get(api).unwrap().mutates_graph, "{api}");
+        }
     }
 
     #[test]

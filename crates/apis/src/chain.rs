@@ -45,6 +45,11 @@ impl ApiCall {
     }
 
     /// Reads a numeric parameter with a default.
+    ///
+    /// A present-but-unparseable value silently falls back to the default;
+    /// the analyzer reports that case as a CG006 warning before execution.
+    /// Handlers that want the failure surfaced at runtime use
+    /// [`ApiCall::try_param_f64`].
     pub fn param_f64(&self, key: &str, default: f64) -> f64 {
         self.params
             .get(key)
@@ -52,12 +57,35 @@ impl ApiCall {
             .unwrap_or(default)
     }
 
-    /// Reads an integer parameter with a default.
+    /// Reads an integer parameter with a default (see [`ApiCall::param_f64`]
+    /// for the malformed-value contract).
     pub fn param_usize(&self, key: &str, default: usize) -> usize {
         self.params
             .get(key)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// Reads a numeric parameter, erroring on a present-but-malformed value
+    /// instead of silently defaulting. Absent ⇒ `Ok(default)`.
+    pub fn try_param_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("parameter `{key}` is not a number: `{v}`")),
+        }
+    }
+
+    /// Reads an integer parameter, erroring on a present-but-malformed value
+    /// instead of silently defaulting. Absent ⇒ `Ok(default)`.
+    pub fn try_param_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("parameter `{key}` is not an integer: `{v}`")),
+        }
     }
 }
 
@@ -341,6 +369,16 @@ mod tests {
         assert_eq!(call.param_usize("k", 1), 7);
         assert_eq!(call.param_usize("bad", 1), 1);
         assert_eq!(call.param_f64("missing", 2.5), 2.5);
+    }
+
+    #[test]
+    fn try_param_surfaces_malformed_values() {
+        let call = ApiCall::new("x").with_param("k", "7").with_param("bad", "zz");
+        assert_eq!(call.try_param_usize("k", 1), Ok(7));
+        assert_eq!(call.try_param_usize("missing", 1), Ok(1));
+        assert!(call.try_param_usize("bad", 1).unwrap_err().contains("bad"));
+        assert_eq!(call.try_param_f64("missing", 2.5), Ok(2.5));
+        assert!(call.try_param_f64("bad", 0.0).is_err());
     }
 
     #[test]

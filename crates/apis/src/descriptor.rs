@@ -69,6 +69,10 @@ pub struct ApiDescriptor {
     /// Whether execution must be confirmed by the user first (graph-edit
     /// APIs, per scenario 3's confirmation step).
     pub requires_confirmation: bool,
+    /// Whether the handler mutates the session graph. Mutating steps are
+    /// graph-mutation barriers in the execution plan: every later step that
+    /// reads the session graph must be ordered after them.
+    pub mutates_graph: bool,
     /// Declared parameter schema: the analyzer lints call parameters
     /// (unknown names, unparseable values, out-of-range values) against it.
     pub params: Vec<ParamSpec>,
@@ -81,6 +85,7 @@ chatgraph_support::impl_json_struct!(ApiDescriptor {
     input,
     output,
     requires_confirmation,
+    mutates_graph,
     params,
 });
 
@@ -100,6 +105,7 @@ impl ApiDescriptor {
             input,
             output,
             requires_confirmation: false,
+            mutates_graph: false,
             params: Vec::new(),
         }
     }
@@ -107,6 +113,12 @@ impl ApiDescriptor {
     /// Marks the API as requiring user confirmation.
     pub fn with_confirmation(mut self) -> Self {
         self.requires_confirmation = true;
+        self
+    }
+
+    /// Marks the API as mutating the session graph (a plan barrier).
+    pub fn with_mutation(mut self) -> Self {
+        self.mutates_graph = true;
         self
     }
 

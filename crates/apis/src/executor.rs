@@ -1,18 +1,36 @@
 //! Chain execution.
+//!
+//! [`execute_chain`] is the public entry point; since the plan refactor it
+//! is a thin wrapper over a 1-worker [`crate::sched::Scheduler`], so its
+//! behaviour and event contract are exactly those of the historical
+//! sequential executor. That historical executor survives verbatim as
+//! [`execute_chain_reference`] — the differential oracle the plan property
+//! tests compare against.
 
 use crate::chain::{ApiChain, ChainError};
 use crate::monitor::{ChainEvent, Monitor};
 use crate::registry::ApiRegistry;
 use crate::value::{Value, ValueType};
 use chatgraph_graph::Graph;
+use std::sync::Arc;
+
+/// Findings beyond this count store a one-line summary instead of the full
+/// value, so long chains don't pin every intermediate result in memory.
+pub const MAX_FULL_FINDINGS: usize = 32;
 
 /// Mutable state a chain executes against.
+///
+/// The session graph and database are behind [`Arc`] so read-only steps can
+/// share them across worker threads without deep copies; edit APIs go
+/// through [`ExecContext::graph_mut`], which copies-on-write only when the
+/// graph is actually shared at mutation time.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
-    /// The session graph uploaded with the prompt. Edit APIs mutate it.
-    pub graph: Graph,
+    /// The session graph uploaded with the prompt. Edit APIs mutate it via
+    /// [`ExecContext::graph_mut`].
+    pub graph: Arc<Graph>,
     /// The molecule database used by similarity-search APIs (scenario 2).
-    pub database: Vec<Graph>,
+    pub database: Arc<Vec<Graph>>,
     /// Per-step findings `(api name, output)`, consumed by report APIs.
     pub findings: Vec<(String, Value)>,
     /// Seed for any randomised analysis (community tie-breaking etc.).
@@ -20,19 +38,19 @@ pub struct ExecContext {
 }
 
 impl ExecContext {
-    /// A context over one uploaded graph.
-    pub fn new(graph: Graph) -> Self {
+    /// A context over one uploaded graph (owned or already shared).
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
         ExecContext {
-            graph,
-            database: Vec::new(),
+            graph: graph.into(),
+            database: Arc::new(Vec::new()),
             findings: Vec::new(),
             seed: 0,
         }
     }
 
     /// Attaches a graph database for similarity search.
-    pub fn with_database(mut self, database: Vec<Graph>) -> Self {
-        self.database = database;
+    pub fn with_database(mut self, database: impl Into<Arc<Vec<Graph>>>) -> Self {
+        self.database = database.into();
         self
     }
 
@@ -41,9 +59,33 @@ impl ExecContext {
         self.seed = seed;
         self
     }
+
+    /// Mutable access to the session graph. Copies-on-write: if the graph
+    /// is currently shared (a step input, a memo entry, a worker snapshot),
+    /// the clone happens here — exactly once per mutation barrier — instead
+    /// of once per read as before the plan refactor.
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        Arc::make_mut(&mut self.graph)
+    }
+
+    /// Takes the session graph out of the context, cloning only if it is
+    /// still shared elsewhere.
+    pub fn into_graph(self) -> Graph {
+        Arc::try_unwrap(self.graph).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Records one step's output, summarising past [`MAX_FULL_FINDINGS`].
+    pub fn push_finding(&mut self, api: &str, output: &Value) {
+        let stored = if self.findings.len() < MAX_FULL_FINDINGS {
+            output.clone()
+        } else {
+            Value::Text(output.summary())
+        };
+        self.findings.push((api.to_owned(), stored));
+    }
 }
 
-/// Executes a validated chain step by step.
+/// Executes a validated chain.
 ///
 /// * The chain is refused up front when validation or static analysis finds
 ///   Error-level problems; Warning-level diagnostics (parameter lints,
@@ -57,8 +99,24 @@ impl ExecContext {
 /// * Every step's output is appended to [`ExecContext::findings`] so report
 ///   APIs can compose everything the chain discovered.
 ///
-/// Returns the final step's output.
+/// Returns the final step's output. Execution runs through the plan
+/// scheduler with a single worker; multi-worker execution is available via
+/// [`crate::sched::Scheduler`] and is guaranteed to produce the same final
+/// value, findings order, and core event sequence.
 pub fn execute_chain(
+    registry: &ApiRegistry,
+    chain: &ApiChain,
+    ctx: &mut ExecContext,
+    monitor: &mut dyn Monitor,
+) -> Result<Value, ChainError> {
+    crate::sched::Scheduler::new(1).execute(registry, chain, ctx, monitor)
+}
+
+/// The pre-plan sequential executor, kept as the differential oracle for
+/// the scheduler's determinism contract (see `tests/plan_properties.rs`).
+/// Event-for-event identical to the seed implementation; the only change is
+/// that graph inputs are shared via [`Arc`] instead of deep-cloned.
+pub fn execute_chain_reference(
     registry: &ApiRegistry,
     chain: &ApiChain,
     ctx: &mut ExecContext,
@@ -90,7 +148,7 @@ pub fn execute_chain(
         let input = if desc.input.accepts(prev.value_type()) {
             prev.clone()
         } else if desc.input == ValueType::Graph {
-            Value::Graph(Box::new(ctx.graph.clone()))
+            Value::Graph(Arc::clone(&ctx.graph))
         } else {
             Value::Unit
         };
@@ -105,7 +163,7 @@ pub fn execute_chain(
         }
         match registry.call(&step.api, ctx, input, step) {
             Ok(output) => {
-                ctx.findings.push((step.api.clone(), output.clone()));
+                ctx.push_finding(&step.api, &output);
                 monitor.on_event(&ChainEvent::StepFinished {
                     step: i,
                     api: step.api.clone(),
@@ -195,6 +253,36 @@ mod tests {
         let count = out.as_number().unwrap();
         assert!(count <= n);
         assert!(count > 0.0);
+    }
+
+    #[test]
+    fn copy_on_write_clones_only_when_shared() {
+        let g = social_network(&SocialParams::default(), 1);
+        let mut ctx = ExecContext::new(g);
+        // Unshared: mutation must not clone.
+        let before = Arc::as_ptr(&ctx.graph);
+        ctx.graph_mut().set_name("renamed");
+        assert_eq!(before, Arc::as_ptr(&ctx.graph), "no clone while unshared");
+        // Shared: mutation clones once, the snapshot stays intact.
+        let snapshot = Arc::clone(&ctx.graph);
+        ctx.graph_mut().set_name("renamed-again");
+        assert_eq!(snapshot.name(), "renamed");
+        assert_eq!(ctx.graph.name(), "renamed-again");
+    }
+
+    #[test]
+    fn findings_cap_summarises_past_limit() {
+        let g = social_network(&SocialParams::default(), 1);
+        let mut ctx = ExecContext::new(g);
+        let big = Value::Text("x".repeat(500));
+        for _ in 0..(MAX_FULL_FINDINGS + 3) {
+            ctx.push_finding("node_count", &big);
+        }
+        assert_eq!(ctx.findings.len(), MAX_FULL_FINDINGS + 3);
+        // Early findings keep the full value; late ones hold the summary.
+        assert_eq!(ctx.findings[0].1, big);
+        let (_, last) = ctx.findings.last().unwrap();
+        assert_eq!(last, &Value::Text(big.summary()));
     }
 }
 

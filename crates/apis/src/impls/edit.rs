@@ -8,6 +8,7 @@ use super::input_graph;
 use crate::descriptor::{ApiCategory, ApiDescriptor};
 use crate::registry::ApiRegistry;
 use crate::value::{Value, ValueType};
+use chatgraph_analyzer::chain::ParamSpec;
 use chatgraph_graph::io;
 
 /// Registers the edit APIs.
@@ -21,7 +22,8 @@ pub fn register(reg: &mut ApiRegistry) {
             "remove the given edges from the graph to delete incorrect facts",
             Edit, EdgeList, Number,
         )
-        .with_confirmation(),
+        .with_confirmation()
+        .with_mutation(),
         Box::new(|ctx, input, _| {
             let edges = input
                 .as_edge_list()
@@ -31,7 +33,7 @@ pub fn register(reg: &mut ApiRegistry) {
             for (s, d, rel) in edges {
                 if let Some(e) = ctx.graph.find_edge(s, d) {
                     if ctx.graph.edge_label(e).map(|l| l == rel).unwrap_or(false) {
-                        ctx.graph.remove_edge(e).map_err(|e| e.to_string())?;
+                        ctx.graph_mut().remove_edge(e).map_err(|e| e.to_string())?;
                         removed += 1;
                     }
                 }
@@ -46,7 +48,8 @@ pub fn register(reg: &mut ApiRegistry) {
             "add the given edges to the graph to insert missing facts",
             Edit, EdgeList, Number,
         )
-        .with_confirmation(),
+        .with_confirmation()
+        .with_mutation(),
         Box::new(|ctx, input, _| {
             let edges = input
                 .as_edge_list()
@@ -58,7 +61,7 @@ pub fn register(reg: &mut ApiRegistry) {
                     && ctx.graph.contains_node(d)
                     && ctx.graph.find_edge(s, d).is_none()
                 {
-                    ctx.graph.add_edge(s, d, rel).map_err(|e| e.to_string())?;
+                    ctx.graph_mut().add_edge(s, d, rel).map_err(|e| e.to_string())?;
                     added += 1;
                 }
             }
@@ -72,7 +75,9 @@ pub fn register(reg: &mut ApiRegistry) {
             "rename every node with a given label to a new label in the graph",
             Edit, Graph, Number,
         )
-        .with_confirmation(),
+        .with_confirmation()
+        .with_mutation()
+        .with_params([ParamSpec::text("from"), ParamSpec::text("to")]),
         Box::new(|ctx, _input, call| {
             let from = call
                 .params
@@ -87,10 +92,10 @@ pub fn register(reg: &mut ApiRegistry) {
             let targets: Vec<_> = ctx
                 .graph
                 .node_ids()
-                .filter(|&v| ctx.graph.node_label(v).expect("live") == from)
+                .filter(|&v| ctx.graph.node_label(v).is_ok_and(|l| l == from))
                 .collect();
             for &v in &targets {
-                ctx.graph
+                ctx.graph_mut()
                     .set_node_label(v, to.clone())
                     .map_err(|e| e.to_string())?;
             }

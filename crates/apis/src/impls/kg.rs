@@ -27,12 +27,12 @@ pub fn schema_violations(g: &Graph) -> Vec<(NodeId, NodeId, String)> {
         .collect();
     let mut out = Vec::new();
     for e in g.edge_ids() {
-        let rel = g.edge_label(e).expect("live");
-        let (src, dst) = g.edge_endpoints(e).expect("live");
+        let Ok(rel) = g.edge_label(e) else { continue };
+        let Ok((src, dst)) = g.edge_endpoints(e) else { continue };
         match schema.get(rel) {
             Some(&(dom, rng)) => {
-                if g.node_label(src).expect("live") != dom
-                    || g.node_label(dst).expect("live") != rng
+                if !g.node_label(src).is_ok_and(|l| l == dom)
+                    || !g.node_label(dst).is_ok_and(|l| l == rng)
                 {
                     out.push((src, dst, rel.to_owned()));
                 }
@@ -46,16 +46,15 @@ pub fn schema_violations(g: &Graph) -> Vec<(NodeId, NodeId, String)> {
 /// The `nationality` facts derivable from the composition rule, per person:
 /// `person → country of the city the person lives in`.
 fn derived_nationalities(g: &Graph) -> HashMap<NodeId, NodeId> {
-    let rel_of = |e| g.edge_label(e).expect("live");
     let mut lives_in: HashMap<NodeId, NodeId> = HashMap::new();
     let mut located_in: HashMap<NodeId, NodeId> = HashMap::new();
     for e in g.edge_ids() {
-        let (s, d) = g.edge_endpoints(e).expect("live");
-        match rel_of(e) {
-            "lives_in" => {
+        let Ok((s, d)) = g.edge_endpoints(e) else { continue };
+        match g.edge_label(e) {
+            Ok("lives_in") => {
                 lives_in.insert(s, d);
             }
-            "located_in" => {
+            Ok("located_in") => {
                 located_in.insert(s, d);
             }
             _ => {}
@@ -73,10 +72,10 @@ pub fn incorrect_edges(g: &Graph) -> Vec<(NodeId, NodeId, String)> {
     let mut out = schema_violations(g);
     let derived = derived_nationalities(g);
     for e in g.edge_ids() {
-        if g.edge_label(e).expect("live") != "nationality" {
+        if !g.edge_label(e).is_ok_and(|l| l == "nationality") {
             continue;
         }
-        let (p, country) = g.edge_endpoints(e).expect("live");
+        let Ok((p, country)) = g.edge_endpoints(e) else { continue };
         if let Some(&expected) = derived.get(&p) {
             if expected != country {
                 out.push((p, country, "nationality".to_owned()));
@@ -96,7 +95,7 @@ pub fn missing_edges(g: &Graph) -> Vec<(NodeId, NodeId, String)> {
         .into_iter()
         .filter(|&(p, country)| {
             !g.neighbors(p)
-                .any(|(d, e)| d == country && g.edge_label(e).expect("live") == "nationality")
+                .any(|(d, e)| d == country && g.edge_label(e).is_ok_and(|l| l == "nationality"))
         })
         .map(|(p, c)| (p, c, "nationality".to_owned()))
         .collect();
@@ -164,7 +163,9 @@ pub fn register(reg: &mut ApiRegistry) {
             }
             let mut rels: std::collections::BTreeMap<String, usize> = Default::default();
             for e in g.edge_ids() {
-                *rels.entry(g.edge_label(e).expect("live").to_owned()).or_default() += 1;
+                if let Ok(rel) = g.edge_label(e) {
+                    *rels.entry(rel.to_owned()).or_default() += 1;
+                }
             }
             for (rel, n) in rels {
                 t.push_row(["relation".to_owned(), rel, n.to_string()]);

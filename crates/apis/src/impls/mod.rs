@@ -12,6 +12,7 @@ use crate::executor::ExecContext;
 use crate::registry::ApiRegistry;
 use crate::value::Value;
 use chatgraph_graph::Graph;
+use std::sync::Arc;
 
 /// Registers the full standard catalogue.
 pub fn register_all(reg: &mut ApiRegistry) {
@@ -25,10 +26,12 @@ pub fn register_all(reg: &mut ApiRegistry) {
 }
 
 /// Resolves the graph an API should analyse: the piped-in graph when the
-/// previous step produced one, otherwise the session graph.
-pub(crate) fn input_graph(input: Value, ctx: &ExecContext) -> Graph {
+/// previous step produced one, otherwise the session graph. Returns a
+/// shared handle — handlers read through it (auto-deref), nothing is
+/// deep-copied.
+pub(crate) fn input_graph(input: Value, ctx: &ExecContext) -> Arc<Graph> {
     match input {
-        Value::Graph(g) => *g,
-        _ => ctx.graph.clone(),
+        Value::Graph(g) => g,
+        _ => Arc::clone(&ctx.graph),
     }
 }

@@ -49,7 +49,10 @@ pub fn rank_database(query: &Graph, database: &[Graph]) -> Vec<(usize, f64)> {
             })
             .collect();
         for h in handles {
-            scored.extend(h.join().expect("scoring thread panicked"));
+            match h.join() {
+                Ok(part) => scored.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -73,7 +76,7 @@ pub fn register(reg: &mut ApiRegistry) {
             if ctx.database.is_empty() {
                 return Err("similarity_search requires a graph database in the context".into());
             }
-            let k = call.param_usize("k", 2);
+            let k = call.try_param_usize("k", 2)?;
             let ranked = rank_database(&g, &ctx.database);
             let mut t = crate::value::Table::new(["rank", "graph", "nodes", "normalised GED"]);
             for (rank, (i, d)) in ranked.into_iter().take(k).enumerate() {
@@ -100,7 +103,7 @@ pub fn register(reg: &mut ApiRegistry) {
                 return Err("most_similar_graph requires a graph database in the context".into());
             }
             let best = rank_database(&g, &ctx.database)[0].0;
-            Ok(Value::Graph(Box::new(ctx.database[best].clone())))
+            Ok(Value::Graph(std::sync::Arc::new(ctx.database[best].clone())))
         }),
     );
 
@@ -113,7 +116,7 @@ pub fn register(reg: &mut ApiRegistry) {
         .with_params([ParamSpec::int("target", 0, 9999, 0)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
-            let target = call.param_usize("target", 0);
+            let target = call.try_param_usize("target", 0)?;
             let other = ctx
                 .database
                 .get(target)
@@ -136,8 +139,8 @@ pub fn register(reg: &mut ApiRegistry) {
         ]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
-            let target = call.param_usize("target", 0);
-            let budget = call.param_usize("budget", 200_000);
+            let target = call.try_param_usize("target", 0)?;
+            let budget = call.try_param_usize("budget", 200_000)?;
             let other = ctx
                 .database
                 .get(target)

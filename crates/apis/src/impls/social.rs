@@ -87,7 +87,7 @@ pub fn register(reg: &mut ApiRegistry) {
         .with_params([ParamSpec::int("k", 1, 100, 5)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
-            let k = call.param_usize("k", 5);
+            let k = call.try_param_usize("k", 5)?;
             let pr = centrality::pagerank(&g, 0.85, 50);
             Ok(Value::Table(top_table(&g, &pr, k, "pagerank")))
         }),
@@ -102,7 +102,7 @@ pub fn register(reg: &mut ApiRegistry) {
         .with_params([ParamSpec::int("k", 1, 100, 5)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
-            let k = call.param_usize("k", 5);
+            let k = call.try_param_usize("k", 5)?;
             let bc = centrality::betweenness(&g);
             Ok(Value::Table(top_table(&g, &bc, k, "betweenness")))
         }),
@@ -117,7 +117,7 @@ pub fn register(reg: &mut ApiRegistry) {
         .with_params([ParamSpec::int("k", 1, 100, 5)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
-            let k = call.param_usize("k", 5);
+            let k = call.try_param_usize("k", 5)?;
             let dc = centrality::degree_centrality(&g);
             Ok(Value::Table(top_table(&g, &dc, k, "degree centrality")))
         }),
@@ -132,7 +132,7 @@ pub fn register(reg: &mut ApiRegistry) {
         .with_params([ParamSpec::int("k", 1, 100, 5)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
-            let k = call.param_usize("k", 5);
+            let k = call.try_param_usize("k", 5)?;
             let pr = centrality::pagerank(&g, 0.85, 50);
             Ok(Value::NodeList(
                 centrality::top_k(&g, &pr, k).into_iter().map(|(v, _)| v).collect(),
@@ -149,7 +149,7 @@ pub fn register(reg: &mut ApiRegistry) {
         .with_params([ParamSpec::int("k", 1, 100, 5)]),
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
-            let k = call.param_usize("k", 5);
+            let k = call.try_param_usize("k", 5)?;
             let cc = centrality::closeness(&g);
             Ok(Value::Table(top_table(&g, &cc, k, "closeness")))
         }),

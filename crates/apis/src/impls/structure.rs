@@ -23,7 +23,7 @@ pub fn predict_type(g: &Graph) -> &'static str {
         RELATION_SCHEMA.iter().map(|r| r.0).collect();
     let has_kg_edges = g
         .edge_ids()
-        .any(|e| kg_relations.contains(g.edge_label(e).expect("live")));
+        .any(|e| g.edge_label(e).is_ok_and(|l| kg_relations.contains(l)));
     if g.is_directed() && has_kg_edges {
         return "knowledge";
     }
@@ -207,7 +207,7 @@ pub fn register(reg: &mut ApiRegistry) {
                 .max_by_key(|grp| grp.len())
                 .unwrap_or_default();
             let (sub, _) = g.induced_subgraph(&largest);
-            Ok(Value::Graph(Box::new(sub)))
+            Ok(Value::Graph(std::sync::Arc::new(sub)))
         }),
     );
 

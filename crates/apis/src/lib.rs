@@ -24,6 +24,12 @@
 //! * [`analysis`] — lowering into the `chatgraph-analyzer` IR: multi-pass
 //!   chain diagnostics ([`analyze`]) and the decoder's type-flow pruning
 //!   predicate ([`can_extend`]).
+//! * [`plan`] — the execution-plan IR: a validated chain lowered to a DAG
+//!   of [`PlanStep`]s whose edges are real data dependencies (prev-output,
+//!   session graph, barriers).
+//! * [`sched`] — the plan [`Scheduler`]: a scoped-thread worker pool over
+//!   `Arc` graph snapshots with a bounded step-memo cache, deterministic
+//!   w.r.t. the sequential executor.
 
 pub mod analysis;
 pub mod chain;
@@ -31,13 +37,17 @@ pub mod descriptor;
 pub mod executor;
 pub mod impls;
 pub mod monitor;
+pub mod plan;
 pub mod registry;
+pub mod sched;
 pub mod value;
 
 pub use analysis::{analyze, can_extend};
 pub use chain::{ApiCall, ApiChain, ChainError};
 pub use descriptor::{ApiCategory, ApiDescriptor};
-pub use executor::{execute_chain, ExecContext};
+pub use executor::{execute_chain, execute_chain_reference, ExecContext};
 pub use monitor::{ChainEvent, CollectingMonitor, Monitor, SilentMonitor};
+pub use plan::{InputSource, Plan, PlanStep, Segment};
 pub use registry::ApiRegistry;
+pub use sched::Scheduler;
 pub use value::{Report, Table, Value, ValueType};

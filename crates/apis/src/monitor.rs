@@ -60,6 +60,50 @@ pub enum ChainEvent {
     },
     /// The whole chain finished successfully.
     ChainFinished,
+    /// The chain was lowered to an execution plan (emitted right after
+    /// `ChainStarted`). Non-core: absent from the seed executor's stream.
+    PlanBuilt {
+        /// Number of plan steps.
+        steps: usize,
+        /// Total dependency edges in the DAG.
+        deps: usize,
+        /// Number of barrier steps.
+        barriers: usize,
+    },
+    /// Wall time of one step (after its `StepFinished`). Non-core.
+    StepTimed {
+        /// Step index.
+        step: usize,
+        /// API name.
+        api: String,
+        /// Wall-clock microseconds (lookup time when `cached`).
+        micros: u64,
+        /// Whether the result came from the memo cache.
+        cached: bool,
+    },
+    /// The scheduler consulted the step-memo cache for a step. Non-core.
+    MemoLookup {
+        /// Step index.
+        step: usize,
+        /// API name.
+        api: String,
+        /// Whether the lookup hit.
+        hit: bool,
+    },
+}
+
+impl ChainEvent {
+    /// Whether this is one of the seed executor's seven event kinds. The
+    /// scheduler's determinism contract is stated over core events only —
+    /// plan/timing/cache events may differ across worker counts.
+    pub fn is_core(&self) -> bool {
+        !matches!(
+            self,
+            ChainEvent::PlanBuilt { .. }
+                | ChainEvent::StepTimed { .. }
+                | ChainEvent::MemoLookup { .. }
+        )
+    }
 }
 
 
@@ -105,6 +149,31 @@ impl ToJson for ChainEvent {
                 vec![field("step", step.to_json()), field("api", api.to_json())],
             ),
             ChainEvent::ChainFinished => Json::Str("ChainFinished".to_owned()),
+            ChainEvent::PlanBuilt { steps, deps, barriers } => tagged(
+                "PlanBuilt",
+                vec![
+                    field("steps", steps.to_json()),
+                    field("deps", deps.to_json()),
+                    field("barriers", barriers.to_json()),
+                ],
+            ),
+            ChainEvent::StepTimed { step, api, micros, cached } => tagged(
+                "StepTimed",
+                vec![
+                    field("step", step.to_json()),
+                    field("api", api.to_json()),
+                    field("micros", micros.to_json()),
+                    field("cached", cached.to_json()),
+                ],
+            ),
+            ChainEvent::MemoLookup { step, api, hit } => tagged(
+                "MemoLookup",
+                vec![
+                    field("step", step.to_json()),
+                    field("api", api.to_json()),
+                    field("hit", hit.to_json()),
+                ],
+            ),
         }
     }
 }
@@ -151,6 +220,22 @@ impl FromJson for ChainEvent {
             "ConfirmationRequested" => Ok(ChainEvent::ConfirmationRequested {
                 step: FromJson::from_json(get("step")?)?,
                 api: FromJson::from_json(get("api")?)?,
+            }),
+            "PlanBuilt" => Ok(ChainEvent::PlanBuilt {
+                steps: FromJson::from_json(get("steps")?)?,
+                deps: FromJson::from_json(get("deps")?)?,
+                barriers: FromJson::from_json(get("barriers")?)?,
+            }),
+            "StepTimed" => Ok(ChainEvent::StepTimed {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
+                micros: FromJson::from_json(get("micros")?)?,
+                cached: FromJson::from_json(get("cached")?)?,
+            }),
+            "MemoLookup" => Ok(ChainEvent::MemoLookup {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
+                hit: FromJson::from_json(get("hit")?)?,
             }),
             other => Err(JsonError::msg(format!("unknown ChainEvent variant `{other}`"))),
         }
@@ -273,6 +358,22 @@ mod tests {
             chatgraph_support::json::from_str::<ChainEvent>(&s).unwrap(),
             e
         );
+    }
+
+    #[test]
+    fn plan_events_json_roundtrip_and_are_non_core() {
+        let events = [
+            ChainEvent::PlanBuilt { steps: 4, deps: 3, barriers: 1 },
+            ChainEvent::StepTimed { step: 2, api: "node_count".into(), micros: 17, cached: true },
+            ChainEvent::MemoLookup { step: 2, api: "node_count".into(), hit: false },
+        ];
+        for e in events {
+            assert!(!e.is_core());
+            let s = chatgraph_support::json::to_string(&e);
+            assert_eq!(chatgraph_support::json::from_str::<ChainEvent>(&s).unwrap(), e);
+        }
+        assert!(ChainEvent::ChainFinished.is_core());
+        assert!(ChainEvent::ChainStarted { total: 1 }.is_core());
     }
 
     #[test]

@@ -1,0 +1,703 @@
+//! The plan scheduler: executes a [`Plan`] with a scoped-thread worker
+//! pool, shared `Arc` graph snapshots, and a bounded step-memo cache.
+//!
+//! ## Execution model
+//!
+//! The plan decomposes into [`Segment`]s: barrier steps run alone on the
+//! scheduler thread against the real [`ExecContext`] (mutations,
+//! confirmations, findings reads); barrier-free segments split into
+//! independent sub-chains that workers execute against immutable snapshots
+//! (`Arc<Graph>`, `Arc<Vec<Graph>>`, the seed) with **empty local
+//! findings** — sound because non-barrier steps never read findings.
+//!
+//! ## Determinism contract
+//!
+//! For any chain and any worker count, the scheduler produces the same
+//! final value, the same `findings` in the same order, and the same *core*
+//! event sequence (the seed executor's seven [`ChainEvent`] variants, in
+//! the same order with the same payloads) as the sequential reference
+//! executor. Mechanism: workers only compute; all observable effects —
+//! events, findings, the failure index — are committed on the scheduler
+//! thread in step-index order, stopping at the smallest failing index. The
+//! extra plan events (`PlanBuilt`, `StepTimed`, `MemoLookup`) are
+//! non-core ([`ChainEvent::is_core`]) and may differ across worker counts.
+//!
+//! ## Memoization
+//!
+//! Pure steps (non-barriers) are cached in a bounded LRU keyed by an
+//! FNV-1a fingerprint of `(api, params, seed, graph-fingerprint, input
+//! fingerprint[, database fingerprint for similarity APIs])`. The graph
+//! fingerprint hashes the binary encoding of the session graph and is
+//! recomputed only after a mutation barrier; steps whose inputs cannot be
+//! fingerprinted are executed uncached. Only `Ok` results are stored.
+
+use crate::chain::{ApiCall, ApiChain, ChainError};
+use crate::descriptor::ApiCategory;
+use crate::executor::ExecContext;
+use crate::monitor::{ChainEvent, Monitor};
+use crate::plan::{InputSource, Plan, Segment};
+use crate::registry::ApiRegistry;
+use crate::value::Value;
+use chatgraph_graph::{binary, Graph};
+use chatgraph_support::hash::Fnv64;
+use chatgraph_support::lru::Lru;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Default capacity of the step-memo cache.
+pub const DEFAULT_MEMO_CAPACITY: usize = 64;
+
+/// Executes plans with a fixed worker count and a step-memo cache.
+///
+/// The scheduler is long-lived: a session keeps one and the memo cache
+/// carries across chains, so re-running an edited chain re-executes only
+/// the steps whose inputs changed.
+#[derive(Debug)]
+pub struct Scheduler {
+    workers: usize,
+    memo: Mutex<Lru<u64, Value>>,
+}
+
+impl Scheduler {
+    /// A scheduler with `workers` worker threads (clamped to ≥ 1) and the
+    /// default memo capacity.
+    pub fn new(workers: usize) -> Self {
+        Scheduler {
+            workers: workers.max(1),
+            memo: Mutex::new(Lru::new(DEFAULT_MEMO_CAPACITY)),
+        }
+    }
+
+    /// Overrides the memo capacity (0 disables memoization).
+    pub fn with_memo_capacity(self, capacity: usize) -> Self {
+        Scheduler {
+            workers: self.workers,
+            memo: Mutex::new(Lru::new(capacity)),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Current number of memoized step results.
+    pub fn memo_len(&self) -> usize {
+        self.memo().len()
+    }
+
+    /// Drops all memoized step results (e.g. after replacing the session
+    /// graph, although stale entries are harmless — the graph fingerprint
+    /// in the key already separates them).
+    pub fn clear_memo(&self) {
+        self.memo().clear();
+    }
+
+    fn memo(&self) -> MutexGuard<'_, Lru<u64, Value>> {
+        // A worker can only poison this lock by panicking mid-`get`/`insert`;
+        // the cache itself stays structurally valid, so keep using it.
+        self.memo.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Plans and executes `chain` — same contract as
+    /// [`crate::execute_chain`], which is this with one worker.
+    pub fn execute(
+        &self,
+        registry: &ApiRegistry,
+        chain: &ApiChain,
+        ctx: &mut ExecContext,
+        monitor: &mut dyn Monitor,
+    ) -> Result<Value, ChainError> {
+        chain.validate(registry, true)?;
+        let diagnostics = crate::analysis::analyze(chain, registry, true);
+        if !diagnostics.is_empty() {
+            monitor.on_event(&ChainEvent::Diagnostics {
+                diagnostics: diagnostics.clone(),
+            });
+        }
+        if let Some(err) = diagnostics.first_error() {
+            return Err(ChainError::AnalysisRejected(err.render()));
+        }
+        let plan = Plan::build(chain, registry)?;
+        monitor.on_event(&ChainEvent::ChainStarted { total: chain.len() });
+        monitor.on_event(&ChainEvent::PlanBuilt {
+            steps: plan.len(),
+            deps: plan.dep_count(),
+            barriers: plan.barrier_count(),
+        });
+
+        let mut prev = Value::Unit;
+        // The graph fingerprint is stable between mutation barriers; cache
+        // it per epoch. `None` = not yet computed for the current graph.
+        let mut graph_fp: Option<Option<u64>> = None;
+        let mut db_fp: Option<Option<u64>> = None;
+        for segment in plan.segments() {
+            match segment {
+                Segment::Barrier(i) => {
+                    let step = &chain.steps[i];
+                    let pstep = &plan.steps[i];
+                    monitor.on_event(&ChainEvent::StepStarted {
+                        step: i,
+                        api: step.api.clone(),
+                    });
+                    let input = resolve_input(pstep.input, &prev, ctx);
+                    if registry
+                        .descriptor(&step.api)
+                        .is_some_and(|d| d.requires_confirmation)
+                    {
+                        monitor.on_event(&ChainEvent::ConfirmationRequested {
+                            step: i,
+                            api: step.api.clone(),
+                        });
+                        if !monitor.confirm(i, &step.api, &input.summary()) {
+                            return Err(ChainError::Rejected(i, step.api.clone()));
+                        }
+                    }
+                    let start = Instant::now();
+                    match registry.call(&step.api, ctx, input, step) {
+                        Ok(output) => {
+                            ctx.push_finding(&step.api, &output);
+                            monitor.on_event(&ChainEvent::StepFinished {
+                                step: i,
+                                api: step.api.clone(),
+                                output: output.value_type(),
+                                summary: output.summary(),
+                            });
+                            monitor.on_event(&ChainEvent::StepTimed {
+                                step: i,
+                                api: step.api.clone(),
+                                micros: start.elapsed().as_micros() as u64,
+                                cached: false,
+                            });
+                            prev = output;
+                        }
+                        Err(msg) => {
+                            monitor.on_event(&ChainEvent::StepFailed {
+                                step: i,
+                                api: step.api.clone(),
+                                error: msg.clone(),
+                            });
+                            return Err(ChainError::ExecutionFailed(i, msg));
+                        }
+                    }
+                    if pstep.mutates_graph {
+                        graph_fp = None;
+                    }
+                }
+                Segment::Parallel(chains) => {
+                    let gfp = *graph_fp.get_or_insert_with(|| graph_fingerprint(&ctx.graph));
+                    let needs_db = chains.iter().flatten().any(|&j| {
+                        registry
+                            .descriptor(&chain.steps[j].api)
+                            .is_some_and(|d| d.category == ApiCategory::Similarity)
+                    });
+                    let dfp = if needs_db {
+                        *db_fp.get_or_insert_with(|| database_fingerprint(&ctx.database))
+                    } else {
+                        None
+                    };
+                    let seg = SegmentRun {
+                        scheduler: self,
+                        registry,
+                        chain,
+                        plan: &plan,
+                        snapshot: Arc::clone(&ctx.graph),
+                        database: Arc::clone(&ctx.database),
+                        seed: ctx.seed,
+                        graph_fp: gfp,
+                        db_fp: dfp,
+                    };
+                    prev = seg.run(chains, prev, ctx, monitor)?;
+                }
+            }
+        }
+        monitor.on_event(&ChainEvent::ChainFinished);
+        Ok(prev)
+    }
+}
+
+/// Resolves a statically planned input against the live context.
+fn resolve_input(source: InputSource, prev: &Value, ctx: &ExecContext) -> Value {
+    match source {
+        InputSource::PrevOutput(_) => prev.clone(),
+        InputSource::SessionGraph => Value::Graph(Arc::clone(&ctx.graph)),
+        InputSource::Unit => Value::Unit,
+    }
+}
+
+/// What happened when one pure step ran (or was served from cache).
+struct StepOutcome {
+    result: Result<Value, String>,
+    micros: u64,
+    cached: bool,
+    memo_checked: bool,
+}
+
+/// Everything a barrier-free segment needs, shareable across workers.
+struct SegmentRun<'a> {
+    scheduler: &'a Scheduler,
+    registry: &'a ApiRegistry,
+    chain: &'a ApiChain,
+    plan: &'a Plan,
+    snapshot: Arc<Graph>,
+    database: Arc<Vec<Graph>>,
+    seed: u64,
+    graph_fp: Option<u64>,
+    db_fp: Option<u64>,
+}
+
+impl SegmentRun<'_> {
+    /// Executes the segment's sub-chains and commits results in step-index
+    /// order. Returns the output of the segment's last step.
+    fn run(
+        &self,
+        chains: Vec<Vec<usize>>,
+        prev: Value,
+        ctx: &mut ExecContext,
+        monitor: &mut dyn Monitor,
+    ) -> Result<Value, ChainError> {
+        let threads = self.scheduler.workers.min(chains.len());
+        if threads <= 1 {
+            return self.run_inline(&chains, prev, ctx, monitor);
+        }
+        let indices: Vec<usize> = chains.iter().flatten().copied().collect();
+        // One slot per step in the segment, filled by whichever worker runs
+        // that step's sub-chain.
+        let outcomes: Vec<Mutex<Option<StepOutcome>>> = indices
+            .iter()
+            .map(|_| Mutex::new(None))
+            .collect();
+        let slot_of = |j: usize| indices.iter().position(|&k| k == j);
+        let jobs: Mutex<VecDeque<Vec<usize>>> = Mutex::new(chains.iter().cloned().collect());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                handles.push(scope.spawn(|| loop {
+                    let job = {
+                        let mut q = jobs.lock().unwrap_or_else(|e| e.into_inner());
+                        q.pop_front()
+                    };
+                    let Some(sub) = job else { break };
+                    let mut local_prev = match self.plan.steps[sub[0]].input {
+                        InputSource::PrevOutput(_) => prev.clone(),
+                        _ => Value::Unit,
+                    };
+                    for &j in &sub {
+                        let input = self.worker_input(j, &local_prev);
+                        let outcome = self.exec_pure(j, input);
+                        let ok = outcome.result.as_ref().ok().cloned();
+                        if let Some(slot) = slot_of(j) {
+                            let mut guard =
+                                outcomes[slot].lock().unwrap_or_else(|e| e.into_inner());
+                            *guard = Some(outcome);
+                        }
+                        // A failure ends this sub-chain; later steps in it
+                        // would never have run sequentially either.
+                        match ok {
+                            Some(v) => local_prev = v,
+                            None => break,
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        // Commit on the scheduler thread in step-index order; the smallest
+        // failing index wins, exactly as in sequential execution.
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        let mut last = prev;
+        for j in sorted {
+            let outcome = slot_of(j).and_then(|s| {
+                outcomes[s].lock().unwrap_or_else(|e| e.into_inner()).take()
+            });
+            let Some(outcome) = outcome else {
+                // An empty slot means the step's sub-chain aborted at a
+                // smaller failing index, and commit returns at that index
+                // first — so this is unreachable; skip defensively.
+                continue;
+            };
+            if let Some(err) = self.commit(j, outcome, ctx, monitor, &mut last) {
+                return Err(err);
+            }
+        }
+        Ok(last)
+    }
+
+    /// Single-threaded segment execution: interleaved execute-and-commit in
+    /// step-index order — byte-for-byte the sequential executor's behaviour
+    /// (plus memoization).
+    fn run_inline(
+        &self,
+        chains: &[Vec<usize>],
+        prev: Value,
+        ctx: &mut ExecContext,
+        monitor: &mut dyn Monitor,
+    ) -> Result<Value, ChainError> {
+        let mut indices: Vec<usize> = chains.iter().flatten().copied().collect();
+        indices.sort_unstable();
+        let mut last = prev;
+        for j in indices {
+            let input = self.worker_input(j, &last);
+            let outcome = self.exec_pure(j, input);
+            if let Some(err) = self.commit(j, outcome, ctx, monitor, &mut last) {
+                return Err(err);
+            }
+        }
+        Ok(last)
+    }
+
+    /// Resolves step `j`'s input inside a worker: the running sub-chain
+    /// value for `PrevOutput`, a graph snapshot, or `Unit`.
+    fn worker_input(&self, j: usize, local_prev: &Value) -> Value {
+        match self.plan.steps[j].input {
+            InputSource::PrevOutput(_) => local_prev.clone(),
+            InputSource::SessionGraph => Value::Graph(Arc::clone(&self.snapshot)),
+            InputSource::Unit => Value::Unit,
+        }
+    }
+
+    /// Runs one pure step against an isolated context, consulting and
+    /// feeding the memo cache.
+    fn exec_pure(&self, j: usize, input: Value) -> StepOutcome {
+        let call = &self.chain.steps[j];
+        let key = self.memo_key(call, &input);
+        let start = Instant::now();
+        if let Some(k) = key {
+            if let Some(hit) = self.scheduler.memo().get(&k).cloned() {
+                return StepOutcome {
+                    result: Ok(hit),
+                    micros: start.elapsed().as_micros() as u64,
+                    cached: true,
+                    memo_checked: true,
+                };
+            }
+        }
+        let mut local = ExecContext {
+            graph: Arc::clone(&self.snapshot),
+            database: Arc::clone(&self.database),
+            findings: Vec::new(),
+            seed: self.seed,
+        };
+        let result = self.registry.call(&call.api, &mut local, input, call);
+        let micros = start.elapsed().as_micros() as u64;
+        if let (Some(k), Ok(v)) = (key, &result) {
+            self.scheduler.memo().insert(k, v.clone());
+        }
+        StepOutcome {
+            result,
+            micros,
+            cached: false,
+            memo_checked: key.is_some(),
+        }
+    }
+
+    /// The memo key for one call, or `None` when any component cannot be
+    /// fingerprinted (then the step simply runs uncached).
+    fn memo_key(&self, call: &ApiCall, input: &Value) -> Option<u64> {
+        let gfp = self.graph_fp?;
+        let ifp = value_fingerprint(input)?;
+        let mut h = Fnv64::new();
+        h.write_str(&call.api);
+        for (k, v) in &call.params {
+            h.write_str(k);
+            h.write_str(v);
+        }
+        h.write_u64(self.seed);
+        h.write_u64(gfp);
+        h.write_u64(ifp);
+        if self
+            .registry
+            .descriptor(&call.api)
+            .is_some_and(|d| d.category == ApiCategory::Similarity)
+        {
+            h.write_u64(self.db_fp?);
+        }
+        Some(h.finish())
+    }
+
+    /// Emits step `j`'s events, records its finding, and advances the
+    /// running value — the only place segment effects become observable.
+    fn commit(
+        &self,
+        j: usize,
+        outcome: StepOutcome,
+        ctx: &mut ExecContext,
+        monitor: &mut dyn Monitor,
+        last: &mut Value,
+    ) -> Option<ChainError> {
+        let api = &self.chain.steps[j].api;
+        monitor.on_event(&ChainEvent::StepStarted {
+            step: j,
+            api: api.clone(),
+        });
+        if outcome.memo_checked {
+            monitor.on_event(&ChainEvent::MemoLookup {
+                step: j,
+                api: api.clone(),
+                hit: outcome.cached,
+            });
+        }
+        match outcome.result {
+            Ok(output) => {
+                ctx.push_finding(api, &output);
+                monitor.on_event(&ChainEvent::StepFinished {
+                    step: j,
+                    api: api.clone(),
+                    output: output.value_type(),
+                    summary: output.summary(),
+                });
+                monitor.on_event(&ChainEvent::StepTimed {
+                    step: j,
+                    api: api.clone(),
+                    micros: outcome.micros,
+                    cached: outcome.cached,
+                });
+                *last = output;
+                None
+            }
+            Err(msg) => {
+                monitor.on_event(&ChainEvent::StepFailed {
+                    step: j,
+                    api: api.clone(),
+                    error: msg.clone(),
+                });
+                Some(ChainError::ExecutionFailed(j, msg))
+            }
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a graph via its binary encoding. `None` when the
+/// graph fails to encode (oversized attributes etc.) — memoization is then
+/// skipped rather than risking a wrong key.
+pub fn graph_fingerprint(g: &Graph) -> Option<u64> {
+    binary::to_bytes(g)
+        .ok()
+        .map(|bytes| chatgraph_support::hash::fnv1a64(&bytes))
+}
+
+fn database_fingerprint(db: &[Graph]) -> Option<u64> {
+    let mut h = Fnv64::new();
+    h.write_u64(db.len() as u64);
+    for g in db {
+        h.write_u64(graph_fingerprint(g)?);
+    }
+    Some(h.finish())
+}
+
+/// FNV-1a fingerprint of a value. Hand-rolled rather than JSON-based so
+/// float payloads hash via `to_bits` (NaN-safe, no formatting wobble).
+pub fn value_fingerprint(v: &Value) -> Option<u64> {
+    let mut h = Fnv64::new();
+    match v {
+        Value::Unit => h.write_str("unit"),
+        Value::Number(x) => {
+            h.write_str("num");
+            h.write_u64(x.to_bits());
+        }
+        Value::Text(t) => {
+            h.write_str("text");
+            h.write_str(t);
+        }
+        Value::Bool(b) => {
+            h.write_str("bool");
+            h.write_u64(u64::from(*b));
+        }
+        Value::NodeList(ns) => {
+            h.write_str("nodes");
+            h.write_u64(ns.len() as u64);
+            for n in ns {
+                h.write_u64(n.index() as u64);
+            }
+        }
+        Value::EdgeList(es) => {
+            h.write_str("edges");
+            h.write_u64(es.len() as u64);
+            for (a, b, l) in es {
+                h.write_u64(a.index() as u64);
+                h.write_u64(b.index() as u64);
+                h.write_str(l);
+            }
+        }
+        Value::Table(t) => {
+            h.write_str("table");
+            h.write_u64(t.headers.len() as u64);
+            for c in &t.headers {
+                h.write_str(c);
+            }
+            h.write_u64(t.rows.len() as u64);
+            for row in &t.rows {
+                h.write_u64(row.len() as u64);
+                for c in row {
+                    h.write_str(c);
+                }
+            }
+        }
+        Value::Report(r) => {
+            h.write_str("report");
+            h.write_str(&r.title);
+            h.write_u64(r.sections.len() as u64);
+            for (a, b) in &r.sections {
+                h.write_str(a);
+                h.write_str(b);
+            }
+        }
+        Value::Graph(g) => {
+            h.write_str("graph");
+            h.write_u64(graph_fingerprint(g)?);
+        }
+    }
+    Some(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::CollectingMonitor;
+    use crate::registry;
+    use chatgraph_graph::generators::{
+        knowledge_graph, social_network, KgParams, SocialParams,
+    };
+
+    fn social_ctx() -> ExecContext {
+        ExecContext::new(social_network(&SocialParams::default(), 1))
+    }
+
+    fn core_events(events: &[ChainEvent]) -> Vec<ChainEvent> {
+        events.iter().filter(|e| e.is_core()).cloned().collect()
+    }
+
+    #[test]
+    fn four_workers_match_reference_on_branchy_chain() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names([
+            "node_count",
+            "edge_count",
+            "graph_density",
+            "largest_component",
+            "node_count",
+            "generate_report",
+        ]);
+        let mut ref_ctx = social_ctx();
+        let mut ref_mon = CollectingMonitor::new();
+        let ref_out =
+            crate::executor::execute_chain_reference(&reg, &chain, &mut ref_ctx, &mut ref_mon)
+                .unwrap();
+        let mut par_ctx = social_ctx();
+        let mut par_mon = CollectingMonitor::new();
+        let par_out = Scheduler::new(4)
+            .execute(&reg, &chain, &mut par_ctx, &mut par_mon)
+            .unwrap();
+        assert_eq!(par_out, ref_out);
+        assert_eq!(par_ctx.findings, ref_ctx.findings);
+        assert_eq!(core_events(&par_mon.events), core_events(&ref_mon.events));
+    }
+
+    #[test]
+    fn plan_built_event_precedes_steps() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["node_count", "edge_count"]);
+        let mut ctx = social_ctx();
+        let mut mon = CollectingMonitor::new();
+        Scheduler::new(2).execute(&reg, &chain, &mut ctx, &mut mon).unwrap();
+        let started = mon
+            .events
+            .iter()
+            .position(|e| matches!(e, ChainEvent::ChainStarted { total: 2 }))
+            .expect("ChainStarted must be emitted");
+        assert!(matches!(
+            mon.events[started + 1],
+            ChainEvent::PlanBuilt { steps: 2, barriers: 0, .. }
+        ));
+        assert!(mon.events[..started]
+            .iter()
+            .all(|e| matches!(e, ChainEvent::Diagnostics { .. })));
+        assert!(matches!(mon.events.last(), Some(ChainEvent::ChainFinished)));
+    }
+
+    #[test]
+    fn memo_serves_repeated_steps() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["node_count", "edge_count"]);
+        let sched = Scheduler::new(1);
+        let mut ctx = social_ctx();
+        sched
+            .execute(&reg, &chain, &mut ctx, &mut crate::monitor::SilentMonitor)
+            .unwrap();
+        assert!(sched.memo_len() >= 2);
+        // Same chain, same graph: every step is a hit now.
+        let mut ctx2 = social_ctx();
+        let mut mon = CollectingMonitor::new();
+        sched.execute(&reg, &chain, &mut ctx2, &mut mon).unwrap();
+        let hits = mon
+            .events
+            .iter()
+            .filter(|e| matches!(e, ChainEvent::MemoLookup { hit: true, .. }))
+            .count();
+        assert_eq!(hits, 2);
+        assert_eq!(ctx2.findings, ctx.findings);
+    }
+
+    #[test]
+    fn mutation_invalidates_memoized_graph_reads() {
+        let reg = registry::standard();
+        let sched = Scheduler::new(1);
+        let mut g = knowledge_graph(&KgParams::default(), 7);
+        chatgraph_graph::generators::corrupt_kg(&mut g, 0.1, 0.0, 7);
+        let chain = ApiChain::from_names([
+            "edge_count",
+            "detect_incorrect_edges",
+            "remove_edges",
+            "edge_count",
+        ]);
+        let mut ctx = ExecContext::new(g);
+        let mut mon = CollectingMonitor::new();
+        let out = sched.execute(&reg, &chain, &mut ctx, &mut mon).unwrap();
+        let before = ctx.findings[0].1.as_number().unwrap();
+        let after = out.as_number().unwrap();
+        assert!(after < before, "post-edit read must not be served stale");
+        // No memo hit anywhere: the graph fingerprint changed at the barrier.
+        assert!(!mon
+            .events
+            .iter()
+            .any(|e| matches!(e, ChainEvent::MemoLookup { hit: true, .. })));
+    }
+
+    #[test]
+    fn rejection_and_failure_indices_match_reference() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["detect_incorrect_edges", "remove_edges"]);
+        for workers in [1, 4] {
+            let mut ctx = ExecContext::new(knowledge_graph(&KgParams::default(), 3));
+            let mut mon = CollectingMonitor::with_answers([false]);
+            let err = Scheduler::new(workers)
+                .execute(&reg, &chain, &mut ctx, &mut mon)
+                .unwrap_err();
+            assert_eq!(err, ChainError::Rejected(1, "remove_edges".to_owned()));
+            assert_eq!(mon.confirm_log.len(), 1);
+        }
+    }
+
+    #[test]
+    fn value_fingerprints_separate_values() {
+        let a = value_fingerprint(&Value::Number(1.0));
+        let b = value_fingerprint(&Value::Number(2.0));
+        assert_ne!(a, b);
+        assert_eq!(a, value_fingerprint(&Value::Number(1.0)));
+        assert_ne!(
+            value_fingerprint(&Value::Text("1".into())),
+            value_fingerprint(&Value::Number(1.0))
+        );
+        // NaN fingerprints consistently instead of poisoning the cache key.
+        assert_eq!(
+            value_fingerprint(&Value::Number(f64::NAN)),
+            value_fingerprint(&Value::Number(f64::NAN))
+        );
+    }
+}

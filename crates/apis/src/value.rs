@@ -3,6 +3,7 @@
 use chatgraph_graph::{Graph, NodeId};
 use chatgraph_support::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
+use std::sync::Arc;
 
 /// The static type of a [`Value`], used to validate chains before running
 /// them (scenario 4 lets the user edit a generated chain; the validator is
@@ -164,8 +165,9 @@ impl Report {
 /// A dynamically typed API value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
-    /// A property graph.
-    Graph(Box<Graph>),
+    /// A property graph, shared by reference so passing a graph between
+    /// steps (or caching one) never deep-copies it.
+    Graph(Arc<Graph>),
     /// A scalar.
     Number(f64),
     /// Free text.
@@ -217,7 +219,7 @@ impl FromJson for Value {
             _ => return Err(JsonError::msg("Value must be a single-key tagged object")),
         };
         match tag {
-            "Graph" => Ok(Value::Graph(FromJson::from_json(payload)?)),
+            "Graph" => Ok(Value::Graph(Arc::new(FromJson::from_json(payload)?))),
             "Number" => Ok(Value::Number(FromJson::from_json(payload)?)),
             "Text" => Ok(Value::Text(FromJson::from_json(payload)?)),
             "Bool" => Ok(Value::Bool(FromJson::from_json(payload)?)),
@@ -325,7 +327,7 @@ mod tests {
     fn value_types_roundtrip() {
         let g = GraphBuilder::undirected().node("a", "A").build();
         let vals = vec![
-            Value::Graph(Box::new(g)),
+            Value::Graph(Arc::new(g)),
             Value::Number(1.5),
             Value::Text("x".into()),
             Value::Bool(true),

@@ -1,0 +1,171 @@
+//! Differential properties for the plan scheduler (see DESIGN.md §9): for
+//! every valid chain, executing the lowered plan with 1 or N workers is
+//! observably identical to the seed sequential executor — same result, same
+//! findings, same final graph, same core event sequence. Plus a golden test
+//! pinning the Plan JSON encoding.
+
+use chatgraph_apis::{
+    analysis, execute_chain_reference, registry, ApiChain, ChainError, ChainEvent,
+    CollectingMonitor, ExecContext, Plan, Scheduler, Value,
+};
+use chatgraph_graph::generators::{knowledge_graph, molecule_database, KgParams, MoleculeParams};
+use chatgraph_graph::Graph;
+use chatgraph_support::prop::{check, Config};
+use chatgraph_support::prop_assert_eq;
+use chatgraph_support::rng::{RngExt, SliceRandom, StdRng};
+
+/// Generator: a chain of 1..=max_len steps where every extension
+/// type-checks (`can_extend`), so the whole chain is valid by construction.
+fn random_valid_chain(rng: &mut StdRng, max_len: usize) -> ApiChain {
+    let reg = registry::standard();
+    let names: Vec<String> = reg.names().iter().map(|s| s.to_string()).collect();
+    let len = rng.random_range(1..=max_len);
+    let mut picked: Vec<String> = Vec::with_capacity(len);
+    for _ in 0..len {
+        let prev = picked.last().map(String::as_str);
+        let legal: Vec<&String> = names
+            .iter()
+            .filter(|c| analysis::can_extend(&reg, prev, c, true))
+            .collect();
+        match legal.as_slice().choose(rng) {
+            Some(name) => picked.push((*name).clone()),
+            None => break,
+        }
+    }
+    ApiChain::from_names(picked)
+}
+
+/// Everything an execution observably produces.
+struct Observed {
+    result: Result<Value, ChainError>,
+    findings: Vec<(String, Value)>,
+    core_events: Vec<ChainEvent>,
+    graph: Graph,
+}
+
+fn observe(
+    run: impl FnOnce(&mut ExecContext, &mut CollectingMonitor) -> Result<Value, ChainError>,
+) -> Observed {
+    // Small enough for a property test, rich enough to exercise the KG
+    // detection APIs, the edit APIs' confirmation path, and the database
+    // similarity APIs.
+    let g = knowledge_graph(
+        &KgParams {
+            persons: 10,
+            cities: 4,
+            countries: 2,
+            companies: 3,
+            employment_rate: 0.5,
+            knows_per_person: 1.0,
+        },
+        7,
+    );
+    // Tiny molecules: `graph_edit_distance_exact` is exponential in graph
+    // size, and the differential check runs every chain four times.
+    let db = molecule_database(
+        3,
+        &MoleculeParams { atoms: 8, rings: 1, double_bond_prob: 0.15 },
+        5,
+    );
+    let mut ctx = ExecContext::new(g).with_database(db).with_seed(11);
+    let mut mon = CollectingMonitor::new();
+    let result = run(&mut ctx, &mut mon);
+    let findings = std::mem::take(&mut ctx.findings);
+    Observed {
+        result,
+        findings,
+        core_events: mon.events.into_iter().filter(ChainEvent::is_core).collect(),
+        graph: ctx.into_graph(),
+    }
+}
+
+/// The shared differential check: reference executor vs the scheduler at
+/// 1 and 4 workers, plus a warm-memo re-run at 4 workers.
+fn check_plan_matches_reference(chain: &ApiChain) -> Result<(), String> {
+    let reg = registry::standard();
+    let reference = observe(|ctx, mon| execute_chain_reference(&reg, chain, ctx, mon));
+    let sched4 = Scheduler::new(4);
+    let runs = [
+        ("1 worker", observe(|ctx, mon| {
+            Scheduler::new(1).execute(&reg, chain, ctx, mon)
+        })),
+        ("4 workers", observe(|ctx, mon| {
+            sched4.execute(&reg, chain, ctx, mon)
+        })),
+        ("4 workers, warm memo", observe(|ctx, mon| {
+            sched4.execute(&reg, chain, ctx, mon)
+        })),
+    ];
+    for (label, got) in runs {
+        prop_assert_eq!(&got.result, &reference.result, "result differs ({label})");
+        prop_assert_eq!(&got.findings, &reference.findings, "findings differ ({label})");
+        prop_assert_eq!(
+            &got.core_events,
+            &reference.core_events,
+            "core events differ ({label})"
+        );
+        prop_assert_eq!(&got.graph, &reference.graph, "final graph differs ({label})");
+    }
+    Ok(())
+}
+
+/// Determinism contract: N-worker plan execution is observation-equivalent
+/// to the sequential seed executor on random valid chains.
+#[test]
+fn plan_execution_matches_reference_executor() {
+    check(
+        "plan_execution_matches_reference_executor",
+        Config::default().with_cases(24),
+        |rng, _size| random_valid_chain(rng, 4),
+        check_plan_matches_reference,
+    );
+}
+
+/// The canonical cleaning pipeline (paper Fig. 6) — barriers, confirmations
+/// and mutations all in one chain — through the same differential check.
+#[test]
+fn cleaning_pipeline_matches_reference() {
+    let chain = ApiChain::from_names([
+        "detect_incorrect_edges",
+        "remove_edges",
+        "detect_missing_edges",
+        "add_edges",
+    ]);
+    check_plan_matches_reference(&chain).unwrap();
+}
+
+/// A wide read-only chain — the maximally parallel shape.
+#[test]
+fn parallel_reads_match_reference() {
+    let chain = ApiChain::from_names([
+        "node_count",
+        "edge_count",
+        "graph_density",
+        "detect_communities",
+        "generate_report",
+    ]);
+    check_plan_matches_reference(&chain).unwrap();
+}
+
+/// Golden test: the Plan JSON encoding for the cleaning chain is pinned, so
+/// accidental changes to the IR (field set, dependency edges, barrier
+/// classification) show up as a readable diff.
+#[test]
+fn plan_json_encoding_is_stable() {
+    let reg = registry::standard();
+    let chain = ApiChain::from_names([
+        "node_count",
+        "detect_incorrect_edges",
+        "remove_edges",
+        "generate_report",
+    ]);
+    let plan = Plan::build(&chain, &reg).unwrap();
+    let got = chatgraph_support::json::to_string(&plan);
+    if std::env::var_os("CHATGRAPH_UPDATE_GOLDEN").is_some() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_plan.json");
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = include_str!("golden_plan.json").trim();
+    assert_eq!(got, want, "Plan JSON drifted from tests/golden_plan.json");
+}

@@ -1,0 +1,111 @@
+//! Plan-scheduler bench: the same branch-parallel chain executed
+//! sequentially (1 worker) and with a 4-worker pool, plus a warm-memo run.
+//! Writes `results/BENCH_plan_exec.json` including the measured speedup.
+//!
+//! The chain is eight independent whole-graph analyses — after plan
+//! lowering they form one `Segment::Parallel` of eight singleton
+//! sub-chains, the shape the scheduler exists for.
+
+use chatgraph_apis::{registry, ApiCall, ApiChain, ExecContext, Scheduler, SilentMonitor};
+use chatgraph_graph::generators::{social_network, SocialParams};
+use chatgraph_support::bench::{Bench, Stats};
+use chatgraph_support::json::Json;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn record(out: &mut Vec<(String, Json)>, label: &str, stats: Stats) {
+    out.push((
+        label.to_owned(),
+        Json::Object(vec![
+            ("median_ns".to_owned(), Json::UInt(stats.median.as_nanos() as u64)),
+            ("p95_ns".to_owned(), Json::UInt(stats.p95.as_nanos() as u64)),
+            ("min_ns".to_owned(), Json::UInt(stats.min.as_nanos() as u64)),
+            ("iters".to_owned(), Json::UInt(stats.iters as u64)),
+        ]),
+    ));
+}
+
+fn main() {
+    let reg = registry::standard();
+    // Heavy steps first so the FIFO job queue hands them to distinct
+    // workers; the cheap tail fills in behind them. The betweenness steps
+    // use distinct `k` so memoization (when on) treats them as distinct.
+    let mut chain = ApiChain::new();
+    for (api, k) in [
+        ("top_betweenness", "3"),
+        ("top_betweenness", "5"),
+        ("top_betweenness", "8"),
+        ("top_betweenness", "12"),
+        ("top_closeness", "5"),
+        ("graph_diameter", "5"),
+        ("detect_communities", "5"),
+        ("top_pagerank", "5"),
+        ("clustering_coefficient", "5"),
+        ("modularity_score", "5"),
+        ("triangle_count", "5"),
+    ] {
+        chain.push(ApiCall::new(api).with_param("k", k));
+    }
+    assert!(chain.validate(&reg, true).is_ok(), "bench chain must validate");
+
+    // A scenario-scale social network, big enough that the path-based
+    // analyses dominate the scheduler's thread overhead.
+    let graph = Arc::new(social_network(
+        &SocialParams {
+            communities: 6,
+            community_size: 50,
+            p_intra: 0.3,
+            p_inter: 0.01,
+        },
+        42,
+    ));
+
+    // Memoization off for the timed comparison: with the cache on, every
+    // iteration after the first is a pure memo hit and the comparison would
+    // measure the cache, not the executor.
+    let seq = Scheduler::new(1).with_memo_capacity(0);
+    let par = Scheduler::new(4).with_memo_capacity(0);
+    let memo = Scheduler::new(4);
+
+    let run = |sched: &Scheduler| {
+        let mut ctx = ExecContext::new(Arc::clone(&graph));
+        let out = sched.execute(&reg, &chain, &mut ctx, &mut SilentMonitor);
+        black_box(out.is_ok());
+    };
+
+    let mut results: Vec<(String, Json)> = Vec::new();
+    let mut bench = Bench::new("plan_exec");
+    let mut group = bench.group("plan_exec");
+    let seq_stats = group.bench("sequential_1_worker", || run(&seq));
+    record(&mut results, "sequential_1_worker", seq_stats);
+    let par_stats = group.bench("parallel_4_workers", || run(&par));
+    record(&mut results, "parallel_4_workers", par_stats);
+    let memo_stats = group.bench("parallel_4_workers_warm_memo", || run(&memo));
+    record(&mut results, "parallel_4_workers_warm_memo", memo_stats);
+
+    let speedup = seq_stats.median.as_nanos() as f64 / par_stats.median.as_nanos().max(1) as f64;
+    let memo_speedup =
+        seq_stats.median.as_nanos() as f64 / memo_stats.median.as_nanos().max(1) as f64;
+    // On a single-CPU runner the 4-worker pool cannot beat sequential;
+    // record the machine's parallelism so the numbers read correctly.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\nspeedup (sequential / 4-worker, median): {speedup:.2}x on {cpus} cpu(s)");
+    println!("speedup (sequential / warm memo, median): {memo_speedup:.2}x");
+
+    let doc = Json::Object(vec![
+        ("bench".to_owned(), Json::Str("plan_exec".to_owned())),
+        ("chain_len".to_owned(), Json::UInt(chain.len() as u64)),
+        ("graph_nodes".to_owned(), Json::UInt(graph.node_count() as u64)),
+        ("workers".to_owned(), Json::UInt(4)),
+        ("cpus".to_owned(), Json::UInt(cpus as u64)),
+        ("speedup_median".to_owned(), Json::Float(speedup)),
+        ("memo_speedup_median".to_owned(), Json::Float(memo_speedup)),
+        ("results".to_owned(), Json::Object(results)),
+    ]);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("results/BENCH_plan_exec.json");
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
+}

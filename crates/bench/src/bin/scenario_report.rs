@@ -12,7 +12,13 @@ use chatgraph_graph::generators::{
 
 fn main() {
     println!("Bootstrapping ChatGraph (registry, retriever, finetuned model)...");
-    let (mut session, report) = ChatSession::bootstrap(ChatGraphConfig::default(), 384);
+    let (mut session, report) = match ChatSession::bootstrap(ChatGraphConfig::default(), 384) {
+        Ok(built) => built,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "Finetuned on {} next-token examples; final train accuracy {:.3}\n",
         report.examples, report.train.final_accuracy

@@ -93,6 +93,26 @@ impl Default for FinetuneConfig {
     }
 }
 
+/// Plan-execution settings: how [`chatgraph_apis::Scheduler`] runs a
+/// confirmed chain (DESIGN.md §9).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads for parallel plan segments. 1 reproduces the
+    /// sequential executor exactly; more workers never change the result
+    /// (the determinism contract), only the wall-clock time.
+    pub workers: usize,
+    /// Capacity of the bounded pure-step memo cache (0 disables caching).
+    pub memo_capacity: usize,
+}
+
+chatgraph_support::impl_json_struct!(ExecConfig { workers, memo_capacity });
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { workers: 1, memo_capacity: 64 }
+    }
+}
+
 /// The complete ChatGraph configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChatGraphConfig {
@@ -106,6 +126,8 @@ pub struct ChatGraphConfig {
     pub sampling: SamplingConfig,
     /// Finetuning module.
     pub finetune: FinetuneConfig,
+    /// Chain-execution scheduler.
+    pub exec: ExecConfig,
     /// Global seed.
     pub seed: u64,
 }
@@ -116,6 +138,7 @@ chatgraph_support::impl_json_struct!(ChatGraphConfig {
     features,
     sampling,
     finetune,
+    exec,
     seed,
 });
 
@@ -157,6 +180,7 @@ impl Default for ChatGraphConfig {
             features: FeatureConfig::default(),
             sampling: SamplingConfig::default(),
             finetune: FinetuneConfig::default(),
+            exec: ExecConfig::default(),
             seed: 42,
         }
     }
@@ -193,6 +217,9 @@ impl ChatGraphConfig {
         if self.sampling.temperature < 0.0 {
             problems.push("sampling.temperature must be >= 0".to_owned());
         }
+        if self.exec.workers == 0 {
+            problems.push("exec.workers must be >= 1".to_owned());
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -228,6 +255,18 @@ mod tests {
         let t = c.retrieval.taumg_params();
         assert_eq!(t.metric, chatgraph_embed::Metric::Cosine);
         assert_eq!(t.max_degree, 8);
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let mut c = ChatGraphConfig::default();
+        c.exec.workers = 0;
+        let problems = c.validate().unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("exec.workers")), "{problems:?}");
+        // memo_capacity 0 is legal: it just disables the cache.
+        let mut c = ChatGraphConfig::default();
+        c.exec.memo_capacity = 0;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -38,11 +38,11 @@ pub mod retrieval;
 pub mod scenarios;
 pub mod session;
 
-pub use config::ChatGraphConfig;
+pub use config::{ChatGraphConfig, ExecConfig};
 pub use dataset::{generate_corpus, CorpusParams, QaExample};
 pub use finetune::{evaluate, finetune, EvalReport, FinetuneMethod, FinetuneReport};
 pub use generation::ChainGenerator;
 pub use graph_aware::GraphAwareLm;
 pub use prompt::Prompt;
 pub use retrieval::ApiRetriever;
-pub use session::{ChatResponse, ChatSession};
+pub use session::{ChatResponse, ChatSession, SessionError};

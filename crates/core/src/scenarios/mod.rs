@@ -51,7 +51,9 @@ pub(crate) mod test_support {
     pub fn with_session<T>(f: impl FnOnce(&mut ChatSession) -> T) -> T {
         let m = SESSION.get_or_init(|| {
             let config = ChatGraphConfig::default();
-            Mutex::new(ChatSession::bootstrap(config, 192).0)
+            let (session, _) =
+                ChatSession::bootstrap(config, 192).expect("default config is valid");
+            Mutex::new(session)
         });
         // Recover from poisoning: a failed assertion in one scenario test
         // must not cascade into the others.

@@ -21,9 +21,32 @@ use crate::prompt::Prompt;
 use crate::retrieval::ApiRetriever;
 use chatgraph_analyzer::diag::Diagnostics;
 use chatgraph_apis::{
-    execute_chain, registry, ApiChain, ApiRegistry, ChainError, ExecContext, Monitor, Value,
+    registry, ApiChain, ApiRegistry, ChainError, ExecContext, Monitor, Scheduler, Value,
 };
 use chatgraph_graph::Graph;
+use std::sync::Arc;
+
+/// Why a session could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The configuration failed [`ChatGraphConfig::validate`].
+    InvalidConfig(Vec<String>),
+    /// A saved model could not be parsed.
+    Model(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::InvalidConfig(problems) => {
+                write!(f, "invalid config: {}", problems.join("; "))
+            }
+            SessionError::Model(e) => write!(f, "saved model is unusable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
 
 /// One transcript turn.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,10 +80,12 @@ pub struct ChatSession {
     retriever: ApiRetriever,
     lm: GraphAwareLm,
     generator: ChainGenerator,
+    scheduler: Scheduler,
     /// The graph uploaded most recently (the session graph).
     pub graph: Option<Graph>,
-    /// The molecule database for similarity search.
-    pub database: Vec<Graph>,
+    /// The molecule database for similarity search, shared with executions
+    /// without copying.
+    pub database: Arc<Vec<Graph>>,
     transcript: Vec<Turn>,
 }
 
@@ -68,10 +93,11 @@ impl ChatSession {
     /// Builds a session: standard registry, retriever over it, and a model
     /// finetuned on the synthetic corpus (the offline stand-in for the
     /// paper's pre-finetuned checkpoints).
-    pub fn bootstrap(config: ChatGraphConfig, corpus_size: usize) -> (Self, FinetuneReport) {
-        config
-            .validate()
-            .unwrap_or_else(|p| panic!("invalid config: {p:?}"));
+    pub fn bootstrap(
+        config: ChatGraphConfig,
+        corpus_size: usize,
+    ) -> Result<(Self, FinetuneReport), SessionError> {
+        config.validate().map_err(SessionError::InvalidConfig)?;
         let registry = registry::standard();
         let retriever = ApiRetriever::build(&registry, &config.retrieval);
         let mut lm = GraphAwareLm::new(&registry, &config);
@@ -93,19 +119,22 @@ impl ChatSession {
         let generator = ChainGenerator {
             max_len: config.finetune.max_chain_len,
         };
-        (
+        let scheduler = Scheduler::new(config.exec.workers)
+            .with_memo_capacity(config.exec.memo_capacity);
+        Ok((
             ChatSession {
                 config,
                 registry,
                 retriever,
                 lm,
                 generator,
+                scheduler,
                 graph: None,
-                database: Vec::new(),
+                database: Arc::new(Vec::new()),
                 transcript: Vec::new(),
             },
             report,
-        )
+        ))
     }
 
     /// Builds a session around a previously finetuned model (saved with
@@ -113,24 +142,26 @@ impl ChatSession {
     pub fn from_saved_model(
         config: ChatGraphConfig,
         model_json: &str,
-    ) -> Result<Self, chatgraph_support::json::JsonError> {
-        config
-            .validate()
-            .unwrap_or_else(|p| panic!("invalid config: {p:?}"));
+    ) -> Result<Self, SessionError> {
+        config.validate().map_err(SessionError::InvalidConfig)?;
         let registry = registry::standard();
         let retriever = ApiRetriever::build(&registry, &config.retrieval);
-        let lm = GraphAwareLm::load_json(model_json)?;
+        let lm = GraphAwareLm::load_json(model_json)
+            .map_err(|e| SessionError::Model(e.to_string()))?;
         let generator = ChainGenerator {
             max_len: config.finetune.max_chain_len,
         };
+        let scheduler = Scheduler::new(config.exec.workers)
+            .with_memo_capacity(config.exec.memo_capacity);
         Ok(ChatSession {
             config,
             registry,
             retriever,
             lm,
             generator,
+            scheduler,
             graph: None,
-            database: Vec::new(),
+            database: Arc::new(Vec::new()),
             transcript: Vec::new(),
         })
     }
@@ -162,7 +193,7 @@ impl ChatSession {
 
     /// Attaches a molecule database for similarity search.
     pub fn set_database(&mut self, database: Vec<Graph>) {
-        self.database = database;
+        self.database = Arc::new(database);
     }
 
     /// Suggested questions for the current graph (panel ②), driven by the
@@ -257,18 +288,29 @@ impl ChatSession {
     /// Executes a (confirmed, possibly user-edited) chain against the
     /// session graph, streaming progress through `monitor`. The session
     /// graph is updated in place by edit APIs.
+    ///
+    /// Execution goes through the plan [`Scheduler`] configured by
+    /// [`crate::config::ExecConfig`]: with `workers: 1` this is exactly the
+    /// sequential executor; with more workers, independent read-only steps
+    /// run concurrently over a shared graph snapshot, with identical
+    /// results.
     pub fn run_chain(
         &mut self,
         chain: &ApiChain,
         monitor: &mut dyn Monitor,
     ) -> Result<Value, ChainError> {
-        let graph = self.graph.clone().unwrap_or_else(Graph::undirected);
+        // `take` hands the session graph to the context without a deep
+        // copy; edits are copy-on-write inside the executor.
+        let graph = self.graph.take().unwrap_or_else(Graph::undirected);
         let mut ctx = ExecContext::new(graph)
-            .with_database(self.database.clone())
+            .with_database(Arc::clone(&self.database))
             .with_seed(self.config.seed);
-        let result = execute_chain(&self.registry, chain, &mut ctx, monitor);
-        // Persist mutations (scenario 3 cleans the session graph in place).
-        self.graph = Some(ctx.graph);
+        let result = self
+            .scheduler
+            .execute(&self.registry, chain, &mut ctx, monitor);
+        // Persist mutations (scenario 3 cleans the session graph in place),
+        // even when the chain failed part-way: completed edits happened.
+        self.graph = Some(ctx.into_graph());
         if let Ok(value) = &result {
             self.transcript
                 .push(Turn::System(format!("Executed {chain}: {}", value.summary())));

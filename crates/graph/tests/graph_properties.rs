@@ -3,7 +3,7 @@
 
 use chatgraph_graph::{io, Graph, NodeId};
 use chatgraph_support::prop::{check, Config};
-use chatgraph_support::rng::{Rng, RngExt, StdRng};
+use chatgraph_support::rng::{RngExt, StdRng};
 use chatgraph_support::{prop_assert, prop_assert_eq};
 
 /// A random mutation script.

@@ -1,0 +1,92 @@
+//! FNV-1a 64-bit hashing — the workspace's stable fingerprint function.
+//!
+//! Used by the plan scheduler to key its memo cache on
+//! `(api, params, graph-fingerprint)`. FNV-1a is tiny, allocation-free and
+//! deterministic across runs and platforms, which is exactly what a cache
+//! key (and a golden test over one) needs; it is *not* a cryptographic
+//! hash and must never be used for anything adversarial.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with FNV-1a 64.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Streaming FNV-1a 64 state, for fingerprints built from several parts.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// Fresh state (the FNV offset basis).
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian), e.g. a nested fingerprint.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a string, length-prefixed so `("ab","c")` ≠ `("a","bc")`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn length_prefix_separates_strings() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -13,12 +13,18 @@
 //!   failing-seed reporting, bounded shrinking) replacing `proptest`.
 //! * [`bench`] — a minimal timing harness (warmup + N iterations,
 //!   median/p95 report) replacing `criterion`.
+//! * [`hash`] — FNV-1a 64 fingerprints (one-shot and streaming) for stable
+//!   cache keys.
+//! * [`lru`] — a bounded least-recently-used map replacing the `lru` crate,
+//!   backing the plan scheduler's step-memo cache.
 //!
 //! Design rule: **no external crates, ever** — `tests/hermetic.rs` at the
 //! workspace root fails the build if any manifest regresses to a registry
 //! dependency.
 
 pub mod bench;
+pub mod hash;
 pub mod json;
+pub mod lru;
 pub mod prop;
 pub mod rng;

@@ -1,0 +1,131 @@
+//! A small bounded LRU map, vendored in place of the `lru` crate.
+//!
+//! Backing store is a `HashMap` plus a monotonic access tick; eviction
+//! scans for the minimum tick. That makes `insert` O(capacity) in the
+//! worst case, which is fine for the intended use — a memo cache of at
+//! most a few hundred chain-step results — and keeps the implementation
+//! dependency-free and obviously correct.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded least-recently-used map. Capacity 0 disables storage entirely
+/// (every `insert` is a no-op), so callers can switch caching off without
+/// branching.
+#[derive(Debug, Clone)]
+pub struct Lru<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Lru {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            &slot.1
+        })
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry if the
+    /// cache is full. Returns the evicted value, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.0 = self.tick;
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            self.map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+                .and_then(|k| self.map.remove(&k).map(|(_, v)| v))
+        } else {
+            None
+        };
+        self.map.insert(key, (self.tick, value));
+        evicted
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), Some(&1)); // refresh a
+        lru.insert("c", 3); // evicts b
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.get(&"c"), Some(&3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.insert("a", 10), Some(1));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&"a"), Some(&10));
+        assert_eq!(lru.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut lru = Lru::new(0);
+        assert_eq!(lru.insert("a", 1), None);
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&"a"), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut lru = Lru::new(4);
+        lru.insert(1, "x");
+        lru.insert(2, "y");
+        lru.clear();
+        assert!(lru.is_empty());
+    }
+}

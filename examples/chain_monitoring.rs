@@ -14,7 +14,7 @@ use chatgraph::graph::generators::{social_network, SocialParams};
 
 fn main() {
     println!("Bootstrapping ChatGraph...");
-    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384);
+    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384).expect("default config is valid");
 
     let graph = social_network(&SocialParams::default(), 41);
     let (out, events) = monitoring::run(&mut session, graph);

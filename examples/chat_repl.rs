@@ -15,10 +15,11 @@
 //!
 //! Commands: `:social` / `:molecule` / `:kg` generate and upload a graph,
 //! `:upload <path>` reads an edge-list file, `:suggest` prints suggested
-//! questions, `:quit` exits. Anything else is a prompt; proposed chains are
-//! executed immediately (auto-confirm).
+//! questions, `:plan` shows the execution plan (DAG of dependencies and
+//! barriers) of the last proposed chain, `:quit` exits. Anything else is a
+//! prompt; proposed chains are executed immediately (auto-confirm).
 
-use chatgraph::apis::{ChainEvent, CollectingMonitor, Value};
+use chatgraph::apis::{ChainEvent, CollectingMonitor, Plan, Value};
 use chatgraph::core::prompt::Prompt;
 use chatgraph::core::{ChatGraphConfig, ChatSession};
 use chatgraph::graph::generators::{
@@ -30,10 +31,11 @@ use std::io::BufRead;
 
 fn main() {
     println!("Bootstrapping ChatGraph (this finetunes the model once)...");
-    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384);
+    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384).expect("default config is valid");
     session.set_database(molecule_database(30, &MoleculeParams::default(), 123));
-    println!("Ready. Type :social / :molecule / :kg to upload a graph, :suggest, :quit.\n");
+    println!("Ready. Type :social / :molecule / :kg to upload a graph, :suggest, :plan, :quit.\n");
 
+    let mut last_chain: Option<chatgraph::apis::ApiChain> = None;
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
@@ -78,12 +80,28 @@ fn main() {
                     println!("  - {q}");
                 }
             }
+            ":plan" => match &last_chain {
+                None => println!("no chain proposed yet — ask a question first."),
+                Some(chain) => match Plan::build(chain, session.registry()) {
+                    Ok(plan) => {
+                        println!(
+                            "plan: {} steps, {} dependencies, {} barrier(s)",
+                            plan.len(),
+                            plan.dep_count(),
+                            plan.barrier_count()
+                        );
+                        print!("{}", plan.render_text());
+                    }
+                    Err(e) => println!("the chain does not lower to a plan: {e}"),
+                },
+            },
             _ => {
                 let response = session.send(Prompt::text(line));
                 println!("ChatGraph: {}", response.message);
                 if response.chain.is_empty() {
                     continue;
                 }
+                last_chain = Some(response.chain.clone());
                 let mut monitor = CollectingMonitor::new();
                 match session.run_chain(&response.chain, &mut monitor) {
                     Ok(result) => {

@@ -16,7 +16,7 @@ use chatgraph::graph::generators::{molecule, social_network, MoleculeParams, Soc
 
 fn main() {
     println!("Bootstrapping ChatGraph...");
-    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384);
+    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384).expect("default config is valid");
 
     let social = social_network(&SocialParams::default(), 21);
     let out = understanding::run(&mut session, social);

@@ -16,7 +16,7 @@ use chatgraph::graph::generators::{corrupt_kg, knowledge_graph, KgParams};
 
 fn main() {
     println!("Bootstrapping ChatGraph...");
-    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384);
+    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384).expect("default config is valid");
 
     let mut kg = knowledge_graph(&KgParams::default(), 31);
     let truth = corrupt_kg(&mut kg, 0.08, 0.05, 31);

@@ -14,7 +14,7 @@ use chatgraph::graph::generators::{molecule_database, MoleculeParams};
 
 fn main() {
     println!("Bootstrapping ChatGraph...");
-    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384);
+    let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384).expect("default config is valid");
 
     // The query molecule is an exact member of the database, so rank 1 is a
     // known answer (normalised GED 0) — an easy correctness check by eye.

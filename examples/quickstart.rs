@@ -14,7 +14,7 @@ fn main() {
     // 1. Bootstrap the full stack: API registry, τ-MG retrieval index, and a
     //    graph-aware model finetuned on the synthetic question→chain corpus.
     println!("Bootstrapping ChatGraph...");
-    let (mut session, report) = ChatSession::bootstrap(ChatGraphConfig::default(), 384);
+    let (mut session, report) = ChatSession::bootstrap(ChatGraphConfig::default(), 384).expect("default config is valid");
     println!(
         "Finetuned on {} examples (train accuracy {:.2}).\n",
         report.examples, report.train.final_accuracy

@@ -10,6 +10,14 @@ cargo build --release && cargo test -q
 # Everything else must also compile offline: benches, examples, all targets.
 cargo build --offline --workspace --benches --examples
 
+# Plan scheduler determinism: 1- and 4-worker execution must match the
+# sequential reference executor on random valid chains (DESIGN.md §9).
+cargo test -q --offline -p chatgraph-apis --test plan_properties
+
+# Plan execution baseline: sequential vs 4-worker vs warm-memo timings,
+# written to results/BENCH_plan_exec.json with the measured speedup.
+cargo bench --offline -p chatgraph-bench --bench chain_plan_exec
+
 # Repository lint: no unwrap/expect/panic! in non-test library code beyond
 # the shrink-only allowlist (lint-allow.toml), no `unsafe`, hermetic
 # manifests. See DESIGN.md on the diagnostics framework.
