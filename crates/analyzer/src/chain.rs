@@ -23,7 +23,8 @@
 //!    lowering derives from [`ApiSig::mutates_graph`]: CG011 dead step
 //!    (removable without changing the result), CG012 edit/read ordering
 //!    hazard (a pre-edit graph read reported post-edit), CG013 needless
-//!    mid-chain barrier (a report sink before the end of the chain).
+//!    mid-chain barrier (a report sink before the end of the chain), CG015
+//!    interleaved edits thrashing the epoch-cached CSR snapshot.
 
 use crate::diag::{Diagnostic, Diagnostics, Span};
 use std::collections::BTreeMap;
@@ -493,6 +494,52 @@ fn plan_pass(chain: &ChainIr, catalog: &Catalog, sink: &mut Diagnostics) {
             );
         }
     }
+
+    // CG015 — CSR-cache thrash: two graph edits with only pure graph-reading
+    // analytics strictly between them. Every edit starts a new mutation
+    // epoch, so the interleaved analytics rebuild the compressed (CSR)
+    // snapshot that the very next edit immediately invalidates again. When
+    // no prev-output consumption links cross the window — none of the
+    // in-between outputs feed their successor, and neither edit consumes a
+    // value produced inside the window — the plan's own dependency structure
+    // proves the reads can be grouped on one side of both edits.
+    let mutators: Vec<usize> = sigs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_some_and(|s| s.mutates_graph))
+        .map(|(i, _)| i)
+        .collect();
+    for w in mutators.windows(2) {
+        let (m1, m2) = (w[0], w[1]);
+        if m2 <= m1 + 1 {
+            continue;
+        }
+        let pure_reads_between = (m1 + 1..m2).all(|j| {
+            sigs[j].is_some_and(|s| {
+                s.input.class == TypeClass::Graph && !s.mutates_graph && !s.requires_confirmation
+            })
+        });
+        let no_links = (m1 + 1..=m2).all(|j| match (sigs[j - 1], sigs[j]) {
+            (Some(prev), Some(s)) => !s.input.accepts(&prev.output),
+            _ => false,
+        });
+        if pure_reads_between && no_links {
+            let m1_name = sigs[m1].map(|s| s.name.as_str()).unwrap_or("?");
+            let m2_name = sigs[m2].map(|s| s.name.as_str()).unwrap_or("?");
+            sink.push(
+                Diagnostic::new(
+                    "CG015",
+                    Span::Step { step: m2, param: None },
+                    format!(
+                        "edit `{m2_name}` re-mutates the graph after analytics that follow edit `{m1_name}` at step {m1}: each edit invalidates the cached CSR snapshot the analytics just rebuilt"
+                    ),
+                )
+                .with_suggestion(
+                    "group the edits together and run the analytics before or after both, so one CSR snapshot serves every read",
+                ),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -750,6 +797,45 @@ mod tests {
         c.steps[0].params.insert("to".into(), "B".into());
         let d2 = analyze_chain(&c, &catalog(), true);
         assert!(!codes(&d2).contains(&"CG014"), "{}", d2.render_text());
+    }
+
+    #[test]
+    fn interleaved_edits_are_cg015() {
+        // edit → analytics → edit: the middle read rebuilds a CSR snapshot
+        // the second edit immediately invalidates.
+        let mut c = chain(&["relabel_nodes", "top_pagerank", "relabel_nodes"]);
+        for i in [0, 2] {
+            c.steps[i].params.insert("from".into(), "A".into());
+            c.steps[i].params.insert("to".into(), "B".into());
+        }
+        let d = analyze_chain(&c, &catalog(), true);
+        let cg015: Vec<_> = d.items.iter().filter(|x| x.code == "CG015").collect();
+        assert_eq!(cg015.len(), 1, "{}", d.render_text());
+        assert!(cg015.iter().all(|x| x.severity == Severity::Info));
+        assert!(matches!(cg015[0].span, Span::Step { step: 2, .. }), "{:?}", cg015[0].span);
+        assert!(cg015[0].suggestion.as_deref().unwrap_or("").contains("group the edits"));
+    }
+
+    #[test]
+    fn adjacent_or_linked_edits_are_not_cg015() {
+        // Adjacent edits: already batched, nothing to reorder.
+        let mut adjacent = chain(&["relabel_nodes", "relabel_nodes", "top_pagerank"]);
+        for i in [0, 1] {
+            adjacent.steps[i].params.insert("from".into(), "A".into());
+            adjacent.steps[i].params.insert("to".into(), "B".into());
+        }
+        let d = analyze_chain(&adjacent, &catalog(), true);
+        assert!(!codes(&d).contains(&"CG015"), "{}", d.render_text());
+
+        // A report sink between the edits is not a pure graph read, so the
+        // reorder is not provably safe.
+        let mut sunk = chain(&["relabel_nodes", "generate_report", "relabel_nodes"]);
+        for i in [0, 2] {
+            sunk.steps[i].params.insert("from".into(), "A".into());
+            sunk.steps[i].params.insert("to".into(), "B".into());
+        }
+        let d2 = analyze_chain(&sunk, &catalog(), true);
+        assert!(!codes(&d2).contains(&"CG015"), "{}", d2.render_text());
     }
 
     #[test]

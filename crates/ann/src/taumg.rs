@@ -50,10 +50,18 @@ impl Default for TauMgParams {
 }
 
 /// The τ-MG index.
+///
+/// After construction the adjacency is flattened into a CSR layout
+/// (`csr_offsets`/`csr_targets`): query-time routing reads contiguous
+/// neighbour slices instead of chasing one heap allocation per node, which
+/// is the hot loop of [`beam_search`].
 #[derive(Debug, Clone)]
 pub struct TauMg {
     data: Vec<Vector>,
-    adj: Vec<Vec<u32>>,
+    /// CSR row offsets: neighbours of `u` live at
+    /// `csr_targets[csr_offsets[u] as usize..csr_offsets[u + 1] as usize]`.
+    csr_offsets: Vec<u32>,
+    csr_targets: Vec<u32>,
     entry: Vec<usize>,
     params: TauMgParams,
 }
@@ -66,20 +74,24 @@ impl TauMg {
         let n = data.len();
         let mut index = TauMg {
             data,
-            adj: vec![Vec::new(); n],
+            csr_offsets: vec![0],
+            csr_targets: Vec::new(),
             entry: Vec::new(),
             params,
         };
         if n == 0 {
             return index;
         }
+        // Incremental construction mutates per-node neighbour lists; the
+        // ragged form only lives for the duration of the build.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         index.entry = vec![0];
         let mut scratch = SearchStats::default();
         for i in 1..n {
             let ef = index.params.ef_construction.max(index.params.max_degree + 1);
             let mut cands = beam_search(
                 &index.data,
-                |u| index.adj[u].iter(),
+                |u| adj[u].iter(),
                 &index.entry,
                 &index.data[i],
                 ef,
@@ -107,12 +119,29 @@ impl TauMg {
             cands.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             let selected = index.select_neighbors(i, &cands);
             for &(j, dij) in &selected {
-                index.adj[i].push(j as u32);
-                index.backlink(j, i, dij);
+                adj[i].push(j as u32);
+                index.backlink(&mut adj, j, i, dij);
             }
         }
+        index.flatten(&adj);
         index.entry = index.entry_points();
         index
+    }
+
+    /// Packs the ragged build-time adjacency into the CSR arrays.
+    fn flatten(&mut self, adj: &[Vec<u32>]) {
+        self.csr_offsets = Vec::with_capacity(adj.len() + 1);
+        self.csr_offsets.push(0);
+        self.csr_targets = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+        for a in adj {
+            self.csr_targets.extend_from_slice(a);
+            self.csr_offsets.push(self.csr_targets.len() as u32);
+        }
+    }
+
+    /// Out-neighbours of `u` as a contiguous CSR slice.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.csr_targets[self.csr_offsets[u] as usize..self.csr_offsets[u + 1] as usize]
     }
 
     /// Routing entry points: the medoid plus a deterministic stratified
@@ -169,13 +198,13 @@ impl TauMg {
 
     /// Adds the reverse edge `j → i`, re-pruning `j`'s list with the
     /// occlusion rule if it overflows the degree cap.
-    fn backlink(&mut self, j: usize, i: usize, dij: f32) {
-        if self.adj[j].contains(&(i as u32)) {
+    fn backlink(&self, adj: &mut [Vec<u32>], j: usize, i: usize, dij: f32) {
+        if adj[j].contains(&(i as u32)) {
             return;
         }
-        self.adj[j].push(i as u32);
-        if self.adj[j].len() > self.params.max_degree {
-            let mut cands: Vec<(usize, f32)> = self.adj[j]
+        adj[j].push(i as u32);
+        if adj[j].len() > self.params.max_degree {
+            let mut cands: Vec<(usize, f32)> = adj[j]
                 .iter()
                 .map(|&w| {
                     let w = w as usize;
@@ -189,7 +218,7 @@ impl TauMg {
                 .collect();
             cands.sort_by(|a, b| a.1.total_cmp(&b.1));
             let kept = self.select_neighbors(j, &cands);
-            self.adj[j] = kept.iter().map(|&(w, _)| w as u32).collect();
+            adj[j] = kept.iter().map(|&(w, _)| w as u32).collect();
         }
     }
 
@@ -213,20 +242,21 @@ impl TauMg {
                     .distance(&mean, self.params.metric)
                     .total_cmp(&self.data[b].distance(&mean, self.params.metric))
             })
-            .expect("non-empty dataset")
+            .unwrap_or(0)
     }
 
     /// Total directed edge count.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(|a| a.len()).sum()
+        self.csr_targets.len()
     }
 
     /// Mean out-degree.
     pub fn avg_degree(&self) -> f64 {
-        if self.adj.is_empty() {
+        let n = self.csr_offsets.len() - 1;
+        if n == 0 {
             0.0
         } else {
-            self.edge_count() as f64 / self.adj.len() as f64
+            self.edge_count() as f64 / n as f64
         }
     }
 
@@ -245,7 +275,7 @@ impl TauMg {
     ) -> Vec<(usize, f32)> {
         let mut res = beam_search(
             &self.data,
-            |u| self.adj[u].iter(),
+            |u| self.neighbors(u).iter(),
             &self.entry,
             query,
             ef.max(k),
@@ -294,8 +324,8 @@ mod tests {
     fn degree_cap_respected() {
         let p = ClusterParams { n: 500, dim: 8, clusters: 5, noise: 0.1 };
         let idx = TauMg::build(clustered(&p, 2), small_params());
-        for a in &idx.adj {
-            assert!(a.len() <= idx.params.max_degree);
+        for u in 0..idx.len() {
+            assert!(idx.neighbors(u).len() <= idx.params.max_degree);
         }
     }
 

@@ -56,7 +56,7 @@ pub fn lower_chain(chain: &ApiChain) -> ChainIr {
 
 /// Runs the full multi-pass analysis over `chain`, collecting every finding
 /// (type-flow errors CG001–CG004, parameter lints CG005–CG007/CG014,
-/// hygiene warnings CG008–CG010, plan dataflow lints CG011–CG013) instead
+/// hygiene warnings CG008–CG010, plan dataflow lints CG011–CG015) instead
 /// of stopping at the first.
 pub fn analyze(chain: &ApiChain, registry: &ApiRegistry, has_session_graph: bool) -> Diagnostics {
     analyze_chain(&lower_chain(chain), &lower_registry(registry), has_session_graph)

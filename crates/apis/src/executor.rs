@@ -11,12 +11,73 @@ use crate::chain::{ApiChain, ChainError};
 use crate::monitor::{ChainEvent, Monitor};
 use crate::registry::ApiRegistry;
 use crate::value::{Value, ValueType};
+use chatgraph_graph::csr::{CsrBuild, CsrCache, CsrGraph};
+use chatgraph_graph::kernels::KernelPolicy;
 use chatgraph_graph::Graph;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Findings beyond this count store a one-line summary instead of the full
 /// value, so long chains don't pin every intermediate result in memory.
 pub const MAX_FULL_FINDINGS: usize = 32;
+
+/// Shared CSR-kernel state threaded through a chain execution: the epoch
+/// cache of snapshots, the chunking policy, and a log of kernel timings.
+///
+/// The cache and log are behind [`Arc`], so cloning the context for a
+/// worker-local execution (the parallel scheduler does this per step)
+/// shares one cache across every worker in the chain: a snapshot built by
+/// any step of an epoch serves all of them, and the scheduler drains build
+/// records and timings into [`ChainEvent::CsrBuilt`] /
+/// [`ChainEvent::KernelTimed`] events after each segment.
+#[derive(Debug, Clone)]
+pub struct KernelState {
+    cache: Arc<CsrCache>,
+    /// Worker/chunk policy handed to every kernel invocation.
+    pub policy: KernelPolicy,
+    timings: Arc<Mutex<Vec<(String, u64)>>>,
+}
+
+impl Default for KernelState {
+    fn default() -> Self {
+        KernelState {
+            cache: Arc::new(CsrCache::default()),
+            policy: KernelPolicy::sequential(),
+            timings: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+impl KernelState {
+    /// The CSR snapshot for `g`, cached per mutation epoch (`Arc` identity;
+    /// copy-on-write mutation always allocates a new `Arc`, see
+    /// `chatgraph_graph::csr`).
+    pub fn csr(&self, g: &Arc<Graph>) -> Arc<CsrGraph> {
+        self.cache.get_or_build(g)
+    }
+
+    /// Runs `f`, recording its wall time under `kernel` for the next
+    /// [`KernelState::drain_timings`].
+    pub fn time<T>(&self, kernel: &str, f: impl FnOnce() -> T) -> T {
+        let started = std::time::Instant::now();
+        let out = f();
+        let micros = started.elapsed().as_micros() as u64;
+        self.timings
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((kernel.to_owned(), micros));
+        out
+    }
+
+    /// Drains `(kernel, micros)` records accumulated since the last drain.
+    pub fn drain_timings(&self) -> Vec<(String, u64)> {
+        std::mem::take(&mut *self.timings.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Drains CSR build records accumulated since the last drain.
+    pub fn drain_builds(&self) -> Vec<CsrBuild> {
+        self.cache.drain_builds()
+    }
+}
 
 /// Mutable state a chain executes against.
 ///
@@ -35,6 +96,8 @@ pub struct ExecContext {
     pub findings: Vec<(String, Value)>,
     /// Seed for any randomised analysis (community tie-breaking etc.).
     pub seed: u64,
+    /// Shared CSR snapshot cache, kernel policy, and timing log.
+    pub kernels: KernelState,
 }
 
 impl ExecContext {
@@ -45,6 +108,7 @@ impl ExecContext {
             database: Arc::new(Vec::new()),
             findings: Vec::new(),
             seed: 0,
+            kernels: KernelState::default(),
         }
     }
 
@@ -71,7 +135,17 @@ impl ExecContext {
     /// Takes the session graph out of the context, cloning only if it is
     /// still shared elsewhere.
     pub fn into_graph(self) -> Graph {
-        Arc::try_unwrap(self.graph).unwrap_or_else(|shared| (*shared).clone())
+        let ExecContext { graph, kernels, .. } = self;
+        // The CSR cache pins graph epochs; drop it first so an un-mutated
+        // session graph can still be unwrapped without a deep clone.
+        drop(kernels);
+        Arc::try_unwrap(graph).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// The CSR snapshot of the current session graph, cached per mutation
+    /// epoch. Hot analysis handlers route through this.
+    pub fn csr(&self) -> Arc<CsrGraph> {
+        self.kernels.csr(&self.graph)
     }
 
     /// Records one step's output, summarising past [`MAX_FULL_FINDINGS`].

@@ -17,15 +17,34 @@ use chatgraph_graph::{io, Graph};
 /// ascending. Distance is the bipartite GED upper bound normalised by the
 /// combined size, so different-sized molecules are comparable.
 ///
-/// GED per candidate is independent work, so the database is scored on
-/// `std::thread::scope` threads (chunked by available parallelism); results
-/// are deterministic regardless of thread count.
+/// Standalone entry point: sizes the thread pool from the machine. API
+/// handlers go through [`rank_database_with`] so the worker count follows
+/// the scheduler's kernel policy and the query size comes from the
+/// epoch-cached CSR snapshot.
 pub fn rank_database(query: &Graph, database: &[Graph]) -> Vec<(usize, f64)> {
-    let cost = CostModel::uniform();
-    let threads = std::thread::available_parallelism()
+    let workers = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .min(database.len().max(1));
+        .unwrap_or(1);
+    rank_database_with(query, query.node_count(), workers, database)
+}
+
+/// [`rank_database`] with the per-candidate loop invariants hoisted:
+/// `query_n` is the query's live node count (handlers read it from the
+/// cached CSR) and `workers` bounds the scoring threads (handlers pass the
+/// kernel policy's worker count, which the scheduler clamps to 1 inside
+/// parallel segments so the pool is never oversubscribed).
+///
+/// GED per candidate is independent work, so the database is scored on
+/// `std::thread::scope` threads; results are deterministic regardless of
+/// thread count.
+pub fn rank_database_with(
+    query: &Graph,
+    query_n: usize,
+    workers: usize,
+    database: &[Graph],
+) -> Vec<(usize, f64)> {
+    let cost = CostModel::uniform();
+    let threads = workers.max(1).min(database.len().max(1));
     let chunk = database.len().div_ceil(threads.max(1)).max(1);
     let mut scored: Vec<(usize, f64)> = Vec::with_capacity(database.len());
     std::thread::scope(|scope| {
@@ -41,7 +60,7 @@ pub fn rank_database(query: &Graph, database: &[Graph]) -> Vec<(usize, f64)> {
                         .map(|(j, g)| {
                             let i = ci * chunk + j;
                             let ged = approx_ged(query, g, cost).upper_bound;
-                            let norm = (query.node_count() + g.node_count()).max(1) as f64;
+                            let norm = (query_n + g.node_count()).max(1) as f64;
                             (i, ged / norm)
                         })
                         .collect::<Vec<_>>()
@@ -77,7 +96,11 @@ pub fn register(reg: &mut ApiRegistry) {
                 return Err("similarity_search requires a graph database in the context".into());
             }
             let k = call.try_param_usize("k", 2)?;
-            let ranked = rank_database(&g, &ctx.database);
+            let csr = ctx.kernels.csr(&g);
+            let workers = ctx.kernels.policy.workers;
+            let ranked = ctx.kernels.time("ged_rank", || {
+                rank_database_with(&g, csr.n(), workers, &ctx.database)
+            });
             let mut t = crate::value::Table::new(["rank", "graph", "nodes", "normalised GED"]);
             for (rank, (i, d)) in ranked.into_iter().take(k).enumerate() {
                 t.push_row([
@@ -102,7 +125,12 @@ pub fn register(reg: &mut ApiRegistry) {
             if ctx.database.is_empty() {
                 return Err("most_similar_graph requires a graph database in the context".into());
             }
-            let best = rank_database(&g, &ctx.database)[0].0;
+            let csr = ctx.kernels.csr(&g);
+            let workers = ctx.kernels.policy.workers;
+            let best = ctx.kernels.time("ged_rank", || {
+                rank_database_with(&g, csr.n(), workers, &ctx.database)
+            })[0]
+                .0;
             Ok(Value::Graph(std::sync::Arc::new(ctx.database[best].clone())))
         }),
     );

@@ -5,7 +5,8 @@ use crate::descriptor::{ApiCategory, ApiDescriptor};
 use crate::registry::ApiRegistry;
 use crate::value::{Value, ValueType};
 use chatgraph_analyzer::chain::ParamSpec;
-use chatgraph_graph::algo::{bridges, centrality, community, components, paths};
+use chatgraph_graph::algo::{bridges, centrality, community};
+use chatgraph_graph::kernels;
 use chatgraph_graph::Graph;
 
 fn name_of(g: &Graph, v: chatgraph_graph::NodeId) -> String {
@@ -88,7 +89,11 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let k = call.try_param_usize("k", 5)?;
-            let pr = centrality::pagerank(&g, 0.85, 50);
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            let pr = ctx
+                .kernels
+                .time("pagerank", || kernels::pagerank(&csr, 0.85, 50, &policy));
             Ok(Value::Table(top_table(&g, &pr, k, "pagerank")))
         }),
     );
@@ -133,7 +138,11 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let k = call.try_param_usize("k", 5)?;
-            let pr = centrality::pagerank(&g, 0.85, 50);
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            let pr = ctx
+                .kernels
+                .time("pagerank", || kernels::pagerank(&csr, 0.85, 50, &policy));
             Ok(Value::NodeList(
                 centrality::top_k(&g, &pr, k).into_iter().map(|(v, _)| v).collect(),
             ))
@@ -150,7 +159,11 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, call| {
             let g = input_graph(input, ctx);
             let k = call.try_param_usize("k", 5)?;
-            let cc = centrality::closeness(&g);
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            let cc = ctx
+                .kernels
+                .time("closeness", || kernels::closeness(&csr, &policy));
             Ok(Value::Table(top_table(&g, &cc, k, "closeness")))
         }),
     );
@@ -193,7 +206,15 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            let cc = components::connected_components(&g);
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            let (cc, diam, apl) = ctx.kernels.time("connectivity", || {
+                (
+                    kernels::connected_components(&csr, &policy),
+                    kernels::diameter(&csr, &policy),
+                    kernels::average_path_length(&csr, &policy),
+                )
+            });
             let mut t = crate::value::Table::new(["metric", "value"]);
             t.push_row(["components", &cc.count.to_string()]);
             t.push_row(["largest component", &cc.largest_size().to_string()]);
@@ -203,13 +224,11 @@ pub fn register(reg: &mut ApiRegistry) {
             ]);
             t.push_row([
                 "diameter",
-                &paths::diameter(&g).map(|d| d.to_string()).unwrap_or_else(|| "n/a".into()),
+                &diam.map(|d| d.to_string()).unwrap_or_else(|| "n/a".into()),
             ]);
             t.push_row([
                 "avg path length",
-                &paths::average_path_length(&g)
-                    .map(|d| format!("{d:.2}"))
-                    .unwrap_or_else(|| "n/a".into()),
+                &apl.map(|d| format!("{d:.2}")).unwrap_or_else(|| "n/a".into()),
             ]);
             Ok(Value::Table(t))
         }),

@@ -4,8 +4,9 @@ use super::input_graph;
 use crate::descriptor::{ApiCategory, ApiDescriptor};
 use crate::registry::ApiRegistry;
 use crate::value::{Value, ValueType};
-use chatgraph_graph::algo::{components, kcore, paths, stats};
+use chatgraph_graph::algo::kcore;
 use chatgraph_graph::generators::RELATION_SCHEMA;
+use chatgraph_graph::kernels;
 use chatgraph_graph::Graph;
 
 /// Heavy-atom element symbols recognised by the molecule classifier.
@@ -61,7 +62,11 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            let s = stats::graph_stats(&g);
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            let s = ctx
+                .kernels
+                .time("graph_stats", || kernels::graph_stats(&g, &csr, &policy));
             let mut t = crate::value::Table::new(["statistic", "value"]);
             t.push_row(["nodes", &s.nodes.to_string()]);
             t.push_row(["edges", &s.edges.to_string()]);
@@ -108,7 +113,18 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            Ok(Value::Number(stats::graph_stats(&g).density))
+            let csr = ctx.kernels.csr(&g);
+            let (n, m) = (csr.n(), csr.m());
+            let possible = if csr.is_directed() {
+                n.saturating_mul(n.saturating_sub(1))
+            } else {
+                n.saturating_mul(n.saturating_sub(1)) / 2
+            };
+            Ok(Value::Number(if possible == 0 {
+                0.0
+            } else {
+                m as f64 / possible as f64
+            }))
         }),
     );
 
@@ -120,9 +136,12 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            Ok(Value::Number(
-                paths::diameter(&g).map(|d| d as f64).unwrap_or(f64::NAN),
-            ))
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            let d = ctx
+                .kernels
+                .time("diameter", || kernels::diameter(&csr, &policy));
+            Ok(Value::Number(d.map(|d| d as f64).unwrap_or(f64::NAN)))
         }),
     );
 
@@ -134,9 +153,12 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            Ok(Value::Number(
-                paths::average_path_length(&g).unwrap_or(f64::NAN),
-            ))
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            let apl = ctx.kernels.time("average_path_length", || {
+                kernels::average_path_length(&csr, &policy)
+            });
+            Ok(Value::Number(apl.unwrap_or(f64::NAN)))
         }),
     );
 
@@ -148,9 +170,11 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            Ok(Value::Number(
-                chatgraph_graph::algo::triangles::global_clustering_coefficient(&g),
-            ))
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            Ok(Value::Number(ctx.kernels.time("clustering", || {
+                kernels::global_clustering_coefficient(&csr, &policy)
+            })))
         }),
     );
 
@@ -162,9 +186,11 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            Ok(Value::Number(
-                chatgraph_graph::algo::triangles::triangle_count(&g) as f64,
-            ))
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            Ok(Value::Number(ctx.kernels.time("triangle_count", || {
+                kernels::triangle_count(&csr, &policy) as f64
+            })))
         }),
     );
 
@@ -176,7 +202,11 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            Ok(Value::Number(components::connected_components(&g).count as f64))
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            Ok(Value::Number(ctx.kernels.time("components", || {
+                kernels::connected_components(&csr, &policy).count as f64
+            })))
         }),
     );
 
@@ -188,7 +218,11 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            Ok(Value::Bool(components::is_connected(&g)))
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            Ok(Value::Bool(ctx.kernels.time("components", || {
+                kernels::is_connected(&csr, &policy)
+            })))
         }),
     );
 
@@ -200,7 +234,11 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            let cc = components::connected_components(&g);
+            let csr = ctx.kernels.csr(&g);
+            let policy = ctx.kernels.policy;
+            let cc = ctx.kernels.time("components", || {
+                kernels::connected_components(&csr, &policy)
+            });
             let largest = cc
                 .groups()
                 .into_iter()
@@ -219,7 +257,7 @@ pub fn register(reg: &mut ApiRegistry) {
         ),
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
-            let h = stats::degree_histogram(&g);
+            let h = kernels::degree_histogram(&ctx.kernels.csr(&g));
             let mut t = crate::value::Table::new(["degree", "nodes"]);
             for (d, c) in h.iter().enumerate().filter(|(_, c)| **c > 0) {
                 t.push_row([d.to_string(), c.to_string()]);

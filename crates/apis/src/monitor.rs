@@ -90,6 +90,23 @@ pub enum ChainEvent {
         /// Whether the lookup hit.
         hit: bool,
     },
+    /// A CSR snapshot of the session graph was built for the current
+    /// mutation epoch (cache hits emit nothing). Non-core.
+    CsrBuilt {
+        /// Live nodes in the snapshot.
+        nodes: usize,
+        /// Live edges in the snapshot.
+        edges: usize,
+        /// Wall-clock build time in microseconds.
+        micros: u64,
+    },
+    /// Wall time of one CSR kernel invocation inside a step. Non-core.
+    KernelTimed {
+        /// Kernel name (e.g. `"pagerank"`).
+        kernel: String,
+        /// Wall-clock microseconds.
+        micros: u64,
+    },
 }
 
 impl ChainEvent {
@@ -102,6 +119,8 @@ impl ChainEvent {
             ChainEvent::PlanBuilt { .. }
                 | ChainEvent::StepTimed { .. }
                 | ChainEvent::MemoLookup { .. }
+                | ChainEvent::CsrBuilt { .. }
+                | ChainEvent::KernelTimed { .. }
         )
     }
 }
@@ -174,6 +193,18 @@ impl ToJson for ChainEvent {
                     field("hit", hit.to_json()),
                 ],
             ),
+            ChainEvent::CsrBuilt { nodes, edges, micros } => tagged(
+                "CsrBuilt",
+                vec![
+                    field("nodes", nodes.to_json()),
+                    field("edges", edges.to_json()),
+                    field("micros", micros.to_json()),
+                ],
+            ),
+            ChainEvent::KernelTimed { kernel, micros } => tagged(
+                "KernelTimed",
+                vec![field("kernel", kernel.to_json()), field("micros", micros.to_json())],
+            ),
         }
     }
 }
@@ -236,6 +267,15 @@ impl FromJson for ChainEvent {
                 step: FromJson::from_json(get("step")?)?,
                 api: FromJson::from_json(get("api")?)?,
                 hit: FromJson::from_json(get("hit")?)?,
+            }),
+            "CsrBuilt" => Ok(ChainEvent::CsrBuilt {
+                nodes: FromJson::from_json(get("nodes")?)?,
+                edges: FromJson::from_json(get("edges")?)?,
+                micros: FromJson::from_json(get("micros")?)?,
+            }),
+            "KernelTimed" => Ok(ChainEvent::KernelTimed {
+                kernel: FromJson::from_json(get("kernel")?)?,
+                micros: FromJson::from_json(get("micros")?)?,
             }),
             other => Err(JsonError::msg(format!("unknown ChainEvent variant `{other}`"))),
         }
@@ -366,6 +406,8 @@ mod tests {
             ChainEvent::PlanBuilt { steps: 4, deps: 3, barriers: 1 },
             ChainEvent::StepTimed { step: 2, api: "node_count".into(), micros: 17, cached: true },
             ChainEvent::MemoLookup { step: 2, api: "node_count".into(), hit: false },
+            ChainEvent::CsrBuilt { nodes: 120, edges: 640, micros: 85 },
+            ChainEvent::KernelTimed { kernel: "pagerank".into(), micros: 412 },
         ];
         for e in events {
             assert!(!e.is_core());

@@ -37,7 +37,9 @@ use crate::executor::ExecContext;
 use crate::monitor::{ChainEvent, Monitor};
 use crate::plan::{InputSource, Plan, Segment};
 use crate::registry::ApiRegistry;
+use crate::executor::KernelState;
 use crate::value::Value;
+use chatgraph_graph::kernels::{KernelPolicy, DEFAULT_KERNEL_CHUNK};
 use chatgraph_graph::{binary, Graph};
 use chatgraph_support::hash::Fnv64;
 use chatgraph_support::lru::Lru;
@@ -56,6 +58,7 @@ pub const DEFAULT_MEMO_CAPACITY: usize = 64;
 #[derive(Debug)]
 pub struct Scheduler {
     workers: usize,
+    kernel_chunk: usize,
     memo: Mutex<Lru<u64, Value>>,
 }
 
@@ -65,6 +68,7 @@ impl Scheduler {
     pub fn new(workers: usize) -> Self {
         Scheduler {
             workers: workers.max(1),
+            kernel_chunk: DEFAULT_KERNEL_CHUNK,
             memo: Mutex::new(Lru::new(DEFAULT_MEMO_CAPACITY)),
         }
     }
@@ -73,8 +77,15 @@ impl Scheduler {
     pub fn with_memo_capacity(self, capacity: usize) -> Self {
         Scheduler {
             workers: self.workers,
+            kernel_chunk: self.kernel_chunk,
             memo: Mutex::new(Lru::new(capacity)),
         }
+    }
+
+    /// Overrides the CSR kernel chunk size (`exec.kernel_chunk`).
+    pub fn with_kernel_chunk(mut self, chunk: usize) -> Self {
+        self.kernel_chunk = chunk.max(1);
+        self
     }
 
     /// The configured worker count.
@@ -127,6 +138,7 @@ impl Scheduler {
             barriers: plan.barrier_count(),
         });
 
+        ctx.kernels.policy = KernelPolicy::new(self.workers, self.kernel_chunk);
         let mut prev = Value::Unit;
         // The graph fingerprint is stable between mutation barriers; cache
         // it per epoch. `None` = not yet computed for the current graph.
@@ -184,6 +196,7 @@ impl Scheduler {
                     if pstep.mutates_graph {
                         graph_fp = None;
                     }
+                    drain_kernel_events(ctx, monitor);
                 }
                 Segment::Parallel(chains) => {
                     let gfp = *graph_fp.get_or_insert_with(|| graph_fingerprint(&ctx.graph));
@@ -207,13 +220,31 @@ impl Scheduler {
                         seed: ctx.seed,
                         graph_fp: gfp,
                         db_fp: dfp,
+                        kernels: ctx.kernels.clone(),
                     };
-                    prev = seg.run(chains, prev, ctx, monitor)?;
+                    let out = seg.run(chains, prev, ctx, monitor);
+                    drain_kernel_events(ctx, monitor);
+                    prev = out?;
                 }
             }
         }
         monitor.on_event(&ChainEvent::ChainFinished);
         Ok(prev)
+    }
+}
+
+/// Flushes CSR build and kernel timing records accumulated in the context's
+/// shared kernel state out to the monitor as plan events.
+fn drain_kernel_events(ctx: &ExecContext, monitor: &mut dyn Monitor) {
+    for b in ctx.kernels.drain_builds() {
+        monitor.on_event(&ChainEvent::CsrBuilt {
+            nodes: b.nodes,
+            edges: b.edges,
+            micros: b.micros,
+        });
+    }
+    for (kernel, micros) in ctx.kernels.drain_timings() {
+        monitor.on_event(&ChainEvent::KernelTimed { kernel, micros });
     }
 }
 
@@ -245,6 +276,7 @@ struct SegmentRun<'a> {
     seed: u64,
     graph_fp: Option<u64>,
     db_fp: Option<u64>,
+    kernels: KernelState,
 }
 
 impl SegmentRun<'_> {
@@ -285,7 +317,7 @@ impl SegmentRun<'_> {
                     };
                     for &j in &sub {
                         let input = self.worker_input(j, &local_prev);
-                        let outcome = self.exec_pure(j, input);
+                        let outcome = self.exec_pure(j, input, true);
                         let ok = outcome.result.as_ref().ok().cloned();
                         if let Some(slot) = slot_of(j) {
                             let mut guard =
@@ -344,7 +376,7 @@ impl SegmentRun<'_> {
         let mut last = prev;
         for j in indices {
             let input = self.worker_input(j, &last);
-            let outcome = self.exec_pure(j, input);
+            let outcome = self.exec_pure(j, input, false);
             if let Some(err) = self.commit(j, outcome, ctx, monitor, &mut last) {
                 return Err(err);
             }
@@ -363,8 +395,11 @@ impl SegmentRun<'_> {
     }
 
     /// Runs one pure step against an isolated context, consulting and
-    /// feeding the memo cache.
-    fn exec_pure(&self, j: usize, input: Value) -> StepOutcome {
+    /// feeding the memo cache. When the segment itself is running across
+    /// worker threads (`parallel`), kernel-level parallelism is disabled so
+    /// the pool is never oversubscribed — the worker threads *are* the
+    /// kernel chunk workers in that regime.
+    fn exec_pure(&self, j: usize, input: Value, parallel: bool) -> StepOutcome {
         let call = &self.chain.steps[j];
         let key = self.memo_key(call, &input);
         let start = Instant::now();
@@ -378,11 +413,16 @@ impl SegmentRun<'_> {
                 };
             }
         }
+        let mut kernels = self.kernels.clone();
+        if parallel {
+            kernels.policy.workers = 1;
+        }
         let mut local = ExecContext {
             graph: Arc::clone(&self.snapshot),
             database: Arc::clone(&self.database),
             findings: Vec::new(),
             seed: self.seed,
+            kernels,
         };
         let result = self.registry.call(&call.api, &mut local, input, call);
         let micros = start.elapsed().as_micros() as u64;

@@ -5,21 +5,10 @@
 
 use chatgraph_analyzer::lexer;
 use chatgraph_apis::{analysis, registry, ApiCall, ApiChain};
-use chatgraph_support::bench::{Bench, Stats};
+use chatgraph_bench::{env_json, record_stats as record};
+use chatgraph_support::bench::Bench;
 use chatgraph_support::json::Json;
 use std::hint::black_box;
-
-fn record(out: &mut Vec<(String, Json)>, label: &str, stats: Stats) {
-    out.push((
-        label.to_owned(),
-        Json::Object(vec![
-            ("median_ns".to_owned(), Json::UInt(stats.median.as_nanos() as u64)),
-            ("p95_ns".to_owned(), Json::UInt(stats.p95.as_nanos() as u64)),
-            ("min_ns".to_owned(), Json::UInt(stats.min.as_nanos() as u64)),
-            ("iters".to_owned(), Json::UInt(stats.iters as u64)),
-        ]),
-    ));
-}
 
 fn main() {
     let reg = registry::standard();
@@ -77,6 +66,7 @@ fn main() {
 
     let doc = Json::Object(vec![
         ("bench".to_owned(), Json::Str("chain_analysis".to_owned())),
+        ("env".to_owned(), env_json(1)),
         ("results".to_owned(), Json::Object(results)),
     ]);
     let path = root.join("results/BENCH_chain_analysis.json");

@@ -7,23 +7,12 @@
 //! sub-chains, the shape the scheduler exists for.
 
 use chatgraph_apis::{registry, ApiCall, ApiChain, ExecContext, Scheduler, SilentMonitor};
+use chatgraph_bench::{available_cpus, env_json, record_stats as record};
 use chatgraph_graph::generators::{social_network, SocialParams};
-use chatgraph_support::bench::{Bench, Stats};
+use chatgraph_support::bench::Bench;
 use chatgraph_support::json::Json;
 use std::hint::black_box;
 use std::sync::Arc;
-
-fn record(out: &mut Vec<(String, Json)>, label: &str, stats: Stats) {
-    out.push((
-        label.to_owned(),
-        Json::Object(vec![
-            ("median_ns".to_owned(), Json::UInt(stats.median.as_nanos() as u64)),
-            ("p95_ns".to_owned(), Json::UInt(stats.p95.as_nanos() as u64)),
-            ("min_ns".to_owned(), Json::UInt(stats.min.as_nanos() as u64)),
-            ("iters".to_owned(), Json::UInt(stats.iters as u64)),
-        ]),
-    ));
-}
 
 fn main() {
     let reg = registry::standard();
@@ -88,7 +77,7 @@ fn main() {
         seq_stats.median.as_nanos() as f64 / memo_stats.median.as_nanos().max(1) as f64;
     // On a single-CPU runner the 4-worker pool cannot beat sequential;
     // record the machine's parallelism so the numbers read correctly.
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpus = available_cpus();
     println!("\nspeedup (sequential / 4-worker, median): {speedup:.2}x on {cpus} cpu(s)");
     println!("speedup (sequential / warm memo, median): {memo_speedup:.2}x");
 
@@ -96,8 +85,7 @@ fn main() {
         ("bench".to_owned(), Json::Str("plan_exec".to_owned())),
         ("chain_len".to_owned(), Json::UInt(chain.len() as u64)),
         ("graph_nodes".to_owned(), Json::UInt(graph.node_count() as u64)),
-        ("workers".to_owned(), Json::UInt(4)),
-        ("cpus".to_owned(), Json::UInt(cpus as u64)),
+        ("env".to_owned(), env_json(4)),
         ("speedup_median".to_owned(), Json::Float(speedup)),
         ("memo_speedup_median".to_owned(), Json::Float(memo_speedup)),
         ("results".to_owned(), Json::Object(results)),

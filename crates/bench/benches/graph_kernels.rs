@@ -1,0 +1,127 @@
+//! CSR graph-kernel bench: for each kernel, the adjacency-walking reference
+//! vs the CSR kernel sequentially vs the CSR kernel on 4 workers, plus the
+//! epoch-cache comparison (rebuilding the CSR snapshot per call vs serving
+//! it from [`CsrCache`]). Writes `results/BENCH_graph_kernels.json`.
+
+use chatgraph_bench::{env_json, record_stats as record};
+use chatgraph_graph::csr::{CsrCache, CsrGraph};
+use chatgraph_graph::generators::{social_network, SocialParams};
+use chatgraph_graph::kernels::{self, reference, KernelPolicy};
+use chatgraph_support::bench::Bench;
+use chatgraph_support::json::Json;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const WORKERS: usize = 4;
+
+fn main() {
+    // The plan-exec scenario graph: large enough that the path-based
+    // kernels dominate thread-pool overhead.
+    let graph = Arc::new(social_network(
+        &SocialParams {
+            communities: 6,
+            community_size: 50,
+            p_intra: 0.3,
+            p_inter: 0.01,
+        },
+        42,
+    ));
+    let csr = CsrGraph::build(&graph);
+    let seq = KernelPolicy::new(1, 1024);
+    let par = KernelPolicy::new(WORKERS, 1024);
+
+    let mut results: Vec<(String, Json)> = Vec::new();
+    let mut bench = Bench::new("graph_kernels");
+    let mut group = bench.group("graph_kernels");
+
+    macro_rules! kernel {
+        ($name:literal, $reference:expr, $kernel:expr) => {{
+            let reference = $reference;
+            record(
+                &mut results,
+                concat!($name, "_reference"),
+                group.bench(concat!($name, "_reference"), || {
+                    black_box(reference(&graph));
+                }),
+            );
+            let kernel = $kernel;
+            record(
+                &mut results,
+                concat!($name, "_csr_seq"),
+                group.bench(concat!($name, "_csr_seq"), || {
+                    black_box(kernel(&csr, &seq));
+                }),
+            );
+            record(
+                &mut results,
+                concat!($name, "_csr_par"),
+                group.bench(concat!($name, "_csr_par"), || {
+                    black_box(kernel(&csr, &par));
+                }),
+            );
+        }};
+    }
+
+    kernel!(
+        "pagerank",
+        |g: &chatgraph_graph::Graph| reference::pagerank_reference(g, 0.85, 50),
+        |csr: &CsrGraph, p: &KernelPolicy| kernels::pagerank(csr, 0.85, 50, p)
+    );
+    kernel!(
+        "components",
+        |g: &chatgraph_graph::Graph| reference::connected_components_reference(g).count,
+        |csr: &CsrGraph, p: &KernelPolicy| kernels::connected_components(csr, p).count
+    );
+    kernel!(
+        "triangles",
+        reference::triangle_count_reference,
+        kernels::triangle_count
+    );
+    kernel!(
+        "closeness",
+        reference::closeness_reference,
+        kernels::closeness
+    );
+    kernel!("diameter", reference::diameter_reference, kernels::diameter);
+    kernel!(
+        "graph_stats",
+        reference::graph_stats_reference,
+        |csr: &CsrGraph, p: &KernelPolicy| kernels::graph_stats(&graph, csr, p)
+    );
+
+    // The epoch cache: rebuilding the snapshot on every call vs serving the
+    // same mutation epoch from the pointer-keyed cache.
+    let build_stats = group.bench("csr_build_per_call", || {
+        black_box(CsrGraph::build(&graph).m());
+    });
+    record(&mut results, "csr_build_per_call", build_stats);
+    let cache = CsrCache::default();
+    cache.get_or_build(&graph);
+    let cached_stats = group.bench("csr_epoch_cached", || {
+        black_box(cache.get_or_build(&graph).m());
+    });
+    record(&mut results, "csr_epoch_cached", cached_stats);
+
+    let cached_speedup =
+        build_stats.median.as_nanos() as f64 / cached_stats.median.as_nanos().max(1) as f64;
+    println!("\nepoch-cached CSR vs per-call rebuild (median): {cached_speedup:.1}x");
+
+    let doc = Json::Object(vec![
+        ("bench".to_owned(), Json::Str("graph_kernels".to_owned())),
+        ("graph_nodes".to_owned(), Json::UInt(graph.node_count() as u64)),
+        ("graph_edges".to_owned(), Json::UInt(graph.edge_count() as u64)),
+        ("env".to_owned(), env_json(WORKERS)),
+        ("cached_csr_speedup_median".to_owned(), Json::Float(cached_speedup)),
+        (
+            "cached_beats_rebuild".to_owned(),
+            Json::Bool(cached_stats.median < build_stats.median),
+        ),
+        ("results".to_owned(), Json::Object(results)),
+    ]);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("results/BENCH_graph_kernels.json");
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
+}

@@ -14,7 +14,39 @@
 //!
 //! This library crate only holds small shared helpers.
 
+use chatgraph_support::bench::Stats;
+use chatgraph_support::json::Json;
 use std::fmt::Display;
+
+/// Records one timed result under `label` in a bench results object: the
+/// median/p95/min nanoseconds and the iteration count.
+pub fn record_stats(out: &mut Vec<(String, Json)>, label: &str, stats: Stats) {
+    out.push((
+        label.to_owned(),
+        Json::Object(vec![
+            ("median_ns".to_owned(), Json::UInt(stats.median.as_nanos() as u64)),
+            ("p95_ns".to_owned(), Json::UInt(stats.p95.as_nanos() as u64)),
+            ("min_ns".to_owned(), Json::UInt(stats.min.as_nanos() as u64)),
+            ("iters".to_owned(), Json::UInt(stats.iters as u64)),
+        ]),
+    ));
+}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+pub fn available_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Execution-environment block embedded in every `BENCH_*.json`: the
+/// machine's available parallelism and the worker count the bench was
+/// configured with. Without both, a "4-worker" result measured on a
+/// single-CPU runner reads as a parallelism regression.
+pub fn env_json(workers: usize) -> Json {
+    Json::Object(vec![
+        ("cpus".to_owned(), Json::UInt(available_cpus() as u64)),
+        ("workers".to_owned(), Json::UInt(workers as u64)),
+    ])
+}
 
 /// Renders an aligned text table for experiment output.
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {

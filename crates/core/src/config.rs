@@ -103,13 +103,17 @@ pub struct ExecConfig {
     pub workers: usize,
     /// Capacity of the bounded pure-step memo cache (0 disables caching).
     pub memo_capacity: usize,
+    /// Work-chunk size (nodes or edges) for the parallel CSR graph kernels
+    /// (DESIGN.md §10). Chunk boundaries are fixed, so results never depend
+    /// on the worker count.
+    pub kernel_chunk: usize,
 }
 
-chatgraph_support::impl_json_struct!(ExecConfig { workers, memo_capacity });
+chatgraph_support::impl_json_struct!(ExecConfig { workers, memo_capacity, kernel_chunk });
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { workers: 1, memo_capacity: 64 }
+        ExecConfig { workers: 1, memo_capacity: 64, kernel_chunk: 1024 }
     }
 }
 
@@ -220,6 +224,9 @@ impl ChatGraphConfig {
         if self.exec.workers == 0 {
             problems.push("exec.workers must be >= 1".to_owned());
         }
+        if self.exec.kernel_chunk == 0 {
+            problems.push("exec.kernel_chunk must be >= 1".to_owned());
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -261,8 +268,10 @@ mod tests {
     fn zero_workers_is_rejected() {
         let mut c = ChatGraphConfig::default();
         c.exec.workers = 0;
+        c.exec.kernel_chunk = 0;
         let problems = c.validate().unwrap_err();
         assert!(problems.iter().any(|p| p.contains("exec.workers")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("exec.kernel_chunk")), "{problems:?}");
         // memo_capacity 0 is legal: it just disables the cache.
         let mut c = ChatGraphConfig::default();
         c.exec.memo_capacity = 0;

@@ -120,7 +120,8 @@ impl ChatSession {
             max_len: config.finetune.max_chain_len,
         };
         let scheduler = Scheduler::new(config.exec.workers)
-            .with_memo_capacity(config.exec.memo_capacity);
+            .with_memo_capacity(config.exec.memo_capacity)
+            .with_kernel_chunk(config.exec.kernel_chunk);
         Ok((
             ChatSession {
                 config,
@@ -152,7 +153,8 @@ impl ChatSession {
             max_len: config.finetune.max_chain_len,
         };
         let scheduler = Scheduler::new(config.exec.workers)
-            .with_memo_capacity(config.exec.memo_capacity);
+            .with_memo_capacity(config.exec.memo_capacity)
+            .with_kernel_chunk(config.exec.kernel_chunk);
         Ok(ChatSession {
             config,
             registry,

@@ -1,7 +1,7 @@
 //! Shortest paths and distance summaries.
 
 use crate::algo::traversal::bfs_distances;
-use crate::graph::{Graph, NodeId};
+use crate::graph::{EdgeId, Graph, NodeId};
 use std::collections::VecDeque;
 
 /// One shortest path between `start` and `goal` (unit edge weights), or
@@ -38,6 +38,47 @@ pub fn shortest_path(g: &Graph, start: NodeId, goal: NodeId) -> Option<Vec<NodeI
         }
     }
     None
+}
+
+/// Dijkstra over undirected adjacency with per-edge weights from `weight`
+/// (assumed non-negative). Returns slot-indexed shortest distances from
+/// `start`, `None` for unreachable or removed nodes. This is the
+/// adjacency-walking differential oracle for the CSR `dijkstra` kernel.
+pub fn weighted_distances(
+    g: &Graph,
+    start: NodeId,
+    weight: impl Fn(EdgeId) -> f64,
+) -> Vec<Option<f64>> {
+    let mut out: Vec<Option<f64>> = vec![None; g.node_bound()];
+    if !g.contains_node(start) {
+        return out;
+    }
+    let mut dist = vec![f64::INFINITY; g.node_bound()];
+    dist[start.index()] = 0.0;
+    // Max-heap over (negated distance bits, id): total_cmp ordering without
+    // a wrapper type. Distances are non-negative, so bit order is value
+    // order.
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push((std::cmp::Reverse(0.0f64.to_bits()), start));
+    while let Some((std::cmp::Reverse(bits), v)) = heap.pop() {
+        let d = f64::from_bits(bits);
+        if d > dist[v.index()] {
+            continue;
+        }
+        for (w, e) in g.undirected_neighbors(v) {
+            let nd = d + weight(e);
+            if nd < dist[w.index()] {
+                dist[w.index()] = nd;
+                heap.push((std::cmp::Reverse(nd.to_bits()), w));
+            }
+        }
+    }
+    for v in g.node_ids() {
+        if dist[v.index()].is_finite() {
+            out[v.index()] = Some(dist[v.index()]);
+        }
+    }
+    out
 }
 
 /// Eccentricity of `v`: the maximum hop distance to any reachable node.

@@ -34,16 +34,15 @@ pub fn bfs_distances(g: &Graph, start: NodeId, max_hops: usize) -> Vec<Option<us
     }
     let mut queue = VecDeque::new();
     dist[start.index()] = Some(0);
-    queue.push_back(start);
-    while let Some(v) = queue.pop_front() {
-        let d = dist[v.index()].expect("queued nodes have distances");
+    queue.push_back((start, 0usize));
+    while let Some((v, d)) = queue.pop_front() {
         if d == max_hops {
             continue;
         }
         for (w, _) in g.undirected_neighbors(v) {
             if dist[w.index()].is_none() {
                 dist[w.index()] = Some(d + 1);
-                queue.push_back(w);
+                queue.push_back((w, d + 1));
             }
         }
     }
@@ -61,15 +60,19 @@ pub fn dfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
     }
     let mut seen = vec![false; g.node_bound()];
     let mut stack = vec![start];
+    // Scratch buffer reused across nodes: one allocation for the whole
+    // traversal instead of one per visited node.
+    let mut nbrs: Vec<NodeId> = Vec::new();
     while let Some(v) = stack.pop() {
         if seen[v.index()] {
             continue;
         }
         seen[v.index()] = true;
         order.push(v);
-        let mut nbrs: Vec<NodeId> = g.undirected_neighbors(v).map(|(w, _)| w).collect();
+        nbrs.clear();
+        nbrs.extend(g.undirected_neighbors(v).map(|(w, _)| w));
         nbrs.reverse();
-        for w in nbrs {
+        for &w in &nbrs {
             if !seen[w.index()] {
                 stack.push(w);
             }

@@ -5,8 +5,7 @@ use std::collections::HashSet;
 
 fn neighbor_sets(g: &Graph) -> Vec<HashSet<NodeId>> {
     let mut sets = vec![HashSet::new(); g.node_bound()];
-    for e in g.edge_ids() {
-        let (a, b) = g.edge_endpoints(e).expect("live edge");
+    for (a, b) in g.edge_ids().filter_map(|e| g.edge_endpoints(e).ok()) {
         sets[a.index()].insert(b);
         sets[b.index()].insert(a);
     }
@@ -18,8 +17,7 @@ fn neighbor_sets(g: &Graph) -> Vec<HashSet<NodeId>> {
 pub fn triangle_count(g: &Graph) -> usize {
     let sets = neighbor_sets(g);
     let mut count = 0usize;
-    for e in g.edge_ids() {
-        let (a, b) = g.edge_endpoints(e).expect("live edge");
+    for (a, b) in g.edge_ids().filter_map(|e| g.edge_endpoints(e).ok()) {
         // Count common neighbours w with w > max(a, b) to count each triangle
         // exactly once per its lexicographically largest vertex.
         let hi = a.max(b);

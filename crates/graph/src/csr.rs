@@ -1,0 +1,480 @@
+//! Compressed sparse row (CSR) snapshots of a [`Graph`].
+//!
+//! The mutable [`Graph`] stores adjacency as `Vec<Vec<(NodeId, EdgeId)>>`
+//! with tombstoned slots — flexible for the edit APIs, but pointer-chasing
+//! and tombstone-skipping on every analysis call. [`CsrGraph`] is an
+//! immutable, cache-friendly snapshot of the *live* structure:
+//!
+//! * a dense remap of live nodes (`node_of` / `dense_of`), so kernels index
+//!   flat arrays with no tombstone checks;
+//! * out-adjacency as `offsets`/`targets`/`edge id` arrays, sorted per node
+//!   by ascending dense target (ties by edge id);
+//! * for directed graphs, an in-CSR of the same shape plus a merged,
+//!   deduplicated *undirected view* (the traversal algorithms in
+//!   [`crate::algo`] treat directed graphs as undirected);
+//! * a per-node degree array for O(1) stat scans.
+//!
+//! A snapshot is built once per *mutation epoch* and cached in
+//! [`CsrCache`]. The executor holds graphs behind copy-on-write
+//! `Arc<Graph>`: any mutation goes through `Arc::make_mut`, which clones the
+//! graph into a fresh allocation whenever a snapshot (or the cache) still
+//! holds a reference. Keying the cache by `Arc` pointer identity while
+//! retaining the `Arc` therefore *is* the epoch rule — a hit proves the
+//! bytes are unchanged since the snapshot was built, equivalently to the
+//! scheduler's per-epoch graph fingerprint (DESIGN.md §10).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Dense id of a live node inside a [`CsrGraph`].
+pub type DenseId = u32;
+
+const NO_DENSE: u32 = u32::MAX;
+
+/// An immutable CSR snapshot of a graph's live structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    directed: bool,
+    node_bound: usize,
+    edge_bound: usize,
+    /// Dense id → original node id, ascending.
+    node_of: Vec<NodeId>,
+    /// Original slot index → dense id (`u32::MAX` for removed slots).
+    dense_of: Vec<u32>,
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    out_edges: Vec<EdgeId>,
+    /// Directed only; empty for undirected graphs (the out-CSR already
+    /// stores each edge under both endpoints).
+    in_offsets: Vec<u32>,
+    in_targets: Vec<u32>,
+    in_edges: Vec<EdgeId>,
+    /// Undirected view: merged out ∪ in targets, sorted and deduplicated.
+    /// For undirected graphs this aliases the out-CSR (no copy is kept).
+    und_offsets: Vec<u32>,
+    und_targets: Vec<u32>,
+    live_edges: usize,
+}
+
+impl CsrGraph {
+    /// Builds a snapshot of `g`'s live nodes and edges.
+    pub fn build(g: &Graph) -> CsrGraph {
+        let node_of: Vec<NodeId> = g.node_ids().collect();
+        let n = node_of.len();
+        let mut dense_of = vec![NO_DENSE; g.node_bound()];
+        for (d, v) in node_of.iter().enumerate() {
+            dense_of[v.index()] = d as u32;
+        }
+
+        let mut scratch: Vec<(u32, EdgeId)> = Vec::new();
+        let pack = |iter: &mut dyn Iterator<Item = (NodeId, EdgeId)>,
+                    scratch: &mut Vec<(u32, EdgeId)>,
+                    offsets: &mut Vec<u32>,
+                    targets: &mut Vec<u32>,
+                    edges: &mut Vec<EdgeId>,
+                    dense_of: &[u32]| {
+            scratch.clear();
+            for (w, e) in iter {
+                scratch.push((dense_of[w.index()], e));
+            }
+            scratch.sort_unstable_by_key(|&(t, e)| (t, e.0));
+            for &(t, e) in scratch.iter() {
+                targets.push(t);
+                edges.push(e);
+            }
+            offsets.push(targets.len() as u32);
+        };
+
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_targets = Vec::new();
+        let mut out_edges = Vec::new();
+        out_offsets.push(0);
+        for &v in &node_of {
+            pack(
+                &mut g.neighbors(v),
+                &mut scratch,
+                &mut out_offsets,
+                &mut out_targets,
+                &mut out_edges,
+                &dense_of,
+            );
+        }
+
+        let (mut in_offsets, mut in_targets, mut in_edges) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut und_offsets, mut und_targets) = (Vec::new(), Vec::new());
+        if g.is_directed() {
+            in_offsets.reserve(n + 1);
+            in_offsets.push(0);
+            for &v in &node_of {
+                pack(
+                    &mut g.in_neighbors(v),
+                    &mut scratch,
+                    &mut in_offsets,
+                    &mut in_targets,
+                    &mut in_edges,
+                    &dense_of,
+                );
+            }
+            // Undirected view: merge the two sorted target runs and drop
+            // duplicates (an a→b plus b→a pair is one undirected neighbour).
+            und_offsets.reserve(n + 1);
+            und_offsets.push(0);
+            let mut merged: Vec<u32> = Vec::new();
+            for d in 0..n {
+                merged.clear();
+                let o = &out_targets[out_offsets[d] as usize..out_offsets[d + 1] as usize];
+                let i = &in_targets[in_offsets[d] as usize..in_offsets[d + 1] as usize];
+                merged.extend_from_slice(o);
+                merged.extend_from_slice(i);
+                merged.sort_unstable();
+                merged.dedup();
+                und_targets.extend_from_slice(&merged);
+                und_offsets.push(und_targets.len() as u32);
+            }
+        }
+
+        CsrGraph {
+            directed: g.is_directed(),
+            node_bound: g.node_bound(),
+            edge_bound: g.edge_bound(),
+            node_of,
+            dense_of,
+            out_offsets,
+            out_targets,
+            out_edges,
+            in_offsets,
+            in_targets,
+            in_edges,
+            und_offsets,
+            und_targets,
+            live_edges: g.edge_count(),
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn n(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Number of live edges.
+    pub fn m(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Whether the snapshotted graph was directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Node-slot bound of the snapshotted graph (for slot-indexed outputs).
+    pub fn node_bound(&self) -> usize {
+        self.node_bound
+    }
+
+    /// Edge-slot bound of the snapshotted graph (for slot-indexed weights).
+    pub fn edge_bound(&self) -> usize {
+        self.edge_bound
+    }
+
+    /// Original id of dense node `d`.
+    pub fn node_of(&self, d: DenseId) -> NodeId {
+        self.node_of[d as usize]
+    }
+
+    /// All original ids, ascending (dense order).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.node_of
+    }
+
+    /// Dense id of a live original node, `None` for removed/unknown slots.
+    pub fn dense_of(&self, v: NodeId) -> Option<DenseId> {
+        match self.dense_of.get(v.index()) {
+            Some(&d) if d != NO_DENSE => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Out-neighbour dense ids of `d`, sorted ascending.
+    pub fn out(&self, d: DenseId) -> &[u32] {
+        let d = d as usize;
+        &self.out_targets[self.out_offsets[d] as usize..self.out_offsets[d + 1] as usize]
+    }
+
+    /// Edge ids parallel to [`CsrGraph::out`].
+    pub fn out_edge_ids(&self, d: DenseId) -> &[EdgeId] {
+        let d = d as usize;
+        &self.out_edges[self.out_offsets[d] as usize..self.out_offsets[d + 1] as usize]
+    }
+
+    /// In-neighbour dense ids of `d` (directed; empty for undirected).
+    pub fn incoming(&self, d: DenseId) -> &[u32] {
+        if !self.directed {
+            return &[];
+        }
+        let d = d as usize;
+        &self.in_targets[self.in_offsets[d] as usize..self.in_offsets[d + 1] as usize]
+    }
+
+    /// Edge ids parallel to [`CsrGraph::incoming`].
+    pub fn incoming_edge_ids(&self, d: DenseId) -> &[EdgeId] {
+        if !self.directed {
+            return &[];
+        }
+        let d = d as usize;
+        &self.in_edges[self.in_offsets[d] as usize..self.in_offsets[d + 1] as usize]
+    }
+
+    /// Sources whose edges point *at* `d` under PageRank's mass-flow view:
+    /// the in-CSR for directed graphs, the (symmetric) out-CSR otherwise.
+    pub fn pull_sources(&self, d: DenseId) -> &[u32] {
+        if self.directed {
+            self.incoming(d)
+        } else {
+            self.out(d)
+        }
+    }
+
+    /// Undirected-view neighbour dense ids of `d`: sorted, deduplicated
+    /// union of out- and in-neighbours. For undirected graphs this is the
+    /// out-CSR itself.
+    pub fn und(&self, d: DenseId) -> &[u32] {
+        if !self.directed {
+            return self.out(d);
+        }
+        let d = d as usize;
+        &self.und_targets[self.und_offsets[d] as usize..self.und_offsets[d + 1] as usize]
+    }
+
+    /// Out-degree of `d` (matches [`Graph::degree`]).
+    pub fn degree(&self, d: DenseId) -> usize {
+        self.out(d).len()
+    }
+
+    /// In-degree of `d` (matches [`Graph::in_degree`]).
+    pub fn in_degree(&self, d: DenseId) -> usize {
+        self.incoming(d).len()
+    }
+
+    /// Total degree of `d` (matches [`Graph::total_degree`]).
+    pub fn total_degree(&self, d: DenseId) -> usize {
+        self.degree(d) + self.in_degree(d)
+    }
+}
+
+/// One recorded snapshot build, drained by the executor for monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrBuild {
+    /// Live nodes in the snapshot.
+    pub nodes: usize,
+    /// Live edges in the snapshot.
+    pub edges: usize,
+    /// Wall-clock build time in microseconds.
+    pub micros: u64,
+}
+
+struct CacheEntry {
+    graph: Arc<Graph>,
+    csr: Arc<CsrGraph>,
+}
+
+struct CacheInner {
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+    builds: Vec<CsrBuild>,
+    hits: u64,
+    misses: u64,
+}
+
+/// An epoch cache of CSR snapshots, keyed by `Arc<Graph>` identity.
+///
+/// Entries retain their `Arc<Graph>`, so a pointer match guarantees the
+/// graph content is unchanged (copy-on-write mutation allocates a new
+/// `Arc`); see the module docs for why this is the epoch-invalidation rule.
+/// The cache is small and most-recently-used-first: one entry per graph
+/// epoch alive in a chain, plus headroom for database graphs.
+pub struct CsrCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for CsrCache {
+    fn default() -> Self {
+        CsrCache::new(4)
+    }
+}
+
+impl CsrCache {
+    /// Creates a cache holding up to `capacity` snapshots (minimum 1).
+    pub fn new(capacity: usize) -> CsrCache {
+        CsrCache {
+            inner: Mutex::new(CacheInner {
+                entries: Vec::new(),
+                capacity: capacity.max(1),
+                builds: Vec::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Returns the snapshot for `g`, building (and recording) it on a miss.
+    pub fn get_or_build(&self, g: &Arc<Graph>) -> Arc<CsrGraph> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = inner.entries.iter().position(|e| Arc::ptr_eq(&e.graph, g)) {
+            inner.hits += 1;
+            let entry = inner.entries.remove(pos);
+            let csr = Arc::clone(&entry.csr);
+            inner.entries.insert(0, entry);
+            return csr;
+        }
+        inner.misses += 1;
+        let started = Instant::now();
+        let csr = Arc::new(CsrGraph::build(g));
+        inner.builds.push(CsrBuild {
+            nodes: csr.n(),
+            edges: csr.m(),
+            micros: started.elapsed().as_micros() as u64,
+        });
+        inner.entries.insert(
+            0,
+            CacheEntry { graph: Arc::clone(g), csr: Arc::clone(&csr) },
+        );
+        let cap = inner.capacity;
+        inner.entries.truncate(cap);
+        csr
+    }
+
+    /// Drains the build records accumulated since the last drain.
+    pub fn drain_builds(&self) -> Vec<CsrBuild> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut inner.builds)
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (inner.hits, inner.misses)
+    }
+}
+
+impl std::fmt::Debug for CsrCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("CsrCache").field("hits", &hits).field("misses", &misses).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Golden layout fixture: a small directed graph with a removed node,
+    /// pinning the exact dense remap and all three CSR array families.
+    #[test]
+    fn golden_directed_layout_with_deletion() {
+        // a→b (e0), a→c (e1), c→b (e2), b→a (e3), d→a (e4); then remove d.
+        let mut g = GraphBuilder::directed()
+            .edge("a", "b", "r")
+            .edge("a", "c", "r")
+            .edge("c", "b", "r")
+            .edge("b", "a", "r")
+            .edge("d", "a", "r")
+            .build();
+        let d = NodeId(3);
+        g.remove_node(d).expect("d exists");
+        let csr = CsrGraph::build(&g);
+
+        assert!(csr.is_directed());
+        assert_eq!(csr.n(), 3);
+        assert_eq!(csr.m(), 4);
+        assert_eq!(csr.nodes(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(csr.dense_of(NodeId(0)), Some(0));
+        assert_eq!(csr.dense_of(NodeId(3)), None, "removed slot has no dense id");
+
+        // Out-CSR: a→{b,c}, b→{a}, c→{b}; targets sorted ascending.
+        assert_eq!(csr.out_offsets, vec![0, 2, 3, 4]);
+        assert_eq!(csr.out_targets, vec![1, 2, 0, 1]);
+        assert_eq!(csr.out_edges, vec![EdgeId(0), EdgeId(1), EdgeId(3), EdgeId(2)]);
+
+        // In-CSR: a←{b}, b←{a,c}, c←{a}. (d→a died with d.)
+        assert_eq!(csr.in_offsets, vec![0, 1, 3, 4]);
+        assert_eq!(csr.in_targets, vec![1, 0, 2, 0]);
+        assert_eq!(csr.in_edges, vec![EdgeId(3), EdgeId(0), EdgeId(2), EdgeId(1)]);
+
+        // Undirected view dedups the a↔b reciprocal pair.
+        assert_eq!(csr.und_offsets, vec![0, 2, 4, 6]);
+        assert_eq!(csr.und_targets, vec![1, 2, 0, 2, 0, 1]);
+
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.in_degree(1), 2);
+        assert_eq!(csr.total_degree(1), 3);
+    }
+
+    #[test]
+    fn undirected_und_view_aliases_out() {
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "c", "-")
+            .build();
+        let csr = CsrGraph::build(&g);
+        assert_eq!(csr.n(), 3);
+        assert_eq!(csr.m(), 2);
+        assert_eq!(csr.und(1), csr.out(1));
+        assert_eq!(csr.und(1), &[0, 2]);
+        assert!(csr.incoming(1).is_empty());
+        assert_eq!(csr.total_degree(1), 2, "undirected out-CSR is total degree");
+    }
+
+    #[test]
+    fn cache_hits_on_same_arc_and_misses_after_cow_mutation() {
+        let cache = CsrCache::default();
+        let mut g = Arc::new(
+            GraphBuilder::undirected().edge("a", "b", "-").build(),
+        );
+        let first = cache.get_or_build(&g);
+        let again = cache.get_or_build(&g);
+        assert!(Arc::ptr_eq(&first, &again), "same epoch: cached snapshot");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.drain_builds().len(), 1);
+
+        // Copy-on-write mutation: the cache pins the old Arc, so make_mut
+        // clones → new pointer → new epoch → rebuild.
+        Arc::make_mut(&mut g).add_node("c");
+        let rebuilt = cache.get_or_build(&g);
+        assert!(!Arc::ptr_eq(&first, &rebuilt));
+        assert_eq!(rebuilt.n(), 3);
+        assert_eq!(cache.drain_builds().len(), 1, "one new build since drain");
+    }
+
+    #[test]
+    fn cache_capacity_evicts_least_recently_used() {
+        let cache = CsrCache::new(2);
+        let graphs: Vec<Arc<Graph>> = (0..3)
+            .map(|i| {
+                let mut g = Graph::undirected();
+                for _ in 0..=i {
+                    g.add_node("x");
+                }
+                Arc::new(g)
+            })
+            .collect();
+        for g in &graphs {
+            cache.get_or_build(g);
+        }
+        // graphs[0] was evicted; re-fetch is a miss.
+        cache.get_or_build(&graphs[0]);
+        assert_eq!(cache.stats(), (0, 4));
+        // graphs[2] is still resident.
+        cache.get_or_build(&graphs[2]);
+        assert_eq!(cache.stats(), (1, 4));
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let csr = CsrGraph::build(&Graph::directed());
+        assert_eq!(csr.n(), 0);
+        assert_eq!(csr.m(), 0);
+        assert_eq!(csr.out_offsets, vec![0]);
+    }
+}

@@ -1,0 +1,699 @@
+//! Parallel frontier kernels over [`CsrGraph`] snapshots.
+//!
+//! Each kernel is a flat-array, level-synchronous reimplementation of one
+//! of the adjacency-walking algorithms in [`crate::algo`], with the
+//! original kept as its differential oracle (re-exported under
+//! [`reference`] with a `*_reference` name). The contract every kernel
+//! honours:
+//!
+//! * **Exact equivalence** — identical output to its reference oracle,
+//!   bit-for-bit for floating-point kernels. PageRank pulls over
+//!   ascending-sorted in-adjacency so each accumulator sees the same
+//!   addition sequence as the reference's push loop; components renumber
+//!   min-labels by first occurrence so the numbering matches BFS discovery
+//!   order; the traversal kernels only combine integers.
+//! * **Worker-count independence** — work is split into *fixed-size*
+//!   chunks ([`KernelPolicy::chunk`]) whose boundaries do not depend on
+//!   [`KernelPolicy::workers`]; workers claim whole chunks and results are
+//!   combined in chunk order, so 1 worker and N workers produce identical
+//!   bytes. Threads are scoped to each call — the kernels add no
+//!   background pool beyond the scheduler's own workers.
+
+use crate::algo::components::Components;
+use crate::algo::stats::GraphStats;
+use crate::csr::CsrGraph;
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Differential oracles: the original adjacency-walking implementations in
+/// [`crate::algo`], re-exported under the `*_reference` names the property
+/// tests and benches compare each kernel against.
+pub mod reference {
+    pub use crate::algo::centrality::{closeness as closeness_reference, pagerank as pagerank_reference};
+    pub use crate::algo::components::{
+        connected_components as connected_components_reference, is_connected as is_connected_reference,
+    };
+    pub use crate::algo::paths::{
+        average_path_length as average_path_length_reference, diameter as diameter_reference,
+        eccentricity as eccentricity_reference, weighted_distances as dijkstra_reference,
+    };
+    pub use crate::algo::stats::{
+        degree_histogram as degree_histogram_reference, graph_stats as graph_stats_reference,
+    };
+    pub use crate::algo::traversal::bfs_distances as bfs_distances_reference;
+    pub use crate::algo::triangles::{
+        global_clustering_coefficient as global_clustering_coefficient_reference,
+        triangle_count as triangle_count_reference,
+    };
+}
+
+/// Default work-chunk size (nodes or edges per unit of claimed work).
+pub const DEFAULT_KERNEL_CHUNK: usize = 1024;
+
+/// How a kernel invocation splits its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelPolicy {
+    /// Scoped worker threads to use; `<= 1` runs fully sequentially.
+    pub workers: usize,
+    /// Fixed chunk size. Chunk boundaries are independent of `workers`, so
+    /// results are identical for any worker count.
+    pub chunk: usize,
+}
+
+impl KernelPolicy {
+    /// A policy with explicit worker and chunk counts.
+    pub fn new(workers: usize, chunk: usize) -> KernelPolicy {
+        KernelPolicy { workers: workers.max(1), chunk: chunk.max(1) }
+    }
+
+    /// Fully sequential execution with the default chunk size.
+    pub fn sequential() -> KernelPolicy {
+        KernelPolicy::new(1, DEFAULT_KERNEL_CHUNK)
+    }
+}
+
+impl Default for KernelPolicy {
+    fn default() -> Self {
+        KernelPolicy::sequential()
+    }
+}
+
+/// Applies `f` to each fixed-size chunk of `0..len` and returns the per-chunk
+/// results **in chunk order**. With `workers <= 1` (or a single chunk) this
+/// is a plain sequential loop; otherwise scoped threads claim chunks from an
+/// atomic counter. Chunk boundaries depend only on `policy.chunk`.
+fn map_chunks<T, F>(policy: &KernelPolicy, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let chunk = policy.chunk.max(1);
+    let chunks = len.div_ceil(chunk);
+    let range = |c: usize| c * chunk..((c + 1) * chunk).min(len);
+    if policy.workers <= 1 || chunks <= 1 {
+        return (0..chunks).map(|c| f(range(c))).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..policy.workers.min(chunks) {
+            s.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                let out = f(range(c));
+                *slots[c].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .filter_map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect()
+}
+
+const UNSEEN: usize = usize::MAX;
+
+/// Level-synchronous BFS / unweighted SSSP over the undirected view.
+/// Matches [`reference::bfs_distances_reference`]: hop distances from
+/// `start` up to `max_hops` (inclusive), slot-indexed, `None` when
+/// unreachable, too far, or removed.
+pub fn bfs_distances(
+    csr: &CsrGraph,
+    start: NodeId,
+    max_hops: usize,
+    policy: &KernelPolicy,
+) -> Vec<Option<usize>> {
+    let mut out = vec![None; csr.node_bound()];
+    let Some(s) = csr.dense_of(start) else { return out };
+    let mut dist: Vec<usize> = vec![UNSEEN; csr.n()];
+    dist[s as usize] = 0;
+    let mut frontier: Vec<u32> = vec![s];
+    let mut depth = 0usize;
+    while !frontier.is_empty() && depth < max_hops {
+        // Expand the frontier in parallel (read-only over `dist`), then
+        // claim discoveries sequentially in chunk order: duplicates across
+        // chunks collapse and the result is worker-count independent. All
+        // candidates sit at the same level, so any claim order yields the
+        // same distances.
+        let candidates = map_chunks(policy, frontier.len(), |r| {
+            let mut cand: Vec<u32> = Vec::new();
+            for &v in &frontier[r] {
+                for &w in csr.und(v) {
+                    if dist[w as usize] == UNSEEN {
+                        cand.push(w);
+                    }
+                }
+            }
+            cand
+        });
+        let mut next: Vec<u32> = Vec::new();
+        for chunk in candidates {
+            for w in chunk {
+                if dist[w as usize] == UNSEEN {
+                    dist[w as usize] = depth + 1;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+    for (d, &v) in csr.nodes().iter().enumerate() {
+        if dist[d] != UNSEEN {
+            out[v.index()] = Some(dist[d]);
+        }
+    }
+    out
+}
+
+/// Min-heap item for Dijkstra: ordered by distance (total order over f64),
+/// ties by dense id, inverted for `BinaryHeap`'s max-heap semantics.
+struct HeapItem {
+    dist: f64,
+    node: u32,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.dist.total_cmp(&self.dist).then(other.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra over the undirected view with slot-indexed edge `weights`
+/// (missing slots weigh 1.0; weights are assumed non-negative). Returns
+/// slot-indexed shortest distances. Matches
+/// [`reference::dijkstra_reference`].
+pub fn dijkstra(csr: &CsrGraph, weights: &[f64], start: NodeId) -> Vec<Option<f64>> {
+    let mut out = vec![None; csr.node_bound()];
+    let Some(s) = csr.dense_of(start) else { return out };
+    let w_of = |e: EdgeId| weights.get(e.index()).copied().unwrap_or(1.0);
+    let mut dist: Vec<f64> = vec![f64::INFINITY; csr.n()];
+    dist[s as usize] = 0.0;
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(HeapItem { dist: 0.0, node: s });
+    while let Some(HeapItem { dist: d, node: v }) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        let relax = |heap: &mut std::collections::BinaryHeap<HeapItem>,
+                     dist: &mut [f64],
+                     w: u32,
+                     e: EdgeId| {
+            let nd = d + w_of(e);
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                heap.push(HeapItem { dist: nd, node: w });
+            }
+        };
+        for (&w, &e) in csr.out(v).iter().zip(csr.out_edge_ids(v)) {
+            relax(&mut heap, &mut dist, w, e);
+        }
+        for (&w, &e) in csr.incoming(v).iter().zip(csr.incoming_edge_ids(v)) {
+            relax(&mut heap, &mut dist, w, e);
+        }
+    }
+    for (d, &v) in csr.nodes().iter().enumerate() {
+        if dist[d].is_finite() {
+            out[v.index()] = Some(dist[d]);
+        }
+    }
+    out
+}
+
+/// PageRank, edge-parallel *pull* over ascending-sorted in-adjacency.
+/// Bit-identical to [`reference::pagerank_reference`]: per-target
+/// contributions are summed in ascending source order (the same sequence
+/// the reference's push loop produces), the dangling sum is accumulated
+/// sequentially in ascending order, and the per-node update uses the exact
+/// reference expression. Returns slot-indexed scores.
+pub fn pagerank(csr: &CsrGraph, damping: f64, iterations: usize, policy: &KernelPolicy) -> Vec<f64> {
+    let n = csr.n();
+    let mut out = vec![0.0; csr.node_bound()];
+    if n == 0 {
+        return out;
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut share = vec![0.0; n];
+    for _ in 0..iterations {
+        let mut dangling = 0.0;
+        for d in 0..n {
+            let deg = csr.degree(d as u32);
+            if deg == 0 {
+                dangling += rank[d];
+                share[d] = 0.0;
+            } else {
+                share[d] = rank[d] / deg as f64;
+            }
+        }
+        let teleport = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        let next = map_chunks(policy, n, |r| {
+            let mut vals = Vec::with_capacity(r.len());
+            for w in r {
+                let mut sum = 0.0;
+                for &u in csr.pull_sources(w as u32) {
+                    sum += share[u as usize];
+                }
+                vals.push(sum);
+            }
+            vals
+        });
+        let mut d = 0usize;
+        for chunk in next {
+            for v in chunk {
+                rank[d] = teleport + damping * v;
+                d += 1;
+            }
+        }
+    }
+    for (d, &v) in csr.nodes().iter().enumerate() {
+        out[v.index()] = rank[d];
+    }
+    out
+}
+
+/// Connected components by parallel min-label propagation (Jacobi rounds
+/// with pointer shortcutting), renumbered by first occurrence in ascending
+/// node order — exactly the numbering the reference's repeated-BFS
+/// produces. Matches [`reference::connected_components_reference`].
+pub fn connected_components(csr: &CsrGraph, policy: &KernelPolicy) -> Components {
+    let n = csr.n();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    loop {
+        let rounds = map_chunks(policy, n, |r| {
+            let mut next = Vec::with_capacity(r.len());
+            let mut changed = false;
+            for v in r {
+                let mut best = labels[v];
+                for &w in csr.und(v as u32) {
+                    best = best.min(labels[w as usize]);
+                }
+                // Shortcut through the current label (pointer jumping):
+                // reads the same pre-round snapshot, so the result stays
+                // independent of chunking, but convergence drops from
+                // O(diameter) to O(log n) rounds.
+                best = best.min(labels[best as usize]);
+                changed |= best != labels[v];
+                next.push(best);
+            }
+            (next, changed)
+        });
+        let mut changed = false;
+        let mut next = Vec::with_capacity(n);
+        for (chunk, c) in rounds {
+            next.extend(chunk);
+            changed |= c;
+        }
+        labels = next;
+        if !changed {
+            break;
+        }
+    }
+    let mut assignment = vec![None; csr.node_bound()];
+    let mut comp_of_label: Vec<usize> = vec![usize::MAX; n];
+    let mut count = 0usize;
+    for d in 0..n {
+        let l = labels[d] as usize;
+        if comp_of_label[l] == usize::MAX {
+            comp_of_label[l] = count;
+            count += 1;
+        }
+        assignment[csr.node_of(d as u32).index()] = Some(comp_of_label[l]);
+    }
+    Components { assignment, count }
+}
+
+/// Whether all live nodes are mutually reachable (empty graphs count as
+/// connected). Matches [`reference::is_connected_reference`].
+pub fn is_connected(csr: &CsrGraph, policy: &KernelPolicy) -> bool {
+    connected_components(csr, policy).count <= 1
+}
+
+/// Common elements of two ascending slices strictly greater than `hi`.
+fn count_common_gt(a: &[u32], b: &[u32], hi: u32) -> usize {
+    let mut a = &a[a.partition_point(|&x| x <= hi)..];
+    let mut b = &b[b.partition_point(|&x| x <= hi)..];
+    let mut count = 0usize;
+    while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => a = &a[1..],
+            std::cmp::Ordering::Greater => b = &b[1..],
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                a = &a[1..];
+                b = &b[1..];
+            }
+        }
+    }
+    count
+}
+
+/// Live edges as dense endpoint pairs: each undirected edge once (low
+/// endpoint first), each directed edge once — the same per-edge iteration
+/// the reference oracles perform over `edge_ids`.
+fn edge_pairs(csr: &CsrGraph) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::with_capacity(csr.m());
+    for v in 0..csr.n() as u32 {
+        for &w in csr.out(v) {
+            if csr.is_directed() || w > v {
+                pairs.push((v, w));
+            }
+        }
+    }
+    pairs
+}
+
+/// Edge-parallel triangle count over sorted undirected-view adjacency.
+/// Matches [`reference::triangle_count_reference`].
+pub fn triangle_count(csr: &CsrGraph, policy: &KernelPolicy) -> usize {
+    let pairs = edge_pairs(csr);
+    map_chunks(policy, pairs.len(), |r| {
+        let mut c = 0usize;
+        for &(a, b) in &pairs[r] {
+            c += count_common_gt(csr.und(a), csr.und(b), a.max(b));
+        }
+        c
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Connected triples `Σ k(k−1)/2` over undirected-view degrees.
+fn triples(csr: &CsrGraph, policy: &KernelPolicy) -> usize {
+    map_chunks(policy, csr.n(), |r| {
+        let mut t = 0usize;
+        for v in r {
+            let k = csr.und(v as u32).len();
+            t += k * k.saturating_sub(1) / 2;
+        }
+        t
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Global clustering coefficient `3·triangles / triples`. Matches
+/// [`reference::global_clustering_coefficient_reference`].
+pub fn global_clustering_coefficient(csr: &CsrGraph, policy: &KernelPolicy) -> f64 {
+    let t = triples(csr, policy);
+    if t == 0 {
+        0.0
+    } else {
+        3.0 * triangle_count(csr, policy) as f64 / t as f64
+    }
+}
+
+/// Fills `dist` (pre-set to `UNSEEN`) with hop distances from `s` over the
+/// undirected view, reusing `queue`. Returns `(eccentricity, Σ d, pairs)`
+/// over reached nodes with `d > 0`.
+fn bfs_scan(csr: &CsrGraph, s: u32, dist: &mut [usize], queue: &mut VecDeque<u32>) -> (usize, usize, usize) {
+    queue.clear();
+    dist[s as usize] = 0;
+    queue.push_back(s);
+    let (mut ecc, mut total, mut pairs) = (0usize, 0usize, 0usize);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in csr.und(v) {
+            if dist[w as usize] == UNSEEN {
+                dist[w as usize] = d + 1;
+                ecc = ecc.max(d + 1);
+                total += d + 1;
+                pairs += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    (ecc, total, pairs)
+}
+
+/// Per-source BFS sweep, parallel over sources. Each chunk reuses one
+/// distance buffer and queue across its sources. Returns per-source
+/// `(ecc, Σ d, pairs)` in ascending source order.
+fn sweep(csr: &CsrGraph, policy: &KernelPolicy) -> Vec<(usize, usize, usize)> {
+    let n = csr.n();
+    map_chunks(policy, n, |r| {
+        let mut dist = vec![UNSEEN; n];
+        let mut queue = VecDeque::new();
+        let mut out = Vec::with_capacity(r.len());
+        for s in r {
+            dist.fill(UNSEEN);
+            out.push(bfs_scan(csr, s as u32, &mut dist, &mut queue));
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Eccentricity of `v`: maximum hop distance to any reachable node.
+/// Matches [`reference::eccentricity_reference`].
+pub fn eccentricity(csr: &CsrGraph, v: NodeId) -> Option<usize> {
+    let s = csr.dense_of(v)?;
+    let mut dist = vec![UNSEEN; csr.n()];
+    let mut queue = VecDeque::new();
+    let (ecc, _, _) = bfs_scan(csr, s, &mut dist, &mut queue);
+    Some(ecc)
+}
+
+/// Exact diameter via an all-sources BFS sweep. Matches
+/// [`reference::diameter_reference`].
+pub fn diameter(csr: &CsrGraph, policy: &KernelPolicy) -> Option<usize> {
+    sweep(csr, policy).into_iter().map(|(ecc, _, _)| ecc).max()
+}
+
+/// Average shortest-path length over ordered reachable pairs. Matches
+/// [`reference::average_path_length_reference`].
+pub fn average_path_length(csr: &CsrGraph, policy: &KernelPolicy) -> Option<f64> {
+    let (mut total, mut pairs) = (0usize, 0usize);
+    for (_, t, p) in sweep(csr, policy) {
+        total += t;
+        pairs += p;
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+/// Closeness centrality (Wasserman–Faust), slot-indexed. Each score is an
+/// independent per-source computation, so the parallel sweep is bit-exact
+/// against [`reference::closeness_reference`].
+pub fn closeness(csr: &CsrGraph, policy: &KernelPolicy) -> Vec<f64> {
+    let n = csr.n();
+    let mut out = vec![0.0; csr.node_bound()];
+    if n <= 1 {
+        return out;
+    }
+    for (d, (_, sum, reachable)) in sweep(csr, policy).into_iter().enumerate() {
+        if sum > 0 {
+            out[csr.node_of(d as u32).index()] =
+                (reachable as f64 / (n - 1) as f64) * (reachable as f64 / sum as f64);
+        }
+    }
+    out
+}
+
+/// Degree histogram over total degrees. Matches
+/// [`reference::degree_histogram_reference`].
+pub fn degree_histogram(csr: &CsrGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in 0..csr.n() as u32 {
+        let d = csr.total_degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Whole-graph statistics scan: degree extrema from the CSR degree arrays,
+/// components / triangles / clustering from the kernels above, labels from
+/// the graph (the snapshot stores structure only). Matches
+/// [`reference::graph_stats_reference`].
+pub fn graph_stats(g: &Graph, csr: &CsrGraph, policy: &KernelPolicy) -> GraphStats {
+    let n = csr.n();
+    let m = csr.m();
+    let possible = if csr.is_directed() {
+        n.saturating_mul(n.saturating_sub(1))
+    } else {
+        n.saturating_mul(n.saturating_sub(1)) / 2
+    };
+    let density = if possible == 0 { 0.0 } else { m as f64 / possible as f64 };
+    let (mut min_d, mut max_d, mut sum_d) = (usize::MAX, 0usize, 0usize);
+    for (lo, hi, sum) in map_chunks(policy, n, |r| {
+        let (mut lo, mut hi, mut sum) = (usize::MAX, 0usize, 0usize);
+        for v in r {
+            let d = csr.total_degree(v as u32);
+            lo = lo.min(d);
+            hi = hi.max(d);
+            sum += d;
+        }
+        (lo, hi, sum)
+    }) {
+        min_d = min_d.min(lo);
+        max_d = max_d.max(hi);
+        sum_d += sum;
+    }
+    let cc = connected_components(csr, policy);
+    let tri = triangle_count(csr, policy);
+    let trip = triples(csr, policy);
+    GraphStats {
+        nodes: n,
+        edges: m,
+        density,
+        min_degree: if n == 0 { 0 } else { min_d },
+        max_degree: max_d,
+        avg_degree: if n == 0 { 0.0 } else { sum_d as f64 / n as f64 },
+        components: cc.count,
+        largest_component: cc.largest_size(),
+        triangles: tri,
+        clustering: if trip == 0 { 0.0 } else { 3.0 * tri as f64 / trip as f64 },
+        distinct_labels: g.label_histogram().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::reference::*;
+    use super::*;
+    use crate::generators::{social_network, SocialParams};
+    use crate::GraphBuilder;
+
+    fn par() -> KernelPolicy {
+        // Tiny chunks force real multi-chunk scheduling in tests.
+        KernelPolicy::new(4, 8)
+    }
+
+    fn social() -> Graph {
+        social_network(
+            &SocialParams { communities: 3, community_size: 15, p_intra: 0.3, p_inter: 0.02 },
+            7,
+        )
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_social_graph() {
+        let g = social();
+        let csr = CsrGraph::build(&g);
+        for start in [NodeId(0), NodeId(17), NodeId(44)] {
+            for hops in [0, 2, usize::MAX] {
+                assert_eq!(
+                    bfs_distances(&csr, start, hops, &par()),
+                    bfs_distances_reference(&g, start, hops),
+                );
+            }
+        }
+        assert!(bfs_distances(&csr, NodeId(9999), usize::MAX, &par()).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn pagerank_is_bit_exact_sequential_and_parallel() {
+        let g = social();
+        let csr = CsrGraph::build(&g);
+        let oracle = pagerank_reference(&g, 0.85, 50);
+        let seq = pagerank(&csr, 0.85, 50, &KernelPolicy::sequential());
+        let p = pagerank(&csr, 0.85, 50, &par());
+        assert_eq!(seq, oracle, "sequential kernel must be bit-exact");
+        assert_eq!(p, oracle, "parallel kernel must be bit-exact");
+    }
+
+    #[test]
+    fn pagerank_directed_with_dangling_matches() {
+        let g = GraphBuilder::directed()
+            .edge("a", "b", "r")
+            .edge("b", "c", "r")
+            .edge("d", "b", "r")
+            .build();
+        let csr = CsrGraph::build(&g);
+        assert_eq!(pagerank(&csr, 0.85, 40, &par()), pagerank_reference(&g, 0.85, 40));
+    }
+
+    #[test]
+    fn components_match_reference_numbering() {
+        let mut g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("c", "d", "-")
+            .edge("e", "f", "-")
+            .build();
+        g.remove_node(NodeId(2)).expect("live node");
+        let csr = CsrGraph::build(&g);
+        let ours = connected_components(&csr, &par());
+        let oracle = connected_components_reference(&g);
+        assert_eq!(ours.assignment, oracle.assignment);
+        assert_eq!(ours.count, oracle.count);
+        assert_eq!(is_connected(&csr, &par()), is_connected_reference(&g));
+    }
+
+    #[test]
+    fn triangles_and_clustering_match() {
+        let g = social();
+        let csr = CsrGraph::build(&g);
+        assert_eq!(triangle_count(&csr, &par()), triangle_count_reference(&g));
+        assert_eq!(
+            global_clustering_coefficient(&csr, &par()),
+            global_clustering_coefficient_reference(&g),
+        );
+    }
+
+    #[test]
+    fn path_kernels_match() {
+        let g = social();
+        let csr = CsrGraph::build(&g);
+        assert_eq!(diameter(&csr, &par()), diameter_reference(&g));
+        assert_eq!(average_path_length(&csr, &par()), average_path_length_reference(&g));
+        assert_eq!(closeness(&csr, &par()), closeness_reference(&g));
+        assert_eq!(eccentricity(&csr, NodeId(3)), eccentricity_reference(&g, NodeId(3)));
+    }
+
+    #[test]
+    fn stats_and_histogram_match() {
+        let g = social();
+        let csr = CsrGraph::build(&g);
+        assert_eq!(graph_stats(&g, &csr, &par()), graph_stats_reference(&g));
+        assert_eq!(degree_histogram(&csr), degree_histogram_reference(&g));
+    }
+
+    #[test]
+    fn dijkstra_matches_weighted_reference() {
+        // Weighted diamond: the long way round is cheaper.
+        let g = GraphBuilder::undirected()
+            .edge("a", "b", "-")
+            .edge("b", "d", "-")
+            .edge("a", "c", "-")
+            .edge("c", "d", "-")
+            .edge("a", "d", "-")
+            .build();
+        let weights = vec![1.0, 1.0, 2.0, 2.0, 10.0];
+        let csr = CsrGraph::build(&g);
+        let got = dijkstra(&csr, &weights, NodeId(0));
+        let want = dijkstra_reference(&g, NodeId(0), |e| weights[e.index()]);
+        assert_eq!(got, want);
+        assert_eq!(got[3], Some(2.0), "a→b→d beats the direct weight-10 edge");
+    }
+
+    #[test]
+    fn empty_graph_kernels_are_safe() {
+        let csr = CsrGraph::build(&Graph::undirected());
+        assert_eq!(pagerank(&csr, 0.85, 10, &par()), Vec::<f64>::new());
+        assert_eq!(triangle_count(&csr, &par()), 0);
+        assert_eq!(diameter(&csr, &par()), None);
+        assert_eq!(connected_components(&csr, &par()).count, 0);
+    }
+}

@@ -34,19 +34,25 @@ pub mod algo;
 pub mod attr;
 pub mod binary;
 pub mod builder;
+pub mod csr;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod kernels;
 
 pub use attr::{AttrValue, Attrs};
 pub use builder::GraphBuilder;
+pub use csr::{CsrCache, CsrGraph};
 pub use graph::{Direction, EdgeId, Graph, GraphError, NodeId};
+pub use kernels::KernelPolicy;
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::algo;
     pub use crate::attr::{AttrValue, Attrs};
     pub use crate::builder::GraphBuilder;
+    pub use crate::csr::{CsrCache, CsrGraph};
+    pub use crate::kernels::{self, KernelPolicy};
     pub use crate::generators::{
         self, BaParams, ErParams, KgParams, MoleculeParams, SocialParams,
     };

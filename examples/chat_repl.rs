@@ -16,8 +16,10 @@
 //! Commands: `:social` / `:molecule` / `:kg` generate and upload a graph,
 //! `:upload <path>` reads an edge-list file, `:suggest` prints suggested
 //! questions, `:plan` shows the execution plan (DAG of dependencies and
-//! barriers) of the last proposed chain, `:quit` exits. Anything else is a
-//! prompt; proposed chains are executed immediately (auto-confirm).
+//! barriers) of the last proposed chain — during execution, CSR kernel
+//! timings stream alongside it as `KernelTimed` events — `:quit` exits.
+//! Anything else is a prompt; proposed chains are executed immediately
+//! (auto-confirm).
 
 use chatgraph::apis::{ChainEvent, CollectingMonitor, Plan, Value};
 use chatgraph::core::prompt::Prompt;
@@ -91,6 +93,9 @@ fn main() {
                             plan.barrier_count()
                         );
                         print!("{}", plan.render_text());
+                        println!(
+                            "(per-kernel CSR timings are emitted as KernelTimed events while the plan runs)"
+                        );
                     }
                     Err(e) => println!("the chain does not lower to a plan: {e}"),
                 },
@@ -114,6 +119,9 @@ fn main() {
                                 }
                                 ChainEvent::StepFinished { api, summary, .. } => {
                                     println!("  [{api}] {summary}");
+                                }
+                                ChainEvent::KernelTimed { kernel, micros } => {
+                                    println!("  (kernel {kernel}: {micros}us)");
                                 }
                                 _ => {}
                             }

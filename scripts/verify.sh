@@ -18,6 +18,15 @@ cargo test -q --offline -p chatgraph-apis --test plan_properties
 # written to results/BENCH_plan_exec.json with the measured speedup.
 cargo bench --offline -p chatgraph-bench --bench chain_plan_exec
 
+# CSR kernel differential properties: every kernel must equal its
+# adjacency-walking reference oracle, at 1 and 4 workers (DESIGN.md §10).
+cargo test -q --offline -p chatgraph-graph --test kernel_properties
+
+# CSR kernel baseline: per-kernel reference vs sequential vs parallel CSR
+# medians plus the epoch-cache comparison, written to
+# results/BENCH_graph_kernels.json.
+cargo bench --offline -p chatgraph-bench --bench graph_kernels
+
 # Repository lint: no unwrap/expect/panic! in non-test library code beyond
 # the shrink-only allowlist (lint-allow.toml), no `unsafe`, hermetic
 # manifests. See DESIGN.md on the diagnostics framework.
