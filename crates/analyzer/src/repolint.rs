@@ -16,6 +16,9 @@
 //!   must be an in-workspace `path`/`workspace = true` reference.
 //! - **CG105** — I/O failures while linting (missing allowlist, unreadable
 //!   files, suspicious workspace layout).
+//! - **CG106** — `catch_unwind` outside the chain supervisor
+//!   (`crates/apis/src/supervisor.rs`): panic isolation has exactly one
+//!   boundary, so payloads are always classified and attributed there.
 //!
 //! Test code is exempt from CG101: items annotated with an attribute that
 //! mentions `test` (and not `not`, so `#[cfg(not(test))]` still counts) are
@@ -44,6 +47,8 @@ pub struct SourceScan {
     pub panic_sites: Vec<Site>,
     /// `unsafe` keywords in non-test code.
     pub unsafe_sites: Vec<Site>,
+    /// `catch_unwind` mentions in non-test code (CG106).
+    pub catch_unwind_sites: Vec<Site>,
 }
 
 /// Scans one file's source for panic and unsafe sites, skipping test-only
@@ -73,6 +78,9 @@ pub fn scan_source(source: &str) -> SourceScan {
         }
         match toks[i].ident() {
             Some("unsafe") => out.unsafe_sites.push(Site { line: toks[i].line, what: "unsafe".into() }),
+            Some("catch_unwind") => {
+                out.catch_unwind_sites.push(Site { line: toks[i].line, what: "catch_unwind".into() });
+            }
             Some("panic") if is_punct(&toks, i + 1, '!') => {
                 out.panic_sites.push(Site { line: toks[i].line, what: "panic!".into() });
             }
@@ -255,6 +263,10 @@ pub fn render_allowlist(map: &BTreeMap<String, usize>) -> String {
     out
 }
 
+/// The one file allowed to `catch_unwind` (CG106): the chain supervisor's
+/// panic-isolation boundary.
+pub const SUPERVISOR_PATH: &str = "crates/apis/src/supervisor.rs";
+
 /// Outcome of a repolint run.
 #[derive(Debug, Clone, Default)]
 pub struct RepolintReport {
@@ -388,6 +400,18 @@ pub fn run(root: &Path, update_allowlist: bool) -> RepolintReport {
                 Span::File { path: label.clone(), line: site.line },
                 "`unsafe` is banned in this workspace",
             ));
+        }
+        if label != SUPERVISOR_PATH {
+            for site in &scan.catch_unwind_sites {
+                sink.push(
+                    Diagnostic::new(
+                        "CG106",
+                        Span::File { path: label.clone(), line: site.line },
+                        format!("`catch_unwind` outside the supervisor ({SUPERVISOR_PATH})"),
+                    )
+                    .with_suggestion("let panics propagate to the supervisor's single isolation boundary"),
+                );
+            }
         }
         if let Some(first) = scan.panic_sites.first() {
             actual.insert(label, (scan.panic_sites.len(), first.line));
@@ -527,6 +551,43 @@ mod tests {
         let src = "pub fn f(p: *const u32) -> u32 { unsafe { *p } }";
         let scan = scan_source(src);
         assert_eq!(scan.unsafe_sites.len(), 1);
+    }
+
+    #[test]
+    fn catch_unwind_is_scanned_outside_tests_only() {
+        let src = r#"
+            use std::panic::catch_unwind;
+            pub fn f() { let _ = catch_unwind(|| 1); }
+
+            #[cfg(test)]
+            mod tests {
+                fn quiet() { let _ = std::panic::catch_unwind(|| 2); }
+            }
+        "#;
+        let scan = scan_source(src);
+        assert_eq!(scan.catch_unwind_sites.len(), 2, "import + call, tests exempt");
+        assert!(scan.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn workspace_has_exactly_one_catch_unwind_boundary() {
+        // End-to-end over the real workspace: CG106 never fires, and the
+        // supervisor (the one allowed file) really does use catch_unwind —
+        // so the check cannot be trivially green.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = run(&root, false);
+        let cg106: Vec<_> = report
+            .diagnostics
+            .items
+            .iter()
+            .filter(|d| d.code == "CG106")
+            .collect();
+        assert!(cg106.is_empty(), "stray catch_unwind: {cg106:?}");
+        let sup = fs::read_to_string(root.join(SUPERVISOR_PATH)).unwrap();
+        assert!(
+            !scan_source(&sup).catch_unwind_sites.is_empty(),
+            "the supervisor must own the isolation boundary"
+        );
     }
 
     #[test]

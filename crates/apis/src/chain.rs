@@ -130,6 +130,12 @@ pub enum ChainError {
     Rejected(usize, String),
     /// A handler failed.
     ExecutionFailed(usize, String),
+    /// A step panicked; the supervisor caught the payload at the worker
+    /// boundary instead of letting it unwind into the caller.
+    StepPanicked(usize, String),
+    /// A step exceeded the configured per-step deadline (milliseconds) and
+    /// was cancelled cooperatively.
+    StepTimedOut(usize, u64),
 }
 
 impl fmt::Display for ChainError {
@@ -151,11 +157,24 @@ impl fmt::Display for ChainError {
             }
             ChainError::Rejected(i, n) => write!(f, "step {i}: user rejected '{n}'"),
             ChainError::ExecutionFailed(i, msg) => write!(f, "step {i} failed: {msg}"),
+            ChainError::StepPanicked(i, msg) => write!(f, "step {i} panicked: {msg}"),
+            ChainError::StepTimedOut(i, ms) => {
+                write!(f, "step {i} exceeded its {ms}ms deadline and was cancelled")
+            }
         }
     }
 }
 
-impl std::error::Error for ChainError {}
+impl std::error::Error for ChainError {
+    /// Always `None`: every underlying cause (handler error strings, panic
+    /// payloads, analyzer renderings) is carried pre-rendered inside the
+    /// variant, because errors must be `Clone + Send` to cross the
+    /// scheduler's worker boundary — there is no structured inner error to
+    /// expose.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        None
+    }
+}
 
 /// An ordered chain of API calls.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -282,6 +301,37 @@ impl fmt::Display for ApiChain {
 mod tests {
     use super::*;
     use crate::registry;
+
+    #[test]
+    fn chain_error_is_a_std_error_with_uniform_display() {
+        let errors: Vec<ChainError> = vec![
+            ChainError::UnknownApi(0, "nope".into()),
+            ChainError::Empty,
+            ChainError::Rejected(1, "remove_edges".into()),
+            ChainError::ExecutionFailed(2, "no such node".into()),
+            ChainError::StepPanicked(3, "index out of bounds".into()),
+            ChainError::StepTimedOut(4, 250),
+        ];
+        for e in errors {
+            let dyn_err: &dyn std::error::Error = &e;
+            assert!(dyn_err.source().is_none(), "payloads are pre-rendered");
+            let msg = dyn_err.to_string();
+            assert!(!msg.is_empty());
+            // Step-indexed variants lead with "step <i>" so the REPL and
+            // session render every failure uniformly.
+            if !matches!(e, ChainError::Empty | ChainError::AnalysisRejected(_)) {
+                assert!(msg.starts_with("step "), "non-uniform display: {msg}");
+            }
+        }
+        assert_eq!(
+            ChainError::StepTimedOut(4, 250).to_string(),
+            "step 4 exceeded its 250ms deadline and was cancelled"
+        );
+        assert_eq!(
+            ChainError::StepPanicked(3, "boom".into()).to_string(),
+            "step 3 panicked: boom"
+        );
+    }
 
     #[test]
     fn display_joins_with_arrows() {

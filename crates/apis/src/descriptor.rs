@@ -73,6 +73,11 @@ pub struct ApiDescriptor {
     /// graph-mutation barriers in the execution plan: every later step that
     /// reads the session graph must be ordered after them.
     pub mutates_graph: bool,
+    /// Whether the supervisor may re-run the step after a *transient*
+    /// failure (timeout or injected fault). True for pure analytics —
+    /// re-running them on the same snapshot is side-effect free; cleared
+    /// for mutating and confirmation-gated APIs, which are not idempotent.
+    pub transient_retryable: bool,
     /// Declared parameter schema: the analyzer lints call parameters
     /// (unknown names, unparseable values, out-of-range values) against it.
     pub params: Vec<ParamSpec>,
@@ -86,6 +91,7 @@ chatgraph_support::impl_json_struct!(ApiDescriptor {
     output,
     requires_confirmation,
     mutates_graph,
+    transient_retryable,
     params,
 });
 
@@ -106,19 +112,24 @@ impl ApiDescriptor {
             output,
             requires_confirmation: false,
             mutates_graph: false,
+            transient_retryable: true,
             params: Vec::new(),
         }
     }
 
-    /// Marks the API as requiring user confirmation.
+    /// Marks the API as requiring user confirmation. Confirmation-gated
+    /// steps are never retried (the user answered once, for one attempt).
     pub fn with_confirmation(mut self) -> Self {
         self.requires_confirmation = true;
+        self.transient_retryable = false;
         self
     }
 
     /// Marks the API as mutating the session graph (a plan barrier).
+    /// Mutations are not idempotent, so the supervisor never retries them.
     pub fn with_mutation(mut self) -> Self {
         self.mutates_graph = true;
+        self.transient_retryable = false;
         self
     }
 
@@ -168,6 +179,28 @@ mod tests {
         )
         .with_confirmation();
         assert!(d.requires_confirmation);
+        assert!(!d.transient_retryable, "confirmed steps are never retried");
+    }
+
+    #[test]
+    fn retryability_defaults_on_and_clears_for_mutations() {
+        let pure = ApiDescriptor::new(
+            "node_count",
+            "count nodes",
+            ApiCategory::Structure,
+            ValueType::Graph,
+            ValueType::Number,
+        );
+        assert!(pure.transient_retryable);
+        let edit = ApiDescriptor::new(
+            "remove_edges",
+            "remove edges",
+            ApiCategory::Edit,
+            ValueType::EdgeList,
+            ValueType::Number,
+        )
+        .with_mutation();
+        assert!(!edit.transient_retryable, "mutations are not idempotent");
     }
 
     #[test]

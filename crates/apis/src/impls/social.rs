@@ -90,7 +90,7 @@ pub fn register(reg: &mut ApiRegistry) {
             let g = input_graph(input, ctx);
             let k = call.try_param_usize("k", 5)?;
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             let pr = ctx
                 .kernels
                 .time("pagerank", || kernels::pagerank(&csr, 0.85, 50, &policy));
@@ -139,7 +139,7 @@ pub fn register(reg: &mut ApiRegistry) {
             let g = input_graph(input, ctx);
             let k = call.try_param_usize("k", 5)?;
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             let pr = ctx
                 .kernels
                 .time("pagerank", || kernels::pagerank(&csr, 0.85, 50, &policy));
@@ -160,7 +160,7 @@ pub fn register(reg: &mut ApiRegistry) {
             let g = input_graph(input, ctx);
             let k = call.try_param_usize("k", 5)?;
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             let cc = ctx
                 .kernels
                 .time("closeness", || kernels::closeness(&csr, &policy));
@@ -207,7 +207,7 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             let (cc, diam, apl) = ctx.kernels.time("connectivity", || {
                 (
                     kernels::connected_components(&csr, &policy),

@@ -63,7 +63,7 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             let s = ctx
                 .kernels
                 .time("graph_stats", || kernels::graph_stats(&g, &csr, &policy));
@@ -137,7 +137,7 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             let d = ctx
                 .kernels
                 .time("diameter", || kernels::diameter(&csr, &policy));
@@ -154,7 +154,7 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             let apl = ctx.kernels.time("average_path_length", || {
                 kernels::average_path_length(&csr, &policy)
             });
@@ -171,7 +171,7 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             Ok(Value::Number(ctx.kernels.time("clustering", || {
                 kernels::global_clustering_coefficient(&csr, &policy)
             })))
@@ -187,7 +187,7 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             Ok(Value::Number(ctx.kernels.time("triangle_count", || {
                 kernels::triangle_count(&csr, &policy) as f64
             })))
@@ -203,7 +203,7 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             Ok(Value::Number(ctx.kernels.time("components", || {
                 kernels::connected_components(&csr, &policy).count as f64
             })))
@@ -219,7 +219,7 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             Ok(Value::Bool(ctx.kernels.time("components", || {
                 kernels::is_connected(&csr, &policy)
             })))
@@ -235,7 +235,7 @@ pub fn register(reg: &mut ApiRegistry) {
         Box::new(|ctx, input, _| {
             let g = input_graph(input, ctx);
             let csr = ctx.kernels.csr(&g);
-            let policy = ctx.kernels.policy;
+            let policy = ctx.kernels.policy.clone();
             let cc = ctx.kernels.time("components", || {
                 kernels::connected_components(&csr, &policy)
             });

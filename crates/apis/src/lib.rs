@@ -30,6 +30,9 @@
 //! * [`sched`] — the plan [`Scheduler`]: a scoped-thread worker pool over
 //!   `Arc` graph snapshots with a bounded step-memo cache, deterministic
 //!   w.r.t. the sequential executor.
+//! * [`supervisor`] — fault-tolerant step execution: per-step deadlines via
+//!   cooperative cancellation, bounded deterministic retries, panic
+//!   isolation, and a seeded fault-injection harness ([`FaultPlan`]).
 
 pub mod analysis;
 pub mod chain;
@@ -40,6 +43,7 @@ pub mod monitor;
 pub mod plan;
 pub mod registry;
 pub mod sched;
+pub mod supervisor;
 pub mod value;
 
 pub use analysis::{analyze, can_extend};
@@ -50,4 +54,5 @@ pub use monitor::{ChainEvent, CollectingMonitor, Monitor, SilentMonitor};
 pub use plan::{InputSource, Plan, PlanStep, Segment};
 pub use registry::ApiRegistry;
 pub use sched::Scheduler;
+pub use supervisor::{FailurePolicy, FaultPlan, SupervisorConfig};
 pub use value::{Report, Table, Value, ValueType};

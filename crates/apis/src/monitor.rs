@@ -107,6 +107,49 @@ pub enum ChainEvent {
         /// Wall-clock microseconds.
         micros: u64,
     },
+    /// The supervisor retried a step after a transient failure. Non-core.
+    StepRetried {
+        /// Step index.
+        step: usize,
+        /// API name.
+        api: String,
+        /// 1-based retry number.
+        attempt: usize,
+        /// Deterministic backoff slept before the retry, in milliseconds.
+        backoff_ms: u64,
+        /// The transient failure that triggered the retry.
+        error: String,
+    },
+    /// A step exceeded its deadline and was cancelled cooperatively.
+    /// Non-core.
+    StepTimedOut {
+        /// Step index.
+        step: usize,
+        /// API name.
+        api: String,
+        /// The deadline that fired, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A step panicked; the supervisor caught the payload. Non-core.
+    StepPanicked {
+        /// Step index.
+        step: usize,
+        /// API name.
+        api: String,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// Under `FailurePolicy::SkipDegraded`, a dead-downstream step failed
+    /// soft: its finding is recorded as degraded and the chain continues.
+    /// Non-core.
+    DegradedResult {
+        /// Step index.
+        step: usize,
+        /// API name.
+        api: String,
+        /// The failure that was degraded.
+        error: String,
+    },
 }
 
 impl ChainEvent {
@@ -121,6 +164,10 @@ impl ChainEvent {
                 | ChainEvent::MemoLookup { .. }
                 | ChainEvent::CsrBuilt { .. }
                 | ChainEvent::KernelTimed { .. }
+                | ChainEvent::StepRetried { .. }
+                | ChainEvent::StepTimedOut { .. }
+                | ChainEvent::StepPanicked { .. }
+                | ChainEvent::DegradedResult { .. }
         )
     }
 }
@@ -205,6 +252,40 @@ impl ToJson for ChainEvent {
                 "KernelTimed",
                 vec![field("kernel", kernel.to_json()), field("micros", micros.to_json())],
             ),
+            ChainEvent::StepRetried { step, api, attempt, backoff_ms, error } => tagged(
+                "StepRetried",
+                vec![
+                    field("step", step.to_json()),
+                    field("api", api.to_json()),
+                    field("attempt", attempt.to_json()),
+                    field("backoff_ms", backoff_ms.to_json()),
+                    field("error", error.to_json()),
+                ],
+            ),
+            ChainEvent::StepTimedOut { step, api, deadline_ms } => tagged(
+                "StepTimedOut",
+                vec![
+                    field("step", step.to_json()),
+                    field("api", api.to_json()),
+                    field("deadline_ms", deadline_ms.to_json()),
+                ],
+            ),
+            ChainEvent::StepPanicked { step, api, message } => tagged(
+                "StepPanicked",
+                vec![
+                    field("step", step.to_json()),
+                    field("api", api.to_json()),
+                    field("message", message.to_json()),
+                ],
+            ),
+            ChainEvent::DegradedResult { step, api, error } => tagged(
+                "DegradedResult",
+                vec![
+                    field("step", step.to_json()),
+                    field("api", api.to_json()),
+                    field("error", error.to_json()),
+                ],
+            ),
         }
     }
 }
@@ -276,6 +357,28 @@ impl FromJson for ChainEvent {
             "KernelTimed" => Ok(ChainEvent::KernelTimed {
                 kernel: FromJson::from_json(get("kernel")?)?,
                 micros: FromJson::from_json(get("micros")?)?,
+            }),
+            "StepRetried" => Ok(ChainEvent::StepRetried {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
+                attempt: FromJson::from_json(get("attempt")?)?,
+                backoff_ms: FromJson::from_json(get("backoff_ms")?)?,
+                error: FromJson::from_json(get("error")?)?,
+            }),
+            "StepTimedOut" => Ok(ChainEvent::StepTimedOut {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
+                deadline_ms: FromJson::from_json(get("deadline_ms")?)?,
+            }),
+            "StepPanicked" => Ok(ChainEvent::StepPanicked {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
+                message: FromJson::from_json(get("message")?)?,
+            }),
+            "DegradedResult" => Ok(ChainEvent::DegradedResult {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
+                error: FromJson::from_json(get("error")?)?,
             }),
             other => Err(JsonError::msg(format!("unknown ChainEvent variant `{other}`"))),
         }
@@ -408,6 +511,20 @@ mod tests {
             ChainEvent::MemoLookup { step: 2, api: "node_count".into(), hit: false },
             ChainEvent::CsrBuilt { nodes: 120, edges: 640, micros: 85 },
             ChainEvent::KernelTimed { kernel: "pagerank".into(), micros: 412 },
+            ChainEvent::StepRetried {
+                step: 1,
+                api: "top_pagerank".into(),
+                attempt: 1,
+                backoff_ms: 3,
+                error: "injected fault (step 1, attempt 0)".into(),
+            },
+            ChainEvent::StepTimedOut { step: 2, api: "graph_diameter".into(), deadline_ms: 50 },
+            ChainEvent::StepPanicked { step: 0, api: "node_count".into(), message: "boom".into() },
+            ChainEvent::DegradedResult {
+                step: 3,
+                api: "triangle_count".into(),
+                error: "exceeded the 50ms step deadline".into(),
+            },
         ];
         for e in events {
             assert!(!e.is_core());

@@ -213,6 +213,27 @@ impl Plan {
         self.steps.iter().filter(|s| s.barrier).count()
     }
 
+    /// Whether step `i`'s *output value* is provably dead downstream: no
+    /// later step consumes it via `PrevOutput` and it is not the chain's
+    /// final value. Barriers are never dead — their observable effect is
+    /// the mutation/confirmation/findings-read itself, not the value.
+    ///
+    /// This is the soundness condition for `FailurePolicy::SkipDegraded`:
+    /// a dead-output step may fail soft (its finding recorded as degraded)
+    /// without changing what any later step computes. Note the degraded
+    /// *finding* is still visible to report sinks — exactly the "mark it
+    /// degraded, complete the chain" contract. Because `PrevOutput` edges
+    /// only ever point at the immediate predecessor, dead-output steps are
+    /// always sub-chain tails, so skipping them never unblocks or starves
+    /// a worker's sub-chain either.
+    pub fn dead_output(&self, i: usize) -> bool {
+        let Some(step) = self.steps.get(i) else { return false };
+        if step.barrier || i + 1 >= self.steps.len() {
+            return false;
+        }
+        self.steps[i + 1].input != InputSource::PrevOutput(i)
+    }
+
     /// The maximal barrier-free segments, each partitioned into its
     /// independent sub-chains (runs linked by consecutive `PrevOutput`
     /// edges). Barrier steps appear as their own single-step groups. This
@@ -322,6 +343,26 @@ mod tests {
             plan.segments(),
             vec![Segment::Parallel(vec![vec![0], vec![1], vec![2]])]
         );
+    }
+
+    #[test]
+    fn dead_output_marks_unconsumed_non_final_steps() {
+        let reg = registry::standard();
+        // Steps 0 and 1 feed nothing (step 1 / 2 read the session graph);
+        // step 2's value is the chain result.
+        let chain = ApiChain::from_names(["node_count", "edge_count", "graph_density"]);
+        let plan = Plan::build(&chain, &reg).unwrap();
+        assert!(plan.dead_output(0));
+        assert!(plan.dead_output(1));
+        assert!(!plan.dead_output(2), "the final value is always load-bearing");
+        assert!(!plan.dead_output(99), "out of range is not dead");
+        // A consumed output is load-bearing; a report sink is a barrier
+        // (and, taking `Any`, consumes the previous output too).
+        let chain = ApiChain::from_names(["largest_component", "node_count", "generate_report"]);
+        let plan = Plan::build(&chain, &reg).unwrap();
+        assert!(!plan.dead_output(0), "step 1 consumes PrevOutput(0)");
+        assert!(!plan.dead_output(1), "the report consumes PrevOutput(1)");
+        assert!(!plan.dead_output(2), "barriers are never dead");
     }
 
     #[test]

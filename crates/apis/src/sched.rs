@@ -38,14 +38,17 @@ use crate::monitor::{ChainEvent, Monitor};
 use crate::plan::{InputSource, Plan, Segment};
 use crate::registry::ApiRegistry;
 use crate::executor::KernelState;
+use crate::supervisor::{self, FailurePolicy, FaultPlan, StepFailure, SupervisorConfig};
 use crate::value::Value;
 use chatgraph_graph::kernels::{KernelPolicy, DEFAULT_KERNEL_CHUNK};
 use chatgraph_graph::{binary, Graph};
+use chatgraph_support::cancel::CancelToken;
 use chatgraph_support::hash::Fnv64;
 use chatgraph_support::lru::Lru;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default capacity of the step-memo cache.
 pub const DEFAULT_MEMO_CAPACITY: usize = 64;
@@ -59,6 +62,7 @@ pub const DEFAULT_MEMO_CAPACITY: usize = 64;
 pub struct Scheduler {
     workers: usize,
     kernel_chunk: usize,
+    supervisor: SupervisorConfig,
     memo: Mutex<Lru<u64, Value>>,
 }
 
@@ -69,6 +73,7 @@ impl Scheduler {
         Scheduler {
             workers: workers.max(1),
             kernel_chunk: DEFAULT_KERNEL_CHUNK,
+            supervisor: SupervisorConfig::default(),
             memo: Mutex::new(Lru::new(DEFAULT_MEMO_CAPACITY)),
         }
     }
@@ -78,6 +83,7 @@ impl Scheduler {
         Scheduler {
             workers: self.workers,
             kernel_chunk: self.kernel_chunk,
+            supervisor: self.supervisor,
             memo: Mutex::new(Lru::new(capacity)),
         }
     }
@@ -86,6 +92,24 @@ impl Scheduler {
     pub fn with_kernel_chunk(mut self, chunk: usize) -> Self {
         self.kernel_chunk = chunk.max(1);
         self
+    }
+
+    /// Overrides the supervisor configuration (`exec.step_deadline_ms`,
+    /// `exec.max_retries`, `exec.failure_policy`).
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Arms (or clears) deterministic fault injection for subsequent
+    /// chains — the REPL's `:faults` command and the test harness.
+    pub fn set_fault_plan(&mut self, faults: Option<FaultPlan>) {
+        self.supervisor.faults = faults;
+    }
+
+    /// The current supervisor configuration.
+    pub fn supervisor(&self) -> &SupervisorConfig {
+        &self.supervisor
     }
 
     /// The configured worker count.
@@ -167,7 +191,36 @@ impl Scheduler {
                         }
                     }
                     let start = Instant::now();
-                    match registry.call(&step.api, ctx, input, step) {
+                    let retryable = registry
+                        .descriptor(&step.api)
+                        .is_some_and(|d| d.transient_retryable);
+                    // Barriers run on the scheduler thread against the real
+                    // context; the supervisor threads its per-attempt token
+                    // into the kernel policy so CSR kernels observe the
+                    // deadline at chunk boundaries.
+                    let attempted = supervisor::run_step(
+                        &self.supervisor,
+                        ctx.seed,
+                        i,
+                        retryable,
+                        |token, chunk_delay| {
+                            ctx.kernels.policy.cancel = token.clone();
+                            ctx.kernels.policy.chunk_delay = chunk_delay;
+                            registry.call(&step.api, ctx, input.clone(), step)
+                        },
+                    );
+                    ctx.kernels.policy.cancel = CancelToken::new();
+                    ctx.kernels.policy.chunk_delay = Duration::ZERO;
+                    for note in &attempted.retries {
+                        monitor.on_event(&ChainEvent::StepRetried {
+                            step: i,
+                            api: step.api.clone(),
+                            attempt: note.attempt,
+                            backoff_ms: note.backoff_ms,
+                            error: note.error.clone(),
+                        });
+                    }
+                    match attempted.result {
                         Ok(output) => {
                             ctx.push_finding(&step.api, &output);
                             monitor.on_event(&ChainEvent::StepFinished {
@@ -184,13 +237,16 @@ impl Scheduler {
                             });
                             prev = output;
                         }
-                        Err(msg) => {
+                        Err(failure) => {
+                            emit_failure_detail(monitor, i, &step.api, &failure);
+                            // Barriers are never dead-output (their effect
+                            // *is* the barrier), so no policy check: abort.
                             monitor.on_event(&ChainEvent::StepFailed {
                                 step: i,
                                 api: step.api.clone(),
-                                error: msg.clone(),
+                                error: failure.render(),
                             });
-                            return Err(ChainError::ExecutionFailed(i, msg));
+                            return Err(failure.into_chain_error(i));
                         }
                     }
                     if pstep.mutates_graph {
@@ -248,6 +304,24 @@ fn drain_kernel_events(ctx: &ExecContext, monitor: &mut dyn Monitor) {
     }
 }
 
+/// Emits the non-core detail event for a supervised failure (timeout /
+/// panic); plain errors carry no extra detail beyond `StepFailed`.
+fn emit_failure_detail(monitor: &mut dyn Monitor, step: usize, api: &str, failure: &StepFailure) {
+    match failure {
+        StepFailure::TimedOut(ms) => monitor.on_event(&ChainEvent::StepTimedOut {
+            step,
+            api: api.to_owned(),
+            deadline_ms: *ms,
+        }),
+        StepFailure::Panicked(msg) => monitor.on_event(&ChainEvent::StepPanicked {
+            step,
+            api: api.to_owned(),
+            message: msg.clone(),
+        }),
+        StepFailure::Error(_) => {}
+    }
+}
+
 /// Resolves a statically planned input against the live context.
 fn resolve_input(source: InputSource, prev: &Value, ctx: &ExecContext) -> Value {
     match source {
@@ -259,10 +333,26 @@ fn resolve_input(source: InputSource, prev: &Value, ctx: &ExecContext) -> Value 
 
 /// What happened when one pure step ran (or was served from cache).
 struct StepOutcome {
-    result: Result<Value, String>,
+    result: Result<Value, StepFailure>,
+    /// Supervisor retries performed before the final result, in order.
+    retries: Vec<supervisor::RetryNote>,
     micros: u64,
     cached: bool,
     memo_checked: bool,
+}
+
+impl StepOutcome {
+    /// The outcome recorded for a step whose worker thread died without
+    /// reporting (a scheduler-internal panic caught at `join`).
+    fn pool_panic(msg: String) -> StepOutcome {
+        StepOutcome {
+            result: Err(StepFailure::Panicked(msg)),
+            retries: Vec::new(),
+            micros: 0,
+            cached: false,
+            memo_checked: false,
+        }
+    }
 }
 
 /// Everything a barrier-free segment needs, shareable across workers.
@@ -302,10 +392,22 @@ impl SegmentRun<'_> {
             .collect();
         let slot_of = |j: usize| indices.iter().position(|&k| k == j);
         let jobs: Mutex<VecDeque<Vec<usize>>> = Mutex::new(chains.iter().cloned().collect());
+        // Which step each worker is currently executing, for panic
+        // attribution at `join`. Handler panics are already caught inside
+        // `exec_pure` by the supervisor, so a worker can only die from a
+        // scheduler-internal bug — but even then the payload must not be
+        // lost or resumed into the caller.
+        let current: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let mut pool_panics: Vec<(usize, String)> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                handles.push(scope.spawn(|| loop {
+            for w in 0..threads {
+                let cur = &current[w];
+                let prev = &prev;
+                let jobs = &jobs;
+                let outcomes = &outcomes;
+                let slot_of = &slot_of;
+                handles.push(scope.spawn(move || loop {
                     let job = {
                         let mut q = jobs.lock().unwrap_or_else(|e| e.into_inner());
                         q.pop_front()
@@ -316,6 +418,7 @@ impl SegmentRun<'_> {
                         _ => Value::Unit,
                     };
                     for &j in &sub {
+                        cur.store(j, Ordering::Relaxed);
                         let input = self.worker_input(j, &local_prev);
                         let outcome = self.exec_pure(j, input, true);
                         let ok = outcome.result.as_ref().ok().cloned();
@@ -324,6 +427,7 @@ impl SegmentRun<'_> {
                                 outcomes[slot].lock().unwrap_or_else(|e| e.into_inner());
                             *guard = Some(outcome);
                         }
+                        cur.store(usize::MAX, Ordering::Relaxed);
                         // A failure ends this sub-chain; later steps in it
                         // would never have run sequentially either.
                         match ok {
@@ -333,12 +437,31 @@ impl SegmentRun<'_> {
                     }
                 }));
             }
-            for h in handles {
+            for (w, h) in handles.into_iter().enumerate() {
                 if let Err(payload) = h.join() {
-                    std::panic::resume_unwind(payload);
+                    // Attribute the payload to the step the worker was on
+                    // (fall back to the segment's first step if it died
+                    // between steps) instead of unwinding into the caller.
+                    let at = current[w].load(Ordering::Relaxed);
+                    let step = if at == usize::MAX {
+                        indices.iter().copied().min().unwrap_or(0)
+                    } else {
+                        at
+                    };
+                    pool_panics.push((step, supervisor::panic_message(payload)));
                 }
             }
         });
+        // Route pool panics through the normal commit path: fill the dead
+        // step's slot so the smallest failing index still wins.
+        for (step, msg) in pool_panics {
+            if let Some(slot) = slot_of(step) {
+                let mut guard = outcomes[slot].lock().unwrap_or_else(|e| e.into_inner());
+                if guard.is_none() {
+                    *guard = Some(StepOutcome::pool_panic(msg));
+                }
+            }
+        }
         // Commit on the scheduler thread in step-index order; the smallest
         // failing index wins, exactly as in sequential execution.
         let mut sorted = indices.clone();
@@ -402,38 +525,57 @@ impl SegmentRun<'_> {
     fn exec_pure(&self, j: usize, input: Value, parallel: bool) -> StepOutcome {
         let call = &self.chain.steps[j];
         let key = self.memo_key(call, &input);
+        let retryable = self
+            .registry
+            .descriptor(&call.api)
+            .is_some_and(|d| d.transient_retryable);
         let start = Instant::now();
-        if let Some(k) = key {
-            if let Some(hit) = self.scheduler.memo().get(&k).cloned() {
-                return StepOutcome {
-                    result: Ok(hit),
-                    micros: start.elapsed().as_micros() as u64,
-                    cached: true,
-                    memo_checked: true,
+        let mut cached = false;
+        let mut memo_checked = false;
+        // The supervisor decides fault injection *before* this closure runs,
+        // so the memo cache (consulted inside) cannot mask injected faults
+        // on warm runs.
+        let attempted = supervisor::run_step(
+            &self.scheduler.supervisor,
+            self.seed,
+            j,
+            retryable,
+            |token, chunk_delay| {
+                memo_checked = key.is_some();
+                if let Some(k) = key {
+                    if let Some(hit) = self.scheduler.memo().get(&k).cloned() {
+                        cached = true;
+                        return Ok(hit);
+                    }
+                }
+                let mut kernels = self.kernels.clone();
+                kernels.policy.cancel = token.clone();
+                kernels.policy.chunk_delay = chunk_delay;
+                if parallel {
+                    kernels.policy.workers = 1;
+                }
+                let mut local = ExecContext {
+                    graph: Arc::clone(&self.snapshot),
+                    database: Arc::clone(&self.database),
+                    findings: Vec::new(),
+                    seed: self.seed,
+                    kernels,
                 };
+                self.registry.call(&call.api, &mut local, input.clone(), call)
+            },
+        );
+        let micros = start.elapsed().as_micros() as u64;
+        if !cached {
+            if let (Some(k), Ok(v)) = (key, &attempted.result) {
+                self.scheduler.memo().insert(k, v.clone());
             }
         }
-        let mut kernels = self.kernels.clone();
-        if parallel {
-            kernels.policy.workers = 1;
-        }
-        let mut local = ExecContext {
-            graph: Arc::clone(&self.snapshot),
-            database: Arc::clone(&self.database),
-            findings: Vec::new(),
-            seed: self.seed,
-            kernels,
-        };
-        let result = self.registry.call(&call.api, &mut local, input, call);
-        let micros = start.elapsed().as_micros() as u64;
-        if let (Some(k), Ok(v)) = (key, &result) {
-            self.scheduler.memo().insert(k, v.clone());
-        }
         StepOutcome {
-            result,
+            result: attempted.result,
+            retries: attempted.retries,
             micros,
-            cached: false,
-            memo_checked: key.is_some(),
+            cached,
+            memo_checked,
         }
     }
 
@@ -476,6 +618,15 @@ impl SegmentRun<'_> {
             step: j,
             api: api.clone(),
         });
+        for note in &outcome.retries {
+            monitor.on_event(&ChainEvent::StepRetried {
+                step: j,
+                api: api.clone(),
+                attempt: note.attempt,
+                backoff_ms: note.backoff_ms,
+                error: note.error.clone(),
+            });
+        }
         if outcome.memo_checked {
             monitor.on_event(&ChainEvent::MemoLookup {
                 step: j,
@@ -501,13 +652,30 @@ impl SegmentRun<'_> {
                 *last = output;
                 None
             }
-            Err(msg) => {
-                monitor.on_event(&ChainEvent::StepFailed {
-                    step: j,
-                    api: api.clone(),
-                    error: msg.clone(),
-                });
-                Some(ChainError::ExecutionFailed(j, msg))
+            Err(failure) => {
+                emit_failure_detail(monitor, j, api, &failure);
+                if self.scheduler.supervisor.failure_policy == FailurePolicy::SkipDegraded
+                    && self.plan.dead_output(j)
+                {
+                    // The step's output is provably unconsumed downstream:
+                    // record a degraded finding and keep the chain alive.
+                    // `last` is untouched — a degraded value is never read.
+                    let error = failure.render();
+                    ctx.push_finding(api, &Value::Text(format!("degraded: {error}")));
+                    monitor.on_event(&ChainEvent::DegradedResult {
+                        step: j,
+                        api: api.clone(),
+                        error,
+                    });
+                    None
+                } else {
+                    monitor.on_event(&ChainEvent::StepFailed {
+                        step: j,
+                        api: api.clone(),
+                        error: failure.render(),
+                    });
+                    Some(failure.into_chain_error(j))
+                }
             }
         }
     }

@@ -65,7 +65,7 @@ fn main() {
 
     // Recall-vs-computation curve at the largest size: the canonical ANN
     // comparison (each index sweeps its query beam width ef).
-    let n = *sizes.last().expect("non-empty sweep");
+    let Some(&n) = sizes.last() else { return };
     let params = ClusterParams { n, dim: 32, clusters: 40, noise: 0.06 };
     let data = clustered(&params, 11);
     let qs = queries(&params, n_queries, 11);

@@ -1,6 +1,7 @@
 //! Framework configuration — the runtime knobs of the paper's Fig. 3.
 
 use chatgraph_ann::TauMgParams;
+use chatgraph_apis::supervisor::{FailurePolicy, SupervisorConfig};
 use chatgraph_embed::EmbedderConfig;
 use chatgraph_llm::{FeatureConfig, SamplingConfig, TrainConfig};
 use chatgraph_sequencer::CoverParams;
@@ -94,7 +95,7 @@ impl Default for FinetuneConfig {
 }
 
 /// Plan-execution settings: how [`chatgraph_apis::Scheduler`] runs a
-/// confirmed chain (DESIGN.md §9).
+/// confirmed chain (DESIGN.md §9, §11).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Worker threads for parallel plan segments. 1 reproduces the
@@ -107,13 +108,48 @@ pub struct ExecConfig {
     /// (DESIGN.md §10). Chunk boundaries are fixed, so results never depend
     /// on the worker count.
     pub kernel_chunk: usize,
+    /// Per-step deadline in milliseconds (DESIGN.md §11); 0 disables
+    /// deadlines. Kernels observe the deadline cooperatively at chunk
+    /// boundaries.
+    pub step_deadline_ms: u64,
+    /// Supervisor retries for transient failures of retryable steps.
+    pub max_retries: usize,
+    /// What the supervisor does when a step exhausts its attempts.
+    pub failure_policy: FailurePolicy,
 }
 
-chatgraph_support::impl_json_struct!(ExecConfig { workers, memo_capacity, kernel_chunk });
+chatgraph_support::impl_json_struct!(ExecConfig {
+    workers,
+    memo_capacity,
+    kernel_chunk,
+    step_deadline_ms,
+    max_retries,
+    failure_policy,
+});
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { workers: 1, memo_capacity: 64, kernel_chunk: 1024 }
+        ExecConfig {
+            workers: 1,
+            memo_capacity: 64,
+            kernel_chunk: 1024,
+            step_deadline_ms: 0,
+            max_retries: 2,
+            failure_policy: FailurePolicy::Abort,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The supervisor configuration implied by this config (no fault plan —
+    /// fault injection is armed separately, by tests and the REPL).
+    pub fn supervisor_config(&self) -> SupervisorConfig {
+        SupervisorConfig {
+            step_deadline_ms: self.step_deadline_ms,
+            max_retries: self.max_retries,
+            failure_policy: self.failure_policy,
+            ..SupervisorConfig::default()
+        }
     }
 }
 
@@ -227,6 +263,9 @@ impl ChatGraphConfig {
         if self.exec.kernel_chunk == 0 {
             problems.push("exec.kernel_chunk must be >= 1".to_owned());
         }
+        if self.exec.max_retries > 16 {
+            problems.push("exec.max_retries must be <= 16 (bounded retry storms)".to_owned());
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -276,6 +315,26 @@ mod tests {
         let mut c = ChatGraphConfig::default();
         c.exec.memo_capacity = 0;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn supervisor_knobs_validate_and_map() {
+        let mut c = ChatGraphConfig::default();
+        c.exec.max_retries = 17;
+        let problems = c.validate().unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("exec.max_retries")), "{problems:?}");
+        let mut c = ChatGraphConfig::default();
+        c.exec.step_deadline_ms = 250;
+        c.exec.max_retries = 3;
+        c.exec.failure_policy = FailurePolicy::SkipDegraded;
+        assert!(c.validate().is_ok());
+        let sup = c.exec.supervisor_config();
+        assert_eq!(sup.step_deadline_ms, 250);
+        assert_eq!(sup.max_retries, 3);
+        assert_eq!(sup.failure_policy, FailurePolicy::SkipDegraded);
+        assert!(sup.faults.is_none(), "config never arms fault injection");
+        // Passive defaults: the supervisor cannot alter fault-free runs.
+        assert!(!ChatGraphConfig::default().exec.supervisor_config().is_armed());
     }
 
     #[test]

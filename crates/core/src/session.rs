@@ -121,7 +121,8 @@ impl ChatSession {
         };
         let scheduler = Scheduler::new(config.exec.workers)
             .with_memo_capacity(config.exec.memo_capacity)
-            .with_kernel_chunk(config.exec.kernel_chunk);
+            .with_kernel_chunk(config.exec.kernel_chunk)
+            .with_supervisor(config.exec.supervisor_config());
         Ok((
             ChatSession {
                 config,
@@ -154,7 +155,8 @@ impl ChatSession {
         };
         let scheduler = Scheduler::new(config.exec.workers)
             .with_memo_capacity(config.exec.memo_capacity)
-            .with_kernel_chunk(config.exec.kernel_chunk);
+            .with_kernel_chunk(config.exec.kernel_chunk)
+            .with_supervisor(config.exec.supervisor_config());
         Ok(ChatSession {
             config,
             registry,
@@ -196,6 +198,17 @@ impl ChatSession {
     /// Attaches a molecule database for similarity search.
     pub fn set_database(&mut self, database: Vec<Graph>) {
         self.database = Arc::new(database);
+    }
+
+    /// Arms (or clears) deterministic fault injection on the chain
+    /// scheduler — the REPL's `:faults` command and the test harness.
+    pub fn set_fault_plan(&mut self, faults: Option<chatgraph_apis::FaultPlan>) {
+        self.scheduler.set_fault_plan(faults);
+    }
+
+    /// The chain scheduler's supervisor configuration.
+    pub fn supervisor(&self) -> &chatgraph_apis::SupervisorConfig {
+        self.scheduler.supervisor()
     }
 
     /// Suggested questions for the current graph (panel ②), driven by the

@@ -65,13 +65,12 @@ impl GraphBuilder {
         let key = key.into();
         match self.by_key.get(&key) {
             Some(&id) => {
-                self.graph
-                    .set_node_label(id, label)
-                    .expect("builder nodes are never removed");
-                *self
-                    .graph
-                    .node_attrs_mut(id)
-                    .expect("builder nodes are never removed") = attrs;
+                // Builder nodes are never removed, so neither lookup can
+                // fail; degrade silently rather than panic in a builder.
+                let _ = self.graph.set_node_label(id, label);
+                if let Ok(slot) = self.graph.node_attrs_mut(id) {
+                    *slot = attrs;
+                }
             }
             None => {
                 let id = self.graph.add_node_with_attrs(label, attrs);

@@ -19,13 +19,21 @@
 //!   bytes. Threads are scoped to each call — the kernels add no
 //!   background pool beyond the scheduler's own workers.
 
+//! * **Cooperative cancellation** — every chunked kernel polls
+//!   [`KernelPolicy::cancel`] at chunk boundaries. Once the token fires the
+//!   kernel stops claiming work and returns a *neutral* value (empty / zero
+//!   / `None`); the supervisor that armed the token discards the result, so
+//!   partial output is never observed by callers.
+
 use crate::algo::components::Components;
 use crate::algo::stats::GraphStats;
 use crate::csr::CsrGraph;
 use crate::graph::{EdgeId, Graph, NodeId};
+use chatgraph_support::cancel::CancelToken;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Differential oracles: the original adjacency-walking implementations in
 /// [`crate::algo`], re-exported under the `*_reference` names the property
@@ -53,24 +61,50 @@ pub mod reference {
 pub const DEFAULT_KERNEL_CHUNK: usize = 1024;
 
 /// How a kernel invocation splits its work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct KernelPolicy {
     /// Scoped worker threads to use; `<= 1` runs fully sequentially.
     pub workers: usize,
     /// Fixed chunk size. Chunk boundaries are independent of `workers`, so
     /// results are identical for any worker count.
     pub chunk: usize,
+    /// Cooperative cancellation, polled at every chunk boundary. The
+    /// default token never fires; the chain supervisor swaps in a
+    /// deadline-armed clone per supervised step.
+    pub cancel: CancelToken,
+    /// Fault-injection stall applied before each chunk is claimed. Zero in
+    /// production; the deterministic fault harness uses it to force a
+    /// deadline to expire *inside* a kernel, proving chunk-boundary
+    /// cancellation is observed.
+    pub chunk_delay: Duration,
 }
 
 impl KernelPolicy {
     /// A policy with explicit worker and chunk counts.
     pub fn new(workers: usize, chunk: usize) -> KernelPolicy {
-        KernelPolicy { workers: workers.max(1), chunk: chunk.max(1) }
+        KernelPolicy {
+            workers: workers.max(1),
+            chunk: chunk.max(1),
+            cancel: CancelToken::new(),
+            chunk_delay: Duration::ZERO,
+        }
     }
 
     /// Fully sequential execution with the default chunk size.
     pub fn sequential() -> KernelPolicy {
         KernelPolicy::new(1, DEFAULT_KERNEL_CHUNK)
+    }
+
+    /// The same policy watching `cancel` instead of its current token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> KernelPolicy {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The same policy with an injected per-chunk stall (fault harness).
+    pub fn with_chunk_delay(mut self, delay: Duration) -> KernelPolicy {
+        self.chunk_delay = delay;
+        self
     }
 }
 
@@ -84,7 +118,12 @@ impl Default for KernelPolicy {
 /// results **in chunk order**. With `workers <= 1` (or a single chunk) this
 /// is a plain sequential loop; otherwise scoped threads claim chunks from an
 /// atomic counter. Chunk boundaries depend only on `policy.chunk`.
-fn map_chunks<T, F>(policy: &KernelPolicy, len: usize, f: F) -> Vec<T>
+///
+/// Before claiming each chunk the caller's [`CancelToken`] is polled (after
+/// the injected `chunk_delay`, if any); once it fires, no further chunks are
+/// computed and the call returns `None`. Kernels translate `None` into a
+/// neutral result — the supervisor that armed the token never looks at it.
+fn map_chunks<T, F>(policy: &KernelPolicy, len: usize, f: F) -> Option<Vec<T>>
 where
     T: Send,
     F: Fn(std::ops::Range<usize>) -> T + Sync,
@@ -92,14 +131,32 @@ where
     let chunk = policy.chunk.max(1);
     let chunks = len.div_ceil(chunk);
     let range = |c: usize| c * chunk..((c + 1) * chunk).min(len);
+    // One boundary check per claimed chunk: injected stall first (so a
+    // fault-harness delay can push the deadline over), then the poll.
+    let boundary = || {
+        if !policy.chunk_delay.is_zero() {
+            std::thread::sleep(policy.chunk_delay);
+        }
+        policy.cancel.is_cancelled()
+    };
     if policy.workers <= 1 || chunks <= 1 {
-        return (0..chunks).map(|c| f(range(c))).collect();
+        let mut out = Vec::with_capacity(chunks);
+        for c in 0..chunks {
+            if boundary() {
+                return None;
+            }
+            out.push(f(range(c)));
+        }
+        return Some(out);
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..policy.workers.min(chunks) {
             s.spawn(|| loop {
+                if boundary() {
+                    break;
+                }
                 let c = next.fetch_add(1, Ordering::Relaxed);
                 if c >= chunks {
                     break;
@@ -109,10 +166,16 @@ where
             });
         }
     });
-    slots
-        .into_iter()
-        .filter_map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
-        .collect()
+    // The token latches, so if any worker bailed this final poll sees it.
+    if policy.cancel.is_cancelled() {
+        return None;
+    }
+    Some(
+        slots
+            .into_iter()
+            .filter_map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect(),
+    )
 }
 
 const UNSEEN: usize = usize::MAX;
@@ -139,7 +202,7 @@ pub fn bfs_distances(
         // chunks collapse and the result is worker-count independent. All
         // candidates sit at the same level, so any claim order yields the
         // same distances.
-        let candidates = map_chunks(policy, frontier.len(), |r| {
+        let Some(candidates) = map_chunks(policy, frontier.len(), |r| {
             let mut cand: Vec<u32> = Vec::new();
             for &v in &frontier[r] {
                 for &w in csr.und(v) {
@@ -149,7 +212,9 @@ pub fn bfs_distances(
                 }
             }
             cand
-        });
+        }) else {
+            return vec![None; csr.node_bound()];
+        };
         let mut next: Vec<u32> = Vec::new();
         for chunk in candidates {
             for w in chunk {
@@ -261,7 +326,7 @@ pub fn pagerank(csr: &CsrGraph, damping: f64, iterations: usize, policy: &Kernel
             }
         }
         let teleport = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
-        let next = map_chunks(policy, n, |r| {
+        let Some(next) = map_chunks(policy, n, |r| {
             let mut vals = Vec::with_capacity(r.len());
             for w in r {
                 let mut sum = 0.0;
@@ -271,7 +336,9 @@ pub fn pagerank(csr: &CsrGraph, damping: f64, iterations: usize, policy: &Kernel
                 vals.push(sum);
             }
             vals
-        });
+        }) else {
+            return vec![0.0; csr.node_bound()];
+        };
         let mut d = 0usize;
         for chunk in next {
             for v in chunk {
@@ -294,7 +361,7 @@ pub fn connected_components(csr: &CsrGraph, policy: &KernelPolicy) -> Components
     let n = csr.n();
     let mut labels: Vec<u32> = (0..n as u32).collect();
     loop {
-        let rounds = map_chunks(policy, n, |r| {
+        let Some(rounds) = map_chunks(policy, n, |r| {
             let mut next = Vec::with_capacity(r.len());
             let mut changed = false;
             for v in r {
@@ -311,7 +378,9 @@ pub fn connected_components(csr: &CsrGraph, policy: &KernelPolicy) -> Components
                 next.push(best);
             }
             (next, changed)
-        });
+        }) else {
+            return Components { assignment: vec![None; csr.node_bound()], count: 0 };
+        };
         let mut changed = false;
         let mut next = Vec::with_capacity(n);
         for (chunk, c) in rounds {
@@ -388,8 +457,8 @@ pub fn triangle_count(csr: &CsrGraph, policy: &KernelPolicy) -> usize {
         }
         c
     })
-    .into_iter()
-    .sum()
+    .map(|chunks| chunks.into_iter().sum())
+    .unwrap_or(0)
 }
 
 /// Connected triples `Σ k(k−1)/2` over undirected-view degrees.
@@ -402,8 +471,8 @@ fn triples(csr: &CsrGraph, policy: &KernelPolicy) -> usize {
         }
         t
     })
-    .into_iter()
-    .sum()
+    .map(|chunks| chunks.into_iter().sum())
+    .unwrap_or(0)
 }
 
 /// Global clustering coefficient `3·triangles / triples`. Matches
@@ -455,9 +524,8 @@ fn sweep(csr: &CsrGraph, policy: &KernelPolicy) -> Vec<(usize, usize, usize)> {
         }
         out
     })
-    .into_iter()
-    .flatten()
-    .collect()
+    .map(|chunks| chunks.into_iter().flatten().collect())
+    .unwrap_or_default()
 }
 
 /// Eccentricity of `v`: maximum hop distance to any reachable node.
@@ -537,7 +605,7 @@ pub fn graph_stats(g: &Graph, csr: &CsrGraph, policy: &KernelPolicy) -> GraphSta
     };
     let density = if possible == 0 { 0.0 } else { m as f64 / possible as f64 };
     let (mut min_d, mut max_d, mut sum_d) = (usize::MAX, 0usize, 0usize);
-    for (lo, hi, sum) in map_chunks(policy, n, |r| {
+    let degree_chunks = map_chunks(policy, n, |r| {
         let (mut lo, mut hi, mut sum) = (usize::MAX, 0usize, 0usize);
         for v in r {
             let d = csr.total_degree(v as u32);
@@ -546,7 +614,9 @@ pub fn graph_stats(g: &Graph, csr: &CsrGraph, policy: &KernelPolicy) -> GraphSta
             sum += d;
         }
         (lo, hi, sum)
-    }) {
+    })
+    .unwrap_or_default();
+    for (lo, hi, sum) in degree_chunks {
         min_d = min_d.min(lo);
         max_d = max_d.max(hi);
         sum_d += sum;
@@ -686,6 +756,35 @@ mod tests {
         let want = dijkstra_reference(&g, NodeId(0), |e| weights[e.index()]);
         assert_eq!(got, want);
         assert_eq!(got[3], Some(2.0), "a→b→d beats the direct weight-10 edge");
+    }
+
+    #[test]
+    fn cancelled_token_stops_kernels_and_yields_neutral_results() {
+        let g = social();
+        let csr = CsrGraph::build(&g);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let p = KernelPolicy::new(4, 8).with_cancel(cancel.clone());
+        let polls = cancel.polls();
+        assert_eq!(pagerank(&csr, 0.85, 50, &p), vec![0.0; csr.node_bound()]);
+        assert_eq!(triangle_count(&csr, &p), 0);
+        assert_eq!(diameter(&csr, &p), None);
+        assert_eq!(connected_components(&csr, &p).count, 0);
+        assert!(cancel.polls() > polls, "kernels must poll at chunk boundaries");
+    }
+
+    #[test]
+    fn deadline_plus_injected_chunk_delay_cancels_mid_kernel() {
+        let g = social();
+        let csr = CsrGraph::build(&g);
+        let cancel = CancelToken::with_deadline(Duration::from_millis(5));
+        let p = KernelPolicy::new(1, 1)
+            .with_cancel(cancel.clone())
+            .with_chunk_delay(Duration::from_millis(2));
+        // 45 sources at one per chunk would stall ~90ms; the 5ms deadline
+        // must be observed at a chunk boundary long before that.
+        assert_eq!(closeness(&csr, &p), vec![0.0; csr.node_bound()]);
+        assert!(cancel.is_cancelled(), "delayed chunks must trip the deadline");
     }
 
     #[test]

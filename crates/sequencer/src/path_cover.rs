@@ -126,7 +126,8 @@ fn root_paths(g: &Graph, root: NodeId, max_len: usize, out: &mut Vec<Vec<NodeId>
     order.push(root);
     let mut queue = std::collections::VecDeque::from([root]);
     while let Some(v) = queue.pop_front() {
-        let d = depth[v.index()].expect("queued");
+        // Every queued node was assigned a depth first; skip defensively.
+        let Some(d) = depth[v.index()] else { continue };
         if d == max_len {
             continue;
         }

@@ -17,12 +17,15 @@
 //!   cache keys.
 //! * [`lru`] — a bounded least-recently-used map replacing the `lru` crate,
 //!   backing the plan scheduler's step-memo cache.
+//! * [`cancel`] — a cooperative cancellation token (shared flag + optional
+//!   deadline) the chain supervisor threads through workers and kernels.
 //!
 //! Design rule: **no external crates, ever** — `tests/hermetic.rs` at the
 //! workspace root fails the build if any manifest regresses to a registry
 //! dependency.
 
 pub mod bench;
+pub mod cancel;
 pub mod hash;
 pub mod json;
 pub mod lru;

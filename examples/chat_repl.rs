@@ -17,11 +17,14 @@
 //! `:upload <path>` reads an edge-list file, `:suggest` prints suggested
 //! questions, `:plan` shows the execution plan (DAG of dependencies and
 //! barriers) of the last proposed chain — during execution, CSR kernel
-//! timings stream alongside it as `KernelTimed` events — `:quit` exits.
+//! timings stream alongside it as `KernelTimed` events — `:faults
+//! [seed [error [panic [delay]]]]` arms deterministic fault injection on
+//! the chain supervisor (`:faults off` disarms it; retries, timeouts,
+//! isolated panics and degraded steps stream as events) — `:quit` exits.
 //! Anything else is a prompt; proposed chains are executed immediately
 //! (auto-confirm).
 
-use chatgraph::apis::{ChainEvent, CollectingMonitor, Plan, Value};
+use chatgraph::apis::{ChainEvent, CollectingMonitor, FaultPlan, Plan, Value};
 use chatgraph::core::prompt::Prompt;
 use chatgraph::core::{ChatGraphConfig, ChatSession};
 use chatgraph::graph::generators::{
@@ -35,7 +38,9 @@ fn main() {
     println!("Bootstrapping ChatGraph (this finetunes the model once)...");
     let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384).expect("default config is valid");
     session.set_database(molecule_database(30, &MoleculeParams::default(), 123));
-    println!("Ready. Type :social / :molecule / :kg to upload a graph, :suggest, :plan, :quit.\n");
+    println!(
+        "Ready. Type :social / :molecule / :kg to upload a graph, :suggest, :plan, :faults, :quit.\n"
+    );
 
     let mut last_chain: Option<chatgraph::apis::ApiChain> = None;
     let stdin = std::io::stdin();
@@ -82,6 +87,32 @@ fn main() {
                     println!("  - {q}");
                 }
             }
+            ":faults" => {
+                let args: Vec<&str> = line.split_whitespace().skip(1).collect();
+                if args.first() == Some(&"off") {
+                    session.set_fault_plan(None);
+                    println!("fault injection disarmed.");
+                } else {
+                    let num = |i: usize, default: f64| {
+                        args.get(i).and_then(|s| s.parse::<f64>().ok()).unwrap_or(default)
+                    };
+                    let seed = args
+                        .first()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or(7);
+                    let plan = FaultPlan::new(seed)
+                        .with_error_rate(num(1, 0.3))
+                        .with_panic_rate(num(2, 0.1))
+                        .with_delay(num(3, 0.0), 20)
+                        .with_faults_per_step(1);
+                    println!(
+                        "fault injection armed: seed {seed}, error {:.2}, panic {:.2}, delay {:.2} \
+                         (one faulty attempt per afflicted step; `:faults off` disarms).",
+                        plan.error_rate, plan.panic_rate, plan.delay_rate
+                    );
+                    session.set_fault_plan(Some(plan));
+                }
+            }
             ":plan" => match &last_chain {
                 None => println!("no chain proposed yet — ask a question first."),
                 Some(chain) => match Plan::build(chain, session.registry()) {
@@ -122,6 +153,20 @@ fn main() {
                                 }
                                 ChainEvent::KernelTimed { kernel, micros } => {
                                     println!("  (kernel {kernel}: {micros}us)");
+                                }
+                                ChainEvent::StepRetried { api, attempt, backoff_ms, error, .. } => {
+                                    println!(
+                                        "  [{api}] retry #{attempt} after {backoff_ms}ms: {error}"
+                                    );
+                                }
+                                ChainEvent::StepTimedOut { api, deadline_ms, .. } => {
+                                    println!("  [{api}] exceeded its {deadline_ms}ms deadline");
+                                }
+                                ChainEvent::StepPanicked { api, message, .. } => {
+                                    println!("  [{api}] panicked (isolated): {message}");
+                                }
+                                ChainEvent::DegradedResult { api, error, .. } => {
+                                    println!("  [{api}] degraded, chain continues: {error}");
                                 }
                                 _ => {}
                             }

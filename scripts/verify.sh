@@ -27,7 +27,19 @@ cargo test -q --offline -p chatgraph-graph --test kernel_properties
 # results/BENCH_graph_kernels.json.
 cargo bench --offline -p chatgraph-bench --bench graph_kernels
 
+# Supervisor fault differentials: a fault-free supervisor is invisible,
+# injected faults degrade/abort exactly as modelled at every worker count,
+# deadlines cancel cooperatively and retries replay deterministically
+# (DESIGN.md §11).
+cargo test -q --offline -p chatgraph-apis --test fault_properties
+
+# Supervisor overhead baseline: passive vs armed-fault-free vs all-faulted
+# medians, written to results/BENCH_fault_exec.json. The armed overhead must
+# stay within bench noise (single-digit percent).
+cargo bench --offline -p chatgraph-bench --bench chain_fault_exec
+
 # Repository lint: no unwrap/expect/panic! in non-test library code beyond
 # the shrink-only allowlist (lint-allow.toml), no `unsafe`, hermetic
-# manifests. See DESIGN.md on the diagnostics framework.
+# manifests, and `catch_unwind` only at the supervisor's isolation boundary
+# (CG106). See DESIGN.md on the diagnostics framework.
 cargo run -q --offline -p chatgraph-analyzer --bin repolint
