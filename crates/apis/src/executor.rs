@@ -35,24 +35,42 @@ pub struct KernelState {
     /// Worker/chunk policy handed to every kernel invocation.
     pub policy: KernelPolicy,
     timings: Arc<Mutex<Vec<(String, u64)>>>,
+    /// Build records for snapshots *this context* caused, even when the
+    /// cache itself is shared across sessions — monitoring events must not
+    /// leak between tenants.
+    builds: Arc<Mutex<Vec<CsrBuild>>>,
 }
 
 impl Default for KernelState {
     fn default() -> Self {
-        KernelState {
-            cache: Arc::new(CsrCache::default()),
-            policy: KernelPolicy::sequential(),
-            timings: Arc::new(Mutex::new(Vec::new())),
-        }
+        KernelState::with_cache(Arc::new(CsrCache::default()))
     }
 }
 
 impl KernelState {
+    /// A kernel state over an existing (possibly shared, cross-session)
+    /// snapshot cache, with its own timing and build logs.
+    pub fn with_cache(cache: Arc<CsrCache>) -> Self {
+        KernelState {
+            cache,
+            policy: KernelPolicy::sequential(),
+            timings: Arc::new(Mutex::new(Vec::new())),
+            builds: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
     /// The CSR snapshot for `g`, cached per mutation epoch (`Arc` identity;
     /// copy-on-write mutation always allocates a new `Arc`, see
     /// `chatgraph_graph::csr`).
     pub fn csr(&self, g: &Arc<Graph>) -> Arc<CsrGraph> {
-        self.cache.get_or_build(g)
+        let (csr, built) = self.cache.get_or_build_tracked(g);
+        if let Some(b) = built {
+            self.builds
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(b);
+        }
+        csr
     }
 
     /// Runs `f`, recording its wall time under `kernel` for the next
@@ -73,9 +91,10 @@ impl KernelState {
         std::mem::take(&mut *self.timings.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
-    /// Drains CSR build records accumulated since the last drain.
+    /// Drains CSR build records this context accumulated since the last
+    /// drain (never another tenant's, even on a shared cache).
     pub fn drain_builds(&self) -> Vec<CsrBuild> {
-        self.cache.drain_builds()
+        std::mem::take(&mut *self.builds.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -121,6 +140,13 @@ impl ExecContext {
     /// Sets the analysis seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the kernel state — sessions route a shared (global) CSR
+    /// cache in here while keeping per-context timing and build logs.
+    pub fn with_kernels(mut self, kernels: KernelState) -> Self {
+        self.kernels = kernels;
         self
     }
 

@@ -52,7 +52,8 @@ pub use descriptor::{ApiCategory, ApiDescriptor};
 pub use executor::{execute_chain, execute_chain_reference, ExecContext};
 pub use monitor::{ChainEvent, CollectingMonitor, Monitor, SilentMonitor};
 pub use plan::{InputSource, Plan, PlanStep, Segment};
+pub use executor::KernelState;
 pub use registry::ApiRegistry;
-pub use sched::Scheduler;
+pub use sched::{ExecProfile, MemoStats, Scheduler, StepMemo};
 pub use supervisor::{FailurePolicy, FaultPlan, SupervisorConfig};
 pub use value::{Report, Table, Value, ValueType};

@@ -46,12 +46,144 @@ use chatgraph_support::cancel::CancelToken;
 use chatgraph_support::hash::Fnv64;
 use chatgraph_support::lru::Lru;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Default capacity of the step-memo cache.
 pub const DEFAULT_MEMO_CAPACITY: usize = 64;
+
+/// Hit/miss counters of a [`StepMemo`], read without locking the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed (the step then ran uncached or was stored).
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Hit fraction of all lookups (0.0 when no lookup happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A shareable bounded step-memo cache with hit/miss counters.
+///
+/// One private `StepMemo` per [`Scheduler`] is the classic per-session
+/// cache. The serving layer promotes a single instance to a *global*
+/// cross-session cache by handing the same `Arc<StepMemo>` to every
+/// tenant's scheduler ([`Scheduler::with_shared_memo`]). Sharing is sound
+/// because the key already fingerprints everything a result depends on —
+/// api, params, seed, graph fingerprint (per mutation epoch), input
+/// fingerprint, and the database fingerprint for similarity APIs — so a
+/// cross-tenant hit proves byte-identical inputs, and only `Ok` values are
+/// ever stored (a degraded or faulted step can never leak across tenants).
+#[derive(Debug)]
+pub struct StepMemo {
+    inner: Mutex<Lru<u64, Value>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for StepMemo {
+    fn default() -> Self {
+        StepMemo::new(DEFAULT_MEMO_CAPACITY)
+    }
+}
+
+impl StepMemo {
+    /// A memo holding at most `capacity` results (0 disables storage).
+    pub fn new(capacity: usize) -> Self {
+        StepMemo {
+            inner: Mutex::new(Lru::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Lru<u64, Value>> {
+        // A holder can only poison this lock by panicking mid-`get`/`insert`;
+        // the cache itself stays structurally valid, so keep using it.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a fingerprint, counting the hit or miss.
+    pub fn lookup(&self, key: u64) -> Option<Value> {
+        let found = self.lock().get(&key).cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores one `Ok` step result under its fingerprint.
+    pub fn store(&self, key: u64, value: Value) {
+        self.lock().insert(key, value);
+    }
+
+    /// Current number of memoized results.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drops every memoized result (counters are kept).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The scheduler-relevant slice of a session's execution configuration —
+/// the single source of truth for building a [`Scheduler`], so every
+/// construction site picks up every knob
+/// ([`Scheduler::from_exec_config`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecProfile {
+    /// Worker threads for parallel plan segments (clamped to ≥ 1).
+    pub workers: usize,
+    /// Capacity of the pure-step memo cache (0 disables caching).
+    pub memo_capacity: usize,
+    /// Work-chunk size for the parallel CSR kernels.
+    pub kernel_chunk: usize,
+    /// Deadline / retry / failure-policy configuration.
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for ExecProfile {
+    fn default() -> Self {
+        ExecProfile {
+            workers: 1,
+            memo_capacity: DEFAULT_MEMO_CAPACITY,
+            kernel_chunk: DEFAULT_KERNEL_CHUNK,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
 
 /// Executes plans with a fixed worker count and a step-memo cache.
 ///
@@ -63,7 +195,7 @@ pub struct Scheduler {
     workers: usize,
     kernel_chunk: usize,
     supervisor: SupervisorConfig,
-    memo: Mutex<Lru<u64, Value>>,
+    memo: Arc<StepMemo>,
 }
 
 impl Scheduler {
@@ -74,18 +206,45 @@ impl Scheduler {
             workers: workers.max(1),
             kernel_chunk: DEFAULT_KERNEL_CHUNK,
             supervisor: SupervisorConfig::default(),
-            memo: Mutex::new(Lru::new(DEFAULT_MEMO_CAPACITY)),
+            memo: Arc::new(StepMemo::default()),
         }
     }
 
-    /// Overrides the memo capacity (0 disables memoization).
-    pub fn with_memo_capacity(self, capacity: usize) -> Self {
+    /// Builds a scheduler from an execution profile — the one construction
+    /// path every session goes through, so a new exec knob added here is
+    /// picked up everywhere at once.
+    pub fn from_exec_config(profile: &ExecProfile) -> Self {
         Scheduler {
-            workers: self.workers,
-            kernel_chunk: self.kernel_chunk,
-            supervisor: self.supervisor,
-            memo: Mutex::new(Lru::new(capacity)),
+            workers: profile.workers.max(1),
+            kernel_chunk: profile.kernel_chunk.max(1),
+            supervisor: profile.supervisor.clone(),
+            memo: Arc::new(StepMemo::new(profile.memo_capacity)),
         }
+    }
+
+    /// Overrides the memo capacity (0 disables memoization) with a fresh
+    /// private cache.
+    pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
+        self.memo = Arc::new(StepMemo::new(capacity));
+        self
+    }
+
+    /// Replaces the private memo with a shared (possibly global,
+    /// cross-session) one.
+    pub fn with_shared_memo(mut self, memo: Arc<StepMemo>) -> Self {
+        self.memo = memo;
+        self
+    }
+
+    /// Installs a shared memo on an existing scheduler (the serving layer
+    /// does this when a session joins a server's global cache).
+    pub fn set_shared_memo(&mut self, memo: Arc<StepMemo>) {
+        self.memo = memo;
+    }
+
+    /// A handle to the memo cache (for sharing or for reading stats).
+    pub fn memo_handle(&self) -> Arc<StepMemo> {
+        Arc::clone(&self.memo)
     }
 
     /// Overrides the CSR kernel chunk size (`exec.kernel_chunk`).
@@ -112,6 +271,12 @@ impl Scheduler {
         &self.supervisor
     }
 
+    /// Mutable access to the supervisor configuration (per-tenant failure
+    /// policy overrides in the serving layer and the test harness).
+    pub fn supervisor_mut(&mut self) -> &mut SupervisorConfig {
+        &mut self.supervisor
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -119,20 +284,14 @@ impl Scheduler {
 
     /// Current number of memoized step results.
     pub fn memo_len(&self) -> usize {
-        self.memo().len()
+        self.memo.len()
     }
 
     /// Drops all memoized step results (e.g. after replacing the session
     /// graph, although stale entries are harmless — the graph fingerprint
     /// in the key already separates them).
     pub fn clear_memo(&self) {
-        self.memo().clear();
-    }
-
-    fn memo(&self) -> MutexGuard<'_, Lru<u64, Value>> {
-        // A worker can only poison this lock by panicking mid-`get`/`insert`;
-        // the cache itself stays structurally valid, so keep using it.
-        self.memo.lock().unwrap_or_else(|e| e.into_inner())
+        self.memo.clear();
     }
 
     /// Plans and executes `chain` — same contract as
@@ -543,7 +702,7 @@ impl SegmentRun<'_> {
             |token, chunk_delay| {
                 memo_checked = key.is_some();
                 if let Some(k) = key {
-                    if let Some(hit) = self.scheduler.memo().get(&k).cloned() {
+                    if let Some(hit) = self.scheduler.memo.lookup(k) {
                         cached = true;
                         return Ok(hit);
                     }
@@ -567,7 +726,7 @@ impl SegmentRun<'_> {
         let micros = start.elapsed().as_micros() as u64;
         if !cached {
             if let (Some(k), Ok(v)) = (key, &attempted.result) {
-                self.scheduler.memo().insert(k, v.clone());
+                self.scheduler.memo.store(k, v.clone());
             }
         }
         StepOutcome {

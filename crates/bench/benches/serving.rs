@@ -1,0 +1,211 @@
+//! Multi-tenant serving bench: a seeded open-loop workload over the
+//! [`SessionServer`] shared worker pool, solo-vs-shared cache modes, at
+//! several pool widths. Writes `results/BENCH_serving.json` with
+//! requests/sec, sessions/sec, p50/p95 chain latency (queue wait
+//! included), and the cross-session memo hit rates.
+
+use chatgraph_apis::{ApiCall, ApiChain, MemoStats};
+use chatgraph_bench::{available_cpus, env_json};
+use chatgraph_core::serve::{Request, ServeConfig, SessionServer};
+use chatgraph_core::session::SessionCore;
+use chatgraph_core::ChatGraphConfig;
+use chatgraph_graph::generators::{social_network, SocialParams};
+use chatgraph_graph::Graph;
+use chatgraph_support::json::Json;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TENANTS: usize = 8;
+const ROUNDS: usize = 4;
+
+fn tenant_graph(i: usize) -> Graph {
+    // Four distinct graphs across eight tenants: each graph is shared by
+    // exactly two tenants, the cross-session cache-sharing case.
+    social_network(
+        &SocialParams {
+            communities: 4,
+            community_size: 30,
+            p_intra: 0.3,
+            p_inter: 0.02,
+        },
+        (i % 4) as u64 + 11,
+    )
+}
+
+fn tenant_requests() -> Vec<Request> {
+    // Read-heavy analysis chains, no within-tenant repetition: a memo hit
+    // in a single cold round can only come from another tenant.
+    [
+        vec![("top_pagerank", "5")],
+        vec![("detect_communities", "5")],
+        vec![("clustering_coefficient", "5")],
+        vec![("triangle_count", "5")],
+        vec![("largest_component", "5"), ("node_count", "5")],
+        vec![("modularity_score", "5")],
+    ]
+    .into_iter()
+    .map(|calls| {
+        let mut chain = ApiChain::new();
+        for (api, k) in calls {
+            chain.push(ApiCall::new(api).with_param("k", k));
+        }
+        Request::Execute(chain)
+    })
+    .collect()
+}
+
+fn build_server(core: &Arc<SessionCore>, pool_workers: usize, shared: bool) -> SessionServer {
+    let server = SessionServer::from_core(
+        Arc::clone(core),
+        ServeConfig {
+            pool_workers,
+            shared_memo: shared,
+            shared_csr: shared,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+    for i in 0..TENANTS {
+        let t = server.open_session().expect("capacity");
+        server
+            .with_session(t, |s| s.set_graph(tenant_graph(i)))
+            .expect("fresh tenant");
+    }
+    server
+}
+
+fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_micros.len() - 1) as f64 * p).round() as usize;
+    sorted_micros[idx]
+}
+
+/// Submits `rounds` full workloads and drains them, returning
+/// (total requests, drain seconds, sorted latencies in µs).
+fn run_workload(server: &SessionServer, rounds: usize) -> (usize, f64, Vec<u64>) {
+    let requests = tenant_requests();
+    let tenants = server.tenants();
+    let mut latencies = Vec::new();
+    let mut total = 0usize;
+    let mut secs = 0.0f64;
+    for _ in 0..rounds {
+        for t in &tenants {
+            for req in &requests {
+                server.submit(*t, req.clone()).expect("queue has room");
+            }
+        }
+        let start = Instant::now();
+        let completed = server.drain();
+        secs += start.elapsed().as_secs_f64();
+        total += completed.len();
+        for c in &completed {
+            assert!(c.reply.is_ok(), "workload must serve cleanly");
+            latencies.push(c.latency_micros);
+        }
+    }
+    latencies.sort_unstable();
+    (total, secs, latencies)
+}
+
+/// Per-session memo stats aggregated across tenants (the solo-mode
+/// counterpart of the server's shared-memo stats).
+fn private_memo_stats(server: &SessionServer) -> MemoStats {
+    server
+        .tenants()
+        .into_iter()
+        .fold(MemoStats { hits: 0, misses: 0 }, |acc, t| {
+            let s = server
+                .with_session(t, |s| s.memo_handle().stats())
+                .expect("tenant is healthy");
+            MemoStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            }
+        })
+}
+
+fn memo_json(label: &str, stats: &MemoStats) -> (String, Json) {
+    (
+        label.to_owned(),
+        Json::Object(vec![
+            ("hits".to_owned(), Json::UInt(stats.hits)),
+            ("misses".to_owned(), Json::UInt(stats.misses)),
+            ("hit_rate".to_owned(), Json::Float(stats.hit_rate())),
+        ]),
+    )
+}
+
+fn main() {
+    // Requests are Execute-only (no LLM in the hot path), so a small
+    // finetune corpus keeps the one-off bootstrap cheap.
+    let (core, _) =
+        SessionCore::bootstrap(ChatGraphConfig::default(), 96).expect("default config is valid");
+
+    // Cross-session memo measurement: one cold round, solo vs shared.
+    // Solo mode runs the identical workload on private caches.
+    let solo = build_server(&core, 2, false);
+    let (_, _, _) = run_workload(&solo, 1);
+    let solo_stats = private_memo_stats(&solo);
+    assert_eq!(solo.memo_stats().hits, 0, "solo mode must not touch the shared memo");
+
+    let shared_cold = build_server(&core, 2, true);
+    let (_, _, _) = run_workload(&shared_cold, 1);
+    let shared_stats = shared_cold.memo_stats();
+    println!(
+        "cold round memo hit rate: solo {:.3} vs shared {:.3} ({} cross-session hits)",
+        solo_stats.hit_rate(),
+        shared_stats.hit_rate(),
+        shared_stats.hits
+    );
+
+    // Sustained throughput at three pool widths, shared caches on.
+    let mut levels: Vec<Json> = Vec::new();
+    for pool_workers in [1usize, 2, 4] {
+        let server = build_server(&core, pool_workers, true);
+        run_workload(&server, 1); // warmup: caches hot, pool exercised
+        let (total, secs, latencies) = run_workload(&server, ROUNDS);
+        let requests_per_sec = total as f64 / secs.max(1e-9);
+        let sessions_per_sec = (TENANTS * ROUNDS) as f64 / secs.max(1e-9);
+        let p50 = percentile(&latencies, 0.50);
+        let p95 = percentile(&latencies, 0.95);
+        println!(
+            "pool_workers={pool_workers}: {requests_per_sec:.0} req/s, \
+             {sessions_per_sec:.1} sessions/s, p50 {p50}us, p95 {p95}us"
+        );
+        levels.push(Json::Object(vec![
+            ("pool_workers".to_owned(), Json::UInt(pool_workers as u64)),
+            ("requests".to_owned(), Json::UInt(total as u64)),
+            ("requests_per_sec".to_owned(), Json::Float(requests_per_sec)),
+            ("sessions_per_sec".to_owned(), Json::Float(sessions_per_sec)),
+            ("p50_latency_micros".to_owned(), Json::UInt(p50)),
+            ("p95_latency_micros".to_owned(), Json::UInt(p95)),
+        ]));
+    }
+
+    let doc = Json::Object(vec![
+        ("bench".to_owned(), Json::Str("serving".to_owned())),
+        ("tenants".to_owned(), Json::UInt(TENANTS as u64)),
+        ("rounds".to_owned(), Json::UInt(ROUNDS as u64)),
+        (
+            "requests_per_tenant_per_round".to_owned(),
+            Json::UInt(tenant_requests().len() as u64),
+        ),
+        ("env".to_owned(), env_json(available_cpus())),
+        memo_json("memo_solo_cold", &solo_stats),
+        memo_json("memo_shared_cold", &shared_stats),
+        (
+            "cross_session_memo_hits".to_owned(),
+            Json::UInt(shared_stats.hits),
+        ),
+        ("levels".to_owned(), Json::Array(levels)),
+    ]);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("results/BENCH_serving.json");
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
+}

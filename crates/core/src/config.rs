@@ -151,6 +151,20 @@ impl ExecConfig {
             ..SupervisorConfig::default()
         }
     }
+
+    /// The scheduler profile implied by this config — the single path every
+    /// [`chatgraph_apis::Scheduler`] construction goes through
+    /// (`Scheduler::from_exec_config`), so a new exec knob added here is
+    /// picked up by bootstrap, saved-model restore, and the session server
+    /// alike.
+    pub fn profile(&self) -> chatgraph_apis::ExecProfile {
+        chatgraph_apis::ExecProfile {
+            workers: self.workers,
+            memo_capacity: self.memo_capacity,
+            kernel_chunk: self.kernel_chunk,
+            supervisor: self.supervisor_config(),
+        }
+    }
 }
 
 /// The complete ChatGraph configuration.

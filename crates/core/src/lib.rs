@@ -27,6 +27,9 @@
 //!   questions, chain confirmation, execution, transcripts (Fig. 2).
 //! * [`scenarios`] — runnable reproductions of the four demo scenarios
 //!   (Figs. 4–7).
+//! * [`serve`] — the multi-tenant session server: many concurrent sessions
+//!   over one shared core, worker pool, and cross-session caches
+//!   (DESIGN.md §12).
 
 pub mod config;
 pub mod dataset;
@@ -36,6 +39,7 @@ pub mod graph_aware;
 pub mod prompt;
 pub mod retrieval;
 pub mod scenarios;
+pub mod serve;
 pub mod session;
 
 pub use config::{ChatGraphConfig, ExecConfig};
@@ -45,4 +49,5 @@ pub use generation::ChainGenerator;
 pub use graph_aware::GraphAwareLm;
 pub use prompt::Prompt;
 pub use retrieval::ApiRetriever;
-pub use session::{ChatResponse, ChatSession, SessionError};
+pub use serve::{Completed, Reply, Request, ServeConfig, ServeError, SessionServer, TenantId};
+pub use session::{ChatResponse, ChatSession, SessionCore, SessionError};

@@ -72,7 +72,7 @@ pub fn run(
     // always restores the session graph, so fall back to an empty graph
     // only defensively.
     let empty = Graph::directed();
-    let cleaned = session.graph.as_ref().unwrap_or(&empty);
+    let cleaned = session.graph().unwrap_or(&empty);
     let has_fact = |s, d, rel: &str| {
         cleaned
             .neighbors(s)
@@ -136,7 +136,7 @@ mod tests {
             let mut g = knowledge_graph(&KgParams::default(), 32);
             let truth = corrupt_kg(&mut g, 0.1, 0.06, 32);
             let _ = run(s, g, &truth);
-            let cleaned = s.graph.as_ref().unwrap();
+            let cleaned = s.graph().unwrap();
             assert!(chatgraph_apis::impls::kg::incorrect_edges(cleaned).is_empty());
             assert!(chatgraph_apis::impls::kg::missing_edges(cleaned).is_empty());
         });

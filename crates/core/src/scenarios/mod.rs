@@ -40,24 +40,41 @@ impl ScenarioOutput {
 
 #[cfg(test)]
 pub(crate) mod test_support {
-    //! One shared bootstrapped session for all scenario tests — bootstrap
-    //! finetunes a model, which is too slow to repeat per test.
+    //! One shared finetuned [`SessionCore`] for all scenario tests —
+    //! bootstrap finetunes a model, which is too slow to repeat per test.
+    //!
+    //! Only the immutable core is shared. Each test runs on a FRESH
+    //! per-tenant session opened through a [`SessionServer`], the same
+    //! path production tenants take. The previous process-global
+    //! mutexed session singleton recovered poisoned locks with
+    //! `into_inner`, so a test that panicked mid-scenario leaked its
+    //! half-mutated graph, database, and transcript into every later
+    //! test; per-tenant sessions make that aliasing impossible.
 
+    use crate::serve::{ServeConfig, SessionServer};
+    use crate::session::SessionCore;
     use crate::{ChatGraphConfig, ChatSession};
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Arc, OnceLock};
 
-    static SESSION: OnceLock<Mutex<ChatSession>> = OnceLock::new();
+    static CORE: OnceLock<Arc<SessionCore>> = OnceLock::new();
 
+    /// The shared finetuned core (config/registry/retriever/model — all
+    /// read-only), bootstrapped once per test binary.
+    pub fn shared_core() -> Arc<SessionCore> {
+        Arc::clone(CORE.get_or_init(|| {
+            let (core, _) = SessionCore::bootstrap(ChatGraphConfig::default(), 192)
+                .expect("default config is valid");
+            core
+        }))
+    }
+
+    /// Runs `f` on a fresh tenant session served off the shared core.
     pub fn with_session<T>(f: impl FnOnce(&mut ChatSession) -> T) -> T {
-        let m = SESSION.get_or_init(|| {
-            let config = ChatGraphConfig::default();
-            let (session, _) =
-                ChatSession::bootstrap(config, 192).expect("default config is valid");
-            Mutex::new(session)
-        });
-        // Recover from poisoning: a failed assertion in one scenario test
-        // must not cascade into the others.
-        let mut guard = m.lock().unwrap_or_else(|e| e.into_inner());
-        f(&mut guard)
+        let server = SessionServer::from_core(shared_core(), ServeConfig::default())
+            .expect("default serve config is valid");
+        let tenant = server.open_session().expect("fresh server has capacity");
+        server
+            .with_session(tenant, f)
+            .expect("fresh session cannot be poisoned")
     }
 }

@@ -1,7 +1,6 @@
 //! The chat session: ChatGraph's user-facing loop (paper Fig. 2).
 //!
-//! A [`ChatSession`] owns the whole stack — registry, retriever, finetuned
-//! graph-aware model — and mirrors the three panels of the demo UI:
+//! A [`ChatSession`] mirrors the three panels of the demo UI:
 //!
 //! * panel ① (dialog): [`ChatSession::transcript`] accumulates turns;
 //! * panel ② (suggested questions): [`ChatSession::suggest_questions`];
@@ -11,6 +10,26 @@
 //! scenario 4 requires the user to confirm (and possibly edit) the chain —
 //! and [`ChatSession::run_chain`] then executes a (possibly edited) chain
 //! against the uploaded graph with full monitoring.
+//!
+//! ## Core vs. session
+//!
+//! The expensive, immutable parts — configuration, registry, retriever and
+//! the finetuned model — live in a [`SessionCore`] shared behind `Arc`.
+//! [`ChatSession::bootstrap`] builds a core and wraps one session around
+//! it; [`crate::serve::SessionServer`] builds a core once and multiplexes
+//! hundreds of cheap per-tenant sessions over it. Each session owns only
+//! its mutable state: scheduler (with memo), graph, database, transcript.
+//!
+//! ## Graph epochs
+//!
+//! The session graph lives behind a copy-on-write `Arc<Graph>` and carries
+//! a monotonically increasing *mutation epoch*
+//! ([`ChatSession::graph_epoch`]). Replacing the graph (a new upload in
+//! [`ChatSession::send`] or [`ChatSession::set_graph`]) and mutating it (an
+//! edit chain in [`ChatSession::run_chain`]) both advance the epoch,
+//! allocate a fresh `Arc`, and evict the dead epoch's snapshot from the
+//! CSR cache — mandatory once the cache is shared across sessions, where
+//! an unevicted entry would pin another tenant's memory.
 
 use crate::config::ChatGraphConfig;
 use crate::dataset::{generate_corpus, CorpusParams};
@@ -21,8 +40,10 @@ use crate::prompt::Prompt;
 use crate::retrieval::ApiRetriever;
 use chatgraph_analyzer::diag::Diagnostics;
 use chatgraph_apis::{
-    registry, ApiChain, ApiRegistry, ChainError, ExecContext, Monitor, Scheduler, Value,
+    registry, ApiChain, ApiRegistry, ChainError, ExecContext, KernelState, Monitor, Scheduler,
+    StepMemo, Value,
 };
+use chatgraph_graph::csr::CsrCache;
 use chatgraph_graph::Graph;
 use std::sync::Arc;
 
@@ -73,30 +94,29 @@ pub struct ChatResponse {
     pub message: String,
 }
 
-/// A full ChatGraph session.
-pub struct ChatSession {
+/// The immutable, shareable part of the stack: configuration, registry,
+/// retriever, and the finetuned graph-aware model.
+///
+/// Building a core is expensive (it finetunes the model); wrapping a
+/// [`ChatSession`] around an existing `Arc<SessionCore>` is cheap. All
+/// fields are read-only after construction, so one core safely serves any
+/// number of concurrent sessions.
+pub struct SessionCore {
     config: ChatGraphConfig,
     registry: ApiRegistry,
     retriever: ApiRetriever,
     lm: GraphAwareLm,
     generator: ChainGenerator,
-    scheduler: Scheduler,
-    /// The graph uploaded most recently (the session graph).
-    pub graph: Option<Graph>,
-    /// The molecule database for similarity search, shared with executions
-    /// without copying.
-    pub database: Arc<Vec<Graph>>,
-    transcript: Vec<Turn>,
 }
 
-impl ChatSession {
-    /// Builds a session: standard registry, retriever over it, and a model
+impl SessionCore {
+    /// Builds a core: standard registry, retriever over it, and a model
     /// finetuned on the synthetic corpus (the offline stand-in for the
     /// paper's pre-finetuned checkpoints).
     pub fn bootstrap(
         config: ChatGraphConfig,
         corpus_size: usize,
-    ) -> Result<(Self, FinetuneReport), SessionError> {
+    ) -> Result<(Arc<SessionCore>, FinetuneReport), SessionError> {
         config.validate().map_err(SessionError::InvalidConfig)?;
         let registry = registry::standard();
         let retriever = ApiRetriever::build(&registry, &config.retrieval);
@@ -116,63 +136,39 @@ impl ChatSession {
             FinetuneMethod::Full,
             &config,
         );
-        let generator = ChainGenerator {
-            max_len: config.finetune.max_chain_len,
-        };
-        let scheduler = Scheduler::new(config.exec.workers)
-            .with_memo_capacity(config.exec.memo_capacity)
-            .with_kernel_chunk(config.exec.kernel_chunk)
-            .with_supervisor(config.exec.supervisor_config());
-        Ok((
-            ChatSession {
-                config,
-                registry,
-                retriever,
-                lm,
-                generator,
-                scheduler,
-                graph: None,
-                database: Arc::new(Vec::new()),
-                transcript: Vec::new(),
-            },
-            report,
-        ))
+        Ok((Arc::new(SessionCore::assemble(config, registry, retriever, lm)), report))
     }
 
-    /// Builds a session around a previously finetuned model (saved with
-    /// [`ChatSession::save_model`]), skipping the finetuning pass.
+    /// Builds a core around a previously finetuned model (saved with
+    /// [`SessionCore::save_model`]), skipping the finetuning pass.
     pub fn from_saved_model(
         config: ChatGraphConfig,
         model_json: &str,
-    ) -> Result<Self, SessionError> {
+    ) -> Result<Arc<SessionCore>, SessionError> {
         config.validate().map_err(SessionError::InvalidConfig)?;
         let registry = registry::standard();
         let retriever = ApiRetriever::build(&registry, &config.retrieval);
         let lm = GraphAwareLm::load_json(model_json)
             .map_err(|e| SessionError::Model(e.to_string()))?;
+        Ok(Arc::new(SessionCore::assemble(config, registry, retriever, lm)))
+    }
+
+    fn assemble(
+        config: ChatGraphConfig,
+        registry: ApiRegistry,
+        retriever: ApiRetriever,
+        lm: GraphAwareLm,
+    ) -> SessionCore {
         let generator = ChainGenerator {
             max_len: config.finetune.max_chain_len,
         };
-        let scheduler = Scheduler::new(config.exec.workers)
-            .with_memo_capacity(config.exec.memo_capacity)
-            .with_kernel_chunk(config.exec.kernel_chunk)
-            .with_supervisor(config.exec.supervisor_config());
-        Ok(ChatSession {
+        SessionCore {
             config,
             registry,
             retriever,
             lm,
             generator,
-            scheduler,
-            graph: None,
-            database: Arc::new(Vec::new()),
-            transcript: Vec::new(),
-        })
-    }
-
-    /// Serialises the finetuned model for [`ChatSession::from_saved_model`].
-    pub fn save_model(&self) -> String {
-        self.lm.save_json()
+        }
     }
 
     /// The configuration in use.
@@ -190,14 +186,164 @@ impl ChatSession {
         &self.retriever
     }
 
+    /// Serialises the finetuned model for [`SessionCore::from_saved_model`].
+    pub fn save_model(&self) -> String {
+        self.lm.save_json()
+    }
+}
+
+/// A full ChatGraph session: one tenant's mutable state over a shared
+/// [`SessionCore`].
+pub struct ChatSession {
+    core: Arc<SessionCore>,
+    scheduler: Scheduler,
+    /// CSR snapshot cache used by this session's executions. Private by
+    /// default; [`ChatSession::use_shared_csr`] swaps in a server-global
+    /// one.
+    csr_cache: Arc<CsrCache>,
+    /// The graph uploaded most recently (the session graph), shared
+    /// copy-on-write with executions and caches.
+    graph: Option<Arc<Graph>>,
+    /// Mutation epoch of the session graph; see the module docs.
+    graph_epoch: u64,
+    /// The molecule database for similarity search, shared with executions
+    /// without copying.
+    pub database: Arc<Vec<Graph>>,
+    transcript: Vec<Turn>,
+}
+
+impl ChatSession {
+    /// Builds a session with its own private core — bootstrap finetunes a
+    /// model, so this is expensive; to share the cost across sessions use
+    /// [`SessionCore::bootstrap`] + [`ChatSession::from_core`] (what
+    /// [`crate::serve::SessionServer`] does).
+    pub fn bootstrap(
+        config: ChatGraphConfig,
+        corpus_size: usize,
+    ) -> Result<(Self, FinetuneReport), SessionError> {
+        let (core, report) = SessionCore::bootstrap(config, corpus_size)?;
+        Ok((ChatSession::from_core(core), report))
+    }
+
+    /// Builds a session around a previously finetuned model (saved with
+    /// [`ChatSession::save_model`]), skipping the finetuning pass.
+    pub fn from_saved_model(
+        config: ChatGraphConfig,
+        model_json: &str,
+    ) -> Result<Self, SessionError> {
+        let core = SessionCore::from_saved_model(config, model_json)?;
+        Ok(ChatSession::from_core(core))
+    }
+
+    /// Wraps a cheap new session around a shared core. The scheduler is
+    /// built through `Scheduler::from_exec_config` — the single
+    /// construction path for every exec knob.
+    pub fn from_core(core: Arc<SessionCore>) -> Self {
+        let scheduler = Scheduler::from_exec_config(&core.config.exec.profile());
+        ChatSession {
+            core,
+            scheduler,
+            csr_cache: Arc::new(CsrCache::default()),
+            graph: None,
+            graph_epoch: 0,
+            database: Arc::new(Vec::new()),
+            transcript: Vec::new(),
+        }
+    }
+
+    /// The shared core this session runs on.
+    pub fn core(&self) -> &Arc<SessionCore> {
+        &self.core
+    }
+
+    /// Serialises the finetuned model for [`ChatSession::from_saved_model`].
+    pub fn save_model(&self) -> String {
+        self.core.save_model()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ChatGraphConfig {
+        self.core.config()
+    }
+
+    /// The API registry.
+    pub fn registry(&self) -> &ApiRegistry {
+        self.core.registry()
+    }
+
+    /// The retrieval module.
+    pub fn retriever(&self) -> &ApiRetriever {
+        self.core.retriever()
+    }
+
     /// The dialog transcript (panel ①).
     pub fn transcript(&self) -> &[Turn] {
         &self.transcript
     }
 
+    /// The session graph, if one was uploaded.
+    pub fn graph(&self) -> Option<&Graph> {
+        self.graph.as_deref()
+    }
+
+    /// The session graph behind its copy-on-write handle.
+    pub fn graph_arc(&self) -> Option<&Arc<Graph>> {
+        self.graph.as_ref()
+    }
+
+    /// The session graph's mutation epoch: advanced on every replacement
+    /// (upload) and every mutating chain. Cache consumers keying state on
+    /// the graph must observe a new epoch as a new graph.
+    pub fn graph_epoch(&self) -> u64 {
+        self.graph_epoch
+    }
+
+    /// Replaces the session graph, advancing the mutation epoch and
+    /// evicting the replaced epoch's CSR snapshot.
+    pub fn set_graph(&mut self, graph: Graph) {
+        self.install_graph(Arc::new(graph));
+    }
+
+    /// Removes and returns the session graph (cloning only if it is still
+    /// shared elsewhere), advancing the mutation epoch.
+    pub fn take_graph(&mut self) -> Option<Graph> {
+        let old = self.graph.take()?;
+        self.graph_epoch += 1;
+        self.csr_cache.invalidate(&old);
+        Some(Arc::try_unwrap(old).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Installs `graph` as the current epoch: bumps the epoch counter and
+    /// evicts the dead epoch's snapshot from the (possibly shared) CSR
+    /// cache. Always a fresh `Arc`, so pointer-keyed caches can never serve
+    /// kernels off the replaced graph.
+    fn install_graph(&mut self, graph: Arc<Graph>) {
+        if let Some(old) = self.graph.take() {
+            self.csr_cache.invalidate(&old);
+        }
+        self.graph_epoch += 1;
+        self.graph = Some(graph);
+    }
+
     /// Attaches a molecule database for similarity search.
     pub fn set_database(&mut self, database: Vec<Graph>) {
         self.database = Arc::new(database);
+    }
+
+    /// Routes this session's pure-step memoization through a shared
+    /// (server-global) cache. Sound across tenants: keys fingerprint api,
+    /// params, seed, graph and inputs, and only `Ok` results are stored.
+    pub fn use_shared_memo(&mut self, memo: Arc<StepMemo>) {
+        self.scheduler.set_shared_memo(memo);
+    }
+
+    /// Routes this session's CSR snapshots through a shared
+    /// (server-global) cache. Entries are keyed by `Arc` pointer identity,
+    /// and every replacement/mutation allocates a fresh `Arc` and evicts
+    /// the dead epoch, so tenants cannot observe each other's snapshots as
+    /// their own.
+    pub fn use_shared_csr(&mut self, cache: Arc<CsrCache>) {
+        self.csr_cache = cache;
     }
 
     /// Arms (or clears) deterministic fault injection on the chain
@@ -206,9 +352,19 @@ impl ChatSession {
         self.scheduler.set_fault_plan(faults);
     }
 
+    /// Overrides the supervisor failure policy for this session only.
+    pub fn set_failure_policy(&mut self, policy: chatgraph_apis::FailurePolicy) {
+        self.scheduler.supervisor_mut().failure_policy = policy;
+    }
+
     /// The chain scheduler's supervisor configuration.
     pub fn supervisor(&self) -> &chatgraph_apis::SupervisorConfig {
         self.scheduler.supervisor()
+    }
+
+    /// A handle to this session's step memo (shared or private).
+    pub fn memo_handle(&self) -> Arc<StepMemo> {
+        self.scheduler.memo_handle()
     }
 
     /// Suggested questions for the current graph (panel ②), driven by the
@@ -216,7 +372,7 @@ impl ChatSession {
     pub fn suggest_questions(&self) -> Vec<String> {
         let kind = self
             .graph
-            .as_ref()
+            .as_deref()
             .map(chatgraph_apis::impls::structure::predict_type)
             .unwrap_or("generic");
         let suggestions: &[&str] = match kind {
@@ -250,23 +406,26 @@ impl ChatSession {
     pub fn send(&mut self, prompt: Prompt) -> ChatResponse {
         self.transcript.push(Turn::User(prompt.text.clone()));
         if let Some(g) = prompt.graph {
-            self.graph = Some(g);
+            // A new upload is a new mutation epoch: fresh `Arc`, bumped
+            // counter, dead snapshot evicted — pointer-keyed caches must
+            // not keep serving the replaced graph.
+            self.set_graph(g);
         }
         let graph_type = self
             .graph
-            .as_ref()
+            .as_deref()
             .map(|g| chatgraph_apis::impls::structure::predict_type(g).to_owned());
         let candidates = candidate_apis(
-            &self.registry,
-            &self.retriever,
+            &self.core.registry,
+            &self.core.retriever,
             &prompt.text,
-            self.graph.as_ref(),
+            self.graph.as_deref(),
         );
-        let chain = self.generator.generate_greedy_checked(
-            &self.lm,
-            &self.registry,
+        let chain = self.core.generator.generate_greedy_checked(
+            &self.core.lm,
+            &self.core.registry,
             &prompt.text,
-            self.graph.as_ref(),
+            self.graph.as_deref(),
             &candidates,
         );
         // Scenario 4: analyse the proposal before the user confirms, so the
@@ -275,7 +434,7 @@ impl ChatSession {
         let diagnostics = if chain.is_empty() {
             Diagnostics::new()
         } else {
-            chatgraph_apis::analysis::analyze(&chain, &self.registry, self.graph.is_some())
+            chatgraph_apis::analysis::analyze(&chain, &self.core.registry, self.graph.is_some())
         };
         let mut message = match (&graph_type, chain.is_empty()) {
             (_, true) => "I could not find a suitable API chain; please rephrase.".to_owned(),
@@ -314,18 +473,27 @@ impl ChatSession {
         chain: &ApiChain,
         monitor: &mut dyn Monitor,
     ) -> Result<Value, ChainError> {
-        // `take` hands the session graph to the context without a deep
-        // copy; edits are copy-on-write inside the executor.
-        let graph = self.graph.take().unwrap_or_else(Graph::undirected);
-        let mut ctx = ExecContext::new(graph)
+        let before = match &self.graph {
+            Some(g) => Arc::clone(g),
+            None => Arc::new(Graph::undirected()),
+        };
+        let mut ctx = ExecContext::new(Arc::clone(&before))
             .with_database(Arc::clone(&self.database))
-            .with_seed(self.config.seed);
+            .with_seed(self.core.config.seed)
+            .with_kernels(KernelState::with_cache(Arc::clone(&self.csr_cache)));
         let result = self
             .scheduler
-            .execute(&self.registry, chain, &mut ctx, monitor);
+            .execute(&self.core.registry, chain, &mut ctx, monitor);
         // Persist mutations (scenario 3 cleans the session graph in place),
         // even when the chain failed part-way: completed edits happened.
-        self.graph = Some(ctx.into_graph());
+        // Copy-on-write means a mutated graph is a new `Arc` — a new epoch.
+        let after = Arc::clone(&ctx.graph);
+        drop(ctx);
+        if Arc::ptr_eq(&before, &after) {
+            self.graph = Some(after);
+        } else {
+            self.install_graph(after);
+        }
         if let Ok(value) = &result {
             self.transcript
                 .push(Turn::System(format!("Executed {chain}: {}", value.summary())));
@@ -376,13 +544,11 @@ mod tests {
     #[test]
     fn suggestions_track_graph_type() {
         with_session(|s| {
-        let saved = s.graph.take();
         assert!(s.suggest_questions()[0].contains("big"));
-        s.graph = Some(molecule(&MoleculeParams::default(), 1));
+        s.set_graph(molecule(&MoleculeParams::default(), 1));
         assert!(s.suggest_questions().iter().any(|q| q.contains("toxic")));
-        s.graph = Some(social_network(&SocialParams::default(), 1));
+        s.set_graph(social_network(&SocialParams::default(), 1));
         assert!(s.suggest_questions().iter().any(|q| q.contains("communities")));
-        s.graph = saved;
         });
     }
 
@@ -403,7 +569,6 @@ mod tests {
     #[test]
     fn text_only_prompt_is_answered_without_a_graph() {
         with_session(|s| {
-            let saved = s.graph.take();
             let before = s.transcript().len();
             let resp = s.send(Prompt::text("how many nodes does the graph have?"));
             // No graph uploaded: no type prediction, but a proposal is made
@@ -415,7 +580,6 @@ mod tests {
             assert_eq!(t.len(), before + 2);
             assert!(matches!(t[t.len() - 2], Turn::User(_)));
             assert!(matches!(t[t.len() - 1], Turn::System(_)));
-            s.graph = saved;
         });
     }
 
@@ -440,15 +604,80 @@ mod tests {
         let mut g = knowledge_graph(&KgParams::default(), 8);
         corrupt_kg(&mut g, 0.1, 0.05, 8);
         let before_edges = g.edge_count();
-        s.graph = Some(g);
+        s.set_graph(g);
         let chain = ApiChain::from_names(["detect_missing_edges", "add_edges"]);
         let mut mon = CollectingMonitor::new();
         let added = s.run_chain(&chain, &mut mon).unwrap().as_number().unwrap();
         assert!(added > 0.0);
         assert_eq!(
-            s.graph.as_ref().unwrap().edge_count(),
+            s.graph().unwrap().edge_count(),
             before_edges + added as usize
         );
+        });
+    }
+
+    #[test]
+    fn graph_replacement_advances_epoch() {
+        with_session(|s| {
+            let e0 = s.graph_epoch();
+            s.send(Prompt::with_graph(
+                "how big is G?",
+                social_network(&SocialParams::default(), 3),
+            ));
+            let e1 = s.graph_epoch();
+            assert!(e1 > e0, "upload must advance the epoch");
+            // Re-uploading (even an identical graph) is a replacement too.
+            s.send(Prompt::with_graph(
+                "how big is G?",
+                social_network(&SocialParams::default(), 3),
+            ));
+            assert!(s.graph_epoch() > e1, "re-upload must advance the epoch");
+        });
+    }
+
+    /// Regression test for the shared-CSR staleness hazard: after a tenant
+    /// replaces its graph mid-session, kernels must run against the new
+    /// epoch's snapshot, never the pointer-keyed snapshot of the old one.
+    #[test]
+    fn replaced_graph_is_never_served_from_stale_csr() {
+        with_session(|s| {
+            let small = social_network(&SocialParams::default(), 3);
+            let small_nodes = small.node_count();
+            s.set_graph(small);
+            let chain = ApiChain::from_names(["largest_component", "node_count"]);
+            let mut mon = CollectingMonitor::new();
+            // Warm the CSR cache on the small graph's epoch.
+            s.run_chain(&chain, &mut mon).unwrap();
+            let big = social_network(
+                &SocialParams {
+                    communities: 4,
+                    community_size: 40,
+                    p_intra: 0.3,
+                    p_inter: 0.02,
+                },
+                5,
+            );
+            let big_nodes = big.node_count();
+            assert_ne!(small_nodes, big_nodes);
+            s.set_graph(big);
+            let mut mon = CollectingMonitor::new();
+            let n = s.run_chain(&ApiChain::from_names(["node_count"]), &mut mon)
+                .unwrap()
+                .as_number()
+                .unwrap();
+            assert_eq!(n as usize, big_nodes, "kernel served a stale snapshot");
+            // The component kernel (CSR-backed) must also see the new epoch.
+            let mut mon = CollectingMonitor::new();
+            let comp = s
+                .run_chain(
+                    &ApiChain::from_names(["largest_component", "node_count"]),
+                    &mut mon,
+                )
+                .unwrap()
+                .as_number()
+                .unwrap() as usize;
+            assert!(comp <= big_nodes);
+            assert!(comp > small_nodes, "component came from the old graph");
         });
     }
 }

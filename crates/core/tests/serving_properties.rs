@@ -1,0 +1,310 @@
+//! Differential and isolation properties of the multi-tenant session
+//! server (DESIGN.md §12).
+//!
+//! * **Serving determinism** — N concurrent tenants on a shared worker
+//!   pool with shared cross-session caches produce bit-identical replies
+//!   to the same N sessions run solo, at every pool width and regardless
+//!   of cache warmth.
+//! * **Tenant isolation** — a panicked tenant poisons only itself;
+//!   degraded findings from one tenant's fault plan never appear in
+//!   another tenant's replies.
+
+use chatgraph_apis::{
+    ApiChain, ChainEvent, CollectingMonitor, FailurePolicy, FaultPlan, Value,
+};
+use chatgraph_core::prompt::Prompt;
+use chatgraph_core::serve::{Reply, Request, ServeConfig, ServeError, SessionServer};
+use chatgraph_core::session::{ChatSession, SessionCore};
+use chatgraph_core::ChatGraphConfig;
+use chatgraph_graph::generators::{social_network, SocialParams};
+use chatgraph_graph::Graph;
+use std::sync::{Arc, OnceLock};
+
+/// One finetuned core per test binary — bootstrap is the expensive part.
+fn shared_core() -> Arc<SessionCore> {
+    static CORE: OnceLock<Arc<SessionCore>> = OnceLock::new();
+    Arc::clone(CORE.get_or_init(|| {
+        let (core, _) = SessionCore::bootstrap(ChatGraphConfig::default(), 192)
+            .expect("default config is valid");
+        core
+    }))
+}
+
+fn tenant_graph(i: usize) -> Graph {
+    // Tenants i and i+3 share a generator seed, so their graphs are
+    // identical by content: exactly the cross-tenant cache-sharing case.
+    social_network(&SocialParams::default(), (i % 3) as u64 + 7)
+}
+
+fn tenant_requests() -> Vec<Request> {
+    vec![
+        Request::ChatAndRun(Prompt::text(
+            "detect the communities of this social network",
+        )),
+        Request::Execute(ApiChain::from_names(["largest_component", "node_count"])),
+        Request::Chat(Prompt::text("write a brief report for G")),
+    ]
+}
+
+/// A reply, normalized for comparison: everything user-visible plus the
+/// core monitor events. Non-core events (timings, memo lookups, CSR
+/// builds) legitimately differ with cache warmth and are excluded.
+#[derive(Debug, Clone, PartialEq)]
+enum Outcome {
+    Chat {
+        message: String,
+        chain: String,
+    },
+    Exec {
+        chain: String,
+        result: Result<Value, String>,
+        core_events: Vec<ChainEvent>,
+    },
+}
+
+fn exec_outcome(
+    chain: &ApiChain,
+    result: &Result<Value, chatgraph_apis::ChainError>,
+    events: &[ChainEvent],
+) -> Outcome {
+    Outcome::Exec {
+        chain: chain.to_string(),
+        result: result.clone().map_err(|e| e.to_string()),
+        core_events: events.iter().filter(|e| e.is_core()).cloned().collect(),
+    }
+}
+
+fn reply_outcomes(reply: &Reply) -> Vec<Outcome> {
+    match reply {
+        Reply::Chat(r) => vec![Outcome::Chat {
+            message: r.message.clone(),
+            chain: r.chain.to_string(),
+        }],
+        Reply::Execution(e) => vec![exec_outcome(&e.chain, &e.result, &e.events)],
+        Reply::ChatAndRun(r, e) => {
+            let mut out = vec![Outcome::Chat {
+                message: r.message.clone(),
+                chain: r.chain.to_string(),
+            }];
+            if let Some(e) = e {
+                out.push(exec_outcome(&e.chain, &e.result, &e.events));
+            }
+            out
+        }
+    }
+}
+
+/// Runs one request directly on a solo session, mirroring the server's
+/// request semantics.
+fn run_solo(session: &mut ChatSession, request: &Request) -> Vec<Outcome> {
+    let exec = |session: &mut ChatSession, chain: &ApiChain| {
+        let mut mon = CollectingMonitor::new();
+        let result = session.run_chain(chain, &mut mon);
+        exec_outcome(chain, &result, &mon.events)
+    };
+    match request {
+        Request::Chat(p) => {
+            let r = session.send(p.clone());
+            vec![Outcome::Chat {
+                message: r.message.clone(),
+                chain: r.chain.to_string(),
+            }]
+        }
+        Request::Execute(chain) => vec![exec(session, chain)],
+        Request::ChatAndRun(p) => {
+            let r = session.send(p.clone());
+            let mut out = vec![Outcome::Chat {
+                message: r.message.clone(),
+                chain: r.chain.to_string(),
+            }];
+            if !r.chain.is_empty() {
+                let chain = r.chain.clone();
+                out.push(exec(session, &chain));
+            }
+            out
+        }
+    }
+}
+
+/// The solo reference: each tenant on its own fresh session, fully
+/// sequential, private caches — run `passes` times like the server is.
+fn solo_reference(n: usize, passes: usize) -> Vec<Vec<Outcome>> {
+    (0..n)
+        .map(|i| {
+            let mut session = ChatSession::from_core(shared_core());
+            session.set_graph(tenant_graph(i));
+            let mut outcomes = Vec::new();
+            for _ in 0..passes {
+                for req in tenant_requests() {
+                    outcomes.extend(run_solo(&mut session, &req));
+                }
+            }
+            outcomes
+        })
+        .collect()
+}
+
+/// N tenants on one shared server, `passes` rounds of the workload; the
+/// second round hits a warm shared memo.
+fn serve_shared(n: usize, pool_workers: usize, passes: usize) -> (Vec<Vec<Outcome>>, u64) {
+    let server = SessionServer::from_core(
+        shared_core(),
+        ServeConfig {
+            pool_workers,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+    let tenants: Vec<_> = (0..n)
+        .map(|i| {
+            let t = server.open_session().expect("capacity");
+            server
+                .with_session(t, |s| s.set_graph(tenant_graph(i)))
+                .expect("fresh tenant");
+            t
+        })
+        .collect();
+    let mut outcomes: Vec<Vec<Outcome>> = vec![Vec::new(); n];
+    for _ in 0..passes {
+        for t in &tenants {
+            for req in tenant_requests() {
+                server.submit(*t, req).expect("queue has room");
+            }
+        }
+        for done in server.drain() {
+            let reply = done.reply.expect("no serving errors in this workload");
+            let idx = tenants
+                .iter()
+                .position(|t| *t == done.tenant)
+                .expect("known tenant");
+            outcomes[idx].extend(reply_outcomes(&reply));
+        }
+    }
+    (outcomes, server.memo_stats().hits)
+}
+
+#[test]
+fn shared_pool_replies_match_solo_sessions_at_every_width() {
+    const N: usize = 6;
+    // Two passes: pass 1 runs against a cold shared memo, pass 2 against a
+    // warm one. The solo reference runs the same two passes on private
+    // caches; replies must be identical either way.
+    let solo = solo_reference(N, 2);
+    for workers in [1, 2, 4] {
+        let (shared, _) = serve_shared(N, workers, 2);
+        for i in 0..N {
+            assert_eq!(
+                shared[i], solo[i],
+                "tenant {i} diverged from its solo run at pool_workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_tenants_hit_the_shared_memo_cross_session() {
+    // Tenants 0..3 and 3..6 carry content-identical graphs and submit
+    // identical chains with no within-chain or cross-pass repetition in
+    // pass 1, so first-pass hits can only come from another tenant.
+    let (_, hits) = serve_shared(6, 2, 1);
+    assert!(hits > 0, "expected cross-session memo hits, got none");
+}
+
+#[test]
+fn poisoned_tenant_stays_poisoned_and_others_keep_serving() {
+    let server = Arc::new(
+        SessionServer::from_core(shared_core(), ServeConfig::default()).expect("valid config"),
+    );
+    let poisoned = server.open_session().unwrap();
+    let healthy = server.open_session().unwrap();
+    for (i, t) in [(0, poisoned), (1, healthy)] {
+        server.with_session(t, |s| s.set_graph(tenant_graph(i))).unwrap();
+    }
+    // Panic while holding the poisoned tenant's session lock, on another
+    // thread so the panic is contained by the thread boundary.
+    let crashed = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = server.with_session(poisoned, |s| {
+                s.set_graph(Graph::undirected());
+                panic!("tenant crashed mid-mutation");
+            });
+        })
+        .join()
+    };
+    assert!(crashed.is_err(), "the thread must have panicked");
+    // The poisoned tenant reports SessionPoisoned forever after — its
+    // half-mutated session is never recovered (the old global singleton
+    // called `into_inner` here and leaked the mutation).
+    assert_eq!(
+        server.with_session(poisoned, |_| ()).unwrap_err(),
+        ServeError::SessionPoisoned
+    );
+    server
+        .submit(poisoned, Request::Execute(ApiChain::from_names(["node_count"])))
+        .expect("submission is queue-level, poisoning surfaces at drain");
+    server
+        .submit(healthy, Request::Execute(ApiChain::from_names(["node_count"])))
+        .unwrap();
+    let completed = server.drain();
+    assert_eq!(completed.len(), 2);
+    for c in completed {
+        if c.tenant == poisoned {
+            assert_eq!(c.reply.unwrap_err(), ServeError::SessionPoisoned);
+        } else {
+            let Ok(Reply::Execution(e)) = c.reply else {
+                panic!("healthy tenant must execute")
+            };
+            let nodes = e.result.unwrap().as_number().unwrap();
+            assert_eq!(nodes as usize, tenant_graph(1).node_count());
+        }
+    }
+}
+
+#[test]
+fn degraded_findings_never_cross_tenants() {
+    let server =
+        SessionServer::from_core(shared_core(), ServeConfig::default()).expect("valid config");
+    let faulty = server.open_session().unwrap();
+    let clean = server.open_session().unwrap();
+    // Distinct generator seeds => distinct graph fingerprints, so the
+    // faulty tenant cannot dodge its injected faults via memo hits on the
+    // clean tenant's results.
+    server.with_session(faulty, |s| {
+        s.set_graph(tenant_graph(0));
+        s.set_fault_plan(Some(FaultPlan::new(5).with_error_rate(1.0)));
+        s.set_failure_policy(FailurePolicy::SkipDegraded);
+    })
+    .unwrap();
+    server.with_session(clean, |s| s.set_graph(tenant_graph(1))).unwrap();
+    // Step 0's output is dead (node_count's number feeds nothing), so the
+    // faulty tenant degrades it; the final load-bearing step aborts.
+    let chain = ApiChain::from_names(["node_count", "triangle_count"]);
+    server.submit(faulty, Request::Execute(chain.clone())).unwrap();
+    server.submit(clean, Request::Execute(chain.clone())).unwrap();
+    let completed = server.drain();
+    assert_eq!(completed.len(), 2);
+    for c in completed {
+        let Ok(Reply::Execution(e)) = &c.reply else {
+            panic!("both tenants reach execution: {:?}", c.reply)
+        };
+        let degraded = e
+            .events
+            .iter()
+            .any(|ev| matches!(ev, ChainEvent::DegradedResult { .. }));
+        if c.tenant == faulty {
+            assert!(degraded, "fault plan must degrade the dead step");
+            assert!(e.result.is_err(), "the load-bearing step must abort");
+        } else {
+            assert!(!degraded, "degraded findings leaked into the clean tenant");
+            assert!(e.result.is_ok(), "the clean tenant must be unaffected");
+            // And its report-visible finding stream carries no degraded
+            // markers either.
+            for ev in &e.events {
+                if let ChainEvent::StepFinished { summary, .. } = ev {
+                    assert!(!summary.contains("degraded:"), "{summary}");
+                }
+            }
+        }
+    }
+}

@@ -319,29 +319,71 @@ impl CsrCache {
 
     /// Returns the snapshot for `g`, building (and recording) it on a miss.
     pub fn get_or_build(&self, g: &Arc<Graph>) -> Arc<CsrGraph> {
+        let (csr, built) = self.get_or_build_tracked(g);
+        if let Some(b) = built {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.builds.push(b);
+        }
+        csr
+    }
+
+    /// Like [`CsrCache::get_or_build`], but hands the build record back to
+    /// the caller instead of accumulating it in the cache. A cache shared
+    /// across sessions uses this so each session logs (and drains) only its
+    /// own builds — monitoring events must not leak across tenants, and an
+    /// undrained global log must not grow without bound.
+    pub fn get_or_build_tracked(&self, g: &Arc<Graph>) -> (Arc<CsrGraph>, Option<CsrBuild>) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(pos) = inner.entries.iter().position(|e| Arc::ptr_eq(&e.graph, g)) {
             inner.hits += 1;
             let entry = inner.entries.remove(pos);
             let csr = Arc::clone(&entry.csr);
             inner.entries.insert(0, entry);
-            return csr;
+            return (csr, None);
         }
         inner.misses += 1;
         let started = Instant::now();
         let csr = Arc::new(CsrGraph::build(g));
-        inner.builds.push(CsrBuild {
+        let build = CsrBuild {
             nodes: csr.n(),
             edges: csr.m(),
             micros: started.elapsed().as_micros() as u64,
-        });
+        };
         inner.entries.insert(
             0,
             CacheEntry { graph: Arc::clone(g), csr: Arc::clone(&csr) },
         );
         let cap = inner.capacity;
         inner.entries.truncate(cap);
-        csr
+        (csr, Some(build))
+    }
+
+    /// Drops the snapshot cached for `g` (pointer identity), returning
+    /// whether one was present. Sessions call this when they *replace*
+    /// their graph: the entry would never be hit again (the new graph is a
+    /// new `Arc`), but without eviction it pins the dead epoch's graph and
+    /// snapshot in memory until capacity pushes them out — unacceptable in
+    /// a shared, long-lived cache.
+    pub fn invalidate(&self, g: &Arc<Graph>) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.entries.iter().position(|e| Arc::ptr_eq(&e.graph, g)) {
+            Some(pos) => {
+                inner.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of snapshots currently cached.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.entries.len()
+    }
+
+    /// Whether the cache holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Drains the build records accumulated since the last drain.

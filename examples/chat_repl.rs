@@ -53,17 +53,17 @@ fn main() {
         match line.split_whitespace().next().unwrap_or("") {
             ":quit" | ":exit" => break,
             ":social" => {
-                session.graph = Some(social_network(&SocialParams::default(), 7));
+                session.set_graph(social_network(&SocialParams::default(), 7));
                 println!("uploaded a social network (120 nodes).");
             }
             ":molecule" => {
-                session.graph = Some(molecule(&MoleculeParams::default(), 7));
+                session.set_graph(molecule(&MoleculeParams::default(), 7));
                 println!("uploaded a molecule (24 atoms).");
             }
             ":kg" => {
                 let mut g = knowledge_graph(&KgParams::default(), 7);
                 let truth = corrupt_kg(&mut g, 0.08, 0.05, 7);
-                session.graph = Some(g);
+                session.set_graph(g);
                 println!(
                     "uploaded a knowledge graph with {} wrong and {} missing facts injected.",
                     truth.injected_wrong.len(),
@@ -77,7 +77,7 @@ fn main() {
                 }) {
                     Ok(g) => {
                         println!("uploaded '{}' ({} nodes).", g.name(), g.node_count());
-                        session.graph = Some(g);
+                        session.set_graph(g);
                     }
                     Err(e) => println!("upload failed: {e}"),
                 }

@@ -38,6 +38,17 @@ cargo test -q --offline -p chatgraph-apis --test fault_properties
 # stay within bench noise (single-digit percent).
 cargo bench --offline -p chatgraph-bench --bench chain_fault_exec
 
+# Serving differentials: N tenants on the shared pool must reply
+# bit-identically to the same N sessions run solo at pool widths 1/2/4,
+# warm and cold shared memo; poisoning and degraded findings must stay
+# within their tenant (DESIGN.md §12).
+cargo test -q --offline -p chatgraph-core --test serving_properties
+
+# Serving baseline: requests/sec, sessions/sec, and p50/p95 open-loop
+# latency at three pool widths plus solo-vs-shared memo hit rates, written
+# to results/BENCH_serving.json. The cross-session hit count must be > 0.
+cargo bench --offline -p chatgraph-bench --bench serving
+
 # Repository lint: no unwrap/expect/panic! in non-test library code beyond
 # the shrink-only allowlist (lint-allow.toml), no `unsafe`, hermetic
 # manifests, and `catch_unwind` only at the supervisor's isolation boundary
