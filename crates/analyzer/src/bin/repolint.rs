@@ -72,10 +72,11 @@ fn main() -> ExitCode {
         }
         let entries = text.lines().filter(|l| l.contains('=')).count();
         eprintln!(
-            "repolint: wrote {} ({} file(s), {} panic site(s))",
+            "repolint: wrote {} ({} file(s), {} panic site(s), {} Relaxed site(s))",
             path.display(),
             entries,
-            report.total_panic_sites
+            report.total_panic_sites,
+            report.total_relaxed_sites
         );
     }
 
@@ -94,8 +95,8 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         eprintln!(
-            "repolint: ok — {} file(s) scanned, {} allowlisted panic site(s), no errors",
-            report.files_scanned, report.total_panic_sites
+            "repolint: ok — {} file(s) scanned, {} allowlisted panic site(s), {} Relaxed site(s), no errors",
+            report.files_scanned, report.total_panic_sites, report.total_relaxed_sites
         );
         ExitCode::SUCCESS
     }

@@ -4,8 +4,9 @@
 //! Every analysis in this crate (the chain analyzer, repolint) reports
 //! through [`Diagnostics`], so downstream consumers — the chain executor,
 //! the confirm-and-edit flow, `scripts/verify.sh` — handle one shape.
-//! Codes are `CG0xx` for chain analysis and `CG1xx` for repolint; the full
-//! registry lives in [`code_info`]/[`CODES`].
+//! Codes are `CG0xx` for chain/plan analysis, `CG1xx` for repolint hygiene,
+//! and `CG2xx` for the concurrency lints; the full registry lives in
+//! [`code_info`]/[`CODES`].
 
 use chatgraph_support::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
@@ -274,11 +275,19 @@ pub const CODES: &[CodeInfo] = &[
     CodeInfo { code: "CG013", severity: Severity::Info, title: "needless mid-chain barrier" },
     CodeInfo { code: "CG014", severity: Severity::Warning, title: "required parameter missing" },
     CodeInfo { code: "CG015", severity: Severity::Info, title: "interleaved edits thrash the CSR snapshot cache" },
+    CodeInfo { code: "CG016", severity: Severity::Error, title: "conflicting effects inside a parallel plan segment" },
+    CodeInfo { code: "CG017", severity: Severity::Warning, title: "memoizable step reads findings (memo pollution hazard)" },
     CodeInfo { code: "CG101", severity: Severity::Error, title: "panic site in library code over allowlist" },
     CodeInfo { code: "CG102", severity: Severity::Error, title: "stale allowlist entry (ratchet must shrink)" },
     CodeInfo { code: "CG103", severity: Severity::Error, title: "unsafe code in workspace" },
     CodeInfo { code: "CG104", severity: Severity::Error, title: "non-hermetic dependency in manifest" },
     CodeInfo { code: "CG105", severity: Severity::Error, title: "workspace I/O failure during lint" },
+    CodeInfo { code: "CG106", severity: Severity::Error, title: "catch_unwind outside the supervisor isolation boundary" },
+    CodeInfo { code: "CG201", severity: Severity::Error, title: "lock acquisition cycle (potential deadlock)" },
+    CodeInfo { code: "CG202", severity: Severity::Error, title: "guard held across a dispatch point (spawn/scope/send)" },
+    CodeInfo { code: "CG203", severity: Severity::Error, title: "nested lock acquisition violates the declared order" },
+    CodeInfo { code: "CG204", severity: Severity::Error, title: "unsanctioned poisoned-lock recovery" },
+    CodeInfo { code: "CG205", severity: Severity::Error, title: "Relaxed atomic ordering over allowlist" },
 ];
 
 /// Looks up a code's registry entry.

@@ -9,14 +9,24 @@
 //!   IR (the dependency points that way round so the executor, the
 //!   search-based decoder, and the confirm-and-edit flow can all consume
 //!   diagnostics without a crate cycle).
+//! - [`plan`]: the parallel-segment interference audit (CG016/CG017) over
+//!   the lowered plan IR — re-proves the scheduler's barrier classification
+//!   before a plan executes, same lowering direction as [`chain`].
 //! - [`repolint`]: workspace invariants (panic-site ratchet, no `unsafe`,
 //!   manifest hermeticity) on top of a hand-rolled Rust [`lexer`], exposed
 //!   as the `repolint` binary run by `scripts/verify.sh`.
+//! - [`conc`]: the concurrency lints (CG201–CG205) — lock-order analysis
+//!   against `// lockdoc:` declarations, guard-across-dispatch detection,
+//!   sanctioned poisoned-lock recovery, and the `Ordering::Relaxed`
+//!   ratchet — run by repolint across the workspace.
 
 pub mod chain;
+pub mod conc;
 pub mod diag;
 pub mod lexer;
+pub mod plan;
 pub mod repolint;
 
 pub use chain::{analyze_chain, step_accepts, ApiSig, Catalog, ChainIr, ChainStep, ParamKind, ParamSpec, SigType, TypeClass};
 pub use diag::{code_info, CodeInfo, Diagnostic, Diagnostics, Severity, Span, CODES};
+pub use plan::{audit_plan, PlanIr, PlanStepIr, SegmentIr};

@@ -1,0 +1,270 @@
+//! Parallel-segment interference audit (CG016/CG017): re-proves the plan
+//! scheduler's barrier classification on the lowered plan IR.
+//!
+//! The scheduler (in `chatgraph-apis`) lowers a chain into a [`PlanIr`]-
+//! shaped plan — steps with effect flags, dependency edges, and a segment
+//! decomposition — and runs every `Parallel` segment's sub-chains on a
+//! worker pool with *empty* local findings and a shared cross-tenant memo.
+//! That is only sound if the classification is right, so this pass
+//! independently verifies it before anything executes:
+//!
+//! - **CG016** (Error, refuses execution like the chain analyzer's
+//!   `AnalysisRejected`): a step inside a `Parallel` segment mutates the
+//!   session graph or is barrier-classified, or a dependency edge crosses
+//!   sub-chains of the same segment (two co-scheduled steps would race on
+//!   ordering).
+//! - **CG017** (Warning): a memoizable step reads findings. Memo keys
+//!   fingerprint the API, params, seed, graph, input, and database — but
+//!   *not* findings — so a findings-reading step served from the shared
+//!   memo could leak one tenant's findings-derived result to another.
+//!
+//! Like [`crate::chain`], this module owns only the IR and the checks;
+//! `chatgraph-apis` lowers its `Plan` into [`PlanIr`] (the dependency
+//! points that way round to avoid a crate cycle).
+
+use crate::diag::{Diagnostic, Diagnostics, Span};
+
+/// One plan step, reduced to what the interference audit needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStepIr {
+    /// 0-based step index (also the chain position).
+    pub index: usize,
+    /// API name, for messages.
+    pub api: String,
+    /// The step rewrites the session graph.
+    pub mutates_graph: bool,
+    /// The step reads the accumulated findings list.
+    pub reads_findings: bool,
+    /// The step may be served from / stored into the shared memo.
+    pub memoizable: bool,
+    /// The scheduler classified the step as a barrier (runs alone).
+    pub barrier: bool,
+    /// Indices of steps this step depends on.
+    pub deps: Vec<usize>,
+}
+
+/// One scheduling segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentIr {
+    /// A single step that runs alone, all earlier work completed.
+    Barrier(usize),
+    /// Independent sub-chains co-scheduled on the worker pool.
+    Parallel(Vec<Vec<usize>>),
+}
+
+/// A lowered plan: steps plus its segment decomposition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanIr {
+    /// The steps, indexed by `PlanStepIr::index`.
+    pub steps: Vec<PlanStepIr>,
+    /// The segment decomposition, in execution order.
+    pub segments: Vec<SegmentIr>,
+}
+
+/// Audits a lowered plan for parallel-segment interference.
+pub fn audit_plan(plan: &PlanIr) -> Diagnostics {
+    let mut sink = Diagnostics::new();
+    for segment in &plan.segments {
+        let SegmentIr::Parallel(chains) = segment else {
+            continue;
+        };
+        // Which sub-chain each co-scheduled step belongs to.
+        let mut chain_of = std::collections::BTreeMap::new();
+        for (ci, chain) in chains.iter().enumerate() {
+            for &s in chain {
+                chain_of.insert(s, ci);
+            }
+        }
+        for (ci, chain) in chains.iter().enumerate() {
+            for (pos, &s) in chain.iter().enumerate() {
+                let Some(step) = plan.steps.get(s) else {
+                    sink.push(Diagnostic::new(
+                        "CG016",
+                        Span::None,
+                        format!("parallel segment references step {s} outside the plan"),
+                    ));
+                    continue;
+                };
+                let span = Span::Step { step: s, param: None };
+                if step.mutates_graph {
+                    sink.push(Diagnostic::new(
+                        "CG016",
+                        span.clone(),
+                        format!(
+                            "`{}` mutates the session graph but is co-scheduled in a \
+                             parallel segment",
+                            step.api
+                        ),
+                    ));
+                } else if step.barrier {
+                    // Covered by the mutation arm when both hold; either way
+                    // a barrier-classified step must never be co-scheduled.
+                    sink.push(Diagnostic::new(
+                        "CG016",
+                        span.clone(),
+                        format!(
+                            "`{}` is barrier-classified but placed inside a parallel segment",
+                            step.api
+                        ),
+                    ));
+                }
+                for &d in &step.deps {
+                    match chain_of.get(&d) {
+                        Some(&dc) if dc != ci => sink.push(Diagnostic::new(
+                            "CG016",
+                            span.clone(),
+                            format!(
+                                "`{}` (step {s}) depends on co-scheduled step {d} in a \
+                                 different sub-chain of the same segment",
+                                step.api
+                            ),
+                        )),
+                        Some(_) if chain[..pos].iter().all(|&p| p != d) => {
+                            sink.push(Diagnostic::new(
+                                "CG016",
+                                span.clone(),
+                                format!(
+                                    "`{}` (step {s}) depends on step {d}, which its \
+                                     sub-chain schedules after it",
+                                    step.api
+                                ),
+                            ))
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    // CG017 is positional, not segment-scoped: any memoizable step that
+    // reads findings can be served from the shared cross-tenant memo with
+    // findings the key never fingerprinted.
+    for step in &plan.steps {
+        if step.memoizable && step.reads_findings {
+            sink.push(
+                Diagnostic::new(
+                    "CG017",
+                    Span::Step { step: step.index, param: None },
+                    format!(
+                        "`{}` reads findings but is memo-eligible; memo keys do not \
+                         fingerprint findings, so a shared-memo hit could cross tenants",
+                        step.api
+                    ),
+                )
+                .with_suggestion("classify findings-reading steps as barriers (not memoizable)"),
+            );
+        }
+    }
+    sink
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(index: usize, api: &str) -> PlanStepIr {
+        PlanStepIr {
+            index,
+            api: api.to_owned(),
+            mutates_graph: false,
+            reads_findings: false,
+            memoizable: true,
+            barrier: false,
+            deps: Vec::new(),
+        }
+    }
+
+    fn codes(d: &Diagnostics) -> Vec<&str> {
+        d.items.iter().map(|x| x.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_parallel_plan_passes() {
+        let plan = PlanIr {
+            steps: vec![step(0, "node_count"), step(1, "edge_count")],
+            segments: vec![SegmentIr::Parallel(vec![vec![0], vec![1]])],
+        };
+        assert!(audit_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn mutating_step_in_parallel_segment_is_cg016_error() {
+        let mut s = step(0, "remove_edges");
+        s.mutates_graph = true;
+        let plan = PlanIr {
+            steps: vec![s, step(1, "node_count")],
+            segments: vec![SegmentIr::Parallel(vec![vec![0], vec![1]])],
+        };
+        let d = audit_plan(&plan);
+        assert_eq!(codes(&d), vec!["CG016"]);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn barrier_step_in_parallel_segment_is_cg016() {
+        let mut s = step(1, "generate_report");
+        s.barrier = true;
+        let plan = PlanIr {
+            steps: vec![step(0, "node_count"), s],
+            segments: vec![SegmentIr::Parallel(vec![vec![0], vec![1]])],
+        };
+        assert_eq!(codes(&audit_plan(&plan)), vec!["CG016"]);
+    }
+
+    #[test]
+    fn cross_chain_dependency_is_cg016() {
+        let mut s1 = step(1, "graph_density");
+        s1.deps = vec![0];
+        let plan = PlanIr {
+            steps: vec![step(0, "node_count"), s1],
+            segments: vec![SegmentIr::Parallel(vec![vec![0], vec![1]])],
+        };
+        let d = audit_plan(&plan);
+        assert_eq!(codes(&d), vec!["CG016"]);
+        assert!(d.items[0].message.contains("different sub-chain"));
+    }
+
+    #[test]
+    fn in_chain_dependency_order_is_checked() {
+        let mut s0 = step(0, "a");
+        s0.deps = vec![1]; // depends on a step its own sub-chain runs later
+        let plan = PlanIr {
+            steps: vec![s0, step(1, "b")],
+            segments: vec![SegmentIr::Parallel(vec![vec![0, 1]])],
+        };
+        assert_eq!(codes(&audit_plan(&plan)), vec!["CG016"]);
+    }
+
+    #[test]
+    fn dependency_on_earlier_step_of_same_chain_is_fine() {
+        let mut s1 = step(1, "b");
+        s1.deps = vec![0];
+        let plan = PlanIr {
+            steps: vec![step(0, "a"), s1],
+            segments: vec![SegmentIr::Parallel(vec![vec![0, 1]])],
+        };
+        assert!(audit_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn memoizable_findings_reader_is_cg017_warning() {
+        let mut s = step(0, "generate_report");
+        s.reads_findings = true;
+        let plan = PlanIr {
+            steps: vec![s],
+            segments: vec![SegmentIr::Barrier(0)],
+        };
+        let d = audit_plan(&plan);
+        assert_eq!(codes(&d), vec!["CG017"]);
+        assert!(!d.has_errors());
+    }
+
+    #[test]
+    fn out_of_range_step_in_segment_is_reported_not_panicking() {
+        let plan = PlanIr {
+            steps: vec![step(0, "a")],
+            segments: vec![SegmentIr::Parallel(vec![vec![0], vec![7]])],
+        };
+        assert_eq!(codes(&audit_plan(&plan)), vec!["CG016"]);
+    }
+}

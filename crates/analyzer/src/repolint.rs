@@ -19,6 +19,12 @@
 //! - **CG106** — `catch_unwind` outside the chain supervisor
 //!   (`crates/apis/src/supervisor.rs`): panic isolation has exactly one
 //!   boundary, so payloads are always classified and attributed there.
+//! - **CG201–CG204** — the concurrency lints from [`crate::conc`]: lock
+//!   acquisition cycles, guards held across dispatch points, declared-order
+//!   violations, and unsanctioned poisoned-lock recovery.
+//! - **CG205** — `Ordering::Relaxed` sites, ratcheted per file against the
+//!   `[allow-relaxed]` section of `lint-allow.toml` (shrink-only, like the
+//!   panic-site ratchet).
 //!
 //! Test code is exempt from CG101: items annotated with an attribute that
 //! mentions `test` (and not `not`, so `#[cfg(not(test))]` still counts) are
@@ -96,14 +102,48 @@ pub fn scan_source(source: &str) -> SourceScan {
     out
 }
 
-fn is_punct(toks: &[Token], i: usize, c: char) -> bool {
+pub(crate) fn is_punct(toks: &[Token], i: usize, c: char) -> bool {
     toks.get(i).map(|t| t.is_punct(c)).unwrap_or(false)
+}
+
+/// Token-index ranges of test-gated items (`#[test]` fns, `#[cfg(test)]`
+/// mods, …), each starting at the gating attribute's `#` and ending just
+/// past the item. Shared by [`scan_source`] and the concurrency pass so
+/// both exempt exactly the same regions.
+pub(crate) fn test_gated_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_punct(toks, i, '#') && is_punct(toks, i + 1, '!') && is_punct(toks, i + 2, '[') {
+            i = attribute_end(toks, i + 2).0;
+            continue;
+        }
+        if is_punct(toks, i, '#') && is_punct(toks, i + 1, '[') {
+            let start = i;
+            let (mut end, mut is_test) = attribute_end(toks, i + 1);
+            while is_punct(toks, end, '#') && is_punct(toks, end + 1, '[') {
+                let (e, t) = attribute_end(toks, end + 1);
+                end = e;
+                is_test = is_test || t;
+            }
+            if is_test {
+                let item = item_end(toks, end);
+                out.push((start, item));
+                i = item;
+            } else {
+                i = end;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    out
 }
 
 /// Given the index of an attribute's opening `[`, returns the index just
 /// past its matching `]` and whether the attribute gates the item to tests
 /// (mentions `test` without `not`).
-fn attribute_end(toks: &[Token], open: usize) -> (usize, bool) {
+pub(crate) fn attribute_end(toks: &[Token], open: usize) -> (usize, bool) {
     let mut depth = 0usize;
     let mut saw_test = false;
     let mut saw_not = false;
@@ -128,7 +168,7 @@ fn attribute_end(toks: &[Token], open: usize) -> (usize, bool) {
 /// Given the index of the first token of an item, returns the index just
 /// past it: either the matching close of its `{...}` body, or the `;` that
 /// ends a body-less item.
-fn item_end(toks: &[Token], start: usize) -> usize {
+pub(crate) fn item_end(toks: &[Token], start: usize) -> usize {
     let mut i = start;
     while i < toks.len() {
         if is_punct(toks, i, ';') {
@@ -219,23 +259,39 @@ pub fn lint_manifest(path_label: &str, text: &str, require_internal_names: bool)
     (out, entries)
 }
 
-/// Parses a `lint-allow.toml` ratchet file: a `[allow]` section of
-/// `"path" = count` entries.
-pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, usize>, String> {
-    let mut map = BTreeMap::new();
-    let mut in_allow = false;
+/// Both shrink-only ratchets stored in `lint-allow.toml`: `[allow]` caps
+/// panic sites per file, `[allow-relaxed]` caps `Ordering::Relaxed` sites.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlists {
+    /// `[allow]`: permitted panic sites (unwrap/expect/panic!) per file.
+    pub panic: BTreeMap<String, usize>,
+    /// `[allow-relaxed]`: permitted `Ordering::Relaxed` sites per file.
+    pub relaxed: BTreeMap<String, usize>,
+}
+
+/// Parses a `lint-allow.toml` ratchet file: an `[allow]` section and an
+/// optional `[allow-relaxed]` section of `"path" = count` entries.
+pub fn parse_allowlists(text: &str) -> Result<Allowlists, String> {
+    let mut lists = Allowlists::default();
+    let mut section: Option<&str> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
         if line.starts_with('[') {
-            in_allow = line == "[allow]";
+            section = match line {
+                "[allow]" => Some("allow"),
+                "[allow-relaxed]" => Some("allow-relaxed"),
+                other => return Err(format!("line {}: unknown section {other}", idx + 1)),
+            };
             continue;
         }
-        if !in_allow {
-            return Err(format!("line {}: entry outside the [allow] section", idx + 1));
-        }
+        let map = match section {
+            Some("allow") => &mut lists.panic,
+            Some("allow-relaxed") => &mut lists.relaxed,
+            _ => return Err(format!("line {}: entry outside the [allow] section", idx + 1)),
+        };
         let Some((key, value)) = line.split_once('=') else {
             return Err(format!("line {}: expected `\"path\" = count`", idx + 1));
         };
@@ -246,21 +302,41 @@ pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, usize>, String> {
             .map_err(|_| format!("line {}: count is not an integer", idx + 1))?;
         map.insert(key, count);
     }
-    Ok(map)
+    Ok(lists)
 }
 
-/// Renders a ratchet allowlist back to `lint-allow.toml` text.
-pub fn render_allowlist(map: &BTreeMap<String, usize>) -> String {
+/// Renders both ratchets back to `lint-allow.toml` text.
+pub fn render_allowlists(lists: &Allowlists) -> String {
     let mut out = String::from(
-        "# repolint ratchet: permitted panic sites (unwrap/expect/panic!) per file\n\
-         # of non-test library code. This list may only shrink. Regenerate with:\n\
+        "# repolint ratchets (shrink-only). Regenerate with:\n\
          #   cargo run -p chatgraph-analyzer --bin repolint -- --update-allowlist\n\
+         #\n\
+         # [allow]: permitted panic sites (unwrap/expect/panic!) per file of\n\
+         # non-test library code.\n\
          \n[allow]\n",
     );
-    for (path, count) in map {
+    for (path, count) in &lists.panic {
+        out.push_str(&format!("\"{path}\" = {count}\n"));
+    }
+    out.push_str(
+        "\n# [allow-relaxed]: permitted `Ordering::Relaxed` atomic sites per file\n\
+         # (CG205); new code must justify Relaxed or use Acquire/Release.\n\
+         \n[allow-relaxed]\n",
+    );
+    for (path, count) in &lists.relaxed {
         out.push_str(&format!("\"{path}\" = {count}\n"));
     }
     out
+}
+
+/// Parses just the `[allow]` panic-site ratchet (compat wrapper).
+pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    parse_allowlists(text).map(|l| l.panic)
+}
+
+/// Renders a panic-site-only allowlist (compat wrapper).
+pub fn render_allowlist(map: &BTreeMap<String, usize>) -> String {
+    render_allowlists(&Allowlists { panic: map.clone(), relaxed: BTreeMap::new() })
 }
 
 /// The one file allowed to `catch_unwind` (CG106): the chain supervisor's
@@ -276,6 +352,8 @@ pub struct RepolintReport {
     pub files_scanned: usize,
     /// Total panic sites found in non-test library code.
     pub total_panic_sites: usize,
+    /// Total `Ordering::Relaxed` sites found in non-test library code.
+    pub total_relaxed_sites: usize,
     /// New allowlist text, when `--update-allowlist` was requested.
     pub updated_allowlist: Option<String>,
 }
@@ -379,6 +457,7 @@ pub fn run(root: &Path, update_allowlist: bool) -> RepolintReport {
         }
     }
     let mut actual: BTreeMap<String, (usize, usize)> = BTreeMap::new(); // path -> (count, first line)
+    let mut texts: Vec<(String, String)> = Vec::with_capacity(files.len());
     for file in &files {
         let label = rel_label(root, file);
         let text = match fs::read_to_string(file) {
@@ -414,21 +493,31 @@ pub fn run(root: &Path, update_allowlist: bool) -> RepolintReport {
             }
         }
         if let Some(first) = scan.panic_sites.first() {
-            actual.insert(label, (scan.panic_sites.len(), first.line));
+            actual.insert(label.clone(), (scan.panic_sites.len(), first.line));
         }
         report.total_panic_sites += scan.panic_sites.len();
+        texts.push((label, text));
     }
 
-    // Ratchet (CG101/CG102) against lint-allow.toml.
+    // Concurrency pass (CG201–CG204 + lockdoc hygiene) over the same
+    // non-test library sources, as one workspace-wide lock-order graph.
+    let conc = crate::conc::analyze_files(&texts);
+    report.total_relaxed_sites = conc.relaxed.values().map(|&(n, _)| n).sum();
+    sink.extend(conc.diagnostics);
+
+    // Ratchets (CG101/CG102 panic sites, CG205 Relaxed sites) against
+    // lint-allow.toml.
     if update_allowlist {
-        let counts: BTreeMap<String, usize> =
-            actual.iter().map(|(k, &(n, _))| (k.clone(), n)).collect();
-        report.updated_allowlist = Some(render_allowlist(&counts));
+        let lists = Allowlists {
+            panic: actual.iter().map(|(k, &(n, _))| (k.clone(), n)).collect(),
+            relaxed: conc.relaxed.iter().map(|(k, &(n, _))| (k.clone(), n)).collect(),
+        };
+        report.updated_allowlist = Some(render_allowlists(&lists));
         return report;
     }
     let allow_path = root.join("lint-allow.toml");
     let allowed = match fs::read_to_string(&allow_path) {
-        Ok(text) => match parse_allowlist(&text) {
+        Ok(text) => match parse_allowlists(&text) {
             Ok(map) => map,
             Err(why) => {
                 sink.push(Diagnostic::new(
@@ -452,7 +541,7 @@ pub fn run(root: &Path, update_allowlist: bool) -> RepolintReport {
         }
     };
     for (path, &(count, first_line)) in &actual {
-        let cap = allowed.get(path).copied().unwrap_or(0);
+        let cap = allowed.panic.get(path).copied().unwrap_or(0);
         if count > cap {
             sink.push(
                 Diagnostic::new(
@@ -466,7 +555,7 @@ pub fn run(root: &Path, update_allowlist: bool) -> RepolintReport {
             );
         }
     }
-    for (path, &cap) in &allowed {
+    for (path, &cap) in &allowed.panic {
         let count = actual.get(path).map(|&(n, _)| n).unwrap_or(0);
         if cap > count {
             sink.push(
@@ -474,6 +563,39 @@ pub fn run(root: &Path, update_allowlist: bool) -> RepolintReport {
                     "CG102",
                     Span::File { path: path.clone(), line: 0 },
                     format!("stale allowlist entry: permits {cap} panic site(s) but the file has {count}"),
+                )
+                .with_suggestion("the ratchet only shrinks — run --update-allowlist to tighten it"),
+            );
+        }
+    }
+    for (path, &(count, first_line)) in &conc.relaxed {
+        let cap = allowed.relaxed.get(path).copied().unwrap_or(0);
+        if count > cap {
+            sink.push(
+                Diagnostic::new(
+                    "CG205",
+                    Span::File { path: path.clone(), line: first_line },
+                    format!(
+                        "{count} `Ordering::Relaxed` site(s), [allow-relaxed] permits {cap}"
+                    ),
+                )
+                .with_suggestion(
+                    "use Acquire/Release (or justify and regenerate the allowlist): Relaxed \
+                     loads on another thread's decision path reorder freely",
+                ),
+            );
+        }
+    }
+    for (path, &cap) in &allowed.relaxed {
+        let count = conc.relaxed.get(path).map(|&(n, _)| n).unwrap_or(0);
+        if cap > count {
+            sink.push(
+                Diagnostic::new(
+                    "CG102",
+                    Span::File { path: path.clone(), line: 0 },
+                    format!(
+                        "stale [allow-relaxed] entry: permits {cap} Relaxed site(s) but the file has {count}"
+                    ),
                 )
                 .with_suggestion("the ratchet only shrinks — run --update-allowlist to tighten it"),
             );
@@ -624,6 +746,48 @@ mod tests {
         let (diags, _) = lint_manifest("Cargo.toml", text, true);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("chatgraph"));
+    }
+
+    #[test]
+    fn workspace_is_concurrency_clean_with_declared_orders() {
+        // End-to-end over the real workspace: zero CG201–CG204 — and not
+        // trivially: serve.rs must really declare a lock order, sched.rs
+        // must really sanction its poisoned-lock recoveries.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = run(&root, false);
+        let conc: Vec<_> = report
+            .diagnostics
+            .items
+            .iter()
+            .filter(|d| matches!(d.code.as_str(), "CG201" | "CG202" | "CG203" | "CG204"))
+            .collect();
+        assert!(conc.is_empty(), "concurrency findings: {conc:#?}");
+        let serve = fs::read_to_string(root.join("crates/core/src/serve.rs")).unwrap();
+        let (dirs, errs) = crate::conc::parse_lockdoc(&serve);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert!(
+            dirs.iter()
+                .any(|d| matches!(&d.directive, crate::conc::Directive::Order(_))),
+            "serve.rs must declare its lock order via lockdoc"
+        );
+        let sched = fs::read_to_string(root.join("crates/apis/src/sched.rs")).unwrap();
+        let (dirs, _) = crate::conc::parse_lockdoc(&sched);
+        assert!(
+            dirs.iter()
+                .any(|d| matches!(&d.directive, crate::conc::Directive::Recover(_))),
+            "sched.rs must sanction its poisoned-lock recoveries via lockdoc"
+        );
+        assert!(report.total_relaxed_sites > 0, "the Relaxed ratchet must have teeth");
+    }
+
+    #[test]
+    fn two_section_allowlists_roundtrip() {
+        let mut lists = Allowlists::default();
+        lists.panic.insert("crates/a/src/lib.rs".to_owned(), 3);
+        lists.relaxed.insert("crates/b/src/atomics.rs".to_owned(), 2);
+        let text = render_allowlists(&lists);
+        assert_eq!(parse_allowlists(&text), Ok(lists));
+        assert!(parse_allowlists("[allow-typo]\n\"x\" = 1\n").is_err());
     }
 
     #[test]

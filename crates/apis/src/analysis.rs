@@ -13,12 +13,14 @@
 //!   warnings shown to the user next to a proposed chain.
 
 use crate::chain::ApiChain;
+use crate::plan::{Plan, Segment};
 use crate::registry::ApiRegistry;
 use crate::value::ValueType;
 use chatgraph_analyzer::chain::{
     analyze_chain, ApiSig, Catalog, ChainIr, ChainStep, SigType, TypeClass,
 };
 use chatgraph_analyzer::diag::Diagnostics;
+use chatgraph_analyzer::plan::{PlanIr, PlanStepIr, SegmentIr};
 
 /// Lowers a [`ValueType`] to the analyzer's type representation.
 pub fn lower_type(vt: ValueType) -> SigType {
@@ -60,6 +62,43 @@ pub fn lower_chain(chain: &ApiChain) -> ChainIr {
 /// of stopping at the first.
 pub fn analyze(chain: &ApiChain, registry: &ApiRegistry, has_session_graph: bool) -> Diagnostics {
     analyze_chain(&lower_chain(chain), &lower_registry(registry), has_session_graph)
+}
+
+/// Lowers a built [`Plan`] (steps plus its segment decomposition) to the
+/// analyzer's plan IR for the CG016/CG017 interference audit.
+pub fn lower_plan(plan: &Plan) -> PlanIr {
+    PlanIr {
+        steps: plan
+            .steps
+            .iter()
+            .map(|s| PlanStepIr {
+                index: s.index,
+                api: s.api.clone(),
+                mutates_graph: s.mutates_graph,
+                reads_findings: s.reads_findings,
+                memoizable: s.memoizable,
+                barrier: s.barrier,
+                deps: s.deps.clone(),
+            })
+            .collect(),
+        segments: plan
+            .segments()
+            .into_iter()
+            .map(|seg| match seg {
+                Segment::Barrier(i) => SegmentIr::Barrier(i),
+                Segment::Parallel(chains) => SegmentIr::Parallel(chains),
+            })
+            .collect(),
+    }
+}
+
+/// Re-proves the scheduler's barrier classification on a built plan: CG016
+/// (Error) when a parallel segment contains a conflicting effect, CG017
+/// (Warning) for memoizable findings-readers. On plans from [`Plan::build`]
+/// this is always clean — the audit is the independent check that keeps it
+/// that way.
+pub fn audit_plan(plan: &Plan) -> Diagnostics {
+    chatgraph_analyzer::plan::audit_plan(&lower_plan(plan))
 }
 
 /// Whether appending `candidate` to a chain whose last API is `prev_api`

@@ -65,6 +65,7 @@ impl KernelState {
     pub fn csr(&self, g: &Arc<Graph>) -> Arc<CsrGraph> {
         let (csr, built) = self.cache.get_or_build_tracked(g);
         if let Some(b) = built {
+            // lockdoc: recover(build log is append-only plain records; a panicked push cannot tear it)
             self.builds
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -79,6 +80,7 @@ impl KernelState {
         let started = std::time::Instant::now();
         let out = f();
         let micros = started.elapsed().as_micros() as u64;
+        // lockdoc: recover(timing log is append-only plain records; a panicked push cannot tear it)
         self.timings
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -88,12 +90,14 @@ impl KernelState {
 
     /// Drains `(kernel, micros)` records accumulated since the last drain.
     pub fn drain_timings(&self) -> Vec<(String, u64)> {
+        // lockdoc: recover(draining a possibly-short log after a panic loses only metrics, not results)
         std::mem::take(&mut *self.timings.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Drains CSR build records this context accumulated since the last
     /// drain (never another tenant's, even on a shared cache).
     pub fn drain_builds(&self) -> Vec<CsrBuild> {
+        // lockdoc: recover(draining a possibly-short log after a panic loses only metrics, not results)
         std::mem::take(&mut *self.builds.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }

@@ -108,9 +108,11 @@ impl StepMemo {
         }
     }
 
+    // lockdoc: acquires(inner)
     fn lock(&self) -> MutexGuard<'_, Lru<u64, Value>> {
         // A holder can only poison this lock by panicking mid-`get`/`insert`;
         // the cache itself stays structurally valid, so keep using it.
+        // lockdoc: recover(memo holders only get/insert; the LRU stays structurally valid through a panic)
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -314,6 +316,19 @@ impl Scheduler {
             return Err(ChainError::AnalysisRejected(err.render()));
         }
         let plan = Plan::build(chain, registry)?;
+        // Interference audit (CG016/CG017): independently re-prove that no
+        // parallel segment hides a conflicting effect before running any of
+        // it. Plans from `Plan::build` are clean by construction, so this
+        // only fires if planning and scheduling ever drift apart.
+        let audit = crate::analysis::audit_plan(&plan);
+        if !audit.is_empty() {
+            monitor.on_event(&ChainEvent::Diagnostics {
+                diagnostics: audit.clone(),
+            });
+        }
+        if let Some(err) = audit.first_error() {
+            return Err(ChainError::AnalysisRejected(err.render()));
+        }
         monitor.on_event(&ChainEvent::ChainStarted { total: chain.len() });
         monitor.on_event(&ChainEvent::PlanBuilt {
             steps: plan.len(),
@@ -543,6 +558,13 @@ impl SegmentRun<'_> {
             return self.run_inline(&chains, prev, ctx, monitor);
         }
         let indices: Vec<usize> = chains.iter().flatten().copied().collect();
+        // Pool-internal locks: a worker takes the job queue, drops it, and
+        // only then writes an outcome slot — never both at once.
+        // lockdoc: order(jobs < outcomes)
+        // Handler panics are caught inside `exec_pure`, so these locks can
+        // only be poisoned by a scheduler-internal bug; the slots hold
+        // plain `Option<StepOutcome>` data that a panic cannot tear.
+        // lockdoc: recover(job queue and outcome slots hold plain data; commit re-validates per step)
         // One slot per step in the segment, filled by whichever worker runs
         // that step's sub-chain.
         let outcomes: Vec<Mutex<Option<StepOutcome>>> = indices

@@ -147,6 +147,27 @@ fn parallel_reads_match_reference() {
     check_plan_matches_reference(&chain).unwrap();
 }
 
+/// Soundness of the interference audit: plans produced by `Plan::build`
+/// never trip CG016 — the scheduler's barrier classification already
+/// serializes every conflicting effect, and the audit independently
+/// re-proves that on each plan. CG017 likewise stays silent because
+/// findings-readers are classified as barriers (hence not memoizable).
+#[test]
+fn audit_never_rejects_built_plans() {
+    let reg = registry::standard();
+    check(
+        "audit_never_rejects_built_plans",
+        Config::default().with_cases(48),
+        |rng, _size| random_valid_chain(rng, 6),
+        |chain| {
+            let plan = Plan::build(chain, &reg).map_err(|e| e.to_string())?;
+            let d = analysis::audit_plan(&plan);
+            prop_assert_eq!(d.items.len(), 0, "audit findings: {}", d.render_text());
+            Ok(())
+        },
+    );
+}
+
 /// Golden test: the Plan JSON encoding for the cleaning chain is pinned, so
 /// accidental changes to the IR (field set, dependency edges, barrier
 /// classification) show up as a readable diff.

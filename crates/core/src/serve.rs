@@ -221,6 +221,10 @@ pub struct Completed {
     pub reply: Result<Reply, ServeError>,
 }
 
+// The serving lock hierarchy, checked by repolint's concurrency pass
+// (CG201/CG203): the tenant registry is acquired before any per-tenant
+// queue, and a queue before that tenant's session.
+// lockdoc: order(tenants < queue < session)
 struct TenantSlot {
     session: Mutex<ChatSession>,
     queue: Mutex<VecDeque<(u64, Request, Instant)>>,
@@ -231,9 +235,11 @@ struct TenantSlot {
 }
 
 impl TenantSlot {
+    // lockdoc: acquires(queue)
     fn queue_guard(&self) -> std::sync::MutexGuard<'_, VecDeque<(u64, Request, Instant)>> {
         // The queue holds plain data (no session state); recovering it
         // after a worker panic cannot observe a half-mutated session.
+        // lockdoc: recover(queue entries are plain data; a panic mid-push/pop cannot leave them torn)
         self.queue.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -316,9 +322,11 @@ impl SessionServer {
         self.tenants_guard().keys().map(|id| TenantId(*id)).collect()
     }
 
+    // lockdoc: acquires(tenants)
     fn tenants_guard(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, Arc<TenantSlot>>> {
         // Holds only the registry map; tenant state lives behind per-slot
         // mutexes with their own poisoning discipline.
+        // lockdoc: recover(registry maps ids to Arc slots; insert/remove cannot leave it torn, session state is quarantined per slot)
         self.tenants.lock().unwrap_or_else(|e| e.into_inner())
     }
 

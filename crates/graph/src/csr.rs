@@ -321,6 +321,7 @@ impl CsrCache {
     pub fn get_or_build(&self, g: &Arc<Graph>) -> Arc<CsrGraph> {
         let (csr, built) = self.get_or_build_tracked(g);
         if let Some(b) = built {
+            // lockdoc: recover(cache holders never leave entries half-written; see get_or_build_tracked)
             let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.builds.push(b);
         }
@@ -333,6 +334,7 @@ impl CsrCache {
     /// own builds — monitoring events must not leak across tenants, and an
     /// undrained global log must not grow without bound.
     pub fn get_or_build_tracked(&self, g: &Arc<Graph>) -> (Arc<CsrGraph>, Option<CsrBuild>) {
+        // lockdoc: recover(entries are whole CacheEntry values inserted in one call; a panicked holder cannot leave one torn, and counters are advisory)
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(pos) = inner.entries.iter().position(|e| Arc::ptr_eq(&e.graph, g)) {
             inner.hits += 1;
@@ -365,6 +367,7 @@ impl CsrCache {
     /// snapshot in memory until capacity pushes them out — unacceptable in
     /// a shared, long-lived cache.
     pub fn invalidate(&self, g: &Arc<Graph>) -> bool {
+        // lockdoc: recover(removing a dead epoch from a structurally valid cache is safe after poison)
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match inner.entries.iter().position(|e| Arc::ptr_eq(&e.graph, g)) {
             Some(pos) => {
@@ -377,6 +380,7 @@ impl CsrCache {
 
     /// Number of snapshots currently cached.
     pub fn len(&self) -> usize {
+        // lockdoc: recover(read-only observation of a structurally valid cache)
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.entries.len()
     }
@@ -388,12 +392,14 @@ impl CsrCache {
 
     /// Drains the build records accumulated since the last drain.
     pub fn drain_builds(&self) -> Vec<CsrBuild> {
+        // lockdoc: recover(draining a possibly-short build log after a panic loses only metrics)
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         std::mem::take(&mut inner.builds)
     }
 
     /// `(hits, misses)` counters since construction.
     pub fn stats(&self) -> (u64, u64) {
+        // lockdoc: recover(read-only observation of advisory counters)
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         (inner.hits, inner.misses)
     }

@@ -39,7 +39,8 @@ pub fn barabasi_albert(params: &BaParams, seed: u64) -> Graph {
     let mut endpoints = Vec::with_capacity(2 * n * m);
     for i in 0..=m {
         for j in (i + 1)..=m {
-            g.add_edge(ids[i], ids[j], "-").expect("seed clique");
+            // Cannot fail: distinct freshly-added nodes, each pair once.
+            let _ = g.add_edge(ids[i], ids[j], "-");
             endpoints.push(ids[i]);
             endpoints.push(ids[j]);
         }
@@ -54,7 +55,8 @@ pub fn barabasi_albert(params: &BaParams, seed: u64) -> Graph {
             }
         }
         for t in chosen {
-            g.add_edge(new_node, t, "-").expect("distinct targets");
+            // Cannot fail: `chosen` holds distinct live nodes != new_node.
+            let _ = g.add_edge(new_node, t, "-");
             endpoints.push(new_node);
             endpoints.push(t);
         }

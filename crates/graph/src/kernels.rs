@@ -150,6 +150,10 @@ where
         return Some(out);
     }
     let next = AtomicUsize::new(0);
+    // Each slot is written exactly once, whole; kernel panics are isolated
+    // upstream by the supervisor, and a poisoned slot still holds either
+    // None or a complete chunk result.
+    // lockdoc: recover(slots are write-once whole chunk results; poison cannot tear them)
     let slots: Vec<Mutex<Option<T>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..policy.workers.min(chunks) {

@@ -51,6 +51,13 @@ cargo bench --offline -p chatgraph-bench --bench serving
 
 # Repository lint: no unwrap/expect/panic! in non-test library code beyond
 # the shrink-only allowlist (lint-allow.toml), no `unsafe`, hermetic
-# manifests, and `catch_unwind` only at the supervisor's isolation boundary
-# (CG106). See DESIGN.md on the diagnostics framework.
+# manifests, `catch_unwind` only at the supervisor's isolation boundary
+# (CG106), and the concurrency pass (DESIGN.md §13): lock-order cycles
+# (CG201), guards across dispatch points (CG202), declared-order violations
+# (CG203), unsanctioned poisoned-lock recovery (CG204), and the
+# Ordering::Relaxed ratchet (CG205). The machine-readable report is kept as
+# an artifact alongside the bench JSONs.
+mkdir -p results
+cargo run -q --offline -p chatgraph-analyzer --bin repolint -- --json \
+  > results/repolint.json
 cargo run -q --offline -p chatgraph-analyzer --bin repolint
