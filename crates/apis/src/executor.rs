@@ -13,6 +13,7 @@ use crate::registry::ApiRegistry;
 use crate::value::{Value, ValueType};
 use chatgraph_graph::csr::{CsrBuild, CsrCache, CsrGraph};
 use chatgraph_graph::kernels::KernelPolicy;
+use chatgraph_graph::stats::{CatalogCache, StatsCatalog};
 use chatgraph_graph::Graph;
 use std::sync::{Arc, Mutex};
 
@@ -32,9 +33,12 @@ pub const MAX_FULL_FINDINGS: usize = 32;
 #[derive(Debug, Clone)]
 pub struct KernelState {
     cache: Arc<CsrCache>,
+    /// Statistics catalogs per mutation epoch, feeding the planner's cost
+    /// model (same `Arc`-identity epoch rule as the CSR cache).
+    catalogs: Arc<CatalogCache>,
     /// Worker/chunk policy handed to every kernel invocation.
     pub policy: KernelPolicy,
-    timings: Arc<Mutex<Vec<(String, u64)>>>,
+    timings: Arc<Mutex<Vec<(String, u64, usize)>>>,
     /// Build records for snapshots *this context* caused, even when the
     /// cache itself is shared across sessions — monitoring events must not
     /// leak between tenants.
@@ -53,10 +57,24 @@ impl KernelState {
     pub fn with_cache(cache: Arc<CsrCache>) -> Self {
         KernelState {
             cache,
+            catalogs: Arc::new(CatalogCache::default()),
             policy: KernelPolicy::sequential(),
             timings: Arc::new(Mutex::new(Vec::new())),
             builds: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// Replaces the statistics-catalog cache with a shared (possibly
+    /// cross-session) one — catalogs carry no tenant data, only counts.
+    pub fn with_catalogs(mut self, catalogs: Arc<CatalogCache>) -> Self {
+        self.catalogs = catalogs;
+        self
+    }
+
+    /// The statistics catalog for `g`'s mutation epoch, cached by `Arc`
+    /// identity like CSR snapshots. The scheduler prices plan steps with it.
+    pub fn catalog(&self, g: &Arc<Graph>) -> Arc<StatsCatalog> {
+        self.catalogs.get_or_build(g)
     }
 
     /// The CSR snapshot for `g`, cached per mutation epoch (`Arc` identity;
@@ -74,8 +92,8 @@ impl KernelState {
         csr
     }
 
-    /// Runs `f`, recording its wall time under `kernel` for the next
-    /// [`KernelState::drain_timings`].
+    /// Runs `f`, recording its wall time and the worker count in force
+    /// under `kernel` for the next [`KernelState::drain_timings`].
     pub fn time<T>(&self, kernel: &str, f: impl FnOnce() -> T) -> T {
         let started = std::time::Instant::now();
         let out = f();
@@ -84,12 +102,13 @@ impl KernelState {
         self.timings
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push((kernel.to_owned(), micros));
+            .push((kernel.to_owned(), micros, self.policy.workers));
         out
     }
 
-    /// Drains `(kernel, micros)` records accumulated since the last drain.
-    pub fn drain_timings(&self) -> Vec<(String, u64)> {
+    /// Drains `(kernel, micros, workers)` records accumulated since the
+    /// last drain.
+    pub fn drain_timings(&self) -> Vec<(String, u64, usize)> {
         // lockdoc: recover(draining a possibly-short log after a panic loses only metrics, not results)
         std::mem::take(&mut *self.timings.lock().unwrap_or_else(|e| e.into_inner()))
     }

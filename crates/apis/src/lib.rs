@@ -27,6 +27,9 @@
 //! * [`plan`] — the execution-plan IR: a validated chain lowered to a DAG
 //!   of [`PlanStep`]s whose edges are real data dependencies (prev-output,
 //!   session graph, barriers).
+//! * [`cost`] — the statistics-driven cost model: per-step work estimates
+//!   from a per-epoch `StatsCatalog`, driving sub-chain dispatch order and
+//!   the sequential-vs-parallel kernel decision.
 //! * [`sched`] — the plan [`Scheduler`]: a scoped-thread worker pool over
 //!   `Arc` graph snapshots with a bounded step-memo cache, deterministic
 //!   w.r.t. the sequential executor.
@@ -36,6 +39,7 @@
 
 pub mod analysis;
 pub mod chain;
+pub mod cost;
 pub mod descriptor;
 pub mod executor;
 pub mod impls;
@@ -48,6 +52,7 @@ pub mod value;
 
 pub use analysis::{analyze, can_extend};
 pub use chain::{ApiCall, ApiChain, ChainError};
+pub use cost::{CostModel, PAR_KERNEL_MIN_WORK};
 pub use descriptor::{ApiCategory, ApiDescriptor};
 pub use executor::{execute_chain, execute_chain_reference, ExecContext};
 pub use monitor::{ChainEvent, CollectingMonitor, Monitor, SilentMonitor};

@@ -69,6 +69,11 @@ pub enum ChainEvent {
         deps: usize,
         /// Number of barrier steps.
         barriers: usize,
+        /// Steps whose CSR kernels run with the full worker pool (equals
+        /// `steps` when the plan was built without statistics).
+        par_kernels: usize,
+        /// The cost model's total work estimate (0 without statistics).
+        est_cost: u64,
     },
     /// Wall time of one step (after its `StepFinished`). Non-core.
     StepTimed {
@@ -99,6 +104,9 @@ pub enum ChainEvent {
         edges: usize,
         /// Wall-clock build time in microseconds.
         micros: u64,
+        /// Whether the snapshot was patched incrementally from the previous
+        /// epoch (delta-CSR) instead of rebuilt from scratch.
+        delta: bool,
     },
     /// Wall time of one CSR kernel invocation inside a step. Non-core.
     KernelTimed {
@@ -106,6 +114,8 @@ pub enum ChainEvent {
         kernel: String,
         /// Wall-clock microseconds.
         micros: u64,
+        /// Worker count the kernel policy was running with.
+        workers: usize,
     },
     /// The supervisor retried a step after a transient failure. Non-core.
     StepRetried {
@@ -215,12 +225,14 @@ impl ToJson for ChainEvent {
                 vec![field("step", step.to_json()), field("api", api.to_json())],
             ),
             ChainEvent::ChainFinished => Json::Str("ChainFinished".to_owned()),
-            ChainEvent::PlanBuilt { steps, deps, barriers } => tagged(
+            ChainEvent::PlanBuilt { steps, deps, barriers, par_kernels, est_cost } => tagged(
                 "PlanBuilt",
                 vec![
                     field("steps", steps.to_json()),
                     field("deps", deps.to_json()),
                     field("barriers", barriers.to_json()),
+                    field("par_kernels", par_kernels.to_json()),
+                    field("est_cost", est_cost.to_json()),
                 ],
             ),
             ChainEvent::StepTimed { step, api, micros, cached } => tagged(
@@ -240,17 +252,22 @@ impl ToJson for ChainEvent {
                     field("hit", hit.to_json()),
                 ],
             ),
-            ChainEvent::CsrBuilt { nodes, edges, micros } => tagged(
+            ChainEvent::CsrBuilt { nodes, edges, micros, delta } => tagged(
                 "CsrBuilt",
                 vec![
                     field("nodes", nodes.to_json()),
                     field("edges", edges.to_json()),
                     field("micros", micros.to_json()),
+                    field("delta", delta.to_json()),
                 ],
             ),
-            ChainEvent::KernelTimed { kernel, micros } => tagged(
+            ChainEvent::KernelTimed { kernel, micros, workers } => tagged(
                 "KernelTimed",
-                vec![field("kernel", kernel.to_json()), field("micros", micros.to_json())],
+                vec![
+                    field("kernel", kernel.to_json()),
+                    field("micros", micros.to_json()),
+                    field("workers", workers.to_json()),
+                ],
             ),
             ChainEvent::StepRetried { step, api, attempt, backoff_ms, error } => tagged(
                 "StepRetried",
@@ -337,6 +354,8 @@ impl FromJson for ChainEvent {
                 steps: FromJson::from_json(get("steps")?)?,
                 deps: FromJson::from_json(get("deps")?)?,
                 barriers: FromJson::from_json(get("barriers")?)?,
+                par_kernels: FromJson::from_json(get("par_kernels")?)?,
+                est_cost: FromJson::from_json(get("est_cost")?)?,
             }),
             "StepTimed" => Ok(ChainEvent::StepTimed {
                 step: FromJson::from_json(get("step")?)?,
@@ -353,10 +372,12 @@ impl FromJson for ChainEvent {
                 nodes: FromJson::from_json(get("nodes")?)?,
                 edges: FromJson::from_json(get("edges")?)?,
                 micros: FromJson::from_json(get("micros")?)?,
+                delta: FromJson::from_json(get("delta")?)?,
             }),
             "KernelTimed" => Ok(ChainEvent::KernelTimed {
                 kernel: FromJson::from_json(get("kernel")?)?,
                 micros: FromJson::from_json(get("micros")?)?,
+                workers: FromJson::from_json(get("workers")?)?,
             }),
             "StepRetried" => Ok(ChainEvent::StepRetried {
                 step: FromJson::from_json(get("step")?)?,
@@ -506,11 +527,11 @@ mod tests {
     #[test]
     fn plan_events_json_roundtrip_and_are_non_core() {
         let events = [
-            ChainEvent::PlanBuilt { steps: 4, deps: 3, barriers: 1 },
+            ChainEvent::PlanBuilt { steps: 4, deps: 3, barriers: 1, par_kernels: 2, est_cost: 9000 },
             ChainEvent::StepTimed { step: 2, api: "node_count".into(), micros: 17, cached: true },
             ChainEvent::MemoLookup { step: 2, api: "node_count".into(), hit: false },
-            ChainEvent::CsrBuilt { nodes: 120, edges: 640, micros: 85 },
-            ChainEvent::KernelTimed { kernel: "pagerank".into(), micros: 412 },
+            ChainEvent::CsrBuilt { nodes: 120, edges: 640, micros: 85, delta: true },
+            ChainEvent::KernelTimed { kernel: "pagerank".into(), micros: 412, workers: 4 },
             ChainEvent::StepRetried {
                 step: 1,
                 api: "top_pagerank".into(),

@@ -25,9 +25,11 @@
 //! there and enforced by `tests/plan_properties.rs`.
 
 use crate::chain::{ApiChain, ChainError};
+use crate::cost::CostModel;
 use crate::descriptor::ApiCategory;
 use crate::registry::ApiRegistry;
 use crate::value::ValueType;
+use chatgraph_graph::stats::StatsCatalog;
 use chatgraph_support::json::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
@@ -98,6 +100,12 @@ pub struct PlanStep {
     pub reads_findings: bool,
     /// Whether the scheduler may serve this step from its memo cache.
     pub memoizable: bool,
+    /// Estimated work units from the cost model (0 when the plan was built
+    /// without statistics). Orders sub-chain dispatch within a segment.
+    pub est_cost: u64,
+    /// Whether this step's CSR kernels should use the full worker pool.
+    /// `true` without statistics — the historical always-parallel policy.
+    pub par_kernel: bool,
 }
 
 chatgraph_support::impl_json_struct!(PlanStep {
@@ -111,6 +119,8 @@ chatgraph_support::impl_json_struct!(PlanStep {
     mutates_graph,
     reads_findings,
     memoizable,
+    est_cost,
+    par_kernel,
 });
 
 /// A validated chain lowered to its dependency DAG.
@@ -123,11 +133,29 @@ pub struct Plan {
 chatgraph_support::impl_json_struct!(Plan { steps });
 
 impl Plan {
-    /// Lowers `chain` into a plan. Validates the chain first (the plan's
+    /// Lowers `chain` into a plan without statistics: every step estimates
+    /// zero cost and keeps kernel parallelism on — the behaviour before the
+    /// cost model existed. Validates the chain first (the plan's
     /// input-resolution rule is only meaningful for chains the validator
     /// accepts, with a session graph present).
     pub fn build(chain: &ApiChain, registry: &ApiRegistry) -> Result<Plan, ChainError> {
+        Plan::build_with_stats(chain, registry, None)
+    }
+
+    /// Lowers `chain` into a plan, pricing each step against `stats` when
+    /// given: `est_cost` carries the cost model's work estimate (the
+    /// scheduler dispatches a segment's sub-chains most-expensive-first) and
+    /// `par_kernel` records whether the step's estimated work clears
+    /// [`crate::cost::PAR_KERNEL_MIN_WORK`] — below it the step's CSR
+    /// kernels run sequentially. The DAG itself (inputs, deps, barriers) is
+    /// independent of statistics; only the two scheduling hints change.
+    pub fn build_with_stats(
+        chain: &ApiChain,
+        registry: &ApiRegistry,
+        stats: Option<&StatsCatalog>,
+    ) -> Result<Plan, ChainError> {
         chain.validate(registry, true)?;
+        let model = stats.map(CostModel::new);
         let mut steps: Vec<PlanStep> = Vec::with_capacity(chain.len());
         let mut last_barrier: Option<usize> = None;
         let mut prev_out = ValueType::Unit;
@@ -184,6 +212,8 @@ impl Plan {
                 mutates_graph: desc.mutates_graph,
                 reads_findings,
                 memoizable: !barrier,
+                est_cost: model.as_ref().map_or(0, |m| m.estimate(desc)),
+                par_kernel: model.as_ref().is_none_or(|m| m.par_kernel(desc)),
             });
             if barrier {
                 last_barrier = Some(i);
@@ -211,6 +241,17 @@ impl Plan {
     /// Number of barrier steps.
     pub fn barrier_count(&self) -> usize {
         self.steps.iter().filter(|s| s.barrier).count()
+    }
+
+    /// Sum of the cost model's per-step work estimates (0 when the plan was
+    /// built without statistics).
+    pub fn total_cost(&self) -> u64 {
+        self.steps.iter().map(|s| s.est_cost).sum()
+    }
+
+    /// Number of steps whose CSR kernels run with the full worker pool.
+    pub fn par_kernel_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.par_kernel).count()
     }
 
     /// Whether step `i`'s *output value* is provably dead downstream: no
@@ -291,17 +332,26 @@ impl Plan {
             if s.memoizable {
                 flags.push("memo");
             }
+            if !s.par_kernel {
+                flags.push("seq-kernel");
+            }
+            let cost = if s.est_cost > 0 {
+                format!(" cost={}", s.est_cost)
+            } else {
+                String::new()
+            };
             let input = match s.input {
                 InputSource::PrevOutput(j) => format!("prev({j})"),
                 InputSource::SessionGraph => "graph".to_owned(),
                 InputSource::Unit => "unit".to_owned(),
             };
             out.push_str(&format!(
-                "#{:<2} {:<28} in={:<9} deps=[{}] {}\n",
+                "#{:<2} {:<28} in={:<9} deps=[{}]{} {}\n",
                 s.index,
                 s.api,
                 input,
                 deps,
+                cost,
                 flags.join(" ")
             ));
         }
@@ -432,6 +482,44 @@ mod tests {
         assert_eq!(plan.steps[2].deps, vec![1]);
         assert_eq!(plan.steps[3].deps, vec![1, 2]);
         assert_eq!(plan.barrier_count(), 2);
+    }
+
+    #[test]
+    fn stats_build_prices_steps_without_changing_the_dag() {
+        let reg = registry::standard();
+        let chain = ApiChain::from_names(["node_count", "top_pagerank", "generate_report"]);
+        let bare = Plan::build(&chain, &reg).unwrap();
+        for s in &bare.steps {
+            assert_eq!(s.est_cost, 0, "no stats, no estimate");
+            assert!(s.par_kernel, "no stats keeps kernels parallel");
+        }
+        // A hand-written 10^5-node catalog: cheap steps drop to sequential
+        // kernels, the iterative kernel clears the parallelism bar.
+        let stats = StatsCatalog {
+            nodes: 100_000,
+            edges: 500_000,
+            directed: false,
+            node_labels: vec![("Person".into(), 100_000)],
+            edge_labels: vec![("friend".into(), 500_000)],
+            degree_sum: 1_000_000,
+            degree_sum_sq: 20_000_000,
+            max_degree: 500,
+        };
+        let priced = Plan::build_with_stats(&chain, &reg, Some(&stats)).unwrap();
+        assert!(priced.steps[0].est_cost > 0);
+        assert!(!priced.steps[0].par_kernel, "one sweep stays sequential");
+        assert!(priced.steps[1].par_kernel, "pagerank fans out at 10^5 nodes");
+        assert!(priced.steps[1].est_cost > priced.steps[0].est_cost);
+        assert!(priced.total_cost() > 0);
+        assert_eq!(priced.par_kernel_count(), 1);
+        // Statistics only change the two scheduling hints, never the DAG.
+        let strip = |p: &Plan| {
+            p.steps
+                .iter()
+                .map(|s| PlanStep { est_cost: 0, par_kernel: true, ..s.clone() })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&bare), strip(&priced));
     }
 
     #[test]

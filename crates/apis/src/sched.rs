@@ -40,7 +40,7 @@ use crate::registry::ApiRegistry;
 use crate::executor::KernelState;
 use crate::supervisor::{self, FailurePolicy, FaultPlan, StepFailure, SupervisorConfig};
 use crate::value::Value;
-use chatgraph_graph::kernels::{KernelPolicy, DEFAULT_KERNEL_CHUNK};
+use chatgraph_graph::kernels::{ChunkStrategy, KernelPolicy, DEFAULT_KERNEL_CHUNK};
 use chatgraph_graph::{binary, Graph};
 use chatgraph_support::cancel::CancelToken;
 use chatgraph_support::hash::Fnv64;
@@ -315,7 +315,12 @@ impl Scheduler {
         if let Some(err) = diagnostics.first_error() {
             return Err(ChainError::AnalysisRejected(err.render()));
         }
-        let plan = Plan::build(chain, registry)?;
+        // Price the plan against the current epoch's statistics catalog
+        // (one cached O(n + m) pass): per-step work estimates order
+        // sub-chain dispatch, and steps under the parallelism bar run their
+        // CSR kernels sequentially.
+        let catalog = ctx.kernels.catalog(&ctx.graph);
+        let plan = Plan::build_with_stats(chain, registry, Some(&catalog))?;
         // Interference audit (CG016/CG017): independently re-prove that no
         // parallel segment hides a conflicting effect before running any of
         // it. Plans from `Plan::build` are clean by construction, so this
@@ -334,9 +339,12 @@ impl Scheduler {
             steps: plan.len(),
             deps: plan.dep_count(),
             barriers: plan.barrier_count(),
+            par_kernels: plan.par_kernel_count(),
+            est_cost: plan.total_cost(),
         });
 
-        ctx.kernels.policy = KernelPolicy::new(self.workers, self.kernel_chunk);
+        ctx.kernels.policy = KernelPolicy::new(self.workers, self.kernel_chunk)
+            .with_strategy(ChunkStrategy::DegreeWeighted);
         let mut prev = Value::Unit;
         // The graph fingerprint is stable between mutation barriers; cache
         // it per epoch. `None` = not yet computed for the current graph.
@@ -368,6 +376,11 @@ impl Scheduler {
                     let retryable = registry
                         .descriptor(&step.api)
                         .is_some_and(|d| d.transient_retryable);
+                    // The cost model's call: a barrier under the parallelism
+                    // bar runs its CSR kernels sequentially — the pool costs
+                    // more than the kernel at that scale.
+                    ctx.kernels.policy.workers =
+                        if pstep.par_kernel { self.workers } else { 1 };
                     // Barriers run on the scheduler thread against the real
                     // context; the supervisor threads its per-attempt token
                     // into the kernel policy so CSR kernels observe the
@@ -471,10 +484,11 @@ fn drain_kernel_events(ctx: &ExecContext, monitor: &mut dyn Monitor) {
             nodes: b.nodes,
             edges: b.edges,
             micros: b.micros,
+            delta: b.delta,
         });
     }
-    for (kernel, micros) in ctx.kernels.drain_timings() {
-        monitor.on_event(&ChainEvent::KernelTimed { kernel, micros });
+    for (kernel, micros, workers) in ctx.kernels.drain_timings() {
+        monitor.on_event(&ChainEvent::KernelTimed { kernel, micros, workers });
     }
 }
 
@@ -572,7 +586,17 @@ impl SegmentRun<'_> {
             .map(|_| Mutex::new(None))
             .collect();
         let slot_of = |j: usize| indices.iter().position(|&k| k == j);
-        let jobs: Mutex<VecDeque<Vec<usize>>> = Mutex::new(chains.iter().cloned().collect());
+        // Dispatch sub-chains most-expensive-first (LPT): with estimates in
+        // hand, the long analysis starts immediately instead of queueing
+        // behind cheap counts. Stable sort, so without statistics (all
+        // zero) the historical first-index order is preserved; commit order
+        // below is by step index either way, so observable behaviour is
+        // identical.
+        let mut ordered: Vec<Vec<usize>> = chains.clone();
+        ordered.sort_by_key(|sub| {
+            std::cmp::Reverse(sub.iter().map(|&j| self.plan.steps[j].est_cost).sum::<u64>())
+        });
+        let jobs: Mutex<VecDeque<Vec<usize>>> = Mutex::new(ordered.into_iter().collect());
         // Which step each worker is currently executing, for panic
         // attribution at `join`. Handler panics are already caught inside
         // `exec_pure` by the supervisor, so a worker can only die from a
@@ -732,9 +756,15 @@ impl SegmentRun<'_> {
                 let mut kernels = self.kernels.clone();
                 kernels.policy.cancel = token.clone();
                 kernels.policy.chunk_delay = chunk_delay;
-                if parallel {
-                    kernels.policy.workers = 1;
-                }
+                // Kernel-level parallelism is off when the segment itself
+                // spans worker threads (the pool must not oversubscribe)
+                // and when the cost model says the step is too small to
+                // pay for the pool.
+                kernels.policy.workers = if parallel || !self.plan.steps[j].par_kernel {
+                    1
+                } else {
+                    self.scheduler.workers
+                };
                 let mut local = ExecContext {
                     graph: Arc::clone(&self.snapshot),
                     database: Arc::clone(&self.database),

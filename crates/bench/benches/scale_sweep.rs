@@ -1,0 +1,194 @@
+//! Scale sweep: 10^3 / 10^4 / 10^5 / 10^6-node graphs × 1 / 2 / 4 workers.
+//!
+//! For every tier this records, in `results/BENCH_scale.json`:
+//!
+//! * the **parallel-vs-sequential crossover** of an iterated CSR kernel
+//!   (pagerank under degree-weighted chunking) — on an oversubscribed
+//!   machine (workers > cpus, see the `env` block) parallel timings
+//!   measure scheduling overhead and the crossover legitimately never
+//!   happens; the artifact says so instead of pretending;
+//! * the **delta-CSR vs rebuild ratio** for a single-edit mutation epoch —
+//!   the row-splice patch must beat the from-scratch rebuild by an order
+//!   of magnitude from the 10^5 tier up.
+//!
+//! `--quick` runs only the 10^3/10^4 tiers and, instead of overwriting the
+//! committed full artifact, validates that `results/BENCH_scale.json`
+//! parses and carries all four tiers — the CI-sized proof that the
+//! committed sweep is intact.
+
+use chatgraph_bench::{env_json, print_table, quick_mode};
+use chatgraph_graph::csr::CsrGraph;
+use chatgraph_graph::generators::{social_network, SocialParams};
+use chatgraph_graph::kernels::{self, ChunkStrategy, KernelPolicy};
+use chatgraph_graph::NodeId;
+use chatgraph_support::bench::{format_duration, Bench, Stats};
+use chatgraph_support::json::Json;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+const PAGERANK_ITERS: usize = 10;
+const TIERS: [(usize, &str, u32); 4] = [
+    (1_000, "n1000", 20),
+    (10_000, "n10000", 10),
+    (100_000, "n100000", 5),
+    (1_000_000, "n1000000", 2),
+];
+
+fn median_ns(stats: &Stats) -> u64 {
+    stats.median.as_nanos() as u64
+}
+
+/// Runs one tier and returns its JSON record plus a display row.
+fn run_tier(n: usize, label: &str, iters: u32) -> (Json, Vec<String>) {
+    let t0 = Instant::now();
+    let graph = social_network(&SocialParams::sized(n), 42);
+    let gen_elapsed = t0.elapsed();
+    let csr = CsrGraph::build(&graph);
+    println!(
+        "\n# tier {label}: {} nodes, {} edges (generated in {})",
+        graph.node_count(),
+        graph.edge_count(),
+        format_duration(gen_elapsed)
+    );
+
+    let mut bench = Bench::new("scale_sweep").with_iters(iters);
+    let mut group = bench.group(label);
+
+    // Parallel-vs-sequential: the iterated pull kernel under the same
+    // degree-weighted chunking the scheduler uses.
+    let mut pagerank_ns: Vec<(String, Json)> = Vec::new();
+    let mut medians: Vec<(usize, u64)> = Vec::new();
+    for workers in WORKER_SWEEP {
+        let policy = KernelPolicy::new(workers, 1024).with_strategy(ChunkStrategy::DegreeWeighted);
+        let stats = group.bench(&format!("pagerank_{workers}w"), || {
+            black_box(kernels::pagerank(&csr, 0.85, PAGERANK_ITERS, &policy));
+        });
+        pagerank_ns.push((workers.to_string(), Json::UInt(median_ns(&stats))));
+        medians.push((workers, median_ns(&stats)));
+    }
+    let seq_ns = medians[0].1;
+    let crossover = medians
+        .iter()
+        .find(|&&(w, ns)| w > 1 && ns < seq_ns)
+        .map_or(0, |&(w, _)| w);
+
+    // Delta-CSR vs rebuild: one added edge, then patch vs from-scratch.
+    let old = graph.clone();
+    let mut edited = graph.clone();
+    let nodes: Vec<NodeId> = edited.node_ids().take(2).collect();
+    edited.add_edge(nodes[0], nodes[1], "patched").ok();
+    let rebuild_stats = group.bench("csr_rebuild", || {
+        black_box(CsrGraph::build(&edited).m());
+    });
+    let delta_stats = group.bench("csr_delta_patch", || {
+        black_box(
+            CsrGraph::build_delta(&old, &csr, &edited)
+                .expect("a single added edge always patches")
+                .m(),
+        );
+    });
+    let delta_ratio =
+        median_ns(&rebuild_stats) as f64 / median_ns(&delta_stats).max(1) as f64;
+    println!("{label}: delta patch is {delta_ratio:.1}x cheaper than rebuild");
+
+    let tier = Json::Object(vec![
+        ("nodes".to_owned(), Json::UInt(graph.node_count() as u64)),
+        ("edges".to_owned(), Json::UInt(graph.edge_count() as u64)),
+        ("gen_micros".to_owned(), Json::UInt(gen_elapsed.as_micros() as u64)),
+        ("pagerank_median_ns_by_workers".to_owned(), Json::Object(pagerank_ns)),
+        ("crossover_workers".to_owned(), Json::UInt(crossover as u64)),
+        ("parallel_beats_sequential".to_owned(), Json::Bool(crossover > 0)),
+        ("csr_rebuild_median_ns".to_owned(), Json::UInt(median_ns(&rebuild_stats))),
+        ("csr_delta_median_ns".to_owned(), Json::UInt(median_ns(&delta_stats))),
+        ("delta_vs_rebuild_ratio".to_owned(), Json::Float(delta_ratio)),
+        ("delta_10x_cheaper".to_owned(), Json::Bool(delta_ratio >= 10.0)),
+    ]);
+    let row = vec![
+        label.to_owned(),
+        graph.node_count().to_string(),
+        graph.edge_count().to_string(),
+        format_duration(Duration::from_nanos(medians[0].1)),
+        format_duration(Duration::from_nanos(medians[1].1)),
+        format_duration(Duration::from_nanos(medians[2].1)),
+        if crossover > 0 { format!("{crossover}w") } else { "never".to_owned() },
+        format!("{delta_ratio:.1}x"),
+    ];
+    (tier, row)
+}
+
+/// `--quick`: prove the committed full artifact is intact without paying
+/// for (or clobbering it with) the 10^5/10^6 tiers.
+fn validate_committed_artifact(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("committed {} unreadable: {e}", path.display()));
+    let doc = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("committed {} is not valid JSON: {e}", path.display()));
+    let tiers = doc
+        .get("tiers")
+        .and_then(|t| t.as_object())
+        .expect("artifact carries a `tiers` object");
+    for (_, name, _) in TIERS {
+        let tier = tiers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("committed artifact is missing tier {name}"));
+        for field in [
+            "nodes",
+            "pagerank_median_ns_by_workers",
+            "parallel_beats_sequential",
+            "delta_vs_rebuild_ratio",
+        ] {
+            assert!(tier.get(field).is_some(), "tier {name} is missing `{field}`");
+        }
+    }
+    println!(
+        "committed {} validated: all {} tiers present and well-formed",
+        path.display(),
+        TIERS.len()
+    );
+}
+
+fn main() {
+    let quick = quick_mode();
+    let max_workers = *WORKER_SWEEP.iter().max().unwrap();
+    let env = env_json(max_workers);
+
+    let mut tiers: Vec<(String, Json)> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (n, label, iters) in TIERS {
+        if quick && n > 10_000 {
+            println!("\n# tier {label}: skipped (--quick)");
+            continue;
+        }
+        let (tier, row) = run_tier(n, label, iters);
+        tiers.push((label.to_owned(), tier));
+        rows.push(row);
+    }
+
+    print_table(
+        "scale sweep (pagerank median by workers; delta vs rebuild)",
+        &["tier", "nodes", "edges", "1w", "2w", "4w", "crossover", "delta"],
+        &rows,
+    );
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("results/BENCH_scale.json");
+    if quick {
+        // The quick sweep is a smoke test; the committed artifact stays the
+        // authoritative full-sweep record.
+        validate_committed_artifact(&path);
+        return;
+    }
+    let doc = Json::Object(vec![
+        ("bench".to_owned(), Json::Str("scale_sweep".to_owned())),
+        ("pagerank_iterations".to_owned(), Json::UInt(PAGERANK_ITERS as u64)),
+        ("env".to_owned(), env),
+        ("tiers".to_owned(), Json::Object(tiers)),
+    ]);
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
+}

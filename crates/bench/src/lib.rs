@@ -38,13 +38,25 @@ pub fn available_cpus() -> usize {
 }
 
 /// Execution-environment block embedded in every `BENCH_*.json`: the
-/// machine's available parallelism and the worker count the bench was
-/// configured with. Without both, a "4-worker" result measured on a
-/// single-CPU runner reads as a parallelism regression.
+/// machine's available parallelism, the worker count the bench was
+/// configured with, and whether that oversubscribes the machine. Without
+/// these, a "4-worker" result measured on a single-CPU runner reads as a
+/// parallelism regression. Oversubscription also warns on stderr so it is
+/// visible at run time, not only in the artifact.
 pub fn env_json(workers: usize) -> Json {
+    let cpus = available_cpus();
+    let oversubscribed = workers > cpus;
+    if oversubscribed {
+        eprintln!(
+            "warning: benchmarking {workers} workers on {cpus} available cpu(s) — \
+             parallel timings measure scheduling overhead, not speedup \
+             (recorded as \"oversubscribed\":true)"
+        );
+    }
     Json::Object(vec![
-        ("cpus".to_owned(), Json::UInt(available_cpus() as u64)),
+        ("cpus".to_owned(), Json::UInt(cpus as u64)),
         ("workers".to_owned(), Json::UInt(workers as u64)),
+        ("oversubscribed".to_owned(), Json::Bool(oversubscribed)),
     ])
 }
 

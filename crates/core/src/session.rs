@@ -44,6 +44,7 @@ use chatgraph_apis::{
     StepMemo, Value,
 };
 use chatgraph_graph::csr::CsrCache;
+use chatgraph_graph::stats::CatalogCache;
 use chatgraph_graph::Graph;
 use std::sync::Arc;
 
@@ -201,6 +202,9 @@ pub struct ChatSession {
     /// default; [`ChatSession::use_shared_csr`] swaps in a server-global
     /// one.
     csr_cache: Arc<CsrCache>,
+    /// Statistics catalogs per mutation epoch, shared with executions so
+    /// the planner's cost model prices steps from a cached O(n + m) pass.
+    catalog_cache: Arc<CatalogCache>,
     /// The graph uploaded most recently (the session graph), shared
     /// copy-on-write with executions and caches.
     graph: Option<Arc<Graph>>,
@@ -244,6 +248,7 @@ impl ChatSession {
             core,
             scheduler,
             csr_cache: Arc::new(CsrCache::default()),
+            catalog_cache: Arc::new(CatalogCache::default()),
             graph: None,
             graph_epoch: 0,
             database: Arc::new(Vec::new()),
@@ -480,7 +485,10 @@ impl ChatSession {
         let mut ctx = ExecContext::new(Arc::clone(&before))
             .with_database(Arc::clone(&self.database))
             .with_seed(self.core.config.seed)
-            .with_kernels(KernelState::with_cache(Arc::clone(&self.csr_cache)));
+            .with_kernels(
+                KernelState::with_cache(Arc::clone(&self.csr_cache))
+                    .with_catalogs(Arc::clone(&self.catalog_cache)),
+            );
         let result = self
             .scheduler
             .execute(&self.core.registry, chain, &mut ctx, monitor);

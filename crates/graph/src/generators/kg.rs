@@ -65,6 +65,30 @@ impl Default for KgParams {
     }
 }
 
+impl KgParams {
+    /// Parameters for a KG of roughly `n` entities, keeping the default
+    /// schema's proportions: entity counts scale linearly (persons
+    /// dominate), per-person relations stay constant, so generation is
+    /// O(n) time and memory at 10^5–10^6 entities. Cities, countries and
+    /// companies are high-in-degree hubs by construction — the skew the
+    /// degree-aware kernels care about.
+    pub fn sized(n: usize) -> KgParams {
+        let n = n.max(8);
+        let cities = (n / 100).clamp(1, 20_000);
+        let countries = (n / 2_000).clamp(1, 500);
+        let companies = (n / 50).clamp(1, 50_000);
+        let persons = n.saturating_sub(cities + countries + companies).max(1);
+        KgParams {
+            persons,
+            cities,
+            countries,
+            companies,
+            employment_rate: 0.7,
+            knows_per_person: 2.0,
+        }
+    }
+}
+
 /// Samples a schema-consistent directed knowledge graph.
 ///
 /// Node labels are entity types; each node carries a `name` attribute.
@@ -213,6 +237,19 @@ mod tests {
         assert_eq!(count_rel(&g, "located_in"), p.cities);
         assert_eq!(count_rel(&g, "based_in"), p.companies);
         assert_eq!(count_rel(&g, "nationality"), p.persons);
+    }
+
+    /// The sized fast path keeps the schema at 2·10^4 entities in O(n).
+    #[test]
+    fn sized_scales_linearly_with_schema_intact() {
+        let p = KgParams::sized(20_000);
+        let g = knowledge_graph(&p, 6);
+        let total = p.persons + p.cities + p.countries + p.companies;
+        assert_eq!(g.node_count(), total);
+        assert!((19_000..=20_000).contains(&total), "total {total}");
+        assert_eq!(count_rel(&g, "lives_in"), p.persons);
+        assert_eq!(count_rel(&g, "nationality"), p.persons);
+        assert_eq!(count_rel(&g, "located_in"), p.cities);
     }
 
     #[test]

@@ -4,9 +4,21 @@
 //! connectivity. The planted-partition model produces graphs whose community
 //! structure is known by construction, so community-detection output can be
 //! validated against ground truth.
+//!
+//! Small graphs sample every node pair directly. From
+//! [`STREAM_NODES_MIN`] nodes up, the generator switches to geometric
+//! skip-sampling: it draws only the gaps between *present* edges, so a
+//! 10^6-node graph costs O(n + m) instead of O(n²) and never materialises
+//! per-pair state. The small-graph path is kept verbatim so existing seeds
+//! keep producing byte-identical graphs.
 
-use crate::graph::Graph;
-use chatgraph_support::rng::RngExt;
+use crate::graph::{Graph, NodeId};
+use chatgraph_support::rng::{RngExt, StdRng};
+
+/// Node count at which [`social_network`] switches from the O(n²) pair
+/// loop to O(n + m) geometric skip-sampling. Far above every pre-existing
+/// fixture size, so historical seeds are unaffected.
+const STREAM_NODES_MIN: usize = 4096;
 
 /// Parameters for [`social_network`].
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +44,25 @@ impl Default for SocialParams {
     }
 }
 
+impl SocialParams {
+    /// Parameters for a planted-partition graph of at least `n` nodes that
+    /// stays *sparse* as it scales: 50-node communities with expected
+    /// degree ≈ 8 intra + 2 inter per node (m ≈ 5n), so 10^5–10^6-node
+    /// graphs are generated and snapshotted in O(n) memory.
+    pub fn sized(n: usize) -> SocialParams {
+        let community_size = 50usize.min(n.max(1));
+        let communities = n.div_ceil(community_size).max(1);
+        let total = communities * community_size;
+        let p_intra = (8.0 / community_size.saturating_sub(1).max(1) as f64).min(1.0);
+        let p_inter = if total > community_size {
+            (2.0 / (total - community_size) as f64).min(1.0)
+        } else {
+            0.0
+        };
+        SocialParams { communities, community_size, p_intra, p_inter }
+    }
+}
+
 /// Samples an undirected social network with planted communities.
 ///
 /// Nodes are labelled `Person` and carry `name` (e.g. `"user17"`) and
@@ -48,11 +79,15 @@ pub fn social_network(params: &SocialParams, seed: u64) -> Graph {
         for i in 0..params.community_size {
             let idx = c * params.community_size + i;
             let id = g.add_node("Person");
-            g.set_node_attr(id, "name", format!("user{idx}"))
-                .expect("node exists");
-            g.set_node_attr(id, "community", c as i64).expect("node exists");
+            // Cannot fail: `id` was just added and is never removed here.
+            let _ = g.set_node_attr(id, "name", format!("user{idx}"));
+            let _ = g.set_node_attr(id, "community", c as i64);
             ids.push((id, c));
         }
+    }
+    if n >= STREAM_NODES_MIN {
+        stream_edges(&mut g, &mut rng, &ids, params);
+        return g;
     }
     for i in 0..n {
         for j in (i + 1)..n {
@@ -62,12 +97,65 @@ pub fn social_network(params: &SocialParams, seed: u64) -> Graph {
                 params.p_inter
             };
             if rng.random_bool(p.clamp(0.0, 1.0)) {
-                g.add_edge(ids[i].0, ids[j].0, "friend")
-                    .expect("unique pair");
+                // Cannot fail: endpoints are distinct live nodes and each
+                // unordered pair is visited exactly once.
+                let _ = g.add_edge(ids[i].0, ids[j].0, "friend");
             }
         }
     }
     g
+}
+
+/// Draws the upper-triangle Bernoulli edges by geometric skip-sampling.
+/// For each source `i` the candidate targets `j > i` fall into exactly two
+/// probability classes — the rest of `i`'s (contiguous) community at
+/// `p_intra`, then every later community at `p_inter` — and each class is
+/// sampled by jumping straight between present edges.
+fn stream_edges(g: &mut Graph, rng: &mut StdRng, ids: &[(NodeId, usize)], params: &SocialParams) {
+    let n = ids.len();
+    let s = params.community_size.max(1);
+    for i in 0..n {
+        let block_end = ((i / s) + 1) * s;
+        sample_span(g, rng, ids, i, i + 1, block_end.min(n), params.p_intra);
+        sample_span(g, rng, ids, i, block_end.min(n), n, params.p_inter);
+    }
+}
+
+/// Adds each edge `(i, j)` for `j` in `start..end` independently with
+/// probability `p`, visiting only the successes: the gap to the next
+/// present edge is geometric, `floor(ln(1-u) / ln(1-p))`.
+fn sample_span(
+    g: &mut Graph,
+    rng: &mut StdRng,
+    ids: &[(NodeId, usize)],
+    i: usize,
+    start: usize,
+    end: usize,
+    p: f64,
+) {
+    let p = p.clamp(0.0, 1.0);
+    if p <= 0.0 || start >= end {
+        return;
+    }
+    if p >= 1.0 {
+        for j in start..end {
+            // Cannot fail: distinct live endpoints, each pair visited once.
+            let _ = g.add_edge(ids[i].0, ids[j].0, "friend");
+        }
+        return;
+    }
+    let ln_q = (1.0 - p).ln();
+    let mut j = start;
+    loop {
+        let u: f64 = rng.random();
+        j += ((1.0 - u).ln() / ln_q) as usize;
+        if j >= end {
+            return;
+        }
+        // Cannot fail: distinct live endpoints, each pair visited once.
+        let _ = g.add_edge(ids[i].0, ids[j].0, "friend");
+        j += 1;
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +190,50 @@ mod tests {
         assert_eq!(g.node_attrs(v).unwrap()["name"].as_text(), Some("user0"));
         let e = g.edge_ids().next().unwrap();
         assert_eq!(g.edge_label(e).unwrap(), "friend");
+    }
+
+    /// The streaming path (n ≥ STREAM_NODES_MIN) produces a sparse graph of
+    /// the sized expected degree, deterministically per seed, with the same
+    /// attribute schema as the small-graph path.
+    #[test]
+    fn sized_streaming_path_is_sparse_and_deterministic() {
+        let params = SocialParams::sized(5_000);
+        assert!(params.communities * params.community_size >= STREAM_NODES_MIN);
+        let g = social_network(&params, 42);
+        let n = g.node_count();
+        assert_eq!(n, params.communities * params.community_size);
+        let avg_degree = 2.0 * g.edge_count() as f64 / n as f64;
+        assert!(
+            (6.0..14.0).contains(&avg_degree),
+            "expected degree ≈ 10, got {avg_degree}"
+        );
+        let v = g.node_ids().next().unwrap();
+        assert_eq!(g.node_label(v).unwrap(), "Person");
+        assert!(g.node_attrs(v).unwrap()["community"].as_int().is_some());
+
+        let h = social_network(&params, 42);
+        assert_eq!(g, h, "same seed must reproduce the same graph");
+        let other = social_network(&params, 43);
+        assert_ne!(g.edge_count(), 0);
+        assert_ne!(g, other, "different seeds should differ");
+    }
+
+    /// Exhaustive and streaming sampling agree on expected density: with
+    /// the same p's, edge counts land within a few σ of each other.
+    #[test]
+    fn streaming_density_matches_pair_loop_statistics() {
+        // 4 communities × 30 at p_intra=.3/p_inter=.01: E[m] ≈ 4·435·0.3 +
+        // (7140−1740)·0.01 = 522 + 54 = 576, σ ≈ 21.
+        let p = SocialParams::default();
+        let small = social_network(&p, 11);
+        let mut big = Graph::undirected();
+        let ids: Vec<(NodeId, usize)> = (0..120)
+            .map(|i| (big.add_node("Person"), i / 30))
+            .collect();
+        let mut rng = crate::generators::rng(11);
+        stream_edges(&mut big, &mut rng, &ids, &p);
+        let (a, b) = (small.edge_count() as f64, big.edge_count() as f64);
+        assert!((a - 576.0).abs() < 130.0, "pair loop count {a} implausible");
+        assert!((b - 576.0).abs() < 130.0, "streaming count {b} implausible");
     }
 }

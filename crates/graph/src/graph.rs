@@ -88,6 +88,86 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Capacity of the structural-edit journal. Past this many retained edits
+/// the oldest are dropped; delta snapshots against ancestors older than the
+/// window fall back to the scan diff (and typically a full rebuild), which
+/// is the right call anyway — that many edits touch too many rows to splice.
+const JOURNAL_CAP: usize = 4096;
+
+/// Process-global stamp source for journal entries. Stamps only need to be
+/// unique, not ordered or dense: ancestry is decided by *finding* a stamp
+/// in a journal, never by comparing magnitudes.
+// lockdoc: recover(a lone atomic counter; fetch_add cannot be torn or deadlock)
+static EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_stamp() -> u64 {
+    EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// One structural mutation, as the CSR delta-splicer needs to see it:
+/// which rows it touches. Label and attribute edits are not structural —
+/// the CSR carries neither.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StructEdit {
+    /// A node slot was appended (ids are never reused, so the id always
+    /// equals the pre-edit node bound).
+    AddNode(NodeId),
+    /// A node was tombstoned — an edit the delta path declines, because the
+    /// dense remap of every later node shifts (which node doesn't matter).
+    RemoveNode,
+    /// An edge was added between the two endpoints.
+    AddEdge(NodeId, NodeId),
+    /// An edge between the two endpoints was tombstoned.
+    RemoveEdge(NodeId, NodeId),
+}
+
+/// A capped log of recent structural edits, stamped with process-globally
+/// unique ids. Cloning a graph clones its journal, so a derived graph's
+/// journal contains its ancestor's tip stamp — finding that stamp proves
+/// ancestry (stamps are never reissued) and the entries after it are
+/// exactly the edits separating the two graphs. This is what lets
+/// [`crate::csr::CsrGraph::build_delta`] compute the touched-row set in
+/// O(edits) instead of re-scanning every node and edge slot.
+#[derive(Debug, Clone)]
+pub(crate) struct Journal {
+    /// Stamp of the last structural mutation (or of creation /
+    /// deserialisation — fresh graphs get a unique tip so two unrelated
+    /// graphs can never look like ancestors).
+    tip: u64,
+    edits: std::collections::VecDeque<(u64, StructEdit)>,
+}
+
+impl Journal {
+    fn fresh() -> Journal {
+        Journal { tip: fresh_stamp(), edits: std::collections::VecDeque::new() }
+    }
+
+    fn record(&mut self, edit: StructEdit) {
+        let stamp = fresh_stamp();
+        self.tip = stamp;
+        self.edits.push_back((stamp, edit));
+        if self.edits.len() > JOURNAL_CAP {
+            self.edits.pop_front();
+        }
+    }
+
+    /// The stamp identifying this graph's current structural state.
+    pub(crate) fn tip(&self) -> u64 {
+        self.tip
+    }
+
+    /// The edits separating the state stamped `ancestor_tip` from this
+    /// state, oldest first — or `None` when `ancestor_tip` is not in the
+    /// retained window (not an ancestor, or too many edits ago).
+    pub(crate) fn edits_since(&self, ancestor_tip: u64) -> Option<Vec<StructEdit>> {
+        if ancestor_tip == self.tip {
+            return Some(Vec::new());
+        }
+        let pos = self.edits.iter().position(|&(s, _)| s == ancestor_tip)?;
+        Some(self.edits.iter().skip(pos + 1).map(|&(_, e)| e).collect())
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 struct NodeSlot {
     label: String,
@@ -118,7 +198,7 @@ struct EdgeSlot {
 /// assert!(g.has_edge(a, b));
 /// assert!(g.has_edge(b, a)); // undirected
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     direction: Direction,
     /// A free-form graph name, surfaced in chat transcripts ("G", "aspirin", …).
@@ -132,6 +212,24 @@ pub struct Graph {
     in_adj: Vec<Vec<(NodeId, EdgeId)>>,
     live_nodes: usize,
     live_edges: usize,
+    /// Recent structural edits (excluded from equality and serialisation —
+    /// a cache acceleration, not graph content).
+    journal: Journal,
+}
+
+/// Equality is over graph *content*; the journal is lineage metadata and
+/// two equal graphs may well have disjoint histories.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Graph) -> bool {
+        self.direction == other.direction
+            && self.name == other.name
+            && self.nodes == other.nodes
+            && self.edges == other.edges
+            && self.out_adj == other.out_adj
+            && self.in_adj == other.in_adj
+            && self.live_nodes == other.live_nodes
+            && self.live_edges == other.live_edges
+    }
 }
 
 chatgraph_support::impl_json_newtype!(NodeId);
@@ -139,16 +237,50 @@ chatgraph_support::impl_json_newtype!(EdgeId);
 chatgraph_support::impl_json_enum_unit!(Direction { Directed, Undirected });
 chatgraph_support::impl_json_struct!(NodeSlot { label, attrs, removed });
 chatgraph_support::impl_json_struct!(EdgeSlot { src, dst, label, attrs, removed });
-chatgraph_support::impl_json_struct!(Graph {
-    direction,
-    name,
-    nodes,
-    edges,
-    out_adj,
-    in_adj,
-    live_nodes,
-    live_edges,
-});
+// Hand-written (rather than `impl_json_struct!`) so the journal stays off
+// the wire: the format is unchanged from before the journal existed, and a
+// decoded graph starts with a fresh journal — its first delta snapshot
+// falls back to the scan diff, exactly like any graph of unknown lineage.
+impl chatgraph_support::json::ToJson for Graph {
+    fn to_json(&self) -> chatgraph_support::json::Json {
+        use chatgraph_support::json::Json;
+        Json::Object(vec![
+            ("direction".to_owned(), self.direction.to_json()),
+            ("name".to_owned(), self.name.to_json()),
+            ("nodes".to_owned(), self.nodes.to_json()),
+            ("edges".to_owned(), self.edges.to_json()),
+            ("out_adj".to_owned(), self.out_adj.to_json()),
+            ("in_adj".to_owned(), self.in_adj.to_json()),
+            ("live_nodes".to_owned(), self.live_nodes.to_json()),
+            ("live_edges".to_owned(), self.live_edges.to_json()),
+        ])
+    }
+}
+
+impl chatgraph_support::json::FromJson for Graph {
+    fn from_json(
+        v: &chatgraph_support::json::Json,
+    ) -> Result<Self, chatgraph_support::json::JsonError> {
+        use chatgraph_support::json::{FromJson, JsonError};
+        if v.as_object().is_none() {
+            return Err(JsonError::expected("object", v));
+        }
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| JsonError::missing_field("Graph", name))
+        };
+        Ok(Graph {
+            direction: FromJson::from_json(field("direction")?)?,
+            name: FromJson::from_json(field("name")?)?,
+            nodes: FromJson::from_json(field("nodes")?)?,
+            edges: FromJson::from_json(field("edges")?)?,
+            out_adj: FromJson::from_json(field("out_adj")?)?,
+            in_adj: FromJson::from_json(field("in_adj")?)?,
+            live_nodes: FromJson::from_json(field("live_nodes")?)?,
+            live_edges: FromJson::from_json(field("live_edges")?)?,
+            journal: Journal::fresh(),
+        })
+    }
+}
 
 impl Graph {
     /// Creates an empty graph.
@@ -162,7 +294,13 @@ impl Graph {
             in_adj: Vec::new(),
             live_nodes: 0,
             live_edges: 0,
+            journal: Journal::fresh(),
         }
+    }
+
+    /// The structural-edit journal (for the CSR delta-splicer).
+    pub(crate) fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// Creates an empty undirected graph.
@@ -244,6 +382,7 @@ impl Graph {
         self.out_adj.push(Vec::new());
         self.in_adj.push(Vec::new());
         self.live_nodes += 1;
+        self.journal.record(StructEdit::AddNode(id));
         id
     }
 
@@ -312,6 +451,7 @@ impl Graph {
             self.out_adj[dst.index()].push((src, id));
         }
         self.live_edges += 1;
+        self.journal.record(StructEdit::AddEdge(src, dst));
         Ok(id)
     }
 
@@ -346,6 +486,7 @@ impl Graph {
             self.out_adj[dst.index()].retain(|&(_, e)| e != id);
         }
         self.live_edges -= 1;
+        self.journal.record(StructEdit::RemoveEdge(src, dst));
         Ok(())
     }
 
@@ -365,6 +506,7 @@ impl Graph {
         }
         self.nodes[id.index()].removed = true;
         self.live_nodes -= 1;
+        self.journal.record(StructEdit::RemoveNode);
         Ok(())
     }
 

@@ -12,12 +12,17 @@
 //!   addition sequence as the reference's push loop; components renumber
 //!   min-labels by first occurrence so the numbering matches BFS discovery
 //!   order; the traversal kernels only combine integers.
-//! * **Worker-count independence** — work is split into *fixed-size*
-//!   chunks ([`KernelPolicy::chunk`]) whose boundaries do not depend on
-//!   [`KernelPolicy::workers`]; workers claim whole chunks and results are
-//!   combined in chunk order, so 1 worker and N workers produce identical
-//!   bytes. Threads are scoped to each call — the kernels add no
-//!   background pool beyond the scheduler's own workers.
+//! * **Worker-count independence** — work is split into chunks whose
+//!   boundaries depend only on the policy's [`ChunkStrategy`] (and the
+//!   graph), never on [`KernelPolicy::workers`]; workers claim whole
+//!   chunks and results are combined in chunk order, so 1 worker and N
+//!   workers produce identical bytes. Under
+//!   [`ChunkStrategy::DegreeWeighted`] the boundaries equalise *edge*
+//!   weight instead of node count — a hub-heavy chunk no longer serialises
+//!   the whole kernel behind one worker — and since every chunk is still a
+//!   contiguous in-order range combined in chunk order, the bytes are also
+//!   identical *across strategies*. Threads are scoped to each call — the
+//!   kernels add no background pool beyond the scheduler's own workers.
 
 //! * **Cooperative cancellation** — every chunked kernel polls
 //!   [`KernelPolicy::cancel`] at chunk boundaries. Once the token fires the
@@ -60,14 +65,47 @@ pub mod reference {
 /// Default work-chunk size (nodes or edges per unit of claimed work).
 pub const DEFAULT_KERNEL_CHUNK: usize = 1024;
 
+/// Sources per cache block in the blocked PageRank pull: the corresponding
+/// slice of the share vector (512 KiB of f64) stays L2-resident while every
+/// target in a chunk drains it.
+const PAGERANK_SOURCE_BLOCK: usize = 1 << 16;
+
+/// Auto-engage thresholds for the blocked pull: below this many nodes the
+/// share vector fits in cache anyway, and below this average pull degree
+/// the per-block cursor sweep costs more than the locality buys.
+const PAGERANK_BLOCK_NODES: usize = 1 << 17;
+const PAGERANK_BLOCK_MIN_DEG: usize = 8;
+
+/// How chunk boundaries are placed. Both strategies cut `0..len` into
+/// contiguous in-order ranges and combine results in chunk order, so kernel
+/// output is bit-identical across strategies *and* worker counts; only the
+/// load balance differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkStrategy {
+    /// Fixed-size chunks of [`KernelPolicy::chunk`] work items.
+    #[default]
+    Fixed,
+    /// Equal-*weight* chunks: the same chunk *count* as [`Fixed`], but cut
+    /// so each chunk carries roughly `Σ weight / chunks` of per-item weight
+    /// (for adjacency-bound kernels, `1 + degree`). On skewed graphs this
+    /// keeps hub rows from serialising a kernel behind one worker.
+    ///
+    /// [`Fixed`]: ChunkStrategy::Fixed
+    DegreeWeighted,
+}
+
 /// How a kernel invocation splits its work.
 #[derive(Debug, Clone)]
 pub struct KernelPolicy {
     /// Scoped worker threads to use; `<= 1` runs fully sequentially.
     pub workers: usize,
-    /// Fixed chunk size. Chunk boundaries are independent of `workers`, so
-    /// results are identical for any worker count.
+    /// Chunk size (work items per chunk under [`ChunkStrategy::Fixed`];
+    /// also sets the chunk *count* under
+    /// [`ChunkStrategy::DegreeWeighted`]). Chunk boundaries are independent
+    /// of `workers`, so results are identical for any worker count.
     pub chunk: usize,
+    /// Boundary placement. Never affects results, only load balance.
+    pub strategy: ChunkStrategy,
     /// Cooperative cancellation, polled at every chunk boundary. The
     /// default token never fires; the chain supervisor swaps in a
     /// deadline-armed clone per supervised step.
@@ -85,9 +123,16 @@ impl KernelPolicy {
         KernelPolicy {
             workers: workers.max(1),
             chunk: chunk.max(1),
+            strategy: ChunkStrategy::Fixed,
             cancel: CancelToken::new(),
             chunk_delay: Duration::ZERO,
         }
+    }
+
+    /// The same policy with a different boundary-placement strategy.
+    pub fn with_strategy(mut self, strategy: ChunkStrategy) -> KernelPolicy {
+        self.strategy = strategy;
+        self
     }
 
     /// Fully sequential execution with the default chunk size.
@@ -114,23 +159,95 @@ impl Default for KernelPolicy {
     }
 }
 
-/// Applies `f` to each fixed-size chunk of `0..len` and returns the per-chunk
-/// results **in chunk order**. With `workers <= 1` (or a single chunk) this
-/// is a plain sequential loop; otherwise scoped threads claim chunks from an
-/// atomic counter. Chunk boundaries depend only on `policy.chunk`.
-///
-/// Before claiming each chunk the caller's [`CancelToken`] is polled (after
-/// the injected `chunk_delay`, if any); once it fires, no further chunks are
-/// computed and the call returns `None`. Kernels translate `None` into a
-/// neutral result — the supervisor that armed the token never looks at it.
+/// Fixed-size chunk boundaries: `[0, chunk, 2·chunk, …, len]`.
+fn fixed_bounds(chunk: usize, len: usize) -> Vec<usize> {
+    let chunk = chunk.max(1);
+    let mut bounds: Vec<usize> = (0..len.div_ceil(chunk)).map(|c| c * chunk).collect();
+    bounds.push(len);
+    bounds
+}
+
+/// Equal-weight chunk boundaries: the same chunk *count* as
+/// [`fixed_bounds`], but each cut is placed greedily once the running
+/// per-item weight reaches `Σ weight / chunks`. Depends only on `chunk`,
+/// `len` and the weights — never on the worker count.
+fn weighted_bounds(chunk: usize, len: usize, weight: impl Fn(usize) -> u64) -> Vec<usize> {
+    let chunks = len.div_ceil(chunk.max(1));
+    if chunks <= 1 {
+        return fixed_bounds(chunk, len);
+    }
+    let total: u64 = (0..len).map(&weight).sum();
+    let target = total.div_ceil(chunks as u64).max(1);
+    let mut bounds = Vec::with_capacity(chunks + 1);
+    bounds.push(0);
+    let mut acc = 0u64;
+    for i in 0..len {
+        acc += weight(i);
+        if acc >= target && bounds.len() < chunks && i + 1 < len {
+            bounds.push(i + 1);
+            acc = 0;
+        }
+    }
+    bounds.push(len);
+    bounds
+}
+
+/// Chunk boundaries for `0..len` under the policy's [`ChunkStrategy`],
+/// weighting item `i` by `weight(i)` when degree-aware.
+fn chunk_bounds(policy: &KernelPolicy, len: usize, weight: impl Fn(usize) -> u64) -> Vec<usize> {
+    match policy.strategy {
+        ChunkStrategy::Fixed => fixed_bounds(policy.chunk, len),
+        ChunkStrategy::DegreeWeighted => weighted_bounds(policy.chunk, len, weight),
+    }
+}
+
+/// Applies `f` to each fixed-size chunk of `0..len` and returns the
+/// per-chunk results **in chunk order** — the uniform-cost entry point;
+/// degree-aware kernels go through [`map_weighted`]. See [`map_parts`] for
+/// the claiming and cancellation contract.
 fn map_chunks<T, F>(policy: &KernelPolicy, len: usize, f: F) -> Option<Vec<T>>
 where
     T: Send,
     F: Fn(std::ops::Range<usize>) -> T + Sync,
 {
-    let chunk = policy.chunk.max(1);
-    let chunks = len.div_ceil(chunk);
-    let range = |c: usize| c * chunk..((c + 1) * chunk).min(len);
+    map_parts(policy, &fixed_bounds(policy.chunk, len), f)
+}
+
+/// Like [`map_chunks`], but boundaries follow the policy's
+/// [`ChunkStrategy`] with per-item `weight` (adjacency-bound kernels pass
+/// `1 + degree`). Results are bit-identical to [`map_chunks`] for any
+/// weight function: chunks are contiguous in-order ranges combined in
+/// chunk order.
+fn map_weighted<T, F>(
+    policy: &KernelPolicy,
+    len: usize,
+    weight: impl Fn(usize) -> u64,
+    f: F,
+) -> Option<Vec<T>>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    map_parts(policy, &chunk_bounds(policy, len, weight), f)
+}
+
+/// Applies `f` to each `bounds[c]..bounds[c+1]` range and returns the
+/// per-chunk results **in chunk order**. With `workers <= 1` (or a single
+/// chunk) this is a plain sequential loop; otherwise scoped threads claim
+/// chunks from an atomic counter, but each chunk's result lands in its own
+/// fixed slot, so the combined output never depends on claim order.
+///
+/// Before claiming each chunk the caller's [`CancelToken`] is polled (after
+/// the injected `chunk_delay`, if any); once it fires, no further chunks are
+/// computed and the call returns `None`. Kernels translate `None` into a
+/// neutral result — the supervisor that armed the token never looks at it.
+fn map_parts<T, F>(policy: &KernelPolicy, bounds: &[usize], f: F) -> Option<Vec<T>>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let chunks = bounds.len().saturating_sub(1);
+    let range = |c: usize| bounds[c]..bounds[c + 1];
     // One boundary check per claimed chunk: injected stall first (so a
     // fault-harness delay can push the deadline over), then the poll.
     let boundary = || {
@@ -206,7 +323,8 @@ pub fn bfs_distances(
         // chunks collapse and the result is worker-count independent. All
         // candidates sit at the same level, so any claim order yields the
         // same distances.
-        let Some(candidates) = map_chunks(policy, frontier.len(), |r| {
+        let weight = |i: usize| 1 + csr.und(frontier[i]).len() as u64;
+        let Some(candidates) = map_weighted(policy, frontier.len(), weight, |r| {
             let mut cand: Vec<u32> = Vec::new();
             for &v in &frontier[r] {
                 for &w in csr.und(v) {
@@ -310,7 +428,40 @@ pub fn dijkstra(csr: &CsrGraph, weights: &[f64], start: NodeId) -> Vec<Option<f6
 /// the reference's push loop produces), the dangling sum is accumulated
 /// sequentially in ascending order, and the per-node update uses the exact
 /// reference expression. Returns slot-indexed scores.
+///
+/// On large, dense-enough snapshots the pull loop automatically switches to
+/// the cache-blocked variant (see [`pagerank_blocked`]); the switch never
+/// changes the bytes, only the memory access pattern.
 pub fn pagerank(csr: &CsrGraph, damping: f64, iterations: usize, policy: &KernelPolicy) -> Vec<f64> {
+    let n = csr.n();
+    let blocked =
+        n >= PAGERANK_BLOCK_NODES && csr.m() / n.max(1) >= PAGERANK_BLOCK_MIN_DEG;
+    pagerank_impl(csr, damping, iterations, policy, blocked)
+}
+
+/// PageRank with the cache-blocked pull forced on: within each target
+/// chunk, sources are drained in ascending [`PAGERANK_SOURCE_BLOCK`]-sized
+/// blocks so the active slice of the share vector stays cache-resident
+/// across every target in the chunk. Each target still accumulates its
+/// contributions in ascending source order (a per-target cursor only moves
+/// forward), so the result is bit-identical to [`pagerank`] and the
+/// reference oracle.
+pub fn pagerank_blocked(
+    csr: &CsrGraph,
+    damping: f64,
+    iterations: usize,
+    policy: &KernelPolicy,
+) -> Vec<f64> {
+    pagerank_impl(csr, damping, iterations, policy, true)
+}
+
+fn pagerank_impl(
+    csr: &CsrGraph,
+    damping: f64,
+    iterations: usize,
+    policy: &KernelPolicy,
+    blocked: bool,
+) -> Vec<f64> {
     let n = csr.n();
     let mut out = vec![0.0; csr.node_bound()];
     if n == 0 {
@@ -318,6 +469,7 @@ pub fn pagerank(csr: &CsrGraph, damping: f64, iterations: usize, policy: &Kernel
     }
     let mut rank = vec![1.0 / n as f64; n];
     let mut share = vec![0.0; n];
+    let weight = |w: usize| 1 + csr.pull_sources(w as u32).len() as u64;
     for _ in 0..iterations {
         let mut dangling = 0.0;
         for d in 0..n {
@@ -330,7 +482,10 @@ pub fn pagerank(csr: &CsrGraph, damping: f64, iterations: usize, policy: &Kernel
             }
         }
         let teleport = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
-        let Some(next) = map_chunks(policy, n, |r| {
+        let Some(next) = map_weighted(policy, n, weight, |r| {
+            if blocked {
+                return pull_blocked(csr, &share, r);
+            }
             let mut vals = Vec::with_capacity(r.len());
             for w in r {
                 let mut sum = 0.0;
@@ -357,6 +512,30 @@ pub fn pagerank(csr: &CsrGraph, damping: f64, iterations: usize, policy: &Kernel
     out
 }
 
+/// One cache-blocked pull pass over the targets in `r`: ascending source
+/// blocks, per-target forward-only cursors. Addition order per target is
+/// globally ascending — identical to the plain pull.
+fn pull_blocked(csr: &CsrGraph, share: &[f64], r: std::ops::Range<usize>) -> Vec<f64> {
+    let n = csr.n();
+    let mut vals = vec![0.0; r.len()];
+    let mut cursors = vec![0usize; r.len()];
+    let mut b0 = 0usize;
+    while b0 < n {
+        let b1 = (b0 + PAGERANK_SOURCE_BLOCK).min(n);
+        for (i, w) in r.clone().enumerate() {
+            let srcs = csr.pull_sources(w as u32);
+            let mut c = cursors[i];
+            while c < srcs.len() && (srcs[c] as usize) < b1 {
+                vals[i] += share[srcs[c] as usize];
+                c += 1;
+            }
+            cursors[i] = c;
+        }
+        b0 = b1;
+    }
+    vals
+}
+
 /// Connected components by parallel min-label propagation (Jacobi rounds
 /// with pointer shortcutting), renumbered by first occurrence in ascending
 /// node order — exactly the numbering the reference's repeated-BFS
@@ -364,8 +543,9 @@ pub fn pagerank(csr: &CsrGraph, damping: f64, iterations: usize, policy: &Kernel
 pub fn connected_components(csr: &CsrGraph, policy: &KernelPolicy) -> Components {
     let n = csr.n();
     let mut labels: Vec<u32> = (0..n as u32).collect();
+    let weight = |v: usize| 1 + csr.und(v as u32).len() as u64;
     loop {
-        let Some(rounds) = map_chunks(policy, n, |r| {
+        let Some(rounds) = map_weighted(policy, n, weight, |r| {
             let mut next = Vec::with_capacity(r.len());
             let mut changed = false;
             for v in r {
@@ -454,7 +634,9 @@ fn edge_pairs(csr: &CsrGraph) -> Vec<(u32, u32)> {
 /// Matches [`reference::triangle_count_reference`].
 pub fn triangle_count(csr: &CsrGraph, policy: &KernelPolicy) -> usize {
     let pairs = edge_pairs(csr);
-    map_chunks(policy, pairs.len(), |r| {
+    let weight =
+        |i: usize| (csr.und(pairs[i].0).len() + csr.und(pairs[i].1).len()) as u64;
+    map_weighted(policy, pairs.len(), weight, |r| {
         let mut c = 0usize;
         for &(a, b) in &pairs[r] {
             c += count_common_gt(csr.und(a), csr.und(b), a.max(b));
@@ -760,6 +942,55 @@ mod tests {
         let want = dijkstra_reference(&g, NodeId(0), |e| weights[e.index()]);
         assert_eq!(got, want);
         assert_eq!(got[3], Some(2.0), "a→b→d beats the direct weight-10 edge");
+    }
+
+    /// Degree-weighted boundaries change the cuts, never the bytes: every
+    /// kernel output matches the fixed-chunk result at 1 and 4 workers.
+    #[test]
+    fn degree_weighted_strategy_is_bit_identical() {
+        let g = social();
+        let csr = CsrGraph::build(&g);
+        let fixed = KernelPolicy::new(1, 8);
+        for workers in [1, 4] {
+            let dw = KernelPolicy::new(workers, 8).with_strategy(ChunkStrategy::DegreeWeighted);
+            assert_eq!(pagerank(&csr, 0.85, 50, &dw), pagerank(&csr, 0.85, 50, &fixed));
+            let (a, b) = (connected_components(&csr, &dw), connected_components(&csr, &fixed));
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(triangle_count(&csr, &dw), triangle_count(&csr, &fixed));
+            assert_eq!(
+                bfs_distances(&csr, NodeId(0), usize::MAX, &dw),
+                bfs_distances(&csr, NodeId(0), usize::MAX, &fixed),
+            );
+        }
+    }
+
+    /// The cache-blocked pull changes the access pattern, not the bytes.
+    #[test]
+    fn blocked_pagerank_is_bit_exact() {
+        let g = social();
+        let csr = CsrGraph::build(&g);
+        let oracle = pagerank_reference(&g, 0.85, 50);
+        assert_eq!(pagerank_blocked(&csr, 0.85, 50, &KernelPolicy::sequential()), oracle);
+        assert_eq!(pagerank_blocked(&csr, 0.85, 50, &par()), oracle);
+    }
+
+    /// Weighted bounds cover `0..len` contiguously with at most the fixed
+    /// chunk count, whatever the weights.
+    #[test]
+    fn weighted_bounds_are_well_formed() {
+        let cases: [(usize, usize, fn(usize) -> u64); 4] = [
+            (8, 100, |_| 1),
+            (8, 100, |i| (i as u64 % 7) * 100),
+            (1, 5, |_| 0),
+            (64, 3, |i| i as u64),
+        ];
+        for (chunk, len, w) in cases {
+            let bounds = weighted_bounds(chunk, len, w);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().expect("non-empty"), len);
+            assert!(bounds.windows(2).all(|p| p[0] < p[1]), "strictly increasing: {bounds:?}");
+            assert!(bounds.len() <= fixed_bounds(chunk, len).len());
+        }
     }
 
     #[test]

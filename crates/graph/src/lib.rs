@@ -39,12 +39,14 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod kernels;
+pub mod stats;
 
 pub use attr::{AttrValue, Attrs};
 pub use builder::GraphBuilder;
 pub use csr::{CsrCache, CsrGraph};
 pub use graph::{Direction, EdgeId, Graph, GraphError, NodeId};
-pub use kernels::KernelPolicy;
+pub use kernels::{ChunkStrategy, KernelPolicy};
+pub use stats::{CatalogCache, StatsCatalog};
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
@@ -52,7 +54,8 @@ pub mod prelude {
     pub use crate::attr::{AttrValue, Attrs};
     pub use crate::builder::GraphBuilder;
     pub use crate::csr::{CsrCache, CsrGraph};
-    pub use crate::kernels::{self, KernelPolicy};
+    pub use crate::kernels::{self, ChunkStrategy, KernelPolicy};
+    pub use crate::stats::{CatalogCache, StatsCatalog};
     pub use crate::generators::{
         self, BaParams, ErParams, KgParams, MoleculeParams, SocialParams,
     };

@@ -1,0 +1,101 @@
+//! Chunking determinism: kernel results are a function of the graph only.
+//!
+//! The scheduler is free to pick any worker count, chunk size, or chunking
+//! strategy ([`ChunkStrategy::Fixed`] vs degree-aware
+//! [`ChunkStrategy::DegreeWeighted`]) — none of them may change a single
+//! bit of any kernel's output. This pins the property the cost model's
+//! sequential-vs-parallel decision relies on: flipping `par_kernel` is a
+//! pure performance knob, never a semantics knob. It also pins the
+//! cache-blocked pagerank pull against the plain pull.
+
+use chatgraph_graph::csr::CsrGraph;
+use chatgraph_graph::generators::{
+    knowledge_graph, social_network, KgParams, SocialParams,
+};
+use chatgraph_graph::kernels::{self, ChunkStrategy, KernelPolicy};
+use chatgraph_graph::Graph;
+
+fn variants() -> Vec<KernelPolicy> {
+    let mut out = Vec::new();
+    for workers in [1usize, 2, 4, 7] {
+        for chunk in [1usize, 64, 1024] {
+            for strategy in [ChunkStrategy::Fixed, ChunkStrategy::DegreeWeighted] {
+                out.push(KernelPolicy::new(workers, chunk).with_strategy(strategy));
+            }
+        }
+    }
+    out
+}
+
+fn assert_all_variants_agree(g: &Graph) {
+    let csr = CsrGraph::build(g);
+    let baseline = KernelPolicy::sequential();
+    let pr = kernels::pagerank(&csr, 0.85, 15, &baseline);
+    let cc = kernels::connected_components(&csr, &baseline);
+    let tri = kernels::triangle_count(&csr, &baseline);
+    let clu = kernels::global_clustering_coefficient(&csr, &baseline);
+    let start = g.node_ids().next().unwrap();
+    let bfs = kernels::bfs_distances(&csr, start, usize::MAX, &baseline);
+    for policy in variants() {
+        let tag = format!(
+            "{}w chunk={} {:?}",
+            policy.workers, policy.chunk, policy.strategy
+        );
+        assert_eq!(kernels::pagerank(&csr, 0.85, 15, &policy), pr, "pagerank @ {tag}");
+        assert_eq!(
+            kernels::pagerank_blocked(&csr, 0.85, 15, &policy),
+            pr,
+            "blocked pagerank @ {tag}"
+        );
+        assert_eq!(
+            kernels::connected_components(&csr, &policy).assignment,
+            cc.assignment,
+            "components @ {tag}"
+        );
+        assert_eq!(kernels::triangle_count(&csr, &policy), tri, "triangles @ {tag}");
+        assert_eq!(
+            kernels::global_clustering_coefficient(&csr, &policy).to_bits(),
+            clu.to_bits(),
+            "clustering @ {tag}"
+        );
+        assert_eq!(
+            kernels::bfs_distances(&csr, start, usize::MAX, &policy),
+            bfs,
+            "bfs @ {tag}"
+        );
+    }
+}
+
+#[test]
+fn social_kernels_are_chunking_invariant() {
+    assert_all_variants_agree(&social_network(&SocialParams::default(), 11));
+}
+
+#[test]
+fn sized_social_kernels_are_chunking_invariant() {
+    // Large enough that every variant actually splits into many chunks and
+    // the degree-weighted planner produces uneven ranges.
+    assert_all_variants_agree(&social_network(&SocialParams::sized(4_000), 11));
+}
+
+#[test]
+fn kg_kernels_are_chunking_invariant_directed() {
+    assert_all_variants_agree(&knowledge_graph(&KgParams::default(), 13));
+}
+
+#[test]
+fn blocked_pull_matches_plain_pull_past_the_auto_threshold() {
+    // `pagerank` flips to the blocked pull automatically on large dense
+    // graphs; on small ones the two code paths are distinct — pin their
+    // bit-identity explicitly at a size where blocking spans several
+    // source blocks per chunk.
+    let g = social_network(&SocialParams::sized(8_000), 3);
+    let csr = CsrGraph::build(&g);
+    for workers in [1usize, 4] {
+        let policy = KernelPolicy::new(workers, 256).with_strategy(ChunkStrategy::DegreeWeighted);
+        let plain = kernels::pagerank(&csr, 0.9, 10, &policy);
+        let blocked = kernels::pagerank_blocked(&csr, 0.9, 10, &policy);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&plain), bits(&blocked), "{workers}w");
+    }
+}

@@ -1,0 +1,182 @@
+//! Differential properties of delta-CSR snapshots.
+//!
+//! The delta path (`CsrGraph::build_delta`, and the same path implicitly
+//! inside `CsrCache`) must be *indistinguishable* from a from-scratch
+//! rebuild: after any sequence of random adds, deletes and relabels the
+//! patched snapshot is logically equal to `CsrGraph::build`, and every
+//! kernel returns bit-identical results on both at any worker count and
+//! either chunking strategy. Edits the delta path declines (node removal,
+//! too many touched rows) must fall back to a rebuild transparently.
+
+use chatgraph_graph::csr::{CsrCache, CsrGraph};
+use chatgraph_graph::generators::{knowledge_graph, social_network, KgParams, SocialParams};
+use chatgraph_graph::kernels::{self, ChunkStrategy, KernelPolicy};
+use chatgraph_graph::{EdgeId, Graph, NodeId};
+use chatgraph_support::rng::{RngExt, SeedableRng, StdRng};
+use std::sync::Arc;
+
+fn live_nodes(g: &Graph) -> Vec<NodeId> {
+    g.node_ids().collect()
+}
+
+fn live_edges(g: &Graph) -> Vec<EdgeId> {
+    g.edge_ids().collect()
+}
+
+/// Applies one random mutation epoch: a handful of edge adds, edge
+/// removals, and label edits; every `node_removal_period`-th epoch also
+/// removes a node — an edit the delta path declines, exercising the
+/// fallback to a full rebuild.
+fn mutate_epoch(g: &mut Graph, rng: &mut StdRng, epoch: usize, node_removal_period: usize) {
+    let ops = 1 + rng.random_range(0..4);
+    for _ in 0..ops {
+        match rng.random_range(0..4u32) {
+            0 => {
+                let nodes = live_nodes(g);
+                if nodes.len() >= 2 {
+                    let a = nodes[rng.random_range(0..nodes.len())];
+                    let b = nodes[rng.random_range(0..nodes.len())];
+                    if a != b && !g.has_edge(a, b) {
+                        let _ = g.add_edge(a, b, "patched");
+                    }
+                }
+            }
+            1 => {
+                let edges = live_edges(g);
+                if !edges.is_empty() {
+                    let _ = g.remove_edge(edges[rng.random_range(0..edges.len())]);
+                }
+            }
+            2 => {
+                let edges = live_edges(g);
+                if !edges.is_empty() {
+                    let e = edges[rng.random_range(0..edges.len())];
+                    let _ = g.set_edge_label(e, "relabeled");
+                }
+            }
+            _ => {
+                let nodes = live_nodes(g);
+                if !nodes.is_empty() {
+                    let v = nodes[rng.random_range(0..nodes.len())];
+                    let _ = g.set_node_label(v, "Touched");
+                }
+            }
+        }
+    }
+    if node_removal_period > 0 && epoch % node_removal_period == node_removal_period - 1 {
+        let nodes = live_nodes(g);
+        if nodes.len() > 4 {
+            let _ = g.remove_node(nodes[rng.random_range(0..nodes.len())]);
+        }
+    }
+}
+
+/// Asserts that the kernels see no difference between `patched` and a
+/// rebuilt snapshot, bit-for-bit, across worker counts and strategies.
+fn assert_kernels_agree(patched: &CsrGraph, rebuilt: &CsrGraph, seed_node: NodeId) {
+    for workers in [1usize, 2, 4] {
+        for strategy in [ChunkStrategy::Fixed, ChunkStrategy::DegreeWeighted] {
+            let policy = KernelPolicy::new(workers, 64).with_strategy(strategy);
+            let pr_a = kernels::pagerank(patched, 0.85, 12, &policy);
+            let pr_b = kernels::pagerank(rebuilt, 0.85, 12, &policy);
+            assert_eq!(pr_a, pr_b, "pagerank differs at {workers}w {strategy:?}");
+            assert_eq!(
+                kernels::connected_components(patched, &policy).assignment,
+                kernels::connected_components(rebuilt, &policy).assignment,
+                "components differ at {workers}w {strategy:?}"
+            );
+            assert_eq!(
+                kernels::triangle_count(patched, &policy),
+                kernels::triangle_count(rebuilt, &policy),
+                "triangles differ at {workers}w {strategy:?}"
+            );
+            if patched.dense_of(seed_node).is_some() {
+                assert_eq!(
+                    kernels::bfs_distances(patched, seed_node, usize::MAX, &policy),
+                    kernels::bfs_distances(rebuilt, seed_node, usize::MAX, &policy),
+                    "bfs differs at {workers}w {strategy:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The core differential loop: `epochs` rounds of random edits against a
+/// shared cache; every epoch's cached snapshot must equal a from-scratch
+/// rebuild, and kernels must agree on both.
+fn run_differential(mut graph: Arc<Graph>, seed: u64, epochs: usize, node_removal_period: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cache = CsrCache::new(3);
+    let mut deltas = 0usize;
+    for epoch in 0..epochs {
+        mutate_epoch(Arc::make_mut(&mut graph), &mut rng, epoch, node_removal_period);
+        let (snapshot, built) = cache.get_or_build_tracked(&graph);
+        let rebuilt = CsrGraph::build(&graph);
+        assert_eq!(
+            *snapshot, rebuilt,
+            "epoch {epoch}: cached snapshot (patched={}) != rebuild",
+            snapshot.is_patched()
+        );
+        if built.is_some_and(|b| b.delta) {
+            deltas += 1;
+            assert!(snapshot.is_patched());
+        }
+        let probe = graph.node_ids().next().unwrap();
+        assert_kernels_agree(&snapshot, &rebuilt, probe);
+    }
+    assert!(
+        deltas >= epochs / 4,
+        "only {deltas}/{epochs} epochs took the delta path — edits this small should patch"
+    );
+}
+
+#[test]
+fn social_edit_sequences_patch_identically() {
+    let g = Arc::new(social_network(&SocialParams::default(), 7));
+    run_differential(g, 0xD1FF, 24, 0);
+}
+
+#[test]
+fn kg_edit_sequences_patch_identically_directed() {
+    let g = Arc::new(knowledge_graph(&KgParams::default(), 9));
+    run_differential(g, 0xD2FF, 24, 0);
+}
+
+#[test]
+fn node_removals_fall_back_to_rebuild_and_stay_identical() {
+    let g = Arc::new(social_network(&SocialParams::default(), 3));
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    let cache = CsrCache::new(3);
+    let mut graph = g;
+    let mut fallbacks = 0usize;
+    for epoch in 0..12 {
+        mutate_epoch(Arc::make_mut(&mut graph), &mut rng, epoch, 2);
+        let (snapshot, built) = cache.get_or_build_tracked(&graph);
+        let rebuilt = CsrGraph::build(&graph);
+        assert_eq!(*snapshot, rebuilt, "epoch {epoch} diverged");
+        if built.is_some_and(|b| !b.delta) {
+            fallbacks += 1;
+        }
+    }
+    assert!(fallbacks > 0, "node removals must force full rebuilds");
+}
+
+/// A patched snapshot served through a *shared* cache is the same object
+/// for every consumer — and equal to a rebuild — so cross-session sharing
+/// (the serving layer's global CSR cache) transparently benefits.
+#[test]
+fn shared_cache_serves_one_patched_snapshot_to_all_consumers() {
+    let cache = Arc::new(CsrCache::new(4));
+    let mut graph = Arc::new(social_network(&SocialParams::default(), 5));
+    cache.get_or_build(&graph);
+    // One cheap edit → the next epoch should be served as a delta.
+    let nodes: Vec<NodeId> = graph.node_ids().collect();
+    Arc::make_mut(&mut graph)
+        .add_edge(nodes[0], nodes[nodes.len() - 1], "patched")
+        .ok();
+    let (a, built) = cache.get_or_build_tracked(&graph);
+    assert!(built.is_some_and(|b| b.delta), "single edit must patch, not rebuild");
+    let b = cache.get_or_build(&graph);
+    assert!(Arc::ptr_eq(&a, &b), "both consumers share the same snapshot");
+    assert_eq!(*a, CsrGraph::build(&graph));
+}

@@ -5,6 +5,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --quick-scale: just the CI-sized scale sweep — runs the 10^3/10^4 tiers
+# and validates that the committed results/BENCH_scale.json still parses
+# with all four tiers (the full sweep is expensive and committed; see
+# benches/scale_sweep.rs and EXPERIMENTS.md E12).
+if [[ "${1:-}" == "--quick-scale" ]]; then
+    cargo bench --offline -p chatgraph-bench --bench scale_sweep -- --quick
+    exit 0
+fi
+
 cargo build --release && cargo test -q
 
 # Everything else must also compile offline: benches, examples, all targets.
@@ -48,6 +57,16 @@ cargo test -q --offline -p chatgraph-core --test serving_properties
 # latency at three pool widths plus solo-vs-shared memo hit rates, written
 # to results/BENCH_serving.json. The cross-session hit count must be > 0.
 cargo bench --offline -p chatgraph-bench --bench serving
+
+# Delta-CSR differentials: patched snapshots must be bit-identical to full
+# rebuilds after random edit sequences, at every worker count and chunking
+# strategy, including through the shared CsrCache (DESIGN.md §14).
+cargo test -q --offline -p chatgraph-graph --test delta_properties
+cargo test -q --offline -p chatgraph-graph --test chunking_determinism
+
+# Scale sweep smoke: 10^3/10^4 tiers plus validation of the committed
+# full-sweep artifact (results/BENCH_scale.json, EXPERIMENTS.md E12).
+cargo bench --offline -p chatgraph-bench --bench scale_sweep -- --quick
 
 # Repository lint: no unwrap/expect/panic! in non-test library code beyond
 # the shrink-only allowlist (lint-allow.toml), no `unsafe`, hermetic
