@@ -95,6 +95,16 @@ pub enum ChainEvent {
         /// Whether the lookup hit.
         hit: bool,
     },
+    /// The step's result was received from a coalesced in-flight execution
+    /// (singleflight): an identical step was already running, so this one
+    /// parked and took the published outcome instead of executing.
+    /// Non-core.
+    StepCoalesced {
+        /// Step index.
+        step: usize,
+        /// API name.
+        api: String,
+    },
     /// A CSR snapshot of the session graph was built for the current
     /// mutation epoch (cache hits emit nothing). Non-core.
     CsrBuilt {
@@ -172,6 +182,7 @@ impl ChainEvent {
             ChainEvent::PlanBuilt { .. }
                 | ChainEvent::StepTimed { .. }
                 | ChainEvent::MemoLookup { .. }
+                | ChainEvent::StepCoalesced { .. }
                 | ChainEvent::CsrBuilt { .. }
                 | ChainEvent::KernelTimed { .. }
                 | ChainEvent::StepRetried { .. }
@@ -251,6 +262,10 @@ impl ToJson for ChainEvent {
                     field("api", api.to_json()),
                     field("hit", hit.to_json()),
                 ],
+            ),
+            ChainEvent::StepCoalesced { step, api } => tagged(
+                "StepCoalesced",
+                vec![field("step", step.to_json()), field("api", api.to_json())],
             ),
             ChainEvent::CsrBuilt { nodes, edges, micros, delta } => tagged(
                 "CsrBuilt",
@@ -367,6 +382,10 @@ impl FromJson for ChainEvent {
                 step: FromJson::from_json(get("step")?)?,
                 api: FromJson::from_json(get("api")?)?,
                 hit: FromJson::from_json(get("hit")?)?,
+            }),
+            "StepCoalesced" => Ok(ChainEvent::StepCoalesced {
+                step: FromJson::from_json(get("step")?)?,
+                api: FromJson::from_json(get("api")?)?,
             }),
             "CsrBuilt" => Ok(ChainEvent::CsrBuilt {
                 nodes: FromJson::from_json(get("nodes")?)?,
@@ -530,6 +549,7 @@ mod tests {
             ChainEvent::PlanBuilt { steps: 4, deps: 3, barriers: 1, par_kernels: 2, est_cost: 9000 },
             ChainEvent::StepTimed { step: 2, api: "node_count".into(), micros: 17, cached: true },
             ChainEvent::MemoLookup { step: 2, api: "node_count".into(), hit: false },
+            ChainEvent::StepCoalesced { step: 2, api: "triangle_count".into() },
             ChainEvent::CsrBuilt { nodes: 120, edges: 640, micros: 85, delta: true },
             ChainEvent::KernelTimed { kernel: "pagerank".into(), micros: 412, workers: 4 },
             ChainEvent::StepRetried {

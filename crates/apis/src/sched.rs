@@ -30,6 +30,18 @@
 //! fingerprint hashes the binary encoding of the session graph and is
 //! recomputed only after a mutation barrier; steps whose inputs cannot be
 //! fingerprinted are executed uncached. Only `Ok` results are stored.
+//!
+//! ## Coalescing
+//!
+//! The memo only captures *warm* redundancy; under concurrent duplicate
+//! load (many tenants asking the same question of the same graph) identical
+//! steps would still each execute once, cold. [`StepMemo::claim`] closes
+//! that window with singleflight coalescing: the first claimant of a key
+//! becomes the *leader* of an in-flight slot and executes; concurrent
+//! claimants park on the slot's condvar and receive the published outcome —
+//! `Ok` or the step-attributed failure — without running the handler.
+//! Coalescing is bypassed whenever a fault plan is armed: injected faults
+//! are per-tenant decisions and must never leak through a shared flight.
 
 use crate::chain::{ApiCall, ApiChain, ChainError};
 use crate::descriptor::ApiCategory;
@@ -45,13 +57,19 @@ use chatgraph_graph::{binary, Graph};
 use chatgraph_support::cancel::CancelToken;
 use chatgraph_support::hash::Fnv64;
 use chatgraph_support::lru::Lru;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Default capacity of the step-memo cache.
 pub const DEFAULT_MEMO_CAPACITY: usize = 64;
+
+/// Upper bound a coalesced waiter parks on an in-flight slot before giving
+/// up and executing solo. This is a hang backstop, not a tuning knob: a
+/// leader that dies publishes an abandonment error through its lease's
+/// `Drop` long before this fires.
+const COALESCE_WAIT: Duration = Duration::from_secs(10);
 
 /// Hit/miss counters of a [`StepMemo`], read without locking the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +78,9 @@ pub struct MemoStats {
     pub hits: u64,
     /// Lookups that missed (the step then ran uncached or was stored).
     pub misses: u64,
+    /// Misses that never executed: the claimant joined an identical
+    /// in-flight execution and received its published outcome.
+    pub coalesced: u64,
 }
 
 impl MemoStats {
@@ -71,6 +92,17 @@ impl MemoStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Keyed lookups requested (hits + misses).
+    pub fn requested(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Handler executions actually performed: every miss runs except the
+    /// coalesced ones, which ride an in-flight leader instead.
+    pub fn executed(&self) -> u64 {
+        self.misses.saturating_sub(self.coalesced)
     }
 }
 
@@ -87,9 +119,129 @@ impl MemoStats {
 /// ever stored (a degraded or faulted step can never leak across tenants).
 #[derive(Debug)]
 pub struct StepMemo {
-    inner: Mutex<Lru<u64, Value>>,
+    inner: Mutex<MemoInner>,
+    /// Whether concurrent identical claims collapse onto one in-flight
+    /// execution. Construction-time: flipping it mid-flight would strand
+    /// waiters.
+    coalesce: bool,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// The memo's guarded state: the result cache plus the in-flight slots.
+/// One mutex for both makes lookup-or-join-or-lead a single atomic
+/// decision, which is what guarantees each unique key executes exactly
+/// once under concurrent duplicate load.
+#[derive(Debug)]
+struct MemoInner {
+    lru: Lru<u64, Value>,
+    flights: HashMap<u64, Arc<FlightSlot>>,
+}
+
+/// One in-flight execution other claimants can park on.
+// The two memo-side lock classes never nest the other way: `claim` drops
+// `inner` before touching a slot, and a lease publishes to `inner` first,
+// then to its slot.
+// lockdoc: order(inner < slot)
+#[derive(Debug, Default)]
+struct FlightSlot {
+    /// The published outcome; `None` while the leader is still computing.
+    slot: Mutex<Option<Result<Value, StepFailure>>>,
+    cv: Condvar,
+}
+
+impl FlightSlot {
+    /// Parks until the leader publishes, up to `backstop`. `None` on
+    /// expiry — the caller then executes solo rather than hang.
+    // lockdoc: acquires(slot)
+    fn wait(&self, backstop: Duration) -> Option<Result<Value, StepFailure>> {
+        // The slot holds one plain published outcome; a publisher panicking
+        // mid-store cannot tear an `Option` swap, so recovery is safe.
+        // lockdoc: recover(the slot holds a plain whole outcome; poison cannot tear it)
+        let mut guard = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = Instant::now() + backstop;
+        while guard.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(guard, left)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+        guard.clone()
+    }
+
+    /// Publishes the outcome and wakes every waiter.
+    // lockdoc: acquires(slot)
+    fn publish(&self, outcome: Result<Value, StepFailure>) {
+        // lockdoc: recover(the slot holds a plain whole outcome; poison cannot tear it)
+        let mut guard = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(outcome);
+        drop(guard);
+        self.cv.notify_all();
+    }
+}
+
+/// What [`StepMemo::claim`] tells its caller to do.
+pub enum Claim {
+    /// Served from the memo; nothing runs.
+    Hit(Value),
+    /// The caller executes the step. With a lease it *leads* an in-flight
+    /// slot concurrent claimants may join, and must publish its outcome
+    /// through the lease. Without one (coalescing off, or a waiter whose
+    /// backstop expired) it runs solo and stores any `Ok` itself.
+    Run(Option<FlightLease>),
+    /// An identical in-flight execution published its outcome while this
+    /// caller waited: the shared value, or the shared failure.
+    Coalesced(Result<Value, StepFailure>),
+}
+
+/// Leadership of one in-flight slot. The leader executes the step and
+/// publishes through [`FlightLease::publish`]; if the lease is dropped
+/// unpublished (a scheduler-internal death), an abandonment error is
+/// published instead so waiters fail immediately rather than hang until
+/// their backstop.
+pub struct FlightLease {
+    memo: Arc<StepMemo>,
+    key: u64,
+    flight: Arc<FlightSlot>,
+    published: bool,
+}
+
+impl FlightLease {
+    /// Publishes the leader's outcome: an `Ok` is stored in the memo
+    /// (failures are shared with waiters but never cached), the in-flight
+    /// entry is removed, and every waiter wakes with a clone.
+    pub fn publish(mut self, outcome: Result<Value, StepFailure>) {
+        self.complete(outcome);
+    }
+
+    fn complete(&mut self, outcome: Result<Value, StepFailure>) {
+        if self.published {
+            return;
+        }
+        self.published = true;
+        {
+            let mut inner = self.memo.lock();
+            if let Ok(v) = &outcome {
+                inner.lru.insert(self.key, v.clone());
+            }
+            inner.flights.remove(&self.key);
+        }
+        self.flight.publish(outcome);
+    }
+}
+
+impl Drop for FlightLease {
+    fn drop(&mut self) {
+        self.complete(Err(StepFailure::Error(
+            "coalesced step leader abandoned the flight".to_owned(),
+        )));
+    }
 }
 
 impl Default for StepMemo {
@@ -99,26 +251,45 @@ impl Default for StepMemo {
 }
 
 impl StepMemo {
-    /// A memo holding at most `capacity` results (0 disables storage).
+    /// A memo holding at most `capacity` results (0 disables storage),
+    /// with coalescing on.
     pub fn new(capacity: usize) -> Self {
         StepMemo {
-            inner: Mutex::new(Lru::new(capacity)),
+            inner: Mutex::new(MemoInner {
+                lru: Lru::new(capacity),
+                flights: HashMap::new(),
+            }),
+            coalesce: true,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
+    /// The same memo with coalescing disabled: every claim that misses
+    /// runs solo (the coalescing-off bench baseline).
+    pub fn without_coalescing(mut self) -> Self {
+        self.coalesce = false;
+        self
+    }
+
+    /// Whether concurrent identical claims coalesce.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
+    }
+
     // lockdoc: acquires(inner)
-    fn lock(&self) -> MutexGuard<'_, Lru<u64, Value>> {
+    fn lock(&self) -> MutexGuard<'_, MemoInner> {
         // A holder can only poison this lock by panicking mid-`get`/`insert`;
         // the cache itself stays structurally valid, so keep using it.
-        // lockdoc: recover(memo holders only get/insert; the LRU stays structurally valid through a panic)
+        // lockdoc: recover(memo holders only get/insert; the LRU and flight map stay structurally valid through a panic)
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Looks up a fingerprint, counting the hit or miss.
+    /// Looks up a fingerprint, counting the hit or miss. This is the plain
+    /// (non-coalescing) read used on the fault-armed path.
     pub fn lookup(&self, key: u64) -> Option<Value> {
-        let found = self.lock().get(&key).cloned();
+        let found = self.lock().lru.get(&key).cloned();
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -131,31 +302,74 @@ impl StepMemo {
         }
     }
 
+    /// Atomically looks up `key`, joins its in-flight execution, or takes
+    /// leadership of a new one — the coalescing entry point. The decision
+    /// happens under one lock, so of all concurrent claimants of a missing
+    /// key exactly one receives a lease; the rest park on the slot (with a
+    /// backstop) and return [`Claim::Coalesced`] once the leader publishes.
+    pub fn claim(self: &Arc<Self>, key: u64) -> Claim {
+        let flight = {
+            let mut inner = self.lock();
+            if let Some(v) = inner.lru.get(&key) {
+                let v = v.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Claim::Hit(v);
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if !self.coalesce {
+                return Claim::Run(None);
+            }
+            match inner.flights.get(&key) {
+                Some(flight) => Arc::clone(flight),
+                None => {
+                    let flight = Arc::new(FlightSlot::default());
+                    inner.flights.insert(key, Arc::clone(&flight));
+                    return Claim::Run(Some(FlightLease {
+                        memo: Arc::clone(self),
+                        key,
+                        flight,
+                        published: false,
+                    }));
+                }
+            }
+        };
+        // Follower: the `inner` guard is released; park on the slot alone.
+        match flight.wait(COALESCE_WAIT) {
+            Some(outcome) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Claim::Coalesced(outcome)
+            }
+            None => Claim::Run(None),
+        }
+    }
+
     /// Stores one `Ok` step result under its fingerprint.
     pub fn store(&self, key: u64, value: Value) {
-        self.lock().insert(key, value);
+        self.lock().lru.insert(key, value);
     }
 
     /// Current number of memoized results.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.lock().lru.len()
     }
 
     /// Whether the memo is empty.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.lock().lru.is_empty()
     }
 
-    /// Drops every memoized result (counters are kept).
+    /// Drops every memoized result (counters and in-flight slots are kept).
     pub fn clear(&self) {
-        self.lock().clear();
+        self.lock().lru.clear();
     }
 
-    /// Hit/miss counters since construction.
+    /// Hit/miss/coalesced counters since construction.
     pub fn stats(&self) -> MemoStats {
         MemoStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -343,8 +557,11 @@ impl Scheduler {
             est_cost: plan.total_cost(),
         });
 
+        // Rebuild the policy for this chain but keep the session's scratch
+        // pool: kernel working memory warmed by earlier chains stays warm.
         ctx.kernels.policy = KernelPolicy::new(self.workers, self.kernel_chunk)
-            .with_strategy(ChunkStrategy::DegreeWeighted);
+            .with_strategy(ChunkStrategy::DegreeWeighted)
+            .with_scratch(ctx.kernels.policy.scratch.clone());
         let mut prev = Value::Unit;
         // The graph fingerprint is stable between mutation barriers; cache
         // it per epoch. `None` = not yet computed for the current graph.
@@ -526,6 +743,9 @@ struct StepOutcome {
     retries: Vec<supervisor::RetryNote>,
     micros: u64,
     cached: bool,
+    /// Whether the result was received from a coalesced in-flight
+    /// execution instead of running the handler.
+    coalesced: bool,
     memo_checked: bool,
 }
 
@@ -538,6 +758,7 @@ impl StepOutcome {
             retries: Vec::new(),
             micros: 0,
             cached: false,
+            coalesced: false,
             memo_checked: false,
         }
     }
@@ -735,11 +956,54 @@ impl SegmentRun<'_> {
             .descriptor(&call.api)
             .is_some_and(|d| d.transient_retryable);
         let start = Instant::now();
+
+        // Fault-free path (production serving): there are no fault
+        // decisions to order the memo consult against, so the claim happens
+        // up front and concurrent identical executions coalesce onto one
+        // flight. Identical keys imply identical outcomes — sharing the
+        // leader's value *or failure* is observationally identical to
+        // running solo.
+        if self.scheduler.supervisor.faults.is_none() {
+            let outcome = |result, retries, cached, coalesced, memo_checked| StepOutcome {
+                result,
+                retries,
+                micros: start.elapsed().as_micros() as u64,
+                cached,
+                coalesced,
+                memo_checked,
+            };
+            return match key.map(|k| self.scheduler.memo.claim(k)) {
+                Some(Claim::Hit(v)) => outcome(Ok(v), Vec::new(), true, false, true),
+                Some(Claim::Coalesced(shared)) => {
+                    outcome(shared, Vec::new(), false, true, true)
+                }
+                Some(Claim::Run(lease)) => {
+                    let attempted = self.attempt(j, input, parallel, retryable);
+                    match lease {
+                        Some(lease) => lease.publish(attempted.result.clone()),
+                        None => {
+                            if let (Some(k), Ok(v)) = (key, &attempted.result) {
+                                self.scheduler.memo.store(k, v.clone());
+                            }
+                        }
+                    }
+                    outcome(attempted.result, attempted.retries, false, false, true)
+                }
+                None => {
+                    let attempted = self.attempt(j, input, parallel, retryable);
+                    outcome(attempted.result, attempted.retries, false, false, false)
+                }
+            };
+        }
+
+        // Fault-armed path (tests, the REPL's `:faults`): the supervisor
+        // decides fault injection *before* this closure runs, so the memo
+        // cache (consulted inside) cannot mask injected faults on warm
+        // runs. Coalescing is bypassed entirely — injected faults are
+        // per-tenant decisions that must never leak through a shared
+        // flight.
         let mut cached = false;
         let mut memo_checked = false;
-        // The supervisor decides fault injection *before* this closure runs,
-        // so the memo cache (consulted inside) cannot mask injected faults
-        // on warm runs.
         let attempted = supervisor::run_step(
             &self.scheduler.supervisor,
             self.seed,
@@ -753,26 +1017,7 @@ impl SegmentRun<'_> {
                         return Ok(hit);
                     }
                 }
-                let mut kernels = self.kernels.clone();
-                kernels.policy.cancel = token.clone();
-                kernels.policy.chunk_delay = chunk_delay;
-                // Kernel-level parallelism is off when the segment itself
-                // spans worker threads (the pool must not oversubscribe)
-                // and when the cost model says the step is too small to
-                // pay for the pool.
-                kernels.policy.workers = if parallel || !self.plan.steps[j].par_kernel {
-                    1
-                } else {
-                    self.scheduler.workers
-                };
-                let mut local = ExecContext {
-                    graph: Arc::clone(&self.snapshot),
-                    database: Arc::clone(&self.database),
-                    findings: Vec::new(),
-                    seed: self.seed,
-                    kernels,
-                };
-                self.registry.call(&call.api, &mut local, input.clone(), call)
+                self.attempt_once(j, &input, parallel, token, chunk_delay)
             },
         );
         let micros = start.elapsed().as_micros() as u64;
@@ -786,8 +1031,58 @@ impl SegmentRun<'_> {
             retries: attempted.retries,
             micros,
             cached,
+            coalesced: false,
             memo_checked,
         }
+    }
+
+    /// One supervised execution of step `j` (no memo involvement).
+    fn attempt(
+        &self,
+        j: usize,
+        input: Value,
+        parallel: bool,
+        retryable: bool,
+    ) -> supervisor::Attempted {
+        supervisor::run_step(
+            &self.scheduler.supervisor,
+            self.seed,
+            j,
+            retryable,
+            |token, chunk_delay| self.attempt_once(j, &input, parallel, token, chunk_delay),
+        )
+    }
+
+    /// A single attempt of step `j` against an isolated context. Kernel
+    /// parallelism is off when the segment itself spans worker threads
+    /// (the pool must not oversubscribe — the worker threads *are* the
+    /// kernel chunk workers in that regime) and when the cost model says
+    /// the step is too small to pay for the pool.
+    fn attempt_once(
+        &self,
+        j: usize,
+        input: &Value,
+        parallel: bool,
+        token: &CancelToken,
+        chunk_delay: Duration,
+    ) -> Result<Value, String> {
+        let call = &self.chain.steps[j];
+        let mut kernels = self.kernels.clone();
+        kernels.policy.cancel = token.clone();
+        kernels.policy.chunk_delay = chunk_delay;
+        kernels.policy.workers = if parallel || !self.plan.steps[j].par_kernel {
+            1
+        } else {
+            self.scheduler.workers
+        };
+        let mut local = ExecContext {
+            graph: Arc::clone(&self.snapshot),
+            database: Arc::clone(&self.database),
+            findings: Vec::new(),
+            seed: self.seed,
+            kernels,
+        };
+        self.registry.call(&call.api, &mut local, input.clone(), call)
     }
 
     /// The memo key for one call, or `None` when any component cannot be
@@ -843,6 +1138,12 @@ impl SegmentRun<'_> {
                 step: j,
                 api: api.clone(),
                 hit: outcome.cached,
+            });
+        }
+        if outcome.coalesced {
+            monitor.on_event(&ChainEvent::StepCoalesced {
+                step: j,
+                api: api.clone(),
             });
         }
         match outcome.result {

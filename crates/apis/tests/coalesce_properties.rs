@@ -1,0 +1,277 @@
+//! Properties of singleflight step coalescing (DESIGN.md §15): concurrent
+//! identical (epoch-fingerprint, step-key) executions collapse onto one
+//! computation, and coalescing is observationally invisible — every waiter
+//! sees bit-for-bit what a solo run would have produced, for successes
+//! *and* failures. A panicking leader fails all waiters with the same
+//! step-attributed error and never leaves them hanging; a fault-armed
+//! supervisor bypasses coalescing entirely so injected faults cannot leak
+//! across tenants through a shared flight.
+
+use chatgraph_apis::supervisor::SupervisorConfig;
+use chatgraph_apis::{
+    registry, ApiCategory, ApiChain, ApiDescriptor, ChainError, ChainEvent, CollectingMonitor,
+    ExecContext, FaultPlan, Scheduler, StepMemo, Value, ValueType,
+};
+use chatgraph_graph::generators::{social_network, SocialParams};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+/// Serialises panic-hook suppression across tests in this binary (the
+/// panicking-leader test panics on a worker thread).
+static PANIC_HOOK: Mutex<()> = Mutex::new(());
+
+fn quiet<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = PANIC_HOOK.lock().unwrap_or_else(|e| e.into_inner());
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = std::panic::catch_unwind(AssertUnwindSafe(f));
+    std::panic::set_hook(hook);
+    match out {
+        Ok(v) => v,
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+/// Every tenant gets the *same* graph (same generator seed) and the same
+/// context seed, so identical chains produce identical memo keys — the
+/// cross-tenant duplicate regime the serving bench models.
+fn ctx() -> ExecContext {
+    ExecContext::new(social_network(&SocialParams::default(), 33)).with_seed(11)
+}
+
+/// One execution's observable outcome.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    result: Result<Value, ChainError>,
+    findings: Vec<(String, Value)>,
+    core_events: Vec<ChainEvent>,
+    coalesced_events: usize,
+}
+
+fn observe(run: impl FnOnce(&mut ExecContext, &mut CollectingMonitor) -> Result<Value, ChainError>) -> Observed {
+    let mut ctx = ctx();
+    let mut mon = CollectingMonitor::new();
+    let result = run(&mut ctx, &mut mon);
+    let findings = std::mem::take(&mut ctx.findings);
+    let coalesced_events = mon
+        .events
+        .iter()
+        .filter(|e| matches!(e, ChainEvent::StepCoalesced { .. }))
+        .count();
+    Observed {
+        result,
+        findings,
+        core_events: mon.events.into_iter().filter(ChainEvent::is_core).collect(),
+        coalesced_events,
+    }
+}
+
+/// `threads` concurrent executions of `chain`, all sharing `memo`, released
+/// together by a barrier. Returns each thread's observation.
+fn concurrent_runs(
+    reg: &chatgraph_apis::ApiRegistry,
+    chain: &ApiChain,
+    memo: &Arc<StepMemo>,
+    workers: usize,
+    threads: usize,
+    supervisor: &SupervisorConfig,
+) -> Vec<Observed> {
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let sched = Scheduler::new(workers)
+                        .with_shared_memo(Arc::clone(memo))
+                        .with_supervisor(supervisor.clone());
+                    barrier.wait();
+                    observe(|ctx, mon| sched.execute(reg, chain, ctx, mon))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("runner thread")).collect()
+    })
+}
+
+/// A registry whose extra `probe` API counts its executions and holds the
+/// flight open long enough for concurrent claimants to pile onto it.
+fn probe_registry(
+    counter: Arc<AtomicUsize>,
+    hold: Duration,
+    panics: bool,
+) -> chatgraph_apis::ApiRegistry {
+    let mut reg = registry::standard();
+    reg.register(
+        ApiDescriptor::new(
+            "probe",
+            "test api counting distinct executions",
+            ApiCategory::Structure,
+            ValueType::Graph,
+            ValueType::Number,
+        ),
+        Box::new(move |_, _, _| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(hold);
+            if panics {
+                panic!("probe exploded");
+            }
+            Ok(Value::Number(42.0))
+        }),
+    );
+    reg
+}
+
+/// (c) Differential: at pool widths 1, 2 and 4, cold and warm, a chain
+/// executed by concurrent coalescing tenants is bit-identical to the same
+/// chain run solo — results, findings, and core events.
+#[test]
+fn coalesced_runs_match_solo_bit_identically_at_all_widths() {
+    let reg = registry::standard();
+    let chains = [
+        ApiChain::from_names(["node_count", "edge_count", "graph_density"]),
+        ApiChain::from_names(["detect_communities", "node_count", "generate_report"]),
+        ApiChain::from_names(["node_count", "triangle_count"]),
+    ];
+    for chain in &chains {
+        for workers in [1, 2, 4] {
+            let solo = observe(|ctx, mon| {
+                Scheduler::new(workers).execute(&reg, chain, ctx, mon)
+            });
+            let memo = Arc::new(StepMemo::new(256));
+            // Cold: every tenant races the same fresh shared memo.
+            let cold =
+                concurrent_runs(&reg, chain, &memo, workers, 4, &SupervisorConfig::default());
+            for got in &cold {
+                assert_eq!(got.result, solo.result, "cold result ({workers} workers)");
+                assert_eq!(got.findings, solo.findings, "cold findings ({workers} workers)");
+                assert_eq!(
+                    got.core_events, solo.core_events,
+                    "cold core events ({workers} workers)"
+                );
+            }
+            // Warm: one more tenant over the now-populated memo.
+            let sched = Scheduler::new(workers).with_shared_memo(Arc::clone(&memo));
+            let warm = observe(|ctx, mon| sched.execute(&reg, chain, ctx, mon));
+            assert_eq!(warm.result, solo.result, "warm result ({workers} workers)");
+            assert_eq!(warm.findings, solo.findings, "warm findings ({workers} workers)");
+            assert_eq!(
+                warm.core_events, solo.core_events,
+                "warm core events ({workers} workers)"
+            );
+            assert_eq!(warm.coalesced_events, 0, "a warm run hits, it never waits");
+        }
+    }
+}
+
+/// (c) Exactly-once: N tenants concurrently executing the same single-step
+/// chain drive exactly one handler execution; everyone else is served by
+/// the flight or the memo, and the accounting proves it.
+#[test]
+fn concurrent_duplicates_execute_exactly_once() {
+    const TENANTS: usize = 8;
+    let counter = Arc::new(AtomicUsize::new(0));
+    let reg = probe_registry(Arc::clone(&counter), Duration::from_millis(150), false);
+    let chain = ApiChain::from_names(["probe"]);
+    let memo = Arc::new(StepMemo::new(64));
+    let runs = concurrent_runs(&reg, &chain, &memo, 2, TENANTS, &SupervisorConfig::default());
+
+    assert_eq!(counter.load(Ordering::SeqCst), 1, "the probe ran exactly once");
+    for got in &runs {
+        assert_eq!(got.result, Ok(Value::Number(42.0)));
+    }
+    let stats = memo.stats();
+    assert_eq!(stats.requested(), TENANTS as u64, "every tenant consulted the memo");
+    assert_eq!(stats.executed(), 1, "one miss actually executed: {stats:?}");
+    assert_eq!(stats.misses - stats.coalesced, 1);
+    // The non-core StepCoalesced feed agrees with the counter.
+    let events: usize = runs.iter().map(|o| o.coalesced_events).sum();
+    assert_eq!(events as u64, stats.coalesced, "one StepCoalesced per coalesced claim");
+    assert!(stats.coalesced >= 1, "the 150ms hold must coalesce someone: {stats:?}");
+}
+
+/// (c) Failure sharing: a panicking coalesced step fails ALL waiters with
+/// the same step-attributed error — nobody hangs, nobody retries the
+/// panic into a second execution, and the failure is never cached.
+#[test]
+fn panicking_leader_fails_all_waiters_with_step_attribution() {
+    const TENANTS: usize = 6;
+    quiet(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let reg = probe_registry(Arc::clone(&counter), Duration::from_millis(150), true);
+        let chain = ApiChain::from_names(["probe"]);
+        let memo = Arc::new(StepMemo::new(64));
+        let cfg = SupervisorConfig { max_retries: 0, ..Default::default() };
+        let runs = concurrent_runs(&reg, &chain, &memo, 2, TENANTS, &cfg);
+
+        assert_eq!(counter.load(Ordering::SeqCst), 1, "the panicking probe ran exactly once");
+        for got in &runs {
+            match &got.result {
+                Err(ChainError::StepPanicked(0, msg)) => {
+                    assert!(msg.contains("probe exploded"), "payload survives sharing: {msg}");
+                }
+                other => panic!("every tenant gets the leader's panic, got {other:?}"),
+            }
+        }
+        // Failures are shared with the flight's waiters but never cached:
+        // a later solo run re-executes (and panics again, on its own).
+        assert_eq!(memo.len(), 0, "a failed flight must not populate the LRU");
+        let stats = memo.stats();
+        assert_eq!(stats.executed(), 1, "{stats:?}");
+        let again = concurrent_runs(&reg, &chain, &memo, 2, 1, &cfg);
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "failures are not memoized");
+        assert!(matches!(&again[0].result, Err(ChainError::StepPanicked(0, _))));
+    });
+}
+
+/// Fault isolation: with an armed fault plan (even an all-zero-rate one)
+/// coalescing is bypassed — fault decisions are per-tenant and must never
+/// leak through a shared flight. Every tenant that misses executes.
+#[test]
+fn fault_armed_supervisor_bypasses_coalescing() {
+    const TENANTS: usize = 4;
+    let counter = Arc::new(AtomicUsize::new(0));
+    let reg = probe_registry(Arc::clone(&counter), Duration::from_millis(100), false);
+    let chain = ApiChain::from_names(["probe"]);
+    let memo = Arc::new(StepMemo::new(64));
+    let cfg = SupervisorConfig {
+        faults: Some(FaultPlan::new(7)), // armed, all rates zero
+        ..Default::default()
+    };
+    let runs = concurrent_runs(&reg, &chain, &memo, 2, TENANTS, &cfg);
+    for got in &runs {
+        assert_eq!(got.result, Ok(Value::Number(42.0)));
+        assert_eq!(got.coalesced_events, 0);
+    }
+    let stats = memo.stats();
+    assert_eq!(stats.coalesced, 0, "no flight sharing on the fault-armed path: {stats:?}");
+    // The 100ms hold keeps the memo empty while every tenant looks up, so
+    // each one executes privately — the legacy pre-coalescing behaviour.
+    assert!(counter.load(Ordering::SeqCst) >= 1);
+}
+
+/// The explicit opt-out: a memo built `without_coalescing` never parks a
+/// claimant — concurrent duplicates all execute, exactly as before the
+/// singleflight landed.
+#[test]
+fn without_coalescing_disables_flight_sharing() {
+    const TENANTS: usize = 4;
+    let counter = Arc::new(AtomicUsize::new(0));
+    let reg = probe_registry(Arc::clone(&counter), Duration::from_millis(100), false);
+    let chain = ApiChain::from_names(["probe"]);
+    let memo = Arc::new(StepMemo::new(64).without_coalescing());
+    assert!(!memo.coalescing());
+    let runs = concurrent_runs(&reg, &chain, &memo, 2, TENANTS, &SupervisorConfig::default());
+    for got in &runs {
+        assert_eq!(got.result, Ok(Value::Number(42.0)));
+        assert_eq!(got.coalesced_events, 0);
+    }
+    let stats = memo.stats();
+    assert_eq!(stats.coalesced, 0, "{stats:?}");
+    assert_eq!(
+        counter.load(Ordering::SeqCst) as u64,
+        stats.executed(),
+        "every miss executes when coalescing is off: {stats:?}"
+    );
+}

@@ -1,11 +1,15 @@
 //! Multi-tenant serving bench: a seeded open-loop workload over the
 //! [`SessionServer`] shared worker pool, solo-vs-shared cache modes, at
-//! several pool widths. Writes `results/BENCH_serving.json` with
+//! several pool widths, plus a duplicate-heavy workload gating the
+//! singleflight step coalescing (executed-steps/requested-steps and req/s
+//! with coalescing on vs off). Writes `results/BENCH_serving.json` with
 //! requests/sec, sessions/sec, p50/p95 chain latency (queue wait
-//! included), and the cross-session memo hit rates.
+//! included), the cross-session memo hit rates, and the coalescing
+//! comparison. `--quick` runs only the coalescing tier and validates the
+//! committed artifact instead of overwriting it.
 
 use chatgraph_apis::{ApiCall, ApiChain, MemoStats};
-use chatgraph_bench::{available_cpus, env_json};
+use chatgraph_bench::{env_json, quick_mode};
 use chatgraph_core::serve::{Request, ServeConfig, SessionServer};
 use chatgraph_core::session::SessionCore;
 use chatgraph_core::ChatGraphConfig;
@@ -17,6 +21,12 @@ use std::time::Instant;
 
 const TENANTS: usize = 8;
 const ROUNDS: usize = 4;
+/// Fresh-server repetitions of the cold duplicate-heavy round (coalescing
+/// only matters cold — warm rounds are all memo hits in either mode).
+const DEDUP_ITERS: usize = 3;
+/// Pool width for the coalescing comparison (and the widest sweep level);
+/// recorded in `env` so `oversubscribed` reflects what actually ran.
+const MAX_POOL_WORKERS: usize = 4;
 
 fn tenant_graph(i: usize) -> Graph {
     // Four distinct graphs across eight tenants: each graph is shared by
@@ -116,13 +126,14 @@ fn private_memo_stats(server: &SessionServer) -> MemoStats {
     server
         .tenants()
         .into_iter()
-        .fold(MemoStats { hits: 0, misses: 0 }, |acc, t| {
+        .fold(MemoStats { hits: 0, misses: 0, coalesced: 0 }, |acc, t| {
             let s = server
                 .with_session(t, |s| s.memo_handle().stats())
                 .expect("tenant is healthy");
             MemoStats {
                 hits: acc.hits + s.hits,
                 misses: acc.misses + s.misses,
+                coalesced: acc.coalesced + s.coalesced,
             }
         })
 }
@@ -138,11 +149,167 @@ fn memo_json(label: &str, stats: &MemoStats) -> (String, Json) {
     )
 }
 
+/// The duplicate-heavy workload's graph: heavier than the sweep graphs so
+/// each unique step holds its flight open long enough for duplicates from
+/// other tenants to arrive while it is still in flight — the regime the
+/// singleflight exists for.
+fn dedup_graph() -> Graph {
+    social_network(
+        &SocialParams {
+            communities: 8,
+            community_size: 150,
+            p_intra: 0.08,
+            p_inter: 0.005,
+        },
+        11,
+    )
+}
+
+/// Maximal cross-tenant duplication: every tenant holds the *same* graph,
+/// so the identical per-tenant chains fingerprint to identical step keys.
+fn dedup_server(core: &Arc<SessionCore>, coalesce: bool) -> SessionServer {
+    let server = SessionServer::from_core(
+        Arc::clone(core),
+        ServeConfig {
+            pool_workers: MAX_POOL_WORKERS,
+            shared_memo: true,
+            shared_csr: true,
+            queue_depth: 64,
+            coalesce,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid serve config");
+    for _ in 0..TENANTS {
+        let t = server.open_session().expect("capacity");
+        server
+            .with_session(t, |s| s.set_graph(dedup_graph()))
+            .expect("fresh tenant");
+    }
+    server
+}
+
+/// `iters` cold duplicate-heavy rounds, each on a fresh server, returning
+/// the aggregated memo stats, request count, and drain seconds.
+fn run_dedup(core: &Arc<SessionCore>, coalesce: bool, iters: usize) -> (MemoStats, usize, f64) {
+    let mut agg = MemoStats { hits: 0, misses: 0, coalesced: 0 };
+    let (mut total, mut secs) = (0usize, 0.0f64);
+    for _ in 0..iters {
+        let server = dedup_server(core, coalesce);
+        assert_eq!(server.coalescing(), coalesce);
+        let (t, s, _) = run_workload(&server, 1);
+        total += t;
+        secs += s;
+        let stats = server.memo_stats();
+        agg.hits += stats.hits;
+        agg.misses += stats.misses;
+        agg.coalesced += stats.coalesced;
+    }
+    (agg, total, secs)
+}
+
+fn coalescing_json(stats: &MemoStats, total: usize, secs: f64) -> Json {
+    let requested = stats.requested();
+    let executed = stats.executed();
+    Json::Object(vec![
+        ("requested_steps".to_owned(), Json::UInt(requested)),
+        ("executed_steps".to_owned(), Json::UInt(executed)),
+        (
+            "executed_ratio".to_owned(),
+            Json::Float(executed as f64 / requested.max(1) as f64),
+        ),
+        ("coalesced_steps".to_owned(), Json::UInt(stats.coalesced)),
+        ("memo_hits".to_owned(), Json::UInt(stats.hits)),
+        ("requests".to_owned(), Json::UInt(total as u64)),
+        (
+            "requests_per_sec".to_owned(),
+            Json::Float(total as f64 / secs.max(1e-9)),
+        ),
+    ])
+}
+
+/// `--quick`: prove the committed full artifact is intact without paying
+/// for (or clobbering it with) the full sweep.
+fn validate_committed_artifact(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("committed {} unreadable: {e}", path.display()));
+    let doc = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("committed {} is not valid JSON: {e}", path.display()));
+    for field in ["bench", "tenants", "memo_solo_cold", "memo_shared_cold", "levels"] {
+        assert!(doc.get(field).is_some(), "artifact is missing `{field}`");
+    }
+    let env = doc.get("env").and_then(|e| e.as_object()).expect("artifact carries `env`");
+    assert!(
+        env.iter().any(|(k, _)| k == "oversubscribed"),
+        "env must record the oversubscription flag"
+    );
+    let coalescing = doc
+        .get("coalescing")
+        .and_then(|c| c.as_object())
+        .expect("artifact carries a `coalescing` object");
+    for mode in ["on", "off"] {
+        let section = coalescing
+            .iter()
+            .find(|(k, _)| k == mode)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("coalescing comparison is missing `{mode}`"));
+        for field in [
+            "requested_steps",
+            "executed_steps",
+            "executed_ratio",
+            "coalesced_steps",
+            "requests_per_sec",
+        ] {
+            assert!(section.get(field).is_some(), "coalescing.{mode} is missing `{field}`");
+        }
+    }
+    println!("committed {} validated: schema intact", path.display());
+}
+
 fn main() {
+    let quick = quick_mode();
     // Requests are Execute-only (no LLM in the hot path), so a small
     // finetune corpus keeps the one-off bootstrap cheap.
     let (core, _) =
         SessionCore::bootstrap(ChatGraphConfig::default(), 96).expect("default config is valid");
+
+    // Step coalescing, on vs off: the duplicate-heavy workload where every
+    // tenant submits identical chains over identical graphs. Executed
+    // steps are the misses that actually ran (misses − coalesced).
+    let iters = if quick { 1 } else { DEDUP_ITERS };
+    let (on_stats, on_total, on_secs) = run_dedup(&core, true, iters);
+    let (off_stats, off_total, off_secs) = run_dedup(&core, false, iters);
+    let report = |label: &str, stats: &MemoStats, total: usize, secs: f64| {
+        println!(
+            "coalescing {label}: {} requested steps, {} executed (ratio {:.3}), \
+             {} coalesced, {:.0} req/s",
+            stats.requested(),
+            stats.executed(),
+            stats.executed() as f64 / stats.requested().max(1) as f64,
+            stats.coalesced,
+            total as f64 / secs.max(1e-9),
+        );
+    };
+    report("on ", &on_stats, on_total, on_secs);
+    report("off", &off_stats, off_total, off_secs);
+    // Exactly-once makes this timing-independent: once a unique key is
+    // executed, every later duplicate is a flight share or a memo hit.
+    let on_ratio = on_stats.executed() as f64 / on_stats.requested().max(1) as f64;
+    assert!(
+        on_ratio < 0.6,
+        "duplicate-heavy workload must dedup below 0.6 executed/requested, got {on_ratio:.3}"
+    );
+    assert!(on_stats.coalesced > 0, "concurrent duplicates must coalesce: {on_stats:?}");
+    assert_eq!(off_stats.coalesced, 0, "coalescing off must never park a claim");
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("results/BENCH_serving.json");
+    if quick {
+        // The quick run is a smoke test of the coalescing tier; the
+        // committed artifact stays the authoritative full record.
+        validate_committed_artifact(&path);
+        return;
+    }
 
     // Cross-session memo measurement: one cold round, solo vs shared.
     // Solo mode runs the identical workload on private caches.
@@ -193,17 +360,24 @@ fn main() {
             "requests_per_tenant_per_round".to_owned(),
             Json::UInt(tenant_requests().len() as u64),
         ),
-        ("env".to_owned(), env_json(available_cpus())),
+        ("env".to_owned(), env_json(MAX_POOL_WORKERS)),
         memo_json("memo_solo_cold", &solo_stats),
         memo_json("memo_shared_cold", &shared_stats),
         (
             "cross_session_memo_hits".to_owned(),
             Json::UInt(shared_stats.hits),
         ),
+        (
+            "coalescing".to_owned(),
+            Json::Object(vec![
+                ("pool_workers".to_owned(), Json::UInt(MAX_POOL_WORKERS as u64)),
+                ("iterations".to_owned(), Json::UInt(DEDUP_ITERS as u64)),
+                ("on".to_owned(), coalescing_json(&on_stats, on_total, on_secs)),
+                ("off".to_owned(), coalescing_json(&off_stats, off_total, off_secs)),
+            ]),
+        ),
         ("levels".to_owned(), Json::Array(levels)),
     ]);
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join("results/BENCH_serving.json");
     match std::fs::write(&path, doc.render()) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => println!("could not write {}: {e}", path.display()),

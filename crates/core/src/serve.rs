@@ -25,10 +25,16 @@
 //! Requests are submitted per tenant ([`SessionServer::submit`]) into
 //! bounded FIFO queues, and executed by [`SessionServer::drain`] on a
 //! scoped pool of `pool_workers` threads. Workers claim tenants round-robin
-//! from a shared cursor, at most one in-flight request per tenant: a tenant
-//! with a deep queue cannot starve the others, and per-tenant order is
-//! preserved. Admission control is two-level — [`ServeError::AtCapacity`]
-//! at session open, [`ServeError::QueueFull`] at submit.
+//! from a shared cursor, at most one in-flight *claim* per tenant. Each
+//! claim takes up to [`ServeConfig::claim_batch`] requests from the
+//! tenant's queue in one queue-lock acquisition and runs them FIFO under
+//! one session-lock acquisition, amortising the per-request locking. The
+//! fairness invariant is unchanged: the batch bound means a tenant with a
+//! deep queue holds a worker for at most `claim_batch` requests before the
+//! worker's cursor moves on, and per-tenant order is preserved because a
+//! tenant's requests only ever run inside its single in-flight claim.
+//! Admission control is two-level — [`ServeError::AtCapacity`] at session
+//! open, [`ServeError::QueueFull`] at submit.
 //!
 //! ## Poisoning
 //!
@@ -129,6 +135,15 @@ pub struct ServeConfig {
     pub shared_csr: bool,
     /// Capacity of the shared CSR cache (snapshots).
     pub csr_capacity: usize,
+    /// Requests a drain worker takes from one tenant's queue per claim
+    /// (one queue-lock and one session-lock acquisition per batch). Also
+    /// the fairness bound: a worker serves at most this many requests from
+    /// one tenant before its cursor moves on.
+    pub claim_batch: usize,
+    /// Coalesce concurrent identical pure steps across tenants into one
+    /// execution ([`StepMemo`] singleflight). Off = every miss executes,
+    /// as before; the memo still dedupes *sequential* repeats.
+    pub coalesce: bool,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +156,8 @@ impl Default for ServeConfig {
             memo_capacity: 1024,
             shared_csr: true,
             csr_capacity: 64,
+            claim_batch: 8,
+            coalesce: true,
         }
     }
 }
@@ -163,6 +180,9 @@ impl ServeConfig {
         }
         if self.shared_csr && self.csr_capacity == 0 {
             problems.push("serve.csr_capacity must be >= 1 when shared_csr is on".to_owned());
+        }
+        if self.claim_batch == 0 {
+            problems.push("serve.claim_batch must be >= 1".to_owned());
         }
         if problems.is_empty() {
             Ok(())
@@ -279,7 +299,8 @@ impl SessionServer {
     /// Serves an existing shared core.
     pub fn from_core(core: Arc<SessionCore>, serve: ServeConfig) -> Result<Self, ServeError> {
         serve.validate().map_err(ServeError::InvalidServeConfig)?;
-        let memo = Arc::new(StepMemo::new(serve.memo_capacity));
+        let memo = StepMemo::new(serve.memo_capacity);
+        let memo = Arc::new(if serve.coalesce { memo } else { memo.without_coalescing() });
         let csr = Arc::new(CsrCache::new(serve.csr_capacity));
         Ok(SessionServer {
             core,
@@ -310,6 +331,11 @@ impl SessionServer {
     /// Number of snapshots in the shared CSR cache.
     pub fn csr_len(&self) -> usize {
         self.csr.len()
+    }
+
+    /// Whether the shared memo coalesces concurrent identical pure steps.
+    pub fn coalescing(&self) -> bool {
+        self.memo.coalescing()
     }
 
     /// Currently open sessions.
@@ -413,10 +439,11 @@ impl SessionServer {
     /// Executes every queued request on the shared worker pool and returns
     /// the completions, sorted by `(tenant, seq)`.
     ///
-    /// Workers claim tenants round-robin from a shared cursor with at most
-    /// one in-flight request per tenant: fair across tenants, FIFO within
-    /// each. With `pool_workers: 1` the schedule is fully deterministic;
-    /// with more workers the *completion order* varies but every reply is
+    /// Workers claim tenants round-robin from a shared cursor, taking up to
+    /// [`ServeConfig::claim_batch`] requests per claim with at most one
+    /// in-flight claim per tenant: fair across tenants, FIFO within each.
+    /// With `pool_workers: 1` the schedule is fully deterministic; with
+    /// more workers the *completion order* varies but every reply is
     /// bit-identical to the solo run (the determinism contract extends to
     /// serving).
     pub fn drain(&self) -> Vec<Completed> {
@@ -432,18 +459,20 @@ impl SessionServer {
         let done = AtomicUsize::new(0);
         let cursor = AtomicUsize::new(0);
         let workers = self.serve.pool_workers.min(total).max(1);
+        let batch = self.serve.claim_batch;
         let mut out: Vec<Completed> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local = Vec::new();
                         while done.load(Ordering::Acquire) < total {
-                            if let Some(completed) = claim_one(&slots, &cursor) {
-                                local.push(completed);
-                                done.fetch_add(1, Ordering::Release);
-                            } else {
+                            let completed = claim_batch(&slots, &cursor, batch);
+                            if completed.is_empty() {
                                 // All remaining work is on busy tenants.
                                 std::thread::yield_now();
+                            } else {
+                                done.fetch_add(completed.len(), Ordering::Release);
+                                local.extend(completed);
                             }
                         }
                         local
@@ -464,13 +493,14 @@ impl SessionServer {
     }
 }
 
-/// Claims one request from the next available tenant (round-robin from the
-/// shared cursor) and runs it. `None` when every non-empty queue belongs to
-/// a tenant that is currently busy.
-fn claim_one(
+/// Claims up to `batch` requests from the next available tenant
+/// (round-robin from the shared cursor) and runs them FIFO. Empty when
+/// every non-empty queue belongs to a tenant whose claim is in flight.
+fn claim_batch(
     slots: &[(u64, Arc<TenantSlot>)],
     cursor: &AtomicUsize,
-) -> Option<Completed> {
+    batch: usize,
+) -> Vec<Completed> {
     let n = slots.len();
     let start = cursor.fetch_add(1, Ordering::Relaxed) % n;
     for i in 0..n {
@@ -482,37 +512,65 @@ fn claim_one(
         {
             continue;
         }
-        let claimed = slot.queue_guard().pop_front();
-        let result = claimed.map(|(seq, request, submitted)| {
-            let reply = run_request(slot, request);
+        // One queue-lock acquisition takes the whole bounded batch; the
+        // busy latch keeps the drained prefix FIFO-contiguous (no other
+        // worker can take this tenant's next request until we release).
+        let claimed: Vec<(u64, Request, Instant)> = {
+            let mut queue = slot.queue_guard();
+            let take = queue.len().min(batch);
+            queue.drain(..take).collect()
+        };
+        let completed = run_batch(slot, *id, claimed);
+        slot.busy.store(false, Ordering::Release);
+        if !completed.is_empty() {
+            return completed;
+        }
+    }
+    Vec::new()
+}
+
+/// Runs one claimed batch in FIFO order under a single acquisition of the
+/// tenant's session lock. A poisoned session fails every request in the
+/// batch with [`ServeError::SessionPoisoned`]; the half-mutated state is
+/// never recovered.
+fn run_batch(
+    slot: &TenantSlot,
+    id: u64,
+    claimed: Vec<(u64, Request, Instant)>,
+) -> Vec<Completed> {
+    if claimed.is_empty() {
+        return Vec::new();
+    }
+    let mut session = slot.session.lock().ok();
+    claimed
+        .into_iter()
+        .map(|(seq, request, submitted)| {
+            let reply = match session.as_deref_mut() {
+                Some(session) => Ok(run_request(session, request)),
+                None => Err(ServeError::SessionPoisoned),
+            };
             Completed {
-                tenant: TenantId(*id),
+                tenant: TenantId(id),
                 seq,
                 latency_micros: submitted.elapsed().as_micros() as u64,
                 reply,
             }
-        });
-        slot.busy.store(false, Ordering::Release);
-        if result.is_some() {
-            return result;
-        }
-    }
-    None
+        })
+        .collect()
 }
 
-/// Runs one request under the tenant's session lock.
-fn run_request(slot: &TenantSlot, request: Request) -> Result<Reply, ServeError> {
-    let mut session = slot.session.lock().map_err(|_| ServeError::SessionPoisoned)?;
-    Ok(match request {
+/// Runs one request against the locked session.
+fn run_request(session: &mut ChatSession, request: Request) -> Reply {
+    match request {
         Request::Chat(prompt) => Reply::Chat(session.send(prompt)),
-        Request::Execute(chain) => Reply::Execution(execute(&mut session, &chain)),
+        Request::Execute(chain) => Reply::Execution(execute(session, &chain)),
         Request::ChatAndRun(prompt) => {
             let response = session.send(prompt);
             let execution = (!response.chain.is_empty())
-                .then(|| execute(&mut session, &response.chain));
+                .then(|| execute(session, &response.chain));
             Reply::ChatAndRun(response, execution)
         }
-    })
+    }
 }
 
 fn execute(session: &mut ChatSession, chain: &ApiChain) -> Execution {
@@ -597,6 +655,45 @@ mod tests {
             assert!(e.result.is_ok());
         }
         assert!(srv.drain().is_empty(), "drain consumes the queues");
+    }
+
+    #[test]
+    fn batched_claims_preserve_fifo_and_fairness_bound() {
+        // A batch bound of 2 with 5 requests per tenant forces multiple
+        // claims per tenant; per-tenant FIFO order must survive the pool.
+        let srv = server(ServeConfig {
+            pool_workers: 3,
+            claim_batch: 2,
+            ..ServeConfig::default()
+        });
+        let tenants: Vec<TenantId> = (0..3).map(|_| srv.open_session().unwrap()).collect();
+        for (i, &t) in tenants.iter().enumerate() {
+            srv.with_session(t, |s| {
+                s.set_graph(social_network(&SocialParams::default(), 20 + i as u64))
+            })
+            .unwrap();
+            for _ in 0..5 {
+                srv.submit(t, Request::Execute(ApiChain::from_names(["node_count"])))
+                    .unwrap();
+            }
+        }
+        let completed = srv.drain();
+        assert_eq!(completed.len(), 15);
+        for &t in &tenants {
+            let seqs: Vec<u64> =
+                completed.iter().filter(|c| c.tenant == t).map(|c| c.seq).collect();
+            assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        }
+        assert!(completed.iter().all(|c| c.reply.is_ok()));
+    }
+
+    #[test]
+    fn coalescing_knob_reaches_the_shared_memo() {
+        assert!(server(ServeConfig::default()).coalescing());
+        let off = server(ServeConfig { coalesce: false, ..ServeConfig::default() });
+        assert!(!off.coalescing());
+        let bad = ServeConfig { claim_batch: 0, ..ServeConfig::default() };
+        assert_eq!(bad.validate().unwrap_err().len(), 1);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::graph::{EdgeId, Graph, NodeId};
 use chatgraph_support::cancel::CancelToken;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Differential oracles: the original adjacency-walking implementations in
@@ -69,6 +69,120 @@ pub const DEFAULT_KERNEL_CHUNK: usize = 1024;
 /// slice of the share vector (512 KiB of f64) stays L2-resident while every
 /// target in a chunk drains it.
 const PAGERANK_SOURCE_BLOCK: usize = 1 << 16;
+
+/// Shrink trigger for checked-in scratch buffers: a buffer whose capacity
+/// exceeds this multiple of its last-use length is shrunk to that length,
+/// so one 10^6-node run doesn't pin high-water memory across later small
+/// epochs.
+const SCRATCH_SHRINK_FACTOR: usize = 4;
+
+/// Reusable kernel working memory: the frontier queues, value/next vectors
+/// and pair buffers the kernels used to allocate per invocation. One
+/// `Scratch` is checked out of the policy's [`ScratchPool`] per worker (or
+/// per chunk, for per-chunk buffers like the BFS sweep's distance array)
+/// and checked back in when done, so the capacity survives across chunks,
+/// steps and epochs. Buffers carry arbitrary stale contents at checkout —
+/// every kernel re-initialises the prefix it uses (`clear` + `resize`),
+/// which is what keeps outputs bit-identical to the allocate-fresh code.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Hop/weight distance buffer (BFS sweeps, component renumbering).
+    pub dist: Vec<usize>,
+    /// BFS queue.
+    pub queue: VecDeque<u32>,
+    /// f64 value buffer (pagerank ranks).
+    pub f64a: Vec<f64>,
+    /// Second f64 value buffer (pagerank shares).
+    pub f64b: Vec<f64>,
+    /// Cursor buffer (blocked-pull per-target cursors).
+    pub cursors: Vec<usize>,
+    /// u32 buffer (frontiers, component labels).
+    pub u32a: Vec<u32>,
+    /// Second u32 buffer (next frontier / next labels).
+    pub u32b: Vec<u32>,
+    /// Dense endpoint-pair buffer (triangle counting).
+    pub pairs: Vec<(u32, u32)>,
+}
+
+/// Shrinks one buffer that is far over its last-use length.
+fn shrink_vec<T>(v: &mut Vec<T>) {
+    if v.capacity() > SCRATCH_SHRINK_FACTOR * v.len().max(1) {
+        v.shrink_to(v.len().max(1));
+    }
+}
+
+impl Scratch {
+    /// Applies the shrink policy at check-in: any buffer whose capacity ran
+    /// ahead of its last-use length by more than [`SCRATCH_SHRINK_FACTOR`]
+    /// gives the excess back. Lengths are left as the kernels set them —
+    /// they *are* the high-water record the next shrink decision uses.
+    fn shrink_to_high_water(&mut self) {
+        shrink_vec(&mut self.dist);
+        shrink_vec(&mut self.f64a);
+        shrink_vec(&mut self.f64b);
+        shrink_vec(&mut self.cursors);
+        shrink_vec(&mut self.u32a);
+        shrink_vec(&mut self.u32b);
+        shrink_vec(&mut self.pairs);
+        if self.queue.capacity() > SCRATCH_SHRINK_FACTOR * self.queue.len().max(1) {
+            self.queue.shrink_to(self.queue.len().max(1));
+        }
+    }
+}
+
+/// A shared pool of [`Scratch`] arenas, cloned by `Arc` into every worker's
+/// [`KernelPolicy`]. Checkouts are exclusive, so the pool never grows past
+/// the peak number of concurrent checkouts (≈ the worker count); a
+/// checked-in arena keeps its capacity for the next kernel, step, or epoch.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchPool {
+    arenas: Arc<Mutex<Vec<Scratch>>>,
+}
+
+impl ScratchPool {
+    /// A fresh, empty pool.
+    pub fn new() -> ScratchPool {
+        ScratchPool::default()
+    }
+
+    /// Takes an arena out of the pool (a fresh one when empty). The arena's
+    /// buffers hold stale contents; callers re-initialise what they use.
+    pub fn checkout(&self) -> Scratch {
+        // The pool holds plain owned buffers; a panic between push/pop
+        // cannot tear them, so a poisoned pool is still structurally valid.
+        // lockdoc: recover(pool arenas are whole owned buffers; poison cannot tear them)
+        self.arenas
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns an arena to the pool, applying the shrink policy.
+    pub fn checkin(&self, mut scratch: Scratch) {
+        scratch.shrink_to_high_water();
+        // lockdoc: recover(pool arenas are whole owned buffers; poison cannot tear them)
+        self.arenas.lock().unwrap_or_else(|e| e.into_inner()).push(scratch);
+    }
+
+    /// Arenas currently parked in the pool.
+    pub fn len(&self) -> usize {
+        // lockdoc: recover(pool arenas are whole owned buffers; poison cannot tear them)
+        self.arenas.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the pool is empty (everything checked out, or never used).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every parked arena (an explicit release valve for callers
+    /// that know a large epoch just ended).
+    pub fn release(&self) {
+        // lockdoc: recover(pool arenas are whole owned buffers; poison cannot tear them)
+        self.arenas.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
 
 /// Auto-engage thresholds for the blocked pull: below this many nodes the
 /// share vector fits in cache anyway, and below this average pull degree
@@ -115,6 +229,11 @@ pub struct KernelPolicy {
     /// deadline to expire *inside* a kernel, proving chunk-boundary
     /// cancellation is observed.
     pub chunk_delay: Duration,
+    /// Reusable working memory shared (via `Arc`) by every clone of this
+    /// policy. Kernels check arenas out per worker/chunk and back in when
+    /// done; contents never leak between uses (each kernel re-initialises
+    /// what it reads), so scratch reuse cannot affect results.
+    pub scratch: ScratchPool,
 }
 
 impl KernelPolicy {
@@ -126,6 +245,7 @@ impl KernelPolicy {
             strategy: ChunkStrategy::Fixed,
             cancel: CancelToken::new(),
             chunk_delay: Duration::ZERO,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -149,6 +269,13 @@ impl KernelPolicy {
     /// The same policy with an injected per-chunk stall (fault harness).
     pub fn with_chunk_delay(mut self, delay: Duration) -> KernelPolicy {
         self.chunk_delay = delay;
+        self
+    }
+
+    /// The same policy drawing working memory from `scratch` — used by the
+    /// scheduler to keep one pool alive across per-chain policy rebuilds.
+    pub fn with_scratch(mut self, scratch: ScratchPool) -> KernelPolicy {
+        self.scratch = scratch;
         self
     }
 }
@@ -313,9 +440,13 @@ pub fn bfs_distances(
 ) -> Vec<Option<usize>> {
     let mut out = vec![None; csr.node_bound()];
     let Some(s) = csr.dense_of(start) else { return out };
-    let mut dist: Vec<usize> = vec![UNSEEN; csr.n()];
+    let mut scratch = policy.scratch.checkout();
+    let Scratch { dist, u32a: frontier, u32b: next, .. } = &mut scratch;
+    dist.clear();
+    dist.resize(csr.n(), UNSEEN);
     dist[s as usize] = 0;
-    let mut frontier: Vec<u32> = vec![s];
+    frontier.clear();
+    frontier.push(s);
     let mut depth = 0usize;
     while !frontier.is_empty() && depth < max_hops {
         // Expand the frontier in parallel (read-only over `dist`), then
@@ -337,7 +468,7 @@ pub fn bfs_distances(
         }) else {
             return vec![None; csr.node_bound()];
         };
-        let mut next: Vec<u32> = Vec::new();
+        next.clear();
         for chunk in candidates {
             for w in chunk {
                 if dist[w as usize] == UNSEEN {
@@ -346,7 +477,7 @@ pub fn bfs_distances(
                 }
             }
         }
-        frontier = next;
+        std::mem::swap(frontier, next);
         depth += 1;
     }
     for (d, &v) in csr.nodes().iter().enumerate() {
@@ -354,6 +485,7 @@ pub fn bfs_distances(
             out[v.index()] = Some(dist[d]);
         }
     }
+    policy.scratch.checkin(scratch);
     out
 }
 
@@ -467,8 +599,12 @@ fn pagerank_impl(
     if n == 0 {
         return out;
     }
-    let mut rank = vec![1.0 / n as f64; n];
-    let mut share = vec![0.0; n];
+    let mut scratch = policy.scratch.checkout();
+    let Scratch { f64a: rank, f64b: share, .. } = &mut scratch;
+    rank.clear();
+    rank.resize(n, 1.0 / n as f64);
+    share.clear();
+    share.resize(n, 0.0);
     let weight = |w: usize| 1 + csr.pull_sources(w as u32).len() as u64;
     for _ in 0..iterations {
         let mut dangling = 0.0;
@@ -484,7 +620,7 @@ fn pagerank_impl(
         let teleport = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
         let Some(next) = map_weighted(policy, n, weight, |r| {
             if blocked {
-                return pull_blocked(csr, &share, r);
+                return pull_blocked(csr, share, r, &policy.scratch);
             }
             let mut vals = Vec::with_capacity(r.len());
             for w in r {
@@ -509,30 +645,37 @@ fn pagerank_impl(
     for (d, &v) in csr.nodes().iter().enumerate() {
         out[v.index()] = rank[d];
     }
+    policy.scratch.checkin(scratch);
     out
 }
 
 /// One cache-blocked pull pass over the targets in `r`: ascending source
-/// blocks, per-target forward-only cursors. Addition order per target is
-/// globally ascending — identical to the plain pull.
-fn pull_blocked(csr: &CsrGraph, share: &[f64], r: std::ops::Range<usize>) -> Vec<f64> {
+/// blocks, per-target forward-only cursors (held in a per-chunk scratch
+/// arena). Addition order per target is globally ascending — identical to
+/// the plain pull.
+fn pull_blocked(csr: &CsrGraph, share: &[f64], r: std::ops::Range<usize>, pool: &ScratchPool) -> Vec<f64> {
     let n = csr.n();
-    let mut vals = vec![0.0; r.len()];
-    let mut cursors = vec![0usize; r.len()];
+    let m = r.len();
+    let mut vals = vec![0.0; m];
+    let mut scratch = pool.checkout();
+    let cursors = &mut scratch.cursors;
+    cursors.clear();
+    cursors.resize(m, 0);
     let mut b0 = 0usize;
     while b0 < n {
         let b1 = (b0 + PAGERANK_SOURCE_BLOCK).min(n);
-        for (i, w) in r.clone().enumerate() {
-            let srcs = csr.pull_sources(w as u32);
-            let mut c = cursors[i];
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            let srcs = csr.pull_sources((r.start + i) as u32);
+            let mut c = *cursor;
             while c < srcs.len() && (srcs[c] as usize) < b1 {
                 vals[i] += share[srcs[c] as usize];
                 c += 1;
             }
-            cursors[i] = c;
+            *cursor = c;
         }
         b0 = b1;
     }
+    pool.checkin(scratch);
     vals
 }
 
@@ -542,11 +685,14 @@ fn pull_blocked(csr: &CsrGraph, share: &[f64], r: std::ops::Range<usize>) -> Vec
 /// produces. Matches [`reference::connected_components_reference`].
 pub fn connected_components(csr: &CsrGraph, policy: &KernelPolicy) -> Components {
     let n = csr.n();
-    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut scratch = policy.scratch.checkout();
+    let Scratch { u32a: labels, u32b: next, cursors: comp_of_label, .. } = &mut scratch;
+    labels.clear();
+    labels.extend(0..n as u32);
     let weight = |v: usize| 1 + csr.und(v as u32).len() as u64;
     loop {
         let Some(rounds) = map_weighted(policy, n, weight, |r| {
-            let mut next = Vec::with_capacity(r.len());
+            let mut round = Vec::with_capacity(r.len());
             let mut changed = false;
             for v in r {
                 let mut best = labels[v];
@@ -559,25 +705,26 @@ pub fn connected_components(csr: &CsrGraph, policy: &KernelPolicy) -> Components
                 // O(diameter) to O(log n) rounds.
                 best = best.min(labels[best as usize]);
                 changed |= best != labels[v];
-                next.push(best);
+                round.push(best);
             }
-            (next, changed)
+            (round, changed)
         }) else {
             return Components { assignment: vec![None; csr.node_bound()], count: 0 };
         };
         let mut changed = false;
-        let mut next = Vec::with_capacity(n);
+        next.clear();
         for (chunk, c) in rounds {
             next.extend(chunk);
             changed |= c;
         }
-        labels = next;
+        std::mem::swap(labels, next);
         if !changed {
             break;
         }
     }
     let mut assignment = vec![None; csr.node_bound()];
-    let mut comp_of_label: Vec<usize> = vec![usize::MAX; n];
+    comp_of_label.clear();
+    comp_of_label.resize(n, usize::MAX);
     let mut count = 0usize;
     for d in 0..n {
         let l = labels[d] as usize;
@@ -587,6 +734,7 @@ pub fn connected_components(csr: &CsrGraph, policy: &KernelPolicy) -> Components
         }
         assignment[csr.node_of(d as u32).index()] = Some(comp_of_label[l]);
     }
+    policy.scratch.checkin(scratch);
     Components { assignment, count }
 }
 
@@ -615,11 +763,12 @@ fn count_common_gt(a: &[u32], b: &[u32], hi: u32) -> usize {
     count
 }
 
-/// Live edges as dense endpoint pairs: each undirected edge once (low
-/// endpoint first), each directed edge once — the same per-edge iteration
-/// the reference oracles perform over `edge_ids`.
-fn edge_pairs(csr: &CsrGraph) -> Vec<(u32, u32)> {
-    let mut pairs = Vec::with_capacity(csr.m());
+/// Live edges as dense endpoint pairs, filled into `pairs`: each undirected
+/// edge once (low endpoint first), each directed edge once — the same
+/// per-edge iteration the reference oracles perform over `edge_ids`.
+fn edge_pairs(csr: &CsrGraph, pairs: &mut Vec<(u32, u32)>) {
+    pairs.clear();
+    pairs.reserve(csr.m());
     for v in 0..csr.n() as u32 {
         for &w in csr.out(v) {
             if csr.is_directed() || w > v {
@@ -627,16 +776,17 @@ fn edge_pairs(csr: &CsrGraph) -> Vec<(u32, u32)> {
             }
         }
     }
-    pairs
 }
 
 /// Edge-parallel triangle count over sorted undirected-view adjacency.
 /// Matches [`reference::triangle_count_reference`].
 pub fn triangle_count(csr: &CsrGraph, policy: &KernelPolicy) -> usize {
-    let pairs = edge_pairs(csr);
+    let mut scratch = policy.scratch.checkout();
+    let pairs = &mut scratch.pairs;
+    edge_pairs(csr, pairs);
     let weight =
         |i: usize| (csr.und(pairs[i].0).len() + csr.und(pairs[i].1).len()) as u64;
-    map_weighted(policy, pairs.len(), weight, |r| {
+    let count = map_weighted(policy, pairs.len(), weight, |r| {
         let mut c = 0usize;
         for &(a, b) in &pairs[r] {
             c += count_common_gt(csr.und(a), csr.und(b), a.max(b));
@@ -644,7 +794,9 @@ pub fn triangle_count(csr: &CsrGraph, policy: &KernelPolicy) -> usize {
         c
     })
     .map(|chunks| chunks.into_iter().sum())
-    .unwrap_or(0)
+    .unwrap_or(0);
+    policy.scratch.checkin(scratch);
+    count
 }
 
 /// Connected triples `Σ k(k−1)/2` over undirected-view degrees.
@@ -695,19 +847,24 @@ fn bfs_scan(csr: &CsrGraph, s: u32, dist: &mut [usize], queue: &mut VecDeque<u32
     (ecc, total, pairs)
 }
 
-/// Per-source BFS sweep, parallel over sources. Each chunk reuses one
-/// distance buffer and queue across its sources. Returns per-source
-/// `(ecc, Σ d, pairs)` in ascending source order.
+/// Per-source BFS sweep, parallel over sources. Each chunk checks one
+/// scratch arena out of the policy's pool and reuses its distance buffer
+/// and queue across the chunk's sources (and, via the pool, across chunks,
+/// steps and epochs). Returns per-source `(ecc, Σ d, pairs)` in ascending
+/// source order.
 fn sweep(csr: &CsrGraph, policy: &KernelPolicy) -> Vec<(usize, usize, usize)> {
     let n = csr.n();
     map_chunks(policy, n, |r| {
-        let mut dist = vec![UNSEEN; n];
-        let mut queue = VecDeque::new();
+        let mut scratch = policy.scratch.checkout();
+        let Scratch { dist, queue, .. } = &mut scratch;
+        dist.clear();
+        dist.resize(n, UNSEEN);
         let mut out = Vec::with_capacity(r.len());
         for s in r {
             dist.fill(UNSEEN);
-            out.push(bfs_scan(csr, s as u32, &mut dist, &mut queue));
+            out.push(bfs_scan(csr, s as u32, dist, queue));
         }
+        policy.scratch.checkin(scratch);
         out
     })
     .map(|chunks| chunks.into_iter().flatten().collect())

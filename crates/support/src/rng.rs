@@ -296,7 +296,8 @@ impl SeedableRng for ChaCha12Rng {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&CHACHA_CONSTANTS);
         for (i, chunk) in seed.chunks_exact(4).enumerate() {
-            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            // chunks_exact(4) yields exactly 4 bytes; index, don't convert.
+            state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         ChaCha12Rng {
             state,

@@ -14,6 +14,17 @@ if [[ "${1:-}" == "--quick-scale" ]]; then
     exit 0
 fi
 
+# --quick-serve: the coalescing property suite plus a single-iteration
+# duplicate-heavy serving round, validating that the committed
+# results/BENCH_serving.json still carries the full schema (env with the
+# oversubscription flag, coalescing on/off sections; see benches/serving.rs
+# and EXPERIMENTS.md E13).
+if [[ "${1:-}" == "--quick-serve" ]]; then
+    cargo test -q --offline -p chatgraph-apis --test coalesce_properties
+    cargo bench --offline -p chatgraph-bench --bench serving -- --quick
+    exit 0
+fi
+
 cargo build --release && cargo test -q
 
 # Everything else must also compile offline: benches, examples, all targets.
@@ -52,6 +63,12 @@ cargo bench --offline -p chatgraph-bench --bench chain_fault_exec
 # warm and cold shared memo; poisoning and degraded findings must stay
 # within their tenant (DESIGN.md §12).
 cargo test -q --offline -p chatgraph-core --test serving_properties
+
+# Coalescing properties: concurrent identical steps execute exactly once,
+# results (and failures) are bit-identical to solo runs at widths 1/2/4,
+# a panicking leader fails all waiters without hanging, and fault-armed
+# supervisors bypass coalescing entirely (DESIGN.md §15).
+cargo test -q --offline -p chatgraph-apis --test coalesce_properties
 
 # Serving baseline: requests/sec, sessions/sec, and p50/p95 open-loop
 # latency at three pool widths plus solo-vs-shared memo hit rates, written
