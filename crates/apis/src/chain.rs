@@ -136,6 +136,11 @@ pub enum ChainError {
     /// A step exceeded the configured per-step deadline (milliseconds) and
     /// was cancelled cooperatively.
     StepTimedOut(usize, u64),
+    /// A mutation barrier executed but its durable commit failed; the chain
+    /// aborts so no later step builds on unlogged state. (The in-memory
+    /// mutation stands — the session installs the graph even on failure —
+    /// but the store is dead until reopened.)
+    CommitFailed(usize, String),
 }
 
 impl fmt::Display for ChainError {
@@ -160,6 +165,9 @@ impl fmt::Display for ChainError {
             ChainError::StepPanicked(i, msg) => write!(f, "step {i} panicked: {msg}"),
             ChainError::StepTimedOut(i, ms) => {
                 write!(f, "step {i} exceeded its {ms}ms deadline and was cancelled")
+            }
+            ChainError::CommitFailed(i, msg) => {
+                write!(f, "step {i}: durable commit failed: {msg}")
             }
         }
     }

@@ -170,6 +170,37 @@ pub enum ChainEvent {
         /// The failure that was degraded.
         error: String,
     },
+    /// A mutation barrier was durably committed to the session's
+    /// write-ahead log before its effects were published. Non-core.
+    WalAppended {
+        /// Step index of the mutation barrier.
+        step: usize,
+        /// The durable store epoch the commit produced.
+        epoch: u64,
+        /// WAL records appended by the commit.
+        records: usize,
+        /// Bytes appended by the commit.
+        bytes: u64,
+    },
+    /// The session's store compacted its write-ahead log. Non-core.
+    Checkpointed {
+        /// The store epoch the checkpoint captured.
+        epoch: u64,
+        /// Size of the compacted store file, in bytes.
+        bytes: u64,
+        /// WAL bytes reclaimed by the compaction.
+        reclaimed: u64,
+    },
+    /// The session's store was opened from an existing file and recovered
+    /// to its last durable epoch. Non-core.
+    Recovered {
+        /// The recovered store epoch.
+        epoch: u64,
+        /// WAL records replayed into the recovered state.
+        records_replayed: usize,
+        /// Torn/corrupt tail bytes truncated off the file.
+        tail_dropped: u64,
+    },
 }
 
 impl ChainEvent {
@@ -189,6 +220,9 @@ impl ChainEvent {
                 | ChainEvent::StepTimedOut { .. }
                 | ChainEvent::StepPanicked { .. }
                 | ChainEvent::DegradedResult { .. }
+                | ChainEvent::WalAppended { .. }
+                | ChainEvent::Checkpointed { .. }
+                | ChainEvent::Recovered { .. }
         )
     }
 }
@@ -318,6 +352,31 @@ impl ToJson for ChainEvent {
                     field("error", error.to_json()),
                 ],
             ),
+            ChainEvent::WalAppended { step, epoch, records, bytes } => tagged(
+                "WalAppended",
+                vec![
+                    field("step", step.to_json()),
+                    field("epoch", epoch.to_json()),
+                    field("records", records.to_json()),
+                    field("bytes", bytes.to_json()),
+                ],
+            ),
+            ChainEvent::Checkpointed { epoch, bytes, reclaimed } => tagged(
+                "Checkpointed",
+                vec![
+                    field("epoch", epoch.to_json()),
+                    field("bytes", bytes.to_json()),
+                    field("reclaimed", reclaimed.to_json()),
+                ],
+            ),
+            ChainEvent::Recovered { epoch, records_replayed, tail_dropped } => tagged(
+                "Recovered",
+                vec![
+                    field("epoch", epoch.to_json()),
+                    field("records_replayed", records_replayed.to_json()),
+                    field("tail_dropped", tail_dropped.to_json()),
+                ],
+            ),
         }
     }
 }
@@ -419,6 +478,22 @@ impl FromJson for ChainEvent {
                 step: FromJson::from_json(get("step")?)?,
                 api: FromJson::from_json(get("api")?)?,
                 error: FromJson::from_json(get("error")?)?,
+            }),
+            "WalAppended" => Ok(ChainEvent::WalAppended {
+                step: FromJson::from_json(get("step")?)?,
+                epoch: FromJson::from_json(get("epoch")?)?,
+                records: FromJson::from_json(get("records")?)?,
+                bytes: FromJson::from_json(get("bytes")?)?,
+            }),
+            "Checkpointed" => Ok(ChainEvent::Checkpointed {
+                epoch: FromJson::from_json(get("epoch")?)?,
+                bytes: FromJson::from_json(get("bytes")?)?,
+                reclaimed: FromJson::from_json(get("reclaimed")?)?,
+            }),
+            "Recovered" => Ok(ChainEvent::Recovered {
+                epoch: FromJson::from_json(get("epoch")?)?,
+                records_replayed: FromJson::from_json(get("records_replayed")?)?,
+                tail_dropped: FromJson::from_json(get("tail_dropped")?)?,
             }),
             other => Err(JsonError::msg(format!("unknown ChainEvent variant `{other}`"))),
         }
@@ -566,6 +641,9 @@ mod tests {
                 api: "triangle_count".into(),
                 error: "exceeded the 50ms step deadline".into(),
             },
+            ChainEvent::WalAppended { step: 1, epoch: 12, records: 3, bytes: 512 },
+            ChainEvent::Checkpointed { epoch: 12, bytes: 8192, reclaimed: 40960 },
+            ChainEvent::Recovered { epoch: 11, records_replayed: 35, tail_dropped: 17 },
         ];
         for e in events {
             assert!(!e.is_core());

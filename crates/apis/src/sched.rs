@@ -401,6 +401,31 @@ impl Default for ExecProfile {
     }
 }
 
+/// Acknowledgement from a [`CommitSink`] for one durable mutation barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitAck {
+    /// The durable epoch the commit produced.
+    pub epoch: u64,
+    /// WAL records the commit appended.
+    pub records: usize,
+    /// Bytes the commit appended.
+    pub bytes: u64,
+}
+
+/// A durability hook on the scheduler's mutation barriers.
+///
+/// When installed ([`Scheduler::set_commit_sink`]), the scheduler calls
+/// [`CommitSink::commit`] once per successful graph-mutating barrier step,
+/// **before** the step's effects are published to the chain (finding pushed,
+/// `StepFinished` emitted, output forwarded). A failed commit aborts the
+/// chain with [`ChainError::CommitFailed`] so no later step builds on
+/// unlogged state; the in-memory mutation itself stands (the session layer
+/// installs the graph even on chain failure).
+pub trait CommitSink: Send + Sync + std::fmt::Debug {
+    /// Durably records `graph` as the next epoch.
+    fn commit(&self, graph: &Graph) -> Result<CommitAck, String>;
+}
+
 /// Executes plans with a fixed worker count and a step-memo cache.
 ///
 /// The scheduler is long-lived: a session keeps one and the memo cache
@@ -412,6 +437,7 @@ pub struct Scheduler {
     kernel_chunk: usize,
     supervisor: SupervisorConfig,
     memo: Arc<StepMemo>,
+    commit_sink: Option<Arc<dyn CommitSink>>,
 }
 
 impl Scheduler {
@@ -423,6 +449,7 @@ impl Scheduler {
             kernel_chunk: DEFAULT_KERNEL_CHUNK,
             supervisor: SupervisorConfig::default(),
             memo: Arc::new(StepMemo::default()),
+            commit_sink: None,
         }
     }
 
@@ -435,6 +462,7 @@ impl Scheduler {
             kernel_chunk: profile.kernel_chunk.max(1),
             supervisor: profile.supervisor.clone(),
             memo: Arc::new(StepMemo::new(profile.memo_capacity)),
+            commit_sink: None,
         }
     }
 
@@ -491,6 +519,17 @@ impl Scheduler {
     /// policy overrides in the serving layer and the test harness).
     pub fn supervisor_mut(&mut self) -> &mut SupervisorConfig {
         &mut self.supervisor
+    }
+
+    /// Installs (or clears) the durable commit sink called on every
+    /// successful mutation barrier.
+    pub fn set_commit_sink(&mut self, sink: Option<Arc<dyn CommitSink>>) {
+        self.commit_sink = sink;
+    }
+
+    /// Whether a durable commit sink is installed.
+    pub fn has_commit_sink(&self) -> bool {
+        self.commit_sink.is_some()
     }
 
     /// The configured worker count.
@@ -626,6 +665,33 @@ impl Scheduler {
                     }
                     match attempted.result {
                         Ok(output) => {
+                            // Durability point: the mutation barrier's epoch
+                            // goes to the WAL before any effect of the step
+                            // is published to the chain.
+                            if pstep.mutates_graph {
+                                if let Some(sink) = &self.commit_sink {
+                                    match sink.commit(&ctx.graph) {
+                                        Ok(ack) => {
+                                            monitor.on_event(&ChainEvent::WalAppended {
+                                                step: i,
+                                                epoch: ack.epoch,
+                                                records: ack.records,
+                                                bytes: ack.bytes,
+                                            });
+                                        }
+                                        Err(error) => {
+                                            monitor.on_event(&ChainEvent::StepFailed {
+                                                step: i,
+                                                api: step.api.clone(),
+                                                error: format!(
+                                                    "durable commit failed: {error}"
+                                                ),
+                                            });
+                                            return Err(ChainError::CommitFailed(i, error));
+                                        }
+                                    }
+                                }
+                            }
                             ctx.push_finding(&step.api, &output);
                             monitor.on_event(&ChainEvent::StepFinished {
                                 step: i,

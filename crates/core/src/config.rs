@@ -167,6 +167,36 @@ impl ExecConfig {
     }
 }
 
+/// Durable-store settings: whether (and where) the session's graph is
+/// persisted through the single-file WAL store (DESIGN.md §16).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Store file path. Empty disables durability (the default): the
+    /// session stays purely in-memory.
+    pub path: String,
+    /// Checkpoint (compact the WAL) after this many durable commits.
+    /// 0 disables automatic checkpointing.
+    pub checkpoint_every: u64,
+}
+
+chatgraph_support::impl_json_struct!(StoreConfig { path, checkpoint_every });
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            path: String::new(),
+            checkpoint_every: 64,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Whether durability is enabled.
+    pub fn enabled(&self) -> bool {
+        !self.path.is_empty()
+    }
+}
+
 /// The complete ChatGraph configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChatGraphConfig {
@@ -182,6 +212,8 @@ pub struct ChatGraphConfig {
     pub finetune: FinetuneConfig,
     /// Chain-execution scheduler.
     pub exec: ExecConfig,
+    /// Durable graph store.
+    pub store: StoreConfig,
     /// Global seed.
     pub seed: u64,
 }
@@ -193,6 +225,7 @@ chatgraph_support::impl_json_struct!(ChatGraphConfig {
     sampling,
     finetune,
     exec,
+    store,
     seed,
 });
 
@@ -235,6 +268,7 @@ impl Default for ChatGraphConfig {
             sampling: SamplingConfig::default(),
             finetune: FinetuneConfig::default(),
             exec: ExecConfig::default(),
+            store: StoreConfig::default(),
             seed: 42,
         }
     }

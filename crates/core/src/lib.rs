@@ -42,7 +42,7 @@ pub mod scenarios;
 pub mod serve;
 pub mod session;
 
-pub use config::{ChatGraphConfig, ExecConfig};
+pub use config::{ChatGraphConfig, ExecConfig, StoreConfig};
 pub use dataset::{generate_corpus, CorpusParams, QaExample};
 pub use finetune::{evaluate, finetune, EvalReport, FinetuneMethod, FinetuneReport};
 pub use generation::ChainGenerator;

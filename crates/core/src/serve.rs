@@ -144,6 +144,11 @@ pub struct ServeConfig {
     /// execution ([`StepMemo`] singleflight). Off = every miss executes,
     /// as before; the memo still dedupes *sequential* repeats.
     pub coalesce: bool,
+    /// Directory for per-tenant durable store files. Empty (the default)
+    /// disables durability; otherwise each opened session gets a store at
+    /// `<store_dir>/tenant-<id>.cgdb` and an existing file is recovered
+    /// when the same tenant id is reopened after a restart.
+    pub store_dir: String,
 }
 
 impl Default for ServeConfig {
@@ -158,6 +163,7 @@ impl Default for ServeConfig {
             csr_capacity: 64,
             claim_batch: 8,
             coalesce: true,
+            store_dir: String::new(),
         }
     }
 }
@@ -377,6 +383,12 @@ impl SessionServer {
             session.use_shared_csr(Arc::clone(&self.csr));
         }
         let id = self.next_tenant.fetch_add(1, Ordering::Relaxed);
+        if !self.serve.store_dir.is_empty() {
+            let dir = std::path::Path::new(&self.serve.store_dir);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ServeError::Session(SessionError::Store(e.to_string())))?;
+            session.open_store(dir.join(format!("tenant-{id}.cgdb")))?;
+        }
         tenants.insert(
             id,
             Arc::new(TenantSlot {
@@ -694,6 +706,41 @@ mod tests {
         assert!(!off.coalescing());
         let bad = ServeConfig { claim_batch: 0, ..ServeConfig::default() };
         assert_eq!(bad.validate().unwrap_err().len(), 1);
+    }
+
+    #[test]
+    fn store_backed_tenants_recover_after_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "chatgraph-serve-store-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let serve = ServeConfig {
+            store_dir: dir.to_string_lossy().into_owned(),
+            ..ServeConfig::default()
+        };
+        let srv = server(serve.clone());
+        let t = srv.open_session().unwrap();
+        let uploaded = social_network(&SocialParams::default(), 17);
+        let nodes = uploaded.node_count();
+        srv.with_session(t, |s| {
+            s.set_graph(uploaded);
+            assert!(s.store().is_some(), "store must be attached");
+        })
+        .unwrap();
+        srv.submit(t, Request::Execute(ApiChain::from_names(["node_count"]))).unwrap();
+        srv.drain();
+        drop(srv);
+
+        // A new server over the same directory: the first tenant id is 0
+        // again, so the reopened session recovers the same store file.
+        let srv = server(serve);
+        let t = srv.open_session().unwrap();
+        let recovered = srv
+            .with_session(t, |s| s.graph().map(|g| g.node_count()))
+            .unwrap();
+        assert_eq!(recovered, Some(nodes), "recovered graph must match the upload");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

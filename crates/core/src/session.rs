@@ -40,12 +40,14 @@ use crate::prompt::Prompt;
 use crate::retrieval::ApiRetriever;
 use chatgraph_analyzer::diag::Diagnostics;
 use chatgraph_apis::{
-    registry, ApiChain, ApiRegistry, ChainError, ExecContext, KernelState, Monitor, Scheduler,
-    StepMemo, Value,
+    registry, ApiChain, ApiRegistry, ChainError, ChainEvent, CommitAck, CommitSink, ExecContext,
+    KernelState, Monitor, Scheduler, StepMemo, Value,
 };
 use chatgraph_graph::csr::CsrCache;
 use chatgraph_graph::stats::CatalogCache;
 use chatgraph_graph::Graph;
+use chatgraph_store::{GraphStore, RecoveryReport, StoreOpened};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Why a session could not be constructed.
@@ -55,6 +57,8 @@ pub enum SessionError {
     InvalidConfig(Vec<String>),
     /// A saved model could not be parsed.
     Model(String),
+    /// The durable store could not be opened or written.
+    Store(String),
 }
 
 impl std::fmt::Display for SessionError {
@@ -64,11 +68,27 @@ impl std::fmt::Display for SessionError {
                 write!(f, "invalid config: {}", problems.join("; "))
             }
             SessionError::Model(e) => write!(f, "saved model is unusable: {e}"),
+            SessionError::Store(e) => write!(f, "durable store error: {e}"),
         }
     }
 }
 
 impl std::error::Error for SessionError {}
+
+/// Adapts a [`GraphStore`] to the scheduler's [`CommitSink`]: every
+/// successful mutation barrier becomes one durable WAL commit, appended and
+/// fsynced before the barrier's effects are published to the chain.
+#[derive(Debug)]
+struct StoreSink(Arc<GraphStore>);
+
+impl CommitSink for StoreSink {
+    fn commit(&self, graph: &Graph) -> Result<CommitAck, String> {
+        self.0
+            .commit(graph)
+            .map(|r| CommitAck { epoch: r.epoch, records: r.records, bytes: r.bytes })
+            .map_err(|e| e.to_string())
+    }
+}
 
 /// One transcript turn.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -214,6 +234,11 @@ pub struct ChatSession {
     /// without copying.
     pub database: Arc<Vec<Graph>>,
     transcript: Vec<Turn>,
+    /// The durable store backing this session, when one is attached.
+    store: Option<Arc<GraphStore>>,
+    /// A recovery performed at open, not yet surfaced: the next
+    /// [`ChatSession::run_chain`] emits it as [`ChainEvent::Recovered`].
+    pending_recovery: Option<RecoveryReport>,
 }
 
 impl ChatSession {
@@ -226,7 +251,9 @@ impl ChatSession {
         corpus_size: usize,
     ) -> Result<(Self, FinetuneReport), SessionError> {
         let (core, report) = SessionCore::bootstrap(config, corpus_size)?;
-        Ok((ChatSession::from_core(core), report))
+        let mut session = ChatSession::from_core(core);
+        session.open_configured_store()?;
+        Ok((session, report))
     }
 
     /// Builds a session around a previously finetuned model (saved with
@@ -236,7 +263,30 @@ impl ChatSession {
         model_json: &str,
     ) -> Result<Self, SessionError> {
         let core = SessionCore::from_saved_model(config, model_json)?;
-        Ok(ChatSession::from_core(core))
+        let mut session = ChatSession::from_core(core);
+        session.open_configured_store()?;
+        Ok(session)
+    }
+
+    /// Restores a full session from a durable store file: the finetuned
+    /// model comes from the store's `Model` record, the graph from its last
+    /// committed epoch. The recovery is also left pending, so the first
+    /// `run_chain` surfaces it as [`ChainEvent::Recovered`].
+    pub fn from_store(
+        config: ChatGraphConfig,
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryReport), SessionError> {
+        let (store, report) =
+            GraphStore::open(path).map_err(|e| SessionError::Store(e.to_string()))?;
+        let model = store
+            .model()
+            .ok_or_else(|| SessionError::Store("store holds no saved model".to_owned()))?;
+        let core = SessionCore::from_saved_model(config, &model)?;
+        let mut session = ChatSession::from_core(core);
+        session.install_graph(Arc::new(store.graph()));
+        session.pending_recovery = Some(report);
+        session.attach_store(Arc::new(store));
+        Ok((session, report))
     }
 
     /// Wraps a cheap new session around a shared core. The scheduler is
@@ -253,6 +303,8 @@ impl ChatSession {
             graph_epoch: 0,
             database: Arc::new(Vec::new()),
             transcript: Vec::new(),
+            store: None,
+            pending_recovery: None,
         }
     }
 
@@ -304,9 +356,83 @@ impl ChatSession {
     }
 
     /// Replaces the session graph, advancing the mutation epoch and
-    /// evicting the replaced epoch's CSR snapshot.
+    /// evicting the replaced epoch's CSR snapshot. With a store attached
+    /// the upload is durably committed as its own epoch (best-effort: a
+    /// commit failure marks the store dead and surfaces as
+    /// [`ChainError::CommitFailed`] on the next mutating chain).
     pub fn set_graph(&mut self, graph: Graph) {
         self.install_graph(Arc::new(graph));
+        if let (Some(store), Some(g)) = (&self.store, &self.graph) {
+            let _ = store.commit(g);
+        }
+    }
+
+    /// Opens (or creates) a durable store at `path` and attaches it: the
+    /// current graph (or an empty one) seeds a fresh file; an existing file
+    /// is recovered and its last committed graph replaces the session
+    /// graph. Once attached, every mutation barrier is WAL-committed before
+    /// its effects are published.
+    pub fn open_store(&mut self, path: impl AsRef<Path>) -> Result<StoreOpened, SessionError> {
+        let init = match &self.graph {
+            Some(g) => (**g).clone(),
+            None => Graph::undirected(),
+        };
+        let (store, opened) =
+            GraphStore::open_or_create(path, &init).map_err(|e| SessionError::Store(e.to_string()))?;
+        if let StoreOpened::Recovered(report) = opened {
+            self.install_graph(Arc::new(store.graph()));
+            self.pending_recovery = Some(report);
+        }
+        self.attach_store(Arc::new(store));
+        Ok(opened)
+    }
+
+    /// Detaches the durable store: mutations stop being logged; the file
+    /// keeps its last durable state.
+    pub fn close_store(&mut self) {
+        self.store = None;
+        self.scheduler.set_commit_sink(None);
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<GraphStore>> {
+        self.store.as_ref()
+    }
+
+    /// Durably saves the finetuned model into the attached store, so
+    /// [`ChatSession::from_store`] can restore the full session from the
+    /// one file.
+    pub fn persist_model(&self) -> Result<(), SessionError> {
+        let store = self
+            .store
+            .as_ref()
+            .ok_or_else(|| SessionError::Store("no store attached".to_owned()))?;
+        store
+            .put_model(&self.save_model())
+            .map_err(|e| SessionError::Store(e.to_string()))
+    }
+
+    /// Compacts the attached store's WAL now (the REPL's `:checkpoint`).
+    pub fn checkpoint_store(&self) -> Result<chatgraph_store::CheckpointReport, SessionError> {
+        let store = self
+            .store
+            .as_ref()
+            .ok_or_else(|| SessionError::Store("no store attached".to_owned()))?;
+        store.checkpoint().map_err(|e| SessionError::Store(e.to_string()))
+    }
+
+    fn attach_store(&mut self, store: Arc<GraphStore>) {
+        self.scheduler
+            .set_commit_sink(Some(Arc::new(StoreSink(Arc::clone(&store)))));
+        self.store = Some(store);
+    }
+
+    fn open_configured_store(&mut self) -> Result<(), SessionError> {
+        if self.core.config.store.enabled() {
+            let path = self.core.config.store.path.clone();
+            self.open_store(path)?;
+        }
+        Ok(())
     }
 
     /// Removes and returns the session graph (cloning only if it is still
@@ -478,6 +604,15 @@ impl ChatSession {
         chain: &ApiChain,
         monitor: &mut dyn Monitor,
     ) -> Result<Value, ChainError> {
+        // Surface a recovery performed at open on the first chain after it,
+        // in-stream with the execution events.
+        if let Some(r) = self.pending_recovery.take() {
+            monitor.on_event(&ChainEvent::Recovered {
+                epoch: r.epoch,
+                records_replayed: r.records_replayed,
+                tail_dropped: r.tail_dropped,
+            });
+        }
         let before = match &self.graph {
             Some(g) => Arc::clone(g),
             None => Arc::new(Graph::undirected()),
@@ -505,6 +640,20 @@ impl ChatSession {
         if let Ok(value) = &result {
             self.transcript
                 .push(Turn::System(format!("Executed {chain}: {}", value.summary())));
+            // Periodic WAL compaction: after a clean chain, once enough
+            // commits accumulated since the last checkpoint.
+            let every = self.core.config.store.checkpoint_every;
+            if let Some(store) = &self.store {
+                if every > 0 && store.commits_since_checkpoint() >= every {
+                    if let Ok(r) = store.checkpoint() {
+                        monitor.on_event(&ChainEvent::Checkpointed {
+                            epoch: r.epoch,
+                            bytes: r.file_bytes,
+                            reclaimed: r.reclaimed,
+                        });
+                    }
+                }
+            }
         }
         result
     }
@@ -622,6 +771,55 @@ mod tests {
             before_edges + added as usize
         );
         });
+    }
+
+    #[test]
+    fn store_backed_session_replays_bit_identical_chain_results() {
+        use chatgraph_graph::generators::{corrupt_kg, knowledge_graph, KgParams};
+        use chatgraph_store::graph_fp;
+
+        let path = std::env::temp_dir().join(format!(
+            "chatgraph-session-diff-{}.cgdb",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let mut g0 = knowledge_graph(&KgParams::default(), 21);
+        corrupt_kg(&mut g0, 0.1, 0.05, 21);
+        let mutating = ApiChain::from_names(["detect_missing_edges", "add_edges"]);
+        let readonly = ApiChain::from_names(["node_count"]);
+
+        // In-memory reference: mutate, then query.
+        let (mem_v1, mem_v2, mem_fp) = with_session(|s| {
+            s.set_graph(g0.clone());
+            let v1 = s.run_chain(&mutating, &mut CollectingMonitor::new()).unwrap();
+            let v2 = s.run_chain(&readonly, &mut CollectingMonitor::new()).unwrap();
+            (v1, v2, graph_fp(s.graph().unwrap()))
+        });
+
+        // Store-backed run of the identical mutating chain, checkpointed
+        // and persisted, then abandoned (simulating a process exit).
+        let (store_v1, store_fp, config) = with_session(|s| {
+            s.open_store(&path).unwrap();
+            s.set_graph(g0.clone());
+            let v1 = s.run_chain(&mutating, &mut CollectingMonitor::new()).unwrap();
+            s.persist_model().unwrap();
+            s.checkpoint_store().unwrap();
+            (v1, graph_fp(s.graph().unwrap()), s.config().clone())
+        });
+        assert_eq!(mem_v1, store_v1, "store-backed chain diverged from in-memory");
+        assert_eq!(mem_fp, store_fp, "graphs diverged after the mutating chain");
+
+        // Reopen from the file alone: the recovered session answers the
+        // follow-up chain bit-identically to the in-memory one.
+        let (mut restored, report) = ChatSession::from_store(config, &path).unwrap();
+        assert_eq!(report.tail_dropped, 0);
+        assert_eq!(graph_fp(restored.graph().unwrap()), mem_fp);
+        let v2 = restored
+            .run_chain(&readonly, &mut CollectingMonitor::new())
+            .unwrap();
+        assert_eq!(mem_v2, v2, "recovered session diverged on the follow-up chain");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

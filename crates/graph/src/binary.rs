@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! magic "CGRB" | version u8 | directed u8 | name | n_nodes u32 | nodes… |
-//! n_edges u32 | edges…
+//! n_edges u32 | edges… | crc32 u32
 //! node  := label | n_attrs u16 | (key, value)…
 //! edge  := src u32 | dst u32 | label | n_attrs u16 | (key, value)…
 //! value := tag u8 (0 bool, 1 int, 2 float, 3 text) | payload
@@ -17,13 +17,28 @@
 //! Only live elements are written; ids are re-densified on decode (the
 //! encoding of a tombstoned graph equals the encoding of its
 //! [`Graph::compact`]).
+//!
+//! Version 2 appends a trailing CRC-32 over everything before it, verified
+//! *before* any structural parsing: a bit-flipped or truncated payload is
+//! rejected outright instead of mis-parsing into a plausible-looking graph.
+//! Section counts are additionally validated against the bytes actually
+//! remaining, so a corrupt count can never drive an over-allocation.
 
 use crate::attr::{AttrValue, Attrs};
 use crate::graph::{Direction, Graph, GraphError, NodeId};
+use chatgraph_support::hash::crc32;
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"CGRB";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+
+/// Smallest possible encoded node: empty label (4) + attr count (2).
+const MIN_NODE_BYTES: usize = 6;
+/// Smallest possible encoded edge: src (4) + dst (4) + empty label (4) +
+/// attr count (2).
+const MIN_EDGE_BYTES: usize = 14;
+/// Smallest possible encoded attribute: empty key (4) + tag (1) + bool (1).
+const MIN_ATTR_BYTES: usize = 6;
 
 /// Binary decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +53,8 @@ pub enum BinaryError {
     BadTag(u8),
     /// An edge referenced an out-of-range node.
     BadEdge,
+    /// The trailing CRC-32 did not match the payload (corruption).
+    BadChecksum,
 }
 
 impl fmt::Display for BinaryError {
@@ -48,18 +65,19 @@ impl fmt::Display for BinaryError {
             BinaryError::BadUtf8 => write!(f, "invalid utf-8 string"),
             BinaryError::BadTag(t) => write!(f, "unknown attribute tag {t}"),
             BinaryError::BadEdge => write!(f, "edge references unknown node"),
+            BinaryError::BadChecksum => write!(f, "payload checksum mismatch"),
         }
     }
 }
 
 impl std::error::Error for BinaryError {}
 
-fn put_string(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_string(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn put_attrs(buf: &mut Vec<u8>, attrs: &Attrs) {
+pub(crate) fn put_attrs(buf: &mut Vec<u8>, attrs: &Attrs) {
     buf.extend_from_slice(&(attrs.len() as u16).to_le_bytes());
     for (k, v) in attrs {
         put_string(buf, k);
@@ -111,11 +129,13 @@ pub fn to_bytes(g: &Graph) -> Result<Vec<u8>, GraphError> {
         put_string(&mut buf, g.edge_label(e)?);
         put_attrs(&mut buf, g.edge_attrs(e)?);
     }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
     Ok(buf)
 }
 
 /// Splits `n` bytes off the front of the cursor, or reports truncation.
-fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], BinaryError> {
+pub(crate) fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], BinaryError> {
     if buf.len() < n {
         return Err(BinaryError::Truncated);
     }
@@ -124,46 +144,49 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], BinaryError> {
     Ok(head)
 }
 
-fn get_u8(buf: &mut &[u8]) -> Result<u8, BinaryError> {
+pub(crate) fn get_u8(buf: &mut &[u8]) -> Result<u8, BinaryError> {
     Ok(take(buf, 1)?[0])
 }
 
-fn get_u16_le(buf: &mut &[u8]) -> Result<u16, BinaryError> {
+pub(crate) fn get_u16_le(buf: &mut &[u8]) -> Result<u16, BinaryError> {
     match take(buf, 2)?.try_into() {
         Ok(bytes) => Ok(u16::from_le_bytes(bytes)),
         Err(_) => Err(BinaryError::Truncated),
     }
 }
 
-fn get_u32_le(buf: &mut &[u8]) -> Result<u32, BinaryError> {
+pub(crate) fn get_u32_le(buf: &mut &[u8]) -> Result<u32, BinaryError> {
     match take(buf, 4)?.try_into() {
         Ok(bytes) => Ok(u32::from_le_bytes(bytes)),
         Err(_) => Err(BinaryError::Truncated),
     }
 }
 
-fn get_i64_le(buf: &mut &[u8]) -> Result<i64, BinaryError> {
+pub(crate) fn get_i64_le(buf: &mut &[u8]) -> Result<i64, BinaryError> {
     match take(buf, 8)?.try_into() {
         Ok(bytes) => Ok(i64::from_le_bytes(bytes)),
         Err(_) => Err(BinaryError::Truncated),
     }
 }
 
-fn get_f64_le(buf: &mut &[u8]) -> Result<f64, BinaryError> {
+pub(crate) fn get_f64_le(buf: &mut &[u8]) -> Result<f64, BinaryError> {
     match take(buf, 8)?.try_into() {
         Ok(bytes) => Ok(f64::from_le_bytes(bytes)),
         Err(_) => Err(BinaryError::Truncated),
     }
 }
 
-fn get_string(buf: &mut &[u8]) -> Result<String, BinaryError> {
+pub(crate) fn get_string(buf: &mut &[u8]) -> Result<String, BinaryError> {
     let len = get_u32_le(buf)? as usize;
     let raw = take(buf, len)?.to_vec();
     String::from_utf8(raw).map_err(|_| BinaryError::BadUtf8)
 }
 
-fn get_attrs(buf: &mut &[u8]) -> Result<Attrs, BinaryError> {
+pub(crate) fn get_attrs(buf: &mut &[u8]) -> Result<Attrs, BinaryError> {
     let n = get_u16_le(buf)? as usize;
+    if n > buf.len() / MIN_ATTR_BYTES {
+        return Err(BinaryError::Truncated);
+    }
     let mut attrs = Attrs::new();
     for _ in 0..n {
         let key = get_string(buf)?;
@@ -181,12 +204,28 @@ fn get_attrs(buf: &mut &[u8]) -> Result<Attrs, BinaryError> {
 }
 
 /// Deserialises a graph from the compact binary format.
+///
+/// The trailing CRC-32 is verified before any structural parsing, so a
+/// corrupted payload fails with [`BinaryError::BadChecksum`] instead of
+/// mis-parsing; section counts are then still validated against the bytes
+/// remaining, so even a checksummed-but-hostile buffer cannot drive an
+/// over-allocation.
 pub fn from_bytes(data: &[u8]) -> Result<Graph, BinaryError> {
     let mut buf = data;
     let header = take(&mut buf, 6).map_err(|_| BinaryError::BadHeader)?;
     if &header[..4] != MAGIC || header[4] != VERSION {
         return Err(BinaryError::BadHeader);
     }
+    // Split off and verify the trailing checksum before parsing anything.
+    if buf.len() < 4 {
+        return Err(BinaryError::Truncated);
+    }
+    let (body, tail) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    if crc32(&data[..data.len() - 4]) != stored {
+        return Err(BinaryError::BadChecksum);
+    }
+    let mut buf = body;
     let directed = header[5] != 0;
     let mut g = Graph::new(if directed {
         Direction::Directed
@@ -195,6 +234,9 @@ pub fn from_bytes(data: &[u8]) -> Result<Graph, BinaryError> {
     });
     g.set_name(get_string(&mut buf)?);
     let n_nodes = get_u32_le(&mut buf)? as usize;
+    if n_nodes > buf.len() / MIN_NODE_BYTES {
+        return Err(BinaryError::Truncated);
+    }
     let mut ids = Vec::with_capacity(n_nodes);
     for _ in 0..n_nodes {
         let label = get_string(&mut buf)?;
@@ -202,6 +244,9 @@ pub fn from_bytes(data: &[u8]) -> Result<Graph, BinaryError> {
         ids.push(g.add_node_with_attrs(label, attrs));
     }
     let n_edges = get_u32_le(&mut buf)? as usize;
+    if n_edges > buf.len() / MIN_EDGE_BYTES {
+        return Err(BinaryError::Truncated);
+    }
     for _ in 0..n_edges {
         let s = get_u32_le(&mut buf)? as usize;
         let d = get_u32_le(&mut buf)? as usize;
@@ -277,16 +322,58 @@ mod tests {
     #[test]
     fn corrupt_inputs_are_rejected_not_panicking() {
         assert_eq!(from_bytes(b""), Err(BinaryError::BadHeader));
-        assert_eq!(from_bytes(b"XXXX\x01\x00"), Err(BinaryError::BadHeader));
+        assert_eq!(from_bytes(b"XXXX\x02\x00"), Err(BinaryError::BadHeader));
         let good = to_bytes(&molecule(&MoleculeParams::default(), 1)).unwrap();
         // Truncate at every prefix length: must error, never panic.
-        for cut in 0..good.len().min(200) {
-            let _ = from_bytes(&good[..cut]);
+        for cut in 0..good.len() {
+            assert!(from_bytes(&good[..cut]).is_err(), "accepted truncation at {cut}");
         }
         // Flip the version byte.
         let mut bad = good.to_vec();
         bad[4] = 99;
         assert_eq!(from_bytes(&bad), Err(BinaryError::BadHeader));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let good = to_bytes(&molecule(&MoleculeParams::default(), 2)).unwrap();
+        // Any single-bit flip past the header must fail the checksum (or
+        // the header check, for the first six bytes) — a flipped label
+        // byte must not decode into a silently different graph.
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    from_bytes(&bad).is_err(),
+                    "accepted bit flip at {byte}:{bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_counts_cannot_over_allocate() {
+        // A node count of u32::MAX in a tiny buffer must be rejected by the
+        // remaining-bytes bound (after re-stamping a valid checksum so the
+        // count check itself is what fires), not attempted as an allocation.
+        let mut bad = to_bytes(&Graph::undirected()).unwrap();
+        bad.truncate(bad.len() - 4);
+        let name_end = 6 + 4 + 1; // header + name len + "G"
+        bad[name_end..name_end + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let crc = chatgraph_support::hash::crc32(&bad);
+        bad.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(from_bytes(&bad), Err(BinaryError::Truncated));
+    }
+
+    #[test]
+    fn version_one_payloads_are_rejected() {
+        // v1 had no checksum; accepting it would reopen the silent
+        // mis-parse hole. The format is internal (no persisted v1 data).
+        let mut old = to_bytes(&Graph::undirected()).unwrap();
+        old.truncate(old.len() - 4);
+        old[4] = 1;
+        assert_eq!(from_bytes(&old), Err(BinaryError::BadHeader));
     }
 
     #[test]

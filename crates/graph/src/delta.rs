@@ -1,0 +1,574 @@
+//! Slot-exact graph images and deltas — the durable store's payload codec.
+//!
+//! [`crate::binary`] re-densifies ids on encode, which is right for the
+//! molecule database but wrong for durability: chain results hold stable
+//! node/edge ids, so a recovered graph must reproduce the *slot layout* —
+//! tombstones included — or replayed chains drift. This module provides:
+//!
+//! * [`image_to_bytes`] / [`image_from_bytes`] — a lossless snapshot of a
+//!   graph's slot arrays (direction, name, every node/edge slot ever
+//!   allocated with its `removed` flag). `image_from_bytes(image_to_bytes(g))
+//!   == g`, adjacency and all.
+//! * [`GraphDelta`] — the ordered op list transforming one graph into a
+//!   descendant, computed by a full elementwise slot comparison
+//!   ([`GraphDelta::diff`]) and applied at the slot level
+//!   ([`GraphDelta::apply`]), bypassing the mutation API's duplicate/
+//!   liveness checks (a replayed history may transiently violate them).
+//!
+//! The diff declines (returns `None`) when `after` is not a slot-level
+//! descendant of `before` — bounds shrank, a tombstone resurrected, or an
+//! edge's endpoints changed — which cannot happen under incremental
+//! mutation (ids are never reused) but can when a caller swaps in an
+//! unrelated or compacted graph. Callers fall back to a full image.
+//!
+//! ```text
+//! image := "CGSI" | version u8 | directed u8 | name |
+//!          n_node_slots u32 | node_slot… | n_edge_slots u32 | edge_slot…
+//! node_slot := removed u8 | label | attrs
+//! edge_slot := removed u8 | src u32 | dst u32 | label | attrs
+//! delta := n_ops u32 | op…
+//! op    := tag u8 | body            (tags in the order of `GraphOp`)
+//! ```
+
+use crate::attr::Attrs;
+use crate::binary::{
+    get_attrs, get_string, get_u32_le, get_u8, put_attrs, put_string, take, BinaryError,
+};
+use crate::graph::{Direction, EdgeId, Graph, NodeId};
+
+const IMAGE_MAGIC: &[u8; 4] = b"CGSI";
+const IMAGE_VERSION: u8 = 1;
+
+/// Smallest encoded node slot: removed (1) + empty label (4) + attrs (2).
+const MIN_NODE_SLOT_BYTES: usize = 7;
+/// Smallest encoded edge slot: removed (1) + src/dst (8) + label (4) + attrs (2).
+const MIN_EDGE_SLOT_BYTES: usize = 15;
+/// Smallest encoded op: tag (1) + a u32 id (4).
+const MIN_OP_BYTES: usize = 5;
+
+/// One slot-level mutation. Ids are implicit for the `Add*` ops (slots only
+/// ever append), explicit for edits of existing slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphOp {
+    /// Append a node slot (id = current node bound). `removed` is the
+    /// slot's *final* state, so a node added and removed within one commit
+    /// window still claims its id.
+    AddNode { label: String, attrs: Attrs, removed: bool },
+    /// Append an edge slot (id = current edge bound).
+    AddEdge { src: u32, dst: u32, label: String, attrs: Attrs, removed: bool },
+    /// Tombstone an existing node slot.
+    TombstoneNode { id: u32 },
+    /// Tombstone an existing edge slot.
+    TombstoneEdge { id: u32 },
+    /// Replace a node slot's label.
+    NodeLabel { id: u32, label: String },
+    /// Replace a node slot's attributes wholesale.
+    NodeAttrs { id: u32, attrs: Attrs },
+    /// Replace an edge slot's label.
+    EdgeLabel { id: u32, label: String },
+    /// Replace an edge slot's attributes wholesale.
+    EdgeAttrs { id: u32, attrs: Attrs },
+    /// Rename the graph.
+    Rename { name: String },
+}
+
+/// An ordered op list transforming a graph into a slot-level descendant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GraphDelta {
+    ops: Vec<GraphOp>,
+}
+
+/// Why a delta could not be applied to a base graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An op referenced a slot the base graph does not have.
+    BadSlot(u32),
+    /// An appended edge referenced an out-of-range node slot.
+    BadEndpoint(u32),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::BadSlot(id) => write!(f, "delta op references missing slot {id}"),
+            DeltaError::BadEndpoint(id) => write!(f, "delta edge references missing node {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl GraphDelta {
+    /// The ops, in application order.
+    pub fn ops(&self) -> &[GraphOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Computes the op list turning `before` into `after` by elementwise
+    /// slot comparison, or `None` when `after` is not a slot-level
+    /// descendant (direction changed, bounds shrank, a tombstone came back
+    /// to life, or an edge's endpoints moved) — the caller then persists a
+    /// full image instead.
+    pub fn diff(before: &Graph, after: &Graph) -> Option<GraphDelta> {
+        if before.direction() != after.direction() {
+            return None;
+        }
+        let (bn, an) = (before.node_slots(), after.node_slots());
+        let (be, ae) = (before.edge_slots(), after.edge_slots());
+        if an.len() < bn.len() || ae.len() < be.len() {
+            return None;
+        }
+        let mut ops = Vec::new();
+        if before.name() != after.name() {
+            ops.push(GraphOp::Rename { name: after.name().to_owned() });
+        }
+        // Surviving node slots: label/attr edits and tombstonings.
+        for (i, (b, a)) in bn.iter().zip(an).enumerate() {
+            if b.removed && !a.removed {
+                return None; // ids are never reused; this is no descendant
+            }
+            if !b.removed {
+                if b.label != a.label {
+                    ops.push(GraphOp::NodeLabel { id: i as u32, label: a.label.clone() });
+                }
+                if b.attrs != a.attrs {
+                    ops.push(GraphOp::NodeAttrs { id: i as u32, attrs: a.attrs.clone() });
+                }
+            }
+            if !b.removed && a.removed {
+                ops.push(GraphOp::TombstoneNode { id: i as u32 });
+            }
+        }
+        // Surviving edge slots.
+        for (i, (b, a)) in be.iter().zip(ae).enumerate() {
+            if (b.removed && !a.removed) || b.src != a.src || b.dst != a.dst {
+                return None;
+            }
+            if !b.removed {
+                if b.label != a.label {
+                    ops.push(GraphOp::EdgeLabel { id: i as u32, label: a.label.clone() });
+                }
+                if b.attrs != a.attrs {
+                    ops.push(GraphOp::EdgeAttrs { id: i as u32, attrs: a.attrs.clone() });
+                }
+            }
+            if !b.removed && a.removed {
+                ops.push(GraphOp::TombstoneEdge { id: i as u32 });
+            }
+        }
+        // Appended slots, with their final removed state.
+        for a in &an[bn.len()..] {
+            ops.push(GraphOp::AddNode {
+                label: a.label.clone(),
+                attrs: a.attrs.clone(),
+                removed: a.removed,
+            });
+        }
+        for a in &ae[be.len()..] {
+            ops.push(GraphOp::AddEdge {
+                src: a.src.0,
+                dst: a.dst.0,
+                label: a.label.clone(),
+                attrs: a.attrs.clone(),
+                removed: a.removed,
+            });
+        }
+        Some(GraphDelta { ops })
+    }
+
+    /// Applies the delta to `base`, returning the descendant graph.
+    ///
+    /// Works at the slot level (no duplicate-edge or liveness checks — a
+    /// replayed history may transiently violate them) and rebuilds
+    /// adjacency canonically, so `diff(b, a).apply(b) == a` exactly.
+    pub fn apply(&self, base: &Graph) -> Result<Graph, DeltaError> {
+        let mut name = base.name().to_owned();
+        let mut nodes = base.node_slots().to_vec();
+        let mut edges = base.edge_slots().to_vec();
+        for op in &self.ops {
+            match op {
+                GraphOp::AddNode { label, attrs, removed } => {
+                    nodes.push(crate::graph::NodeSlot {
+                        label: label.clone(),
+                        attrs: attrs.clone(),
+                        removed: *removed,
+                    });
+                }
+                GraphOp::AddEdge { src, dst, label, attrs, removed } => {
+                    if *src as usize >= nodes.len() {
+                        return Err(DeltaError::BadEndpoint(*src));
+                    }
+                    if *dst as usize >= nodes.len() {
+                        return Err(DeltaError::BadEndpoint(*dst));
+                    }
+                    edges.push(crate::graph::EdgeSlot {
+                        src: NodeId(*src),
+                        dst: NodeId(*dst),
+                        label: label.clone(),
+                        attrs: attrs.clone(),
+                        removed: *removed,
+                    });
+                }
+                GraphOp::TombstoneNode { id } => {
+                    let slot = nodes
+                        .get_mut(*id as usize)
+                        .ok_or(DeltaError::BadSlot(*id))?;
+                    slot.removed = true;
+                }
+                GraphOp::TombstoneEdge { id } => {
+                    let slot = edges
+                        .get_mut(*id as usize)
+                        .ok_or(DeltaError::BadSlot(*id))?;
+                    slot.removed = true;
+                }
+                GraphOp::NodeLabel { id, label } => {
+                    nodes.get_mut(*id as usize).ok_or(DeltaError::BadSlot(*id))?.label =
+                        label.clone();
+                }
+                GraphOp::NodeAttrs { id, attrs } => {
+                    nodes.get_mut(*id as usize).ok_or(DeltaError::BadSlot(*id))?.attrs =
+                        attrs.clone();
+                }
+                GraphOp::EdgeLabel { id, label } => {
+                    edges.get_mut(*id as usize).ok_or(DeltaError::BadSlot(*id))?.label =
+                        label.clone();
+                }
+                GraphOp::EdgeAttrs { id, attrs } => {
+                    edges.get_mut(*id as usize).ok_or(DeltaError::BadSlot(*id))?.attrs =
+                        attrs.clone();
+                }
+                GraphOp::Rename { name: n } => name = n.clone(),
+            }
+        }
+        Ok(Graph::from_slots(base.direction(), name, nodes, edges))
+    }
+
+    /// Encodes the delta (no framing — the store wraps payloads in
+    /// length-prefixed, CRC-checksummed records).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + 32 * self.ops.len());
+        buf.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            match op {
+                GraphOp::AddNode { label, attrs, removed } => {
+                    buf.push(0);
+                    buf.push(*removed as u8);
+                    put_string(&mut buf, label);
+                    put_attrs(&mut buf, attrs);
+                }
+                GraphOp::AddEdge { src, dst, label, attrs, removed } => {
+                    buf.push(1);
+                    buf.push(*removed as u8);
+                    buf.extend_from_slice(&src.to_le_bytes());
+                    buf.extend_from_slice(&dst.to_le_bytes());
+                    put_string(&mut buf, label);
+                    put_attrs(&mut buf, attrs);
+                }
+                GraphOp::TombstoneNode { id } => {
+                    buf.push(2);
+                    buf.extend_from_slice(&id.to_le_bytes());
+                }
+                GraphOp::TombstoneEdge { id } => {
+                    buf.push(3);
+                    buf.extend_from_slice(&id.to_le_bytes());
+                }
+                GraphOp::NodeLabel { id, label } => {
+                    buf.push(4);
+                    buf.extend_from_slice(&id.to_le_bytes());
+                    put_string(&mut buf, label);
+                }
+                GraphOp::NodeAttrs { id, attrs } => {
+                    buf.push(5);
+                    buf.extend_from_slice(&id.to_le_bytes());
+                    put_attrs(&mut buf, attrs);
+                }
+                GraphOp::EdgeLabel { id, label } => {
+                    buf.push(6);
+                    buf.extend_from_slice(&id.to_le_bytes());
+                    put_string(&mut buf, label);
+                }
+                GraphOp::EdgeAttrs { id, attrs } => {
+                    buf.push(7);
+                    buf.extend_from_slice(&id.to_le_bytes());
+                    put_attrs(&mut buf, attrs);
+                }
+                GraphOp::Rename { name } => {
+                    buf.push(8);
+                    put_string(&mut buf, name);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decodes a delta encoded by [`GraphDelta::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<GraphDelta, BinaryError> {
+        let mut buf = data;
+        let n_ops = get_u32_le(&mut buf)? as usize;
+        if n_ops > buf.len() / MIN_OP_BYTES {
+            return Err(BinaryError::Truncated);
+        }
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            let op = match get_u8(&mut buf)? {
+                0 => {
+                    let removed = get_u8(&mut buf)? != 0;
+                    GraphOp::AddNode {
+                        label: get_string(&mut buf)?,
+                        attrs: get_attrs(&mut buf)?,
+                        removed,
+                    }
+                }
+                1 => {
+                    let removed = get_u8(&mut buf)? != 0;
+                    GraphOp::AddEdge {
+                        src: get_u32_le(&mut buf)?,
+                        dst: get_u32_le(&mut buf)?,
+                        label: get_string(&mut buf)?,
+                        attrs: get_attrs(&mut buf)?,
+                        removed,
+                    }
+                }
+                2 => GraphOp::TombstoneNode { id: get_u32_le(&mut buf)? },
+                3 => GraphOp::TombstoneEdge { id: get_u32_le(&mut buf)? },
+                4 => GraphOp::NodeLabel {
+                    id: get_u32_le(&mut buf)?,
+                    label: get_string(&mut buf)?,
+                },
+                5 => GraphOp::NodeAttrs {
+                    id: get_u32_le(&mut buf)?,
+                    attrs: get_attrs(&mut buf)?,
+                },
+                6 => GraphOp::EdgeLabel {
+                    id: get_u32_le(&mut buf)?,
+                    label: get_string(&mut buf)?,
+                },
+                7 => GraphOp::EdgeAttrs {
+                    id: get_u32_le(&mut buf)?,
+                    attrs: get_attrs(&mut buf)?,
+                },
+                8 => GraphOp::Rename { name: get_string(&mut buf)? },
+                other => return Err(BinaryError::BadTag(other)),
+            };
+            ops.push(op);
+        }
+        Ok(GraphDelta { ops })
+    }
+}
+
+/// Encodes a slot-exact image of the graph (tombstones included), so that
+/// `image_from_bytes(image_to_bytes(g)) == g` — adjacency, ids and all.
+pub fn image_to_bytes(g: &Graph) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(64 + 32 * g.node_bound() + 24 * g.edge_bound());
+    buf.extend_from_slice(IMAGE_MAGIC);
+    buf.push(IMAGE_VERSION);
+    buf.push(g.is_directed() as u8);
+    put_string(&mut buf, g.name());
+    let nodes = g.node_slots();
+    buf.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    for n in nodes {
+        buf.push(n.removed as u8);
+        put_string(&mut buf, &n.label);
+        put_attrs(&mut buf, &n.attrs);
+    }
+    let edges = g.edge_slots();
+    buf.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+    for e in edges {
+        buf.push(e.removed as u8);
+        buf.extend_from_slice(&e.src.0.to_le_bytes());
+        buf.extend_from_slice(&e.dst.0.to_le_bytes());
+        put_string(&mut buf, &e.label);
+        put_attrs(&mut buf, &e.attrs);
+    }
+    buf
+}
+
+/// Decodes a slot-exact image. Counts are validated against the remaining
+/// buffer and edge endpoints against the node slots, so corrupt input is
+/// rejected without over-allocation or panics.
+pub fn image_from_bytes(data: &[u8]) -> Result<Graph, BinaryError> {
+    let mut buf = data;
+    let header = take(&mut buf, 6).map_err(|_| BinaryError::BadHeader)?;
+    if &header[..4] != IMAGE_MAGIC || header[4] != IMAGE_VERSION {
+        return Err(BinaryError::BadHeader);
+    }
+    let direction = if header[5] != 0 { Direction::Directed } else { Direction::Undirected };
+    let name = get_string(&mut buf)?;
+    let n_nodes = get_u32_le(&mut buf)? as usize;
+    if n_nodes > buf.len() / MIN_NODE_SLOT_BYTES {
+        return Err(BinaryError::Truncated);
+    }
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let removed = get_u8(&mut buf)? != 0;
+        nodes.push(crate::graph::NodeSlot {
+            label: get_string(&mut buf)?,
+            attrs: get_attrs(&mut buf)?,
+            removed,
+        });
+    }
+    let n_edges = get_u32_le(&mut buf)? as usize;
+    if n_edges > buf.len() / MIN_EDGE_SLOT_BYTES {
+        return Err(BinaryError::Truncated);
+    }
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let removed = get_u8(&mut buf)? != 0;
+        let src = get_u32_le(&mut buf)?;
+        let dst = get_u32_le(&mut buf)?;
+        if src as usize >= nodes.len() || dst as usize >= nodes.len() {
+            return Err(BinaryError::BadEdge);
+        }
+        edges.push(crate::graph::EdgeSlot {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            label: get_string(&mut buf)?,
+            attrs: get_attrs(&mut buf)?,
+            removed,
+        });
+    }
+    Ok(Graph::from_slots(direction, name, nodes, edges))
+}
+
+/// The edge id a delta-appended edge would get — exposed so store tests can
+/// build expectations without poking at slot internals.
+pub fn next_edge_id(g: &Graph) -> EdgeId {
+    EdgeId(g.edge_bound() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{knowledge_graph, social_network, KgParams, SocialParams};
+
+    fn mutate(g: &mut Graph) {
+        // A representative edit mix: adds, removals (cascading), label and
+        // attribute edits, and an add-then-remove inside the same window.
+        let a = g.add_node("fresh");
+        let b = g.node_ids().next().unwrap();
+        let _ = g.add_edge(a, b, "new-edge");
+        let victim = g.node_ids().nth(2).unwrap();
+        g.remove_node(victim).unwrap();
+        let relabel = g.node_ids().nth(1).unwrap();
+        g.set_node_label(relabel, "renamed").unwrap();
+        g.set_node_attr(relabel, "w", 7i64).unwrap();
+        let tmp = g.add_node("ephemeral");
+        g.remove_node(tmp).unwrap();
+        let first_edge = g.edge_ids().next();
+        if let Some(e) = first_edge {
+            g.set_edge_label(e, "relabelled").unwrap();
+        }
+    }
+
+    #[test]
+    fn image_roundtrip_is_slot_exact() {
+        let mut g = social_network(&SocialParams::default(), 5);
+        mutate(&mut g);
+        let back = image_from_bytes(&image_to_bytes(&g)).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.node_bound(), g.node_bound());
+        assert_eq!(back.edge_bound(), g.edge_bound());
+    }
+
+    #[test]
+    fn diff_apply_reproduces_the_descendant_exactly() {
+        for seed in 0..4u64 {
+            let before = social_network(&SocialParams::default(), seed);
+            let mut after = before.clone();
+            mutate(&mut after);
+            let delta = GraphDelta::diff(&before, &after).expect("descendant");
+            assert!(!delta.is_empty());
+            let replayed = delta.apply(&before).unwrap();
+            assert_eq!(replayed, after, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn diff_apply_handles_directed_graphs() {
+        let before = knowledge_graph(&KgParams::default(), 3);
+        let mut after = before.clone();
+        let ids: Vec<_> = after.node_ids().collect();
+        let e = after.add_edge(ids[0], ids[3], "linked").unwrap();
+        after.remove_edge(e).unwrap();
+        after.remove_node(ids[1]).unwrap();
+        let delta = GraphDelta::diff(&before, &after).unwrap();
+        assert_eq!(delta.apply(&before).unwrap(), after);
+    }
+
+    #[test]
+    fn diff_declines_non_descendants() {
+        let g = social_network(&SocialParams::default(), 9);
+        let mut shrunk = g.clone();
+        let victim = shrunk.node_ids().next().unwrap();
+        shrunk.remove_node(victim).unwrap();
+        let (compacted, _) = shrunk.compact();
+        // Compaction shrinks the slot arrays: not a descendant.
+        assert!(GraphDelta::diff(&g, &compacted).is_none());
+        // A resurrected tombstone is not a descendant either.
+        assert!(GraphDelta::diff(&shrunk, &g).is_none());
+        // Direction mismatch.
+        assert!(GraphDelta::diff(&g, &Graph::directed()).is_none());
+    }
+
+    #[test]
+    fn delta_codec_roundtrips() {
+        let before = social_network(&SocialParams::default(), 2);
+        let mut after = before.clone();
+        mutate(&mut after);
+        after.set_name("renamed-graph");
+        let delta = GraphDelta::diff(&before, &after).unwrap();
+        let decoded = GraphDelta::from_bytes(&delta.to_bytes()).unwrap();
+        assert_eq!(decoded, delta);
+        assert_eq!(decoded.apply(&before).unwrap(), after);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        let g = social_network(&SocialParams::default(), 1);
+        let image = image_to_bytes(&g);
+        for cut in 0..image.len() {
+            assert!(image_from_bytes(&image[..cut]).is_err(), "cut {cut}");
+        }
+        let mut delta_bytes = GraphDelta::diff(&g, &g).unwrap().to_bytes();
+        delta_bytes[0] = 0xFF; // absurd op count vs remaining bytes
+        assert!(GraphDelta::from_bytes(&delta_bytes).is_err());
+    }
+
+    #[test]
+    fn empty_diff_for_identical_graphs() {
+        let g = social_network(&SocialParams::default(), 4);
+        let delta = GraphDelta::diff(&g, &g).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.apply(&g).unwrap(), g);
+    }
+
+    #[test]
+    fn bad_slot_references_error_on_apply() {
+        let g = Graph::undirected();
+        let delta = GraphDelta {
+            ops: vec![GraphOp::TombstoneNode { id: 7 }],
+        };
+        assert_eq!(delta.apply(&g).unwrap_err(), DeltaError::BadSlot(7));
+        let delta = GraphDelta {
+            ops: vec![GraphOp::AddEdge {
+                src: 0,
+                dst: 9,
+                label: "x".into(),
+                attrs: Attrs::new(),
+                removed: false,
+            }],
+        };
+        assert!(matches!(delta.apply(&g), Err(DeltaError::BadEndpoint(_))));
+    }
+}

@@ -169,19 +169,19 @@ impl Journal {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-struct NodeSlot {
-    label: String,
-    attrs: Attrs,
-    removed: bool,
+pub(crate) struct NodeSlot {
+    pub(crate) label: String,
+    pub(crate) attrs: Attrs,
+    pub(crate) removed: bool,
 }
 
 #[derive(Debug, Clone, PartialEq)]
-struct EdgeSlot {
-    src: NodeId,
-    dst: NodeId,
-    label: String,
-    attrs: Attrs,
-    removed: bool,
+pub(crate) struct EdgeSlot {
+    pub(crate) src: NodeId,
+    pub(crate) dst: NodeId,
+    pub(crate) label: String,
+    pub(crate) attrs: Attrs,
+    pub(crate) removed: bool,
 }
 
 /// A labelled, attributed property graph.
@@ -301,6 +301,64 @@ impl Graph {
     /// The structural-edit journal (for the CSR delta-splicer).
     pub(crate) fn journal(&self) -> &Journal {
         &self.journal
+    }
+
+    /// Every node slot ever allocated, tombstones included (for the
+    /// slot-exact delta/image codec in [`crate::delta`]).
+    pub(crate) fn node_slots(&self) -> &[NodeSlot] {
+        &self.nodes
+    }
+
+    /// Every edge slot ever allocated, tombstones included.
+    pub(crate) fn edge_slots(&self) -> &[EdgeSlot] {
+        &self.edges
+    }
+
+    /// Rebuilds a graph from raw slot arrays, tombstones and all.
+    ///
+    /// Adjacency is reconstructed by walking live edges in id order, which
+    /// is exactly the order incremental mutation leaves the lists in: every
+    /// insertion appends a strictly larger edge id and removals preserve
+    /// relative order, so a mutated graph's adjacency is always the live
+    /// incident edges sorted by edge id. A slot-replayed graph is therefore
+    /// `==` to the incrementally mutated original, adjacency included.
+    ///
+    /// Callers must have validated edge endpoints against the node slots;
+    /// out-of-range endpoints here are a codec bug, not user input.
+    pub(crate) fn from_slots(
+        direction: Direction,
+        name: String,
+        nodes: Vec<NodeSlot>,
+        edges: Vec<EdgeSlot>,
+    ) -> Graph {
+        let mut out_adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); nodes.len()];
+        let mut in_adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); nodes.len()];
+        let mut live_edges = 0usize;
+        for (i, e) in edges.iter().enumerate() {
+            if e.removed {
+                continue;
+            }
+            let id = EdgeId(i as u32);
+            out_adj[e.src.index()].push((e.dst, id));
+            if direction == Direction::Directed {
+                in_adj[e.dst.index()].push((e.src, id));
+            } else {
+                out_adj[e.dst.index()].push((e.src, id));
+            }
+            live_edges += 1;
+        }
+        let live_nodes = nodes.iter().filter(|n| !n.removed).count();
+        Graph {
+            direction,
+            name,
+            nodes,
+            edges,
+            out_adj,
+            in_adj,
+            live_nodes,
+            live_edges,
+            journal: Journal::fresh(),
+        }
     }
 
     /// Creates an empty undirected graph.

@@ -35,6 +35,7 @@ pub mod attr;
 pub mod binary;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod graph;
 pub mod io;

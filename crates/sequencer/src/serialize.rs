@@ -42,33 +42,33 @@ impl GraphSequences {
 }
 
 /// Serialises one path into its alternating label token sequence (without a
-/// marker).
-pub fn tokens_for_path(g: &Graph, path: &[NodeId]) -> Vec<String> {
+/// marker). Returns `None` when the path is not walkable in `g` — consecutive
+/// nodes without a connecting edge, or dead node/edge ids.
+pub fn tokens_for_path(g: &Graph, path: &[NodeId]) -> Option<Vec<String>> {
     let mut out = Vec::with_capacity(path.len() * 2);
     for (i, &v) in path.iter().enumerate() {
         if i > 0 {
             let u = path[i - 1];
-            let e = g
-                .find_edge(u, v)
-                .or_else(|| g.find_edge(v, u))
-                .expect("consecutive path nodes are adjacent");
-            out.push(g.edge_label(e).expect("live").to_owned());
+            let e = g.find_edge(u, v).or_else(|| g.find_edge(v, u))?;
+            out.push(g.edge_label(e).ok()?.to_owned());
         }
-        out.push(g.node_label(v).expect("live").to_owned());
+        out.push(g.node_label(v).ok()?.to_owned());
     }
-    out
+    Some(out)
 }
 
 /// Sequentialises a graph: base-level path cover plus (optionally) the
 /// super-graph's own cover, following §II-B's multi-level design.
 pub fn sequentialize(g: &Graph, params: &CoverParams, multi_level: bool) -> GraphSequences {
+    // A cover path is walkable by construction, so `tokens_for_path` cannot
+    // fail here; filtering keeps the function total anyway.
     let mut base: Vec<Vec<String>> = path_cover(g, params)
         .paths
         .iter()
-        .map(|p| {
+        .filter_map(|p| {
             let mut t = vec![PATH_MARKER.to_owned()];
-            t.extend(tokens_for_path(g, p));
-            t
+            t.extend(tokens_for_path(g, p)?);
+            Some(t)
         })
         .collect();
     base.sort();
@@ -78,10 +78,10 @@ pub fn sequentialize(g: &Graph, params: &CoverParams, multi_level: bool) -> Grap
         multi = path_cover(&sg.graph, params)
             .paths
             .iter()
-            .map(|p| {
+            .filter_map(|p| {
                 let mut t = vec![SUPER_MARKER.to_owned()];
-                t.extend(tokens_for_path(&sg.graph, p));
-                t
+                t.extend(tokens_for_path(&sg.graph, p)?);
+                Some(t)
             })
             .collect();
         multi.sort();
@@ -111,14 +111,24 @@ mod tests {
     fn path_tokens_alternate_labels() {
         let g = labeled_line();
         let ids: Vec<NodeId> = g.node_ids().collect();
-        let t = tokens_for_path(&g, &ids);
+        let t = tokens_for_path(&g, &ids).expect("line is walkable");
         assert_eq!(t, vec!["C", "single", "O", "double", "N"]);
     }
 
     #[test]
     fn single_node_path_is_one_token() {
         let g = labeled_line();
-        assert_eq!(tokens_for_path(&g, &[NodeId(1)]), vec!["O"]);
+        assert_eq!(tokens_for_path(&g, &[NodeId(1)]), Some(vec!["O".to_owned()]));
+    }
+
+    #[test]
+    fn unwalkable_path_is_rejected() {
+        let g = GraphBuilder::undirected()
+            .node("a", "C")
+            .node("b", "O")
+            .build();
+        // No edge between the two nodes: the path is not walkable.
+        assert_eq!(tokens_for_path(&g, &[NodeId(0), NodeId(1)]), None);
     }
 
     #[test]

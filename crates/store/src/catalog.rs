@@ -1,0 +1,209 @@
+//! Persistent id catalogs for node labels, edge labels (relation types) and
+//! property keys.
+//!
+//! The store interns every label/key string it has ever committed into a
+//! stable `u32` id: ids are assigned in first-appearance order and never
+//! reused or reordered, so an id recorded in one epoch still names the same
+//! string in every later epoch. Catalogs are persisted incrementally — each
+//! commit appends only the *new* entries (a [`CatalogDelta`]) to the WAL —
+//! and rebuilt on recovery by replaying those appends in order.
+
+use crate::codec::{put_string, put_u32, CodecError, Reader};
+use chatgraph_graph::Graph;
+
+/// The interned string tables: index = id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    /// Node labels, in first-appearance order.
+    pub node_labels: Vec<String>,
+    /// Edge labels (relation types), in first-appearance order.
+    pub edge_labels: Vec<String>,
+    /// Property keys (node and edge attributes), in first-appearance order.
+    pub prop_keys: Vec<String>,
+}
+
+/// The entries one commit adds to the catalog (empty for most commits).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CatalogDelta {
+    /// New node labels, in first-appearance order.
+    pub node_labels: Vec<String>,
+    /// New edge labels, in first-appearance order.
+    pub edge_labels: Vec<String>,
+    /// New property keys, in first-appearance order.
+    pub prop_keys: Vec<String>,
+}
+
+impl CatalogDelta {
+    /// Whether the commit introduced no new strings.
+    pub fn is_empty(&self) -> bool {
+        self.node_labels.is_empty() && self.edge_labels.is_empty() && self.prop_keys.is_empty()
+    }
+
+    /// Serialises the delta (a WAL `Catalog` record body, minus the tag).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for table in [&self.node_labels, &self.edge_labels, &self.prop_keys] {
+            put_u32(&mut out, table.len() as u32);
+            for s in table {
+                put_string(&mut out, s);
+            }
+        }
+        out
+    }
+
+    /// Decodes a delta written by [`CatalogDelta::to_bytes`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<CatalogDelta, CodecError> {
+        let mut tables: [Vec<String>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for table in &mut tables {
+            let declared = r.u32()?;
+            // Each entry is at least its 4-byte length prefix.
+            let n = r.check_count(declared, 4)?;
+            table.reserve(n);
+            for _ in 0..n {
+                table.push(r.string()?);
+            }
+        }
+        let [node_labels, edge_labels, prop_keys] = tables;
+        Ok(CatalogDelta { node_labels, edge_labels, prop_keys })
+    }
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Total interned strings across the three tables.
+    pub fn len(&self) -> usize {
+        self.node_labels.len() + self.edge_labels.len() + self.prop_keys.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The id of a node label, if interned.
+    pub fn node_label_id(&self, label: &str) -> Option<u32> {
+        self.node_labels.iter().position(|l| l == label).map(|i| i as u32)
+    }
+
+    /// The id of an edge label, if interned.
+    pub fn edge_label_id(&self, label: &str) -> Option<u32> {
+        self.edge_labels.iter().position(|l| l == label).map(|i| i as u32)
+    }
+
+    /// The id of a property key, if interned.
+    pub fn prop_key_id(&self, key: &str) -> Option<u32> {
+        self.prop_keys.iter().position(|k| k == key).map(|i| i as u32)
+    }
+
+    /// The strings `g` uses that this catalog has not interned yet, in
+    /// first-appearance (id-assignment) order.
+    pub fn delta_for(&self, g: &Graph) -> CatalogDelta {
+        let mut delta = CatalogDelta::default();
+        let absorb = |table: &Vec<String>, fresh: &mut Vec<String>, s: &str| {
+            if !table.iter().any(|t| t == s) && !fresh.iter().any(|t| t == s) {
+                fresh.push(s.to_owned());
+            }
+        };
+        for v in g.node_ids() {
+            if let Ok(label) = g.node_label(v) {
+                absorb(&self.node_labels, &mut delta.node_labels, label);
+            }
+            if let Ok(attrs) = g.node_attrs(v) {
+                for key in attrs.keys() {
+                    absorb(&self.prop_keys, &mut delta.prop_keys, key);
+                }
+            }
+        }
+        for e in g.edge_ids() {
+            if let Ok(label) = g.edge_label(e) {
+                absorb(&self.edge_labels, &mut delta.edge_labels, label);
+            }
+            if let Ok(attrs) = g.edge_attrs(e) {
+                for key in attrs.keys() {
+                    absorb(&self.prop_keys, &mut delta.prop_keys, key);
+                }
+            }
+        }
+        delta
+    }
+
+    /// Appends a delta's entries, assigning the next ids.
+    pub fn apply(&mut self, delta: &CatalogDelta) {
+        self.node_labels.extend(delta.node_labels.iter().cloned());
+        self.edge_labels.extend(delta.edge_labels.iter().cloned());
+        self.prop_keys.extend(delta.prop_keys.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatgraph_graph::attr::AttrValue;
+    use chatgraph_graph::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut g = GraphBuilder::undirected()
+            .node("a", "C")
+            .node("b", "O")
+            .edge("a", "b", "single")
+            .build();
+        let v = g.node_ids().next().unwrap();
+        g.node_attrs_mut(v).unwrap().insert("charge".into(), AttrValue::Int(1));
+        g
+    }
+
+    #[test]
+    fn ids_are_first_appearance_order_and_stable() {
+        let mut cat = Catalog::new();
+        let d1 = cat.delta_for(&sample());
+        assert_eq!(d1.node_labels, vec!["C".to_owned(), "O".to_owned()]);
+        assert_eq!(d1.edge_labels, vec!["single".to_owned()]);
+        assert_eq!(d1.prop_keys, vec!["charge".to_owned()]);
+        cat.apply(&d1);
+        assert_eq!(cat.node_label_id("C"), Some(0));
+        assert_eq!(cat.node_label_id("O"), Some(1));
+        assert_eq!(cat.edge_label_id("single"), Some(0));
+        assert_eq!(cat.prop_key_id("charge"), Some(0));
+
+        // A second pass over the same graph adds nothing; new strings get
+        // the next ids without disturbing old ones.
+        assert!(cat.delta_for(&sample()).is_empty());
+        let mut g = sample();
+        let v = g.node_ids().last().unwrap();
+        g.set_node_label(v, "N").unwrap();
+        let d2 = cat.delta_for(&g);
+        assert_eq!(d2.node_labels, vec!["N".to_owned()]);
+        cat.apply(&d2);
+        assert_eq!(cat.node_label_id("N"), Some(2));
+        assert_eq!(cat.node_label_id("C"), Some(0));
+    }
+
+    #[test]
+    fn delta_codec_roundtrips() {
+        let mut cat = Catalog::new();
+        let d = cat.delta_for(&sample());
+        let bytes = d.to_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(CatalogDelta::decode(&mut r).unwrap(), d);
+        assert!(r.done());
+        cat.apply(&d);
+        assert_eq!(cat.len(), 4);
+
+        let empty = CatalogDelta::default();
+        let bytes = empty.to_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(CatalogDelta::decode(&mut r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversized_counts_are_rejected() {
+        let mut bytes = CatalogDelta::default().to_bytes();
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = Reader::new(&bytes);
+        assert_eq!(CatalogDelta::decode(&mut r), Err(CodecError::BadCount));
+    }
+}

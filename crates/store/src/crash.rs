@@ -1,0 +1,106 @@
+//! Deterministic crash injection for the durability tests.
+//!
+//! A [`CrashPoint`] armed on a store fires the first time a file write
+//! would reach `at_byte`: the write is cut short (torn write) or has one
+//! bit flipped (media corruption) *before* the matching `fsync`, the store
+//! marks itself crashed, and every later operation fails with
+//! `StoreError::Crashed` — exactly the observable behaviour of a process
+//! killed mid-append. Recovery is then exercised by reopening the path.
+//!
+//! Injection is fully deterministic: the same `(mutation sequence,
+//! CrashPoint)` pair always produces the same bytes on disk, so the
+//! recovery property suite can sweep *every* byte offset of a WAL —
+//! record boundaries and mid-record alike — and assert the recovered
+//! epoch exactly.
+
+/// What the injected crash does to the in-flight write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// The write stops at `at_byte`: bytes before it reach the file, the
+    /// rest never do (a torn append).
+    Truncate,
+    /// The full write lands, but with bit `bit & 7` of the byte at
+    /// `at_byte` inverted (corruption that only the record CRC can catch).
+    FlipBit {
+        /// Which bit of the byte to invert (taken mod 8).
+        bit: u8,
+    },
+}
+
+/// A one-shot, deterministically placed crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Absolute file offset the crash fires at. For WAL appends this is an
+    /// offset in the store file; for a checkpoint it addresses the
+    /// temporary file being built (the rename never happens).
+    pub at_byte: u64,
+    /// Torn write or bit flip.
+    pub mode: CrashMode,
+}
+
+impl CrashPoint {
+    /// A torn-write crash at `at_byte`.
+    pub fn truncate(at_byte: u64) -> CrashPoint {
+        CrashPoint { at_byte, mode: CrashMode::Truncate }
+    }
+
+    /// A bit-flip crash at `at_byte`, inverting bit `bit & 7`.
+    pub fn flip_bit(at_byte: u64, bit: u8) -> CrashPoint {
+        CrashPoint { at_byte, mode: CrashMode::FlipBit { bit } }
+    }
+
+    /// Whether a write of `len` bytes starting at `start` reaches the
+    /// crash offset.
+    pub fn fires(&self, start: u64, len: usize) -> bool {
+        self.at_byte < start + len as u64
+    }
+
+    /// The bytes of `buf` (to be written at `start`) after the crash:
+    /// shortened for [`CrashMode::Truncate`], bit-flipped for
+    /// [`CrashMode::FlipBit`]. Offsets before `start` write nothing.
+    pub fn mangle(&self, start: u64, buf: &[u8]) -> Vec<u8> {
+        match self.mode {
+            CrashMode::Truncate => {
+                let keep = self.at_byte.saturating_sub(start).min(buf.len() as u64);
+                buf[..keep as usize].to_vec()
+            }
+            CrashMode::FlipBit { bit } => {
+                let mut out = buf.to_vec();
+                if self.at_byte >= start {
+                    let i = (self.at_byte - start) as usize;
+                    if i < out.len() {
+                        out[i] ^= 1 << (bit & 7);
+                    }
+                } else {
+                    out.clear();
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_keeps_the_prefix_before_the_offset() {
+        let cp = CrashPoint::truncate(13);
+        assert!(!cp.fires(10, 3));
+        assert!(cp.fires(10, 4));
+        assert_eq!(cp.mangle(10, &[1, 2, 3, 4, 5]), vec![1, 2, 3]);
+        assert_eq!(cp.mangle(13, &[1, 2]), Vec::<u8>::new());
+        assert_eq!(cp.mangle(20, &[1, 2]), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn flip_bit_corrupts_exactly_one_bit() {
+        let cp = CrashPoint::flip_bit(11, 2);
+        let out = cp.mangle(10, &[0, 0, 0]);
+        assert_eq!(out, vec![0, 0b100, 0]);
+        // An offset before the write start models a crash before any byte
+        // of this append landed.
+        assert!(cp.mangle(12, &[0xFF; 4]).is_empty());
+    }
+}

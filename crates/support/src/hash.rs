@@ -1,10 +1,14 @@
-//! FNV-1a 64-bit hashing — the workspace's stable fingerprint function.
+//! FNV-1a 64-bit hashing — the workspace's stable fingerprint function —
+//! plus CRC-32 (IEEE) for on-disk corruption detection.
 //!
-//! Used by the plan scheduler to key its memo cache on
-//! `(api, params, graph-fingerprint)`. FNV-1a is tiny, allocation-free and
+//! FNV-1a is used by the plan scheduler to key its memo cache on
+//! `(api, params, graph-fingerprint)`. It is tiny, allocation-free and
 //! deterministic across runs and platforms, which is exactly what a cache
 //! key (and a golden test over one) needs; it is *not* a cryptographic
-//! hash and must never be used for anything adversarial.
+//! hash and must never be used for anything adversarial. CRC-32 is used by
+//! the durable store's WAL records and the binary graph format, where
+//! guaranteed detection of small bit-flips (any single-bit error, any
+//! burst up to 32 bits) matters more than distribution quality.
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -59,6 +63,34 @@ impl Fnv64 {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes` —
+/// the checksum every store WAL record and binary graph payload carries.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// The byte-at-a-time CRC-32 lookup table, built once per process.
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,6 +101,27 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Published CRC-32 (IEEE) test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"chatgraph wal record payload".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
     }
 
     #[test]

@@ -280,7 +280,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -319,7 +319,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         self.depth += 1;
         let mut items = Vec::new();
         self.skip_ws();
@@ -345,7 +345,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         self.depth += 1;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -358,7 +358,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));
@@ -376,7 +376,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -403,7 +403,7 @@ impl<'a> Parser<'a> {
                                 // Surrogate pair: expect \uXXXX low half.
                                 if self.peek() == Some(b'\\') {
                                     self.pos += 1;
-                                    self.expect(b'u')?;
+                                    self.expect_byte(b'u')?;
                                     let lo = self.hex4()?;
                                     if !(0xDC00..0xE000).contains(&lo) {
                                         return Err(JsonError::at(
@@ -438,7 +438,10 @@ impl<'a> Parser<'a> {
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest)
                         .map_err(|_| JsonError::at("invalid utf-8", self.pos))?;
-                    let c = s.chars().next().expect("non-empty");
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| JsonError::at("unexpected end of input", self.pos))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -475,7 +478,7 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ascii");
+            .map_err(|_| JsonError::at("invalid number", start))?;
         if !is_float {
             if let Ok(v) = text.parse::<i64>() {
                 return Ok(Json::Int(v));

@@ -20,7 +20,10 @@
 //! timings stream alongside it as `KernelTimed` events — `:faults
 //! [seed [error [panic [delay]]]]` arms deterministic fault injection on
 //! the chain supervisor (`:faults off` disarms it; retries, timeouts,
-//! isolated panics and degraded steps stream as events) — `:quit` exits.
+//! isolated panics and degraded steps stream as events) — `:store <path>`
+//! attaches a durable single-file store (recovering it if it already
+//! exists; every mutation barrier then streams `WalAppended` events) —
+//! `:checkpoint` compacts the attached store — `:quit` exits.
 //! Anything else is a prompt; proposed chains are executed immediately
 //! (auto-confirm).
 
@@ -39,7 +42,7 @@ fn main() {
     let (mut session, _) = ChatSession::bootstrap(ChatGraphConfig::default(), 384).expect("default config is valid");
     session.set_database(molecule_database(30, &MoleculeParams::default(), 123));
     println!(
-        "Ready. Type :social / :molecule / :kg to upload a graph, :suggest, :plan, :faults, :quit.\n"
+        "Ready. Type :social / :molecule / :kg to upload a graph, :suggest, :plan, :faults, :store, :checkpoint, :quit.\n"
     );
 
     let mut last_chain: Option<chatgraph::apis::ApiChain> = None;
@@ -113,6 +116,45 @@ fn main() {
                     session.set_fault_plan(Some(plan));
                 }
             }
+            ":store" => {
+                let path = line.split_whitespace().nth(1).unwrap_or("");
+                if path.is_empty() {
+                    match session.store() {
+                        Some(store) => println!(
+                            "store attached at '{}' (epoch {}, {} WAL byte(s)).",
+                            store.path().display(),
+                            store.epoch(),
+                            store.wal_bytes()
+                        ),
+                        None => println!("usage: :store <path> — no store attached."),
+                    }
+                } else {
+                    match session.open_store(path) {
+                        Ok(opened) => {
+                            match opened {
+                                chatgraph::store::StoreOpened::Created => {
+                                    println!("created a durable store at '{path}'.")
+                                }
+                                chatgraph::store::StoreOpened::Recovered(r) => println!(
+                                    "recovered '{path}' to epoch {} ({} record(s) replayed, {} torn byte(s) dropped).",
+                                    r.epoch, r.records_replayed, r.tail_dropped
+                                ),
+                            }
+                            if let Err(e) = session.persist_model() {
+                                println!("model persist failed: {e}");
+                            }
+                        }
+                        Err(e) => println!("store open failed: {e}"),
+                    }
+                }
+            }
+            ":checkpoint" => match session.checkpoint_store() {
+                Ok(r) => println!(
+                    "checkpointed at epoch {}: file is {} byte(s), {} reclaimed.",
+                    r.epoch, r.file_bytes, r.reclaimed
+                ),
+                Err(e) => println!("checkpoint failed: {e}"),
+            },
             ":plan" => match &last_chain {
                 None => println!("no chain proposed yet — ask a question first."),
                 Some(chain) => match Plan::build(chain, session.registry()) {
@@ -167,6 +209,21 @@ fn main() {
                                 }
                                 ChainEvent::DegradedResult { api, error, .. } => {
                                     println!("  [{api}] degraded, chain continues: {error}");
+                                }
+                                ChainEvent::WalAppended { epoch, records, bytes, .. } => {
+                                    println!(
+                                        "  (wal: epoch {epoch} committed, {records} record(s), {bytes} byte(s))"
+                                    );
+                                }
+                                ChainEvent::Checkpointed { epoch, bytes, reclaimed } => {
+                                    println!(
+                                        "  (store checkpointed at epoch {epoch}: {bytes} byte(s), {reclaimed} reclaimed)"
+                                    );
+                                }
+                                ChainEvent::Recovered { epoch, records_replayed, tail_dropped } => {
+                                    println!(
+                                        "  (store recovered to epoch {epoch}: {records_replayed} record(s) replayed, {tail_dropped} torn byte(s) dropped)"
+                                    );
                                 }
                                 _ => {}
                             }

@@ -14,6 +14,18 @@ if [[ "${1:-}" == "--quick-scale" ]]; then
     exit 0
 fi
 
+# --quick-store: the crash-matrix recovery property suite (every-byte
+# truncation and bit-flip sweeps, armed crash points, checkpoint
+# differentials) plus a small store bench tier validating that the
+# committed results/BENCH_store.json still carries the full schema (see
+# benches/store.rs and EXPERIMENTS.md E14).
+if [[ "${1:-}" == "--quick-store" ]]; then
+    cargo test -q --offline -p chatgraph-store
+    cargo test -q --offline -p chatgraph-store --test recovery_properties
+    cargo bench --offline -p chatgraph-bench --bench store -- --quick
+    exit 0
+fi
+
 # --quick-serve: the coalescing property suite plus a single-iteration
 # duplicate-heavy serving round, validating that the committed
 # results/BENCH_serving.json still carries the full schema (env with the
@@ -84,6 +96,12 @@ cargo test -q --offline -p chatgraph-graph --test chunking_determinism
 # Scale sweep smoke: 10^3/10^4 tiers plus validation of the committed
 # full-sweep artifact (results/BENCH_scale.json, EXPERIMENTS.md E12).
 cargo bench --offline -p chatgraph-bench --bench scale_sweep -- --quick
+
+# Durable store crash matrix: recovery at every truncation/bit-flip
+# offset, armed crash points, checkpoint differentials (DESIGN.md §16),
+# plus the quick store bench tier validating results/BENCH_store.json.
+cargo test -q --offline -p chatgraph-store --test recovery_properties
+cargo bench --offline -p chatgraph-bench --bench store -- --quick
 
 # Repository lint: no unwrap/expect/panic! in non-test library code beyond
 # the shrink-only allowlist (lint-allow.toml), no `unsafe`, hermetic

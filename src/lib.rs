@@ -20,3 +20,4 @@ pub use chatgraph_ged as ged;
 pub use chatgraph_graph as graph;
 pub use chatgraph_llm as llm;
 pub use chatgraph_sequencer as sequencer;
+pub use chatgraph_store as store;
